@@ -1,0 +1,220 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§7) from the simulator, and measures the host-side cost of
+   each artifact with Bechamel.
+
+   Usage:
+     bench/main.exe                 print every table and figure
+     bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation
+     bench/main.exe bechamel        run the Bechamel micro-suite only
+*)
+
+module E = Grt.Experiments
+module Mode = Grt.Mode
+module Profile = Grt_net.Profile
+
+let ctx = E.create_ctx ()
+
+let hr title =
+  Printf.printf "\n==== %s ====\n" title
+
+let fig7 profile label =
+  hr
+    (Printf.sprintf "Figure 7%s: recording delays, %s (RTT %.0f ms, BW %.0f Mbps)" label
+       profile.Profile.name (profile.Profile.rtt_s *. 1e3)
+       (profile.Profile.bandwidth_bps /. 1e6));
+  Printf.printf "%-12s %10s %10s %10s %10s  %s\n" "NN" "Naive(s)" "OursM(s)" "OursMD(s)"
+    "OursMDS(s)" "MDS vs Naive";
+  List.iter
+    (fun (r : E.fig7_row) ->
+      let d m = List.assoc m r.E.delays in
+      Printf.printf "%-12s %10.1f %10.1f %10.1f %10.1f  -%2.0f%%\n" r.E.workload (d Mode.Naive)
+        (d Mode.Ours_m) (d Mode.Ours_md) (d Mode.Ours_mds)
+        (100. *. (1. -. (d Mode.Ours_mds /. d Mode.Naive))))
+    (E.fig7 ctx ~profile)
+
+let table1 () =
+  hr "Table 1: record-run statistics (WiFi)";
+  Printf.printf "%-12s %6s | %8s %8s %8s | %12s %10s\n" "NN" "jobs" "OursM" "OursMD" "OursMDS"
+    "Naive(MB)" "OursM(MB)";
+  List.iter
+    (fun (r : E.table1_row) ->
+      Printf.printf "%-12s %6d | %8d %8d %8d | %12.2f %10.2f\n" r.E.workload r.E.gpu_jobs
+        r.E.rtts_m r.E.rtts_md r.E.rtts_mds r.E.memsync_naive_mb r.E.memsync_ours_mb)
+    (E.table1 ctx ~profile:Profile.wifi)
+
+let table2 () =
+  hr "Table 2: replay vs native delays";
+  Printf.printf "%-12s %12s %12s %10s %8s\n" "NN" "Native(ms)" "Replay(ms)" "diff" "bitexact";
+  List.iter
+    (fun (r : E.table2_row) ->
+      Printf.printf "%-12s %12.1f %12.1f %+9.0f%% %8s\n" r.E.workload r.E.native_ms r.E.replay_ms
+        (100. *. ((r.E.replay_ms /. r.E.native_ms) -. 1.))
+        (if r.E.outputs_match then "yes" else "NO"))
+    (E.table2 ctx)
+
+let fig8 () =
+  hr "Figure 8: breakdown of speculative commits (normalized; counts in parens)";
+  Printf.printf "%-12s %8s" "NN" "(total)";
+  List.iter
+    (fun c -> Printf.printf " %11s" (Grt.Drivershim.category_name c))
+    Grt.Drivershim.all_categories;
+  print_newline ();
+  List.iter
+    (fun (r : E.fig8_row) ->
+      Printf.printf "%-12s %8s" r.E.workload (Printf.sprintf "(%d)" r.E.total_speculated);
+      List.iter (fun (_, share) -> Printf.printf " %10.1f%%" (100. *. share)) r.E.shares;
+      print_newline ())
+    (E.fig8 ctx ~profile:Profile.wifi)
+
+let fig9 () =
+  hr "Figure 9: client energy for record and replay (J)";
+  Printf.printf "%-12s %14s %14s %10s %10s\n" "NN" "Record/Naive" "Record/GR-T" "saving" "Replay";
+  List.iter
+    (fun (r : E.fig9_row) ->
+      Printf.printf "%-12s %14.1f %14.1f %9.0f%% %10.3f\n" r.E.workload r.E.record_naive_j
+        r.E.record_mds_j
+        (100. *. (1. -. (r.E.record_mds_j /. r.E.record_naive_j)))
+        r.E.replay_j)
+    (E.fig9 ctx ~profile:Profile.wifi)
+
+let stats () =
+  hr "§7.3 deferral & speculation statistics (OursMDS, WiFi)";
+  Printf.printf "%-12s %9s %9s %10s %10s %9s\n" "NN" "accesses" "commits" "acc/commit"
+    "spec %" "nondet";
+  List.iter
+    (fun (r : E.stats_row) ->
+      Printf.printf "%-12s %9d %9d %10.1f %9.0f%% %9d\n" r.E.workload r.E.accesses r.E.commits
+        r.E.accesses_per_commit r.E.speculated_pct r.E.rejected_nondet)
+    (E.deferral_stats ctx ~profile:Profile.wifi)
+
+let polling () =
+  hr "§7.3 polling-loop offload (OursMDS, WiFi)";
+  Printf.printf "%-12s %10s %10s %14s %12s %10s\n" "NN" "instances" "offloaded" "RTTs w/o off"
+    "RTTs w/ off" "saved";
+  List.iter
+    (fun (r : E.polling_row) ->
+      Printf.printf "%-12s %10d %10d %14d %12d %10d\n" r.E.workload r.E.instances r.E.offloaded
+        r.E.rtts_without_offload r.E.rtts_with_offload
+        (r.E.rtts_without_offload - r.E.rtts_with_offload))
+    (E.polling ctx ~profile:Profile.wifi)
+
+let rollback () =
+  hr "§7.3 misprediction injection & rollback (MNIST, VGG16)";
+  Printf.printf "%-12s %9s %10s %13s %10s\n" "NN" "detected" "rollbacks" "recovery(s)" "completed";
+  List.iter
+    (fun (r : E.rollback_row) ->
+      Printf.printf "%-12s %9s %10d %13.2f %10s\n" r.E.workload
+        (if r.E.detected then "yes" else "NO")
+        r.E.rollbacks r.E.rollback_s
+        (if r.E.completed then "yes" else "NO"))
+    (E.rollback ctx ~profile:Profile.wifi ~nets:[ Grt_mlfw.Zoo.mnist; Grt_mlfw.Zoo.vgg16 ])
+
+let ablation () =
+  hr "Ablation of design knobs (MobileNet, WiFi)";
+  Printf.printf "%-38s %10s %8s %10s\n" "variant" "delay(s)" "RTTs" "sync(MB)";
+  List.iter
+    (fun (r : E.ablation_row) ->
+      Printf.printf "%-38s %10.1f %8d %10.2f\n" r.E.label r.E.delay_s r.E.rtts r.E.sync_mb)
+    (E.ablation ctx ~profile:Profile.wifi ~net:Grt_mlfw.Zoo.mobilenet)
+
+(* ---- Bechamel micro-suite: host-side cost of regenerating each artifact
+   (MNIST-scale so samples stay short). ---- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let mnist = Grt_mlfw.Zoo.mnist in
+  let record mode profile () =
+    ignore
+      (Grt.Orchestrate.record ~profile ~mode ~sku:Grt_gpu.Sku.g71_mp8 ~net:mnist ~seed:42L ())
+  in
+  let replay_blob =
+    lazy
+      (let o =
+         Grt.Orchestrate.record ~profile:Profile.wifi ~mode:Mode.Ours_mds
+           ~sku:Grt_gpu.Sku.g71_mp8 ~net:mnist ~seed:42L ()
+       in
+       o.Grt.Orchestrate.blob)
+  in
+  let plan = Grt_mlfw.Network.expand mnist in
+  let input = Grt_mlfw.Runner.input_values plan ~seed:42L in
+  let params = Grt_mlfw.Runner.weight_values plan ~seed:42L in
+  [
+    Test.make ~name:"fig7.record.naive" (Staged.stage (record Mode.Naive Profile.wifi));
+    Test.make ~name:"fig7.record.ours_mds" (Staged.stage (record Mode.Ours_mds Profile.wifi));
+    Test.make ~name:"fig7b.record.cellular" (Staged.stage (record Mode.Ours_mds Profile.cellular));
+    Test.make ~name:"table1.record.ours_m" (Staged.stage (record Mode.Ours_m Profile.wifi));
+    Test.make ~name:"table1.record.ours_md" (Staged.stage (record Mode.Ours_md Profile.wifi));
+    Test.make ~name:"table2.native"
+      (Staged.stage (fun () ->
+           let clock = Grt_sim.Clock.create () in
+           ignore
+             (Grt.Native.run_inference ~clock ~sku:Grt_gpu.Sku.g71_mp8 ~net:mnist ~seed:42L
+                ~input ())));
+    Test.make ~name:"table2.replay"
+      (Staged.stage (fun () ->
+           ignore
+             (Grt.Orchestrate.replay_recording ~sku:Grt_gpu.Sku.g71_mp8
+                ~blob:(Lazy.force replay_blob) ~input ~params ~seed:42L ())));
+    Test.make ~name:"fig9.energy.record"
+      (Staged.stage (record Mode.Ours_mds Profile.cellular));
+    Test.make ~name:"memsync.range_coder"
+      (Staged.stage (fun () ->
+           let rng = Grt_util.Rng.create ~seed:7L in
+           let page = Bytes.make 4096 '\000' in
+           for _ = 0 to 127 do
+             Bytes.set page (Grt_util.Rng.int rng 4096) 'x'
+           done;
+           ignore (Grt_util.Range_coder.encode page)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  hr "Bechamel: host-side cost per artifact (monotonic clock)";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.5) () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some (ns :: _) -> Printf.printf "%-28s %12.3f ms/run\n%!" name (ns /. 1e6)
+          | Some [] | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+        analyzed)
+    (bechamel_tests ())
+
+let all () =
+  fig7 Profile.wifi "a";
+  fig7 Profile.cellular "b";
+  table1 ();
+  table2 ();
+  fig8 ();
+  fig9 ();
+  stats ();
+  polling ();
+  rollback ();
+  ablation ();
+  run_bechamel ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "fig7a" -> fig7 Profile.wifi "a"
+  | "fig7b" -> fig7 Profile.cellular "b"
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "fig8" -> fig8 ()
+  | "fig9" -> fig9 ()
+  | "stats" -> stats ()
+  | "polling" -> polling ()
+  | "rollback" -> rollback ()
+  | "ablation" -> ablation ()
+  | "bechamel" -> run_bechamel ()
+  | "all" -> all ()
+  | other ->
+    Printf.eprintf
+      "unknown command %s (expected \
+       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|bechamel|all)\n"
+      other;
+    exit 2

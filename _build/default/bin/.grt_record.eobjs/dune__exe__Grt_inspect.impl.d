@@ -1,0 +1,1 @@
+bin/grt_inspect.ml: Arg Array Bytes Cmd Cmdliner Format Grt Grt_gpu Grt_util List Printf Term

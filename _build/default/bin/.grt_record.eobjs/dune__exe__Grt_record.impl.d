@@ -1,0 +1,1 @@
+bin/grt_record.ml: Arg Array Bytes Cmd Cmdliner Format Grt Grt_gpu Grt_mlfw Grt_net Grt_sim Grt_util Int64 List Printf Term

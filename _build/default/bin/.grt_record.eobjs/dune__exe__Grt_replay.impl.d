@@ -1,0 +1,1 @@
+bin/grt_replay.ml: Arg Array Bytes Cmd Cmdliner Grt Grt_gpu Grt_mlfw Int64 List Printf Term

@@ -1,0 +1,1 @@
+bin/grt_replay.mli:

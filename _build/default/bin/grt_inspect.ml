@@ -1,0 +1,100 @@
+(* grt-inspect: examine a saved recording — identity, slots, interaction
+   histogram — or diff two recordings for remote debugging (§3.2).
+
+     dune exec bin/grt_inspect.exe -- mnist.grt
+     dune exec bin/grt_inspect.exe -- --diff healthy.grt suspect.grt
+*)
+
+open Cmdliner
+
+let file_arg =
+  let doc = "Recording file to inspect." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let diff_arg =
+  let doc = "Compare $(docv) (the subject) against FILE (the reference)." in
+  Arg.(value & opt (some string) None & info [ "d"; "diff" ] ~docv:"SUBJECT" ~doc)
+
+let entries_arg =
+  let doc = "Dump the first $(docv) entries." in
+  Arg.(value & opt int 0 & info [ "e"; "entries" ] ~docv:"N" ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let load path =
+  match Grt.Recording.verify_and_parse ~key:Grt.Orchestrate.cloud_signing_key (read_file path) with
+  | Ok r -> Ok r
+  | Error e -> Error (path ^ ": " ^ e)
+
+let pp_entry ppf = function
+  | Grt.Recording.Reg_write { reg; value } ->
+    Format.fprintf ppf "write %-22s <- %#Lx" (Grt_gpu.Regs.name reg) value
+  | Grt.Recording.Reg_read { reg; value; verify } ->
+    Format.fprintf ppf "read  %-22s = %#Lx%s" (Grt_gpu.Regs.name reg) value
+      (if verify then "" else "  (nondet, unverified)")
+  | Grt.Recording.Poll { reg; mask; cond; _ } ->
+    Format.fprintf ppf "poll  %-22s until %#Lx %s" (Grt_gpu.Regs.name reg) mask
+      (match cond with Grt.Recording.Until_set -> "set" | Grt.Recording.Until_clear -> "clear")
+  | Grt.Recording.Wait_irq { line } -> Format.fprintf ppf "wait-irq line %d" line
+  | Grt.Recording.Mem_load { pages } ->
+    Format.fprintf ppf "mem-load %d pages (%s)" (List.length pages)
+      (Grt_util.Hexdump.size_to_string (List.length pages * Grt_gpu.Mem.page_size))
+
+let inspect path dump_n =
+  match load path with
+  | Error e -> `Error (false, e)
+  | Ok r ->
+    let count k = Grt.Recording.count_entries r k in
+    Printf.printf "recording: %s\n" path;
+    Printf.printf "  workload:   %s\n" r.Grt.Recording.workload;
+    (match Grt_gpu.Sku.find_by_id r.Grt.Recording.gpu_id with
+    | Some sku -> Printf.printf "  GPU:        %s (%Lx)\n" sku.Grt_gpu.Sku.name r.Grt.Recording.gpu_id
+    | None -> Printf.printf "  GPU:        unknown (%Lx)\n" r.Grt.Recording.gpu_id);
+    Printf.printf "  size:       %s\n"
+      (Grt_util.Hexdump.size_to_string (Grt.Recording.size_bytes r));
+    Printf.printf "  entries:    %d (writes %d, reads %d, polls %d, irqs %d, pages %d)\n"
+      (Array.length r.Grt.Recording.entries)
+      (count `Writes) (count `Reads) (count `Polls) (count `Irqs) (count `Mem_pages);
+    Printf.printf "  slots:\n";
+    List.iter
+      (fun s ->
+        Printf.printf "    %-8s %-10s va=%#Lx %s (model %s)\n"
+          (match s.Grt.Recording.kind with
+          | `Input -> "input"
+          | `Output -> "output"
+          | `Param -> "param")
+          s.Grt.Recording.slot_name s.Grt.Recording.va
+          (Grt_util.Hexdump.size_to_string s.Grt.Recording.actual_bytes)
+          (Grt_util.Hexdump.size_to_string s.Grt.Recording.model_bytes))
+      r.Grt.Recording.slots;
+    if dump_n > 0 then begin
+      Printf.printf "  first %d entries:\n" dump_n;
+      Array.iteri
+        (fun i e -> if i < dump_n then Format.printf "    %4d  %a@." i pp_entry e)
+        r.Grt.Recording.entries
+    end;
+    `Ok ()
+
+let run path diff dump_n =
+  match diff with
+  | None -> inspect path dump_n
+  | Some subject_path -> (
+    match (load path, load subject_path) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok reference, Ok subject ->
+      let report = Grt.Debugcheck.compare_logs ~reference ~subject in
+      Format.printf "%a@." Grt.Debugcheck.pp_report report;
+      if Grt.Debugcheck.healthy report then `Ok () else `Error (false, "logs diverge"))
+
+let cmd =
+  let doc = "inspect or diff GR-T recordings" in
+  let info = Cmd.info "grt-inspect" ~version:"1.0" ~doc in
+  Cmd.v info Term.(ret (const run $ file_arg $ diff_arg $ entries_arg))
+
+let () = exit (Cmd.eval cmd)

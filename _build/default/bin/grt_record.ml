@@ -1,0 +1,105 @@
+(* grt-record: run a GR-T recording session and save the signed recording.
+
+     dune exec bin/grt_record.exe -- --net MNIST --mode OursMDS \
+         --profile wifi --sku "Mali-G71 MP8" -o mnist.grt
+*)
+
+open Cmdliner
+
+let net_arg =
+  let doc = "Workload: MNIST, AlexNet, MobileNet, SqueezeNet, ResNet12, VGG16 or GatedNet." in
+  Arg.(value & opt string "MNIST" & info [ "n"; "net" ] ~docv:"NET" ~doc)
+
+let mode_arg =
+  let doc = "Recorder configuration: Naive, OursM, OursMD or OursMDS." in
+  Arg.(value & opt string "OursMDS" & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let profile_arg =
+  let doc = "Network conditions: wifi, cellular or lan." in
+  Arg.(value & opt string "wifi" & info [ "p"; "profile" ] ~docv:"PROFILE" ~doc)
+
+let sku_arg =
+  let doc = "Client GPU model (see --list-skus)." in
+  Arg.(value & opt string "Mali-G71 MP8" & info [ "s"; "sku" ] ~docv:"SKU" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic session seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let out_arg =
+  let doc = "Write the signed recording to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let list_skus_arg =
+  let doc = "List known GPU SKUs and exit." in
+  Arg.(value & flag & info [ "list-skus" ] ~doc)
+
+let stats_arg =
+  let doc = "Print the full counter set after recording." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let profile_of_name = function
+  | "wifi" -> Some Grt_net.Profile.wifi
+  | "cellular" -> Some Grt_net.Profile.cellular
+  | "lan" -> Some Grt_net.Profile.lan
+  | _ -> None
+
+let run net_name mode_name profile_name sku_name seed out list_skus stats =
+  if list_skus then begin
+    List.iter
+      (fun s -> Format.printf "%a@." Grt_gpu.Sku.pp s)
+      Grt_gpu.Sku.all;
+    `Ok ()
+  end
+  else
+    match
+      ( Grt_mlfw.Zoo.find net_name,
+        Grt.Mode.of_name mode_name,
+        profile_of_name profile_name,
+        Grt_gpu.Sku.find sku_name )
+    with
+    | None, _, _, _ -> `Error (false, "unknown network " ^ net_name)
+    | _, None, _, _ -> `Error (false, "unknown mode " ^ mode_name)
+    | _, _, None, _ -> `Error (false, "unknown profile " ^ profile_name)
+    | _, _, _, None -> `Error (false, "unknown SKU " ^ sku_name ^ " (try --list-skus)")
+    | Some net, Some mode, Some profile, Some sku ->
+      Printf.printf "recording %s (%d GPU jobs) on %s, %s over %s...\n%!" net_name
+        (Grt_mlfw.Network.job_count net) sku_name (Grt.Mode.name mode) profile_name;
+      let o =
+        Grt.Orchestrate.record ~profile ~mode ~sku ~net ~seed:(Int64.of_int seed) ()
+      in
+      Printf.printf
+        "done.\n\
+        \  recording delay: %.1f s (virtual)\n\
+        \  blocking RTTs:   %d\n\
+        \  mem sync:        %s on the wire (%s raw)\n\
+        \  commits:         %d (%d speculated)\n\
+        \  client energy:   %.1f J\n\
+        \  recording size:  %s (%d entries)\n"
+        o.Grt.Orchestrate.total_s o.Grt.Orchestrate.blocking_rtts
+        (Grt_util.Hexdump.size_to_string o.Grt.Orchestrate.sync_wire_bytes)
+        (Grt_util.Hexdump.size_to_string o.Grt.Orchestrate.sync_raw_bytes)
+        o.Grt.Orchestrate.commits_total o.Grt.Orchestrate.commits_speculated
+        o.Grt.Orchestrate.client_energy_j
+        (Grt_util.Hexdump.size_to_string (Bytes.length o.Grt.Orchestrate.blob))
+        (Array.length o.Grt.Orchestrate.recording.Grt.Recording.entries);
+      (match out with
+      | Some path ->
+        let oc = open_out_bin path in
+        output_bytes oc o.Grt.Orchestrate.blob;
+        close_out oc;
+        Printf.printf "  wrote %s\n" path
+      | None -> ());
+      if stats then Format.printf "%a" Grt_sim.Counters.pp o.Grt.Orchestrate.counters;
+      `Ok ()
+
+let cmd =
+  let doc = "record a GPU workload with the GR-T cloud recording service (simulated)" in
+  let info = Cmd.info "grt-record" ~version:"1.0" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ net_arg $ mode_arg $ profile_arg $ sku_arg $ seed_arg $ out_arg
+       $ list_skus_arg $ stats_arg))
+
+let () = exit (Cmd.eval cmd)

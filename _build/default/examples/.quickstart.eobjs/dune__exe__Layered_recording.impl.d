@@ -1,0 +1,1 @@
+examples/layered_recording.ml: Array Bytes Grt Grt_gpu Grt_mlfw Grt_net Grt_util List Printf

@@ -1,0 +1,1 @@
+examples/misprediction_drill.ml: Grt Grt_gpu Grt_mlfw Grt_net Grt_sim List Printf

@@ -1,0 +1,1 @@
+examples/misprediction_drill.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Format Grt Grt_gpu Grt_mlfw Grt_net Grt_util List Printf

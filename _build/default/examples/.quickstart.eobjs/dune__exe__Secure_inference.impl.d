@@ -1,0 +1,1 @@
+examples/secure_inference.ml: Array Grt Grt_gpu Grt_mlfw Grt_net Grt_sim Grt_tee Int64 List Printf

@@ -1,0 +1,1 @@
+examples/sku_matrix.ml: Bytes Grt Grt_gpu Grt_mlfw Grt_net Grt_util List Printf String

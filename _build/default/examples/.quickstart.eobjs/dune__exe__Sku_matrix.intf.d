@@ -1,0 +1,1 @@
+examples/sku_matrix.mli:

@@ -1,0 +1,58 @@
+(* Misprediction drill (§4.2, §7.3): what happens when speculation goes
+   wrong mid-recording.
+
+     dune exec examples/misprediction_drill.exe
+
+   The drill warms the speculation history with clean runs, then poisons
+   one register-read response during a fresh record run. GR-T must detect
+   the mismatch when the commit validates, roll both parties back (replaying
+   the validated interaction log locally, no network), fast-forward and
+   finish — and the resulting recording must still replay bit-correctly. *)
+
+let () =
+  let sku = Grt_gpu.Sku.g71_mp8 in
+  let profile = Grt_net.Profile.wifi in
+  List.iter
+    (fun (net, inject_at) ->
+      Printf.printf "=== %s ===\n" net.Grt_mlfw.Network.name;
+      let history = Grt.Drivershim.fresh_history () in
+      (* Warm runs: build up k=3 confidence at the recurring commit sites. *)
+      Printf.printf "warming speculation history";
+      let clean = ref 0.0 in
+      for _ = 1 to 2 do
+        let o = Grt.Orchestrate.record ~history ~profile ~mode:Grt.Mode.Ours_mds ~sku ~net ~seed:1L () in
+        clean := o.Grt.Orchestrate.total_s;
+        print_char '.'
+      done;
+      Printf.printf " done (clean run: %.1f s, no rollbacks)\n" !clean;
+
+      (* Poisoned run. *)
+      let o =
+        Grt.Orchestrate.record ~history ~inject_fault_after:inject_at ~profile
+          ~mode:Grt.Mode.Ours_mds ~sku ~net ~seed:2L ()
+      in
+      Printf.printf
+        "injected a wrong register value after %d speculated commits:\n\
+        \  detected:   %s\n\
+        \  rollbacks:  %d\n\
+        \  recovery:   %.2f s (driver reload + job re-preparation, no network)\n\
+        \  total:      %.1f s (vs %.1f s clean)\n"
+        inject_at
+        (if o.Grt.Orchestrate.rollbacks > 0 then "yes" else "NO (bug!)")
+        o.Grt.Orchestrate.rollbacks o.Grt.Orchestrate.rollback_s o.Grt.Orchestrate.total_s !clean;
+
+      (* Prove the recovered recording is still correct. *)
+      let plan = Grt_mlfw.Network.expand net in
+      let input = Grt_mlfw.Runner.input_values plan ~seed:3L in
+      let params = Grt_mlfw.Runner.weight_values plan ~seed:2L in
+      let ro =
+        Grt.Orchestrate.replay_recording ~sku ~blob:o.Grt.Orchestrate.blob ~input ~params
+          ~seed:3L ()
+      in
+      let clock = Grt_sim.Clock.create () in
+      let nat = Grt.Native.run_inference ~clock ~sku ~net ~seed:2L ~input () in
+      Printf.printf "  post-recovery recording replays %s\n\n"
+        (if ro.Grt.Orchestrate.r.Grt.Replayer.output = nat.Grt.Native.output then
+           "bit-identically to native"
+         else "WRONG (bug!)"))
+    [ (Grt_mlfw.Zoo.mnist, 150); (Grt_mlfw.Zoo.vgg16, 1500) ]

@@ -1,0 +1,1 @@
+lib/core/cloudvm.ml: Format Grt_gpu Grt_tee Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/core/cloudvm.mli: Format Grt_gpu Grt_tee

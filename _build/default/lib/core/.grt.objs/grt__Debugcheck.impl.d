@@ -1,0 +1,1 @@
+lib/core/debugcheck.ml: Array Format Grt_gpu Hashtbl Int64 List Option Printf Recording

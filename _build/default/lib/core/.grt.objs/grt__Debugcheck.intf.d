@@ -1,0 +1,1 @@
+lib/core/debugcheck.mli: Format Recording

@@ -1,0 +1,1 @@
+lib/core/drivershim.ml: Array Fun Gpushim Grt_driver Grt_gpu Grt_net Grt_sim Grt_util Hashtbl Int64 List Memsync Mode Option Printf Recording String

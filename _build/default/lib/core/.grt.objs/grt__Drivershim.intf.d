@@ -1,0 +1,1 @@
+lib/core/drivershim.mli: Gpushim Grt_driver Grt_gpu Grt_net Grt_sim Memsync Mode Recording

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Drivershim Grt_gpu Grt_mlfw Grt_net Grt_sim Hashtbl Int32 Int64 List Mode Native Option Orchestrate Printf Recording Replayer

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Drivershim Grt_gpu Grt_mlfw Grt_net Mode Orchestrate

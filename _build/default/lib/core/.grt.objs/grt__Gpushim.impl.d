@@ -1,0 +1,1 @@
+lib/core/gpushim.ml: Array Grt_driver Grt_gpu Grt_sim Grt_tee Grt_util Int64 List Memsync

@@ -1,0 +1,1 @@
+lib/core/gpushim.mli: Grt_driver Grt_gpu Grt_sim Grt_tee Grt_util Memsync Mode

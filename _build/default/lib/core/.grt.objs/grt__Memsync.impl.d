@@ -1,0 +1,1 @@
+lib/core/memsync.ml: Bytes Grt_gpu Grt_runtime Grt_util Hashtbl Int64 List Mode

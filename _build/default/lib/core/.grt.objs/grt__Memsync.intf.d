@@ -1,0 +1,1 @@
+lib/core/memsync.mli: Grt_gpu Grt_runtime Mode

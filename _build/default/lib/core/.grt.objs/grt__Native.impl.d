@@ -1,0 +1,1 @@
+lib/core/native.ml: Grt_driver Grt_gpu Grt_mlfw Grt_runtime Grt_sim Grt_util Int64 Option

@@ -1,0 +1,1 @@
+lib/core/native.mli: Grt_driver Grt_gpu Grt_mlfw Grt_sim

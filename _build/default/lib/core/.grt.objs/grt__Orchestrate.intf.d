@@ -1,0 +1,1 @@
+lib/core/orchestrate.mli: Drivershim Grt_gpu Grt_mlfw Grt_net Grt_sim Grt_tee Mode Recording Replayer

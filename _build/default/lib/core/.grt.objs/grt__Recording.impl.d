@@ -1,0 +1,1 @@
+lib/core/recording.ml: Array Bytes Grt_gpu Grt_tee Grt_util List Printf

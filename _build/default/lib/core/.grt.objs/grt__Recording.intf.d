@@ -1,0 +1,1 @@
+lib/core/recording.mli: Grt_gpu Grt_tee

@@ -1,0 +1,1 @@
+lib/core/replayer.ml: Array Gpushim Grt_gpu Grt_sim Int64 List Option Printf Recording String

@@ -1,0 +1,1 @@
+lib/core/replayer.mli: Gpushim Grt_sim Grt_tee

@@ -1,0 +1,34 @@
+(** Remote debugging on top of recordings (§3.2 "Broader applicability").
+
+    By comparing a client's GPU register log and memory dumps with the ones
+    the cloud holds (or with a reference recording from a known-good
+    device), the cloud can detect firmware or silicon misbehaviour and
+    vendors can troubleshoot remotely. This module diffs two interaction
+    logs and localizes the first divergence. *)
+
+type divergence =
+  | Value_differs of { index : int; reg : int; reference : int64; subject : int64 }
+      (** same access, different register value — the classic erratum
+          signature *)
+  | Structure_differs of { index : int; reference : string; subject : string }
+      (** the interaction sequences themselves disagree *)
+  | Subject_truncated of { at : int }
+  | Subject_longer of { extra : int }
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+type report = {
+  compared : int;  (** entries compared *)
+  matching : int;
+  first_divergence : divergence option;
+  value_divergences : int;  (** total count of differing verified reads *)
+  divergent_regs : (int * int) list;  (** register -> count, sorted by count *)
+}
+
+val compare_logs : reference:Recording.t -> subject:Recording.t -> report
+(** Nondeterministic registers ([verify = false] reads) and memory-dump
+    payload differences are ignored; everything else must match. *)
+
+val healthy : report -> bool
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,312 @@
+module Profile = Grt_net.Profile
+module Network = Grt_mlfw.Network
+module Zoo = Grt_mlfw.Zoo
+
+type ctx = {
+  sku : Grt_gpu.Sku.t;
+  seed : int64;
+  cache : (string, Orchestrate.record_outcome) Hashtbl.t;
+  histories : (string, Drivershim.history) Hashtbl.t;
+  native_cache : (string, Native.run_result) Hashtbl.t;
+}
+
+let create_ctx ?(sku = Grt_gpu.Sku.g71_mp8) ?(seed = 42L) () =
+  {
+    sku;
+    seed;
+    cache = Hashtbl.create 64;
+    histories = Hashtbl.create 8;
+    native_cache = Hashtbl.create 8;
+  }
+
+let history_for ctx ~profile ~mode =
+  let key = Printf.sprintf "%s/%s" profile.Profile.name (Mode.name mode) in
+  match Hashtbl.find_opt ctx.histories key with
+  | Some h -> h
+  | None ->
+    let h = Drivershim.fresh_history () in
+    Hashtbl.replace ctx.histories key h;
+    h
+
+let record_outcome ctx ~profile ~mode net =
+  let key =
+    Printf.sprintf "%s/%s/%s" profile.Profile.name (Mode.name mode) net.Network.name
+  in
+  match Hashtbl.find_opt ctx.cache key with
+  | Some o -> o
+  | None ->
+    let history = history_for ctx ~profile ~mode in
+    let o =
+      Orchestrate.record ~history ~profile ~mode ~sku:ctx.sku ~net ~seed:ctx.seed ()
+    in
+    Hashtbl.replace ctx.cache key o;
+    o
+
+let native ctx net =
+  match Hashtbl.find_opt ctx.native_cache net.Network.name with
+  | Some r -> r
+  | None ->
+    let clock = Grt_sim.Clock.create () in
+    let plan = Network.expand net in
+    let input = Grt_mlfw.Runner.input_values plan ~seed:ctx.seed in
+    let r = Native.run_inference ~clock ~sku:ctx.sku ~net ~seed:ctx.seed ~input () in
+    Hashtbl.replace ctx.native_cache net.Network.name r;
+    r
+
+(* ---- Figure 7 ---- *)
+
+type fig7_row = { workload : string; delays : (Mode.t * float) list }
+
+let fig7 ctx ~profile =
+  List.map
+    (fun net ->
+      {
+        workload = net.Network.name;
+        delays =
+          List.map
+            (fun mode -> (mode, (record_outcome ctx ~profile ~mode net).Orchestrate.total_s))
+            Mode.all;
+      })
+    Zoo.all
+
+(* ---- Table 1 ---- *)
+
+type table1_row = {
+  workload : string;
+  gpu_jobs : int;
+  rtts_m : int;
+  rtts_md : int;
+  rtts_mds : int;
+  memsync_naive_mb : float;
+  memsync_ours_mb : float;
+}
+
+let mb bytes = float_of_int bytes /. 1048576.
+
+let table1 ctx ~profile =
+  List.map
+    (fun net ->
+      let m = record_outcome ctx ~profile ~mode:Mode.Ours_m net in
+      let md = record_outcome ctx ~profile ~mode:Mode.Ours_md net in
+      let mds = record_outcome ctx ~profile ~mode:Mode.Ours_mds net in
+      let naive = record_outcome ctx ~profile ~mode:Mode.Naive net in
+      {
+        workload = net.Network.name;
+        gpu_jobs = Network.job_count net;
+        rtts_m = m.Orchestrate.blocking_rtts;
+        rtts_md = md.Orchestrate.blocking_rtts;
+        rtts_mds = mds.Orchestrate.blocking_rtts;
+        memsync_naive_mb = mb naive.Orchestrate.sync_wire_bytes;
+        memsync_ours_mb = mb m.Orchestrate.sync_raw_bytes;
+      })
+    Zoo.all
+
+(* ---- Table 2 ---- *)
+
+type table2_row = {
+  workload : string;
+  native_ms : float;
+  replay_ms : float;
+  outputs_match : bool;
+}
+
+let table2 ctx =
+  List.map
+    (fun net ->
+      let nat = native ctx net in
+      let mds = record_outcome ctx ~profile:Profile.wifi ~mode:Mode.Ours_mds net in
+      let plan = Network.expand net in
+      let input = Grt_mlfw.Runner.input_values plan ~seed:ctx.seed in
+      let params = Grt_mlfw.Runner.weight_values plan ~seed:ctx.seed in
+      let ro =
+        Orchestrate.replay_recording ~sku:ctx.sku ~blob:mds.Orchestrate.blob ~input ~params
+          ~seed:ctx.seed ()
+      in
+      let matches =
+        Array.length ro.Orchestrate.r.Replayer.output = Array.length nat.Native.output
+        && Array.for_all2
+             (fun a b -> Int32.equal (Int32.bits_of_float a) (Int32.bits_of_float b))
+             ro.Orchestrate.r.Replayer.output nat.Native.output
+      in
+      {
+        workload = net.Network.name;
+        native_ms = nat.Native.delay_s *. 1e3;
+        replay_ms = ro.Orchestrate.r.Replayer.delay_s *. 1e3;
+        outputs_match = matches;
+      })
+    Zoo.all
+
+(* ---- Figure 8 ---- *)
+
+type fig8_row = {
+  workload : string;
+  total_speculated : int;
+  shares : (Drivershim.category * float) list;
+}
+
+let fig8 ctx ~profile =
+  List.map
+    (fun net ->
+      let o = record_outcome ctx ~profile ~mode:Mode.Ours_mds net in
+      let total = max 1 o.Orchestrate.commits_speculated in
+      {
+        workload = net.Network.name;
+        total_speculated = o.Orchestrate.commits_speculated;
+        shares =
+          List.map
+            (fun (c, n) -> (c, float_of_int n /. float_of_int total))
+            o.Orchestrate.speculated_by_category;
+      })
+    Zoo.all
+
+(* ---- Figure 9 ---- *)
+
+type fig9_row = {
+  workload : string;
+  record_naive_j : float;
+  record_mds_j : float;
+  replay_j : float;
+}
+
+let fig9 ctx ~profile =
+  List.map
+    (fun net ->
+      let naive = record_outcome ctx ~profile ~mode:Mode.Naive net in
+      let mds = record_outcome ctx ~profile ~mode:Mode.Ours_mds net in
+      let plan = Network.expand net in
+      let input = Grt_mlfw.Runner.input_values plan ~seed:ctx.seed in
+      let params = Grt_mlfw.Runner.weight_values plan ~seed:ctx.seed in
+      let ro =
+        Orchestrate.replay_recording ~sku:ctx.sku ~blob:mds.Orchestrate.blob ~input ~params
+          ~seed:ctx.seed ()
+      in
+      {
+        workload = net.Network.name;
+        record_naive_j = naive.Orchestrate.client_energy_j;
+        record_mds_j = mds.Orchestrate.client_energy_j;
+        replay_j = Option.value ~default:0.0 ro.Orchestrate.r.Replayer.energy_j;
+      })
+    Zoo.all
+
+(* ---- §7.3 statistics ---- *)
+
+type stats_row = {
+  workload : string;
+  accesses : int;
+  commits : int;
+  accesses_per_commit : float;
+  speculated_pct : float;
+  rejected_nondet : int;
+}
+
+let deferral_stats ctx ~profile =
+  List.map
+    (fun net ->
+      let o = record_outcome ctx ~profile ~mode:Mode.Ours_mds net in
+      {
+        workload = net.Network.name;
+        accesses = o.Orchestrate.accesses_total;
+        commits = o.Orchestrate.commits_total;
+        accesses_per_commit =
+          float_of_int o.Orchestrate.accesses_total /. float_of_int (max 1 o.Orchestrate.commits_total);
+        speculated_pct =
+          100.0 *. float_of_int o.Orchestrate.commits_speculated
+          /. float_of_int (max 1 o.Orchestrate.commits_total);
+        rejected_nondet = o.Orchestrate.spec_rejected_nondet;
+      })
+    Zoo.all
+
+(* ---- §7.3 polling ---- *)
+
+type polling_row = {
+  workload : string;
+  instances : int;
+  offloaded : int;
+  rtts_without_offload : int;
+  rtts_with_offload : int;
+}
+
+let polling ctx ~profile =
+  List.map
+    (fun net ->
+      let with_off = record_outcome ctx ~profile ~mode:Mode.Ours_mds net in
+      let cfg = { (Mode.default_config Mode.Ours_mds) with Mode.offload_polling = false } in
+      let without =
+        Orchestrate.record ~config:cfg ~profile ~mode:Mode.Ours_mds ~sku:ctx.sku ~net
+          ~seed:ctx.seed ()
+      in
+      {
+        workload = net.Network.name;
+        instances = with_off.Orchestrate.poll_instances;
+        offloaded = with_off.Orchestrate.poll_offloaded;
+        rtts_without_offload = without.Orchestrate.blocking_rtts;
+        rtts_with_offload = with_off.Orchestrate.blocking_rtts;
+      })
+    Zoo.all
+
+(* ---- §7.3 misprediction ---- *)
+
+type rollback_row = {
+  workload : string;
+  detected : bool;
+  rollbacks : int;
+  rollback_s : float;
+  completed : bool;
+}
+
+let rollback ctx ~profile ~nets =
+  List.map
+    (fun net ->
+      (* Warm the history first so there is speculation to poison, then
+         inject deep into the run (the worst case of §7.3). *)
+      let history = Drivershim.fresh_history () in
+      let warm () =
+        Orchestrate.record ~history ~profile ~mode:Mode.Ours_mds ~sku:ctx.sku ~net
+          ~seed:ctx.seed ()
+      in
+      ignore (warm ());
+      let inject_at = 50 + (Network.job_count net * 10) in
+      let o =
+        Orchestrate.record ~history ~inject_fault_after:inject_at ~profile ~mode:Mode.Ours_mds
+          ~sku:ctx.sku ~net ~seed:(Int64.add ctx.seed 1L) ()
+      in
+      {
+        workload = net.Network.name;
+        detected = o.Orchestrate.rollbacks > 0;
+        rollbacks = o.Orchestrate.rollbacks;
+        rollback_s = o.Orchestrate.rollback_s;
+        completed = Array.length o.Orchestrate.recording.Recording.entries > 0;
+      })
+    nets
+
+(* ---- ablation ---- *)
+
+type ablation_row = { label : string; delay_s : float; rtts : int; sync_mb : float }
+
+let ablation ctx ~profile ~net =
+  let base = Mode.default_config Mode.Ours_mds in
+  let variants =
+    [
+      ("GR-T (all techniques)", base);
+      ("k=1 (aggressive speculation)", { base with Mode.spec_history_k = 1 });
+      ("k=5 (conservative speculation)", { base with Mode.spec_history_k = 5 });
+      ("no polling offload", { base with Mode.offload_polling = false });
+      ("no dump compression", { base with Mode.compress_dumps = false });
+      ("no dump deltas", { base with Mode.delta_dumps = false });
+      ("deferral everywhere (no hot scope)", { base with Mode.hot_function_scope = false });
+      ("no continuous validation", { base with Mode.continuous_validation = false });
+    ]
+  in
+  List.map
+    (fun (label, cfg) ->
+      let o =
+        Orchestrate.record ~config:cfg ~profile ~mode:cfg.Mode.mode ~sku:ctx.sku ~net
+          ~seed:ctx.seed ()
+      in
+      {
+        label;
+        delay_s = o.Orchestrate.total_s;
+        rtts = o.Orchestrate.blocking_rtts;
+        sync_mb = mb o.Orchestrate.sync_wire_bytes;
+      })
+    variants

@@ -1,0 +1,103 @@
+(** Experiment drivers for every table and figure in the paper's evaluation
+    (§7). The benchmark harness prints these; the test suite checks their
+    qualitative claims (who wins, by roughly what factor).
+
+    Record outcomes are cached per (profile, mode, network) within a run so
+    the tables that share data (Figure 7, Table 1, Figure 8, Figure 9) do
+    not repeat simulations. Within one (profile, mode) sweep the speculation
+    history is retained across workloads, as in §7.3. *)
+
+type ctx
+
+val create_ctx : ?sku:Grt_gpu.Sku.t -> ?seed:int64 -> unit -> ctx
+
+val record_outcome :
+  ctx -> profile:Grt_net.Profile.t -> mode:Mode.t -> Grt_mlfw.Network.t -> Orchestrate.record_outcome
+(** Cached. Networks recorded in Table 1 order share history per
+    (profile, mode). *)
+
+(** Figure 7: end-to-end recording delays (seconds) per network and mode. *)
+type fig7_row = { workload : string; delays : (Mode.t * float) list }
+
+val fig7 : ctx -> profile:Grt_net.Profile.t -> fig7_row list
+
+(** Table 1: blocking round trips and memory-sync traffic. *)
+type table1_row = {
+  workload : string;
+  gpu_jobs : int;
+  rtts_m : int;
+  rtts_md : int;
+  rtts_mds : int;
+  memsync_naive_mb : float;
+  memsync_ours_mb : float;
+}
+
+val table1 : ctx -> profile:Grt_net.Profile.t -> table1_row list
+
+(** Table 2: replay vs native inference delay (ms). *)
+type table2_row = {
+  workload : string;
+  native_ms : float;
+  replay_ms : float;
+  outputs_match : bool;  (** replayed output bit-equal to native *)
+}
+
+val table2 : ctx -> table2_row list
+
+(** Figure 8: breakdown of speculative commits by driver routine category. *)
+type fig8_row = {
+  workload : string;
+  total_speculated : int;
+  shares : (Drivershim.category * float) list;  (** normalized to 1.0 *)
+}
+
+val fig8 : ctx -> profile:Grt_net.Profile.t -> fig8_row list
+
+(** Figure 9: whole-client energy for record (Naive vs GR-T) and replay. *)
+type fig9_row = {
+  workload : string;
+  record_naive_j : float;
+  record_mds_j : float;
+  replay_j : float;
+}
+
+val fig9 : ctx -> profile:Grt_net.Profile.t -> fig9_row list
+
+(** §7.3 deferral/speculation statistics. *)
+type stats_row = {
+  workload : string;
+  accesses : int;
+  commits : int;
+  accesses_per_commit : float;
+  speculated_pct : float;
+  rejected_nondet : int;
+}
+
+val deferral_stats : ctx -> profile:Grt_net.Profile.t -> stats_row list
+
+(** §7.3 polling offload. *)
+type polling_row = {
+  workload : string;
+  instances : int;
+  offloaded : int;
+  rtts_without_offload : int;  (** blocking RTTs with offload disabled *)
+  rtts_with_offload : int;
+}
+
+val polling : ctx -> profile:Grt_net.Profile.t -> polling_row list
+
+(** §7.3 misprediction: inject a wrong register value, measure recovery. *)
+type rollback_row = {
+  workload : string;
+  detected : bool;
+  rollbacks : int;
+  rollback_s : float;
+  completed : bool;  (** the re-run finished and produced a recording *)
+}
+
+val rollback : ctx -> profile:Grt_net.Profile.t -> nets:Grt_mlfw.Network.t list -> rollback_row list
+
+(** Ablation over the design knobs DESIGN.md calls out. *)
+type ablation_row = { label : string; delay_s : float; rtts : int; sync_mb : float }
+
+val ablation : ctx -> profile:Grt_net.Profile.t -> net:Grt_mlfw.Network.t -> ablation_row list

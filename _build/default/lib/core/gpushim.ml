@@ -1,0 +1,190 @@
+module Device = Grt_gpu.Device
+module Mem = Grt_gpu.Mem
+module Regs = Grt_gpu.Regs
+module Worlds = Grt_tee.Worlds
+module Sexpr = Grt_util.Sexpr
+
+type wire_expr =
+  | Lit of int64
+  | Batch of int
+  | Bop of Sexpr.binop * wire_expr * wire_expr
+  | Unot of wire_expr
+
+type wire_access = W_read of int | W_write of int * wire_expr
+
+type t = {
+  clock : Grt_sim.Clock.t;
+  mem : Mem.t;
+  device : Device.t;
+  worlds : Worlds.t;
+  monitor : Grt_tee.Monitor.t;
+  uplink : Memsync.t;
+  counters : Grt_sim.Counters.t option;
+  mutable isolated : bool;
+}
+
+let gpu_mmio = "gpu-mmio"
+let gpu_carveout = "gpu-memory"
+let gpu_power_clock = "gpu-power-clock"
+
+let gpu_resources = [ gpu_mmio; gpu_carveout; gpu_power_clock ]
+
+(* GIC lines of the GPU block, as in the device tree (§6). *)
+let irq_job = 33
+let irq_gpu = 34
+let irq_mmu = 35
+let gpu_irqs = [ irq_job; irq_gpu; irq_mmu ]
+
+let create ~clock ~sku ?energy ?counters ~session_salt ~cfg () =
+  let mem = Mem.create () in
+  let device = Device.create ?energy ~clock ~mem ~sku ~session_salt () in
+  let worlds = Worlds.create () in
+  List.iter (fun name -> Worlds.add_resource worlds ~name ~secure:false) gpu_resources;
+  let monitor = Grt_tee.Monitor.create worlds in
+  List.iter2
+    (fun irq name -> Grt_tee.Monitor.register_interrupt monitor ~irq ~name)
+    gpu_irqs [ "gpu-job"; "gpu-irq"; "gpu-mmu" ];
+  { clock; mem; device; worlds; monitor; uplink = Memsync.create cfg; counters; isolated = false }
+
+let device t = t.device
+let mem t = t.mem
+let worlds t = t.worlds
+let monitor t = t.monitor
+let uplink t = t.uplink
+
+let isolate t =
+  (* SMC into the monitor: TZASC flips plus interrupt rerouting (§6). *)
+  Grt_tee.Monitor.smc_claim_for_secure t.monitor ~caller:Worlds.Secure ~resources:gpu_resources
+    ~irqs:gpu_irqs;
+  t.isolated <- true
+
+let release t =
+  Grt_tee.Monitor.smc_release t.monitor ~caller:Worlds.Secure ~resources:gpu_resources
+    ~irqs:gpu_irqs;
+  t.isolated <- false
+
+let isolated t = t.isolated
+
+exception Not_isolated
+
+let count t name = match t.counters with Some c -> Grt_sim.Counters.incr c name | None -> ()
+
+let require_isolation t = if not t.isolated then raise Not_isolated
+
+let rec eval_expr batch = function
+  | Lit v -> v
+  | Batch i ->
+    if i < 0 || i >= Array.length batch then failwith "GPUShim: batch reference out of range"
+    else batch.(i)
+  | Bop (op, a, b) ->
+    let va = eval_expr batch a and vb = eval_expr batch b in
+    (match op with
+    | Sexpr.Or -> Int64.logor va vb
+    | Sexpr.And -> Int64.logand va vb
+    | Sexpr.Xor -> Int64.logxor va vb
+    | Sexpr.Add -> Int64.add va vb
+    | Sexpr.Sub -> Int64.sub va vb
+    | Sexpr.Shl -> Int64.shift_left va (Int64.to_int vb land 63)
+    | Sexpr.Shr -> Int64.shift_right_logical va (Int64.to_int vb land 63))
+  | Unot a -> Int64.lognot (eval_expr batch a)
+
+let sniff_transtab t reg value =
+  (* Learn page-table roots as the driver programs them, so metastate
+     classification can walk the tables. *)
+  for as_idx = 0 to Regs.as_count - 1 do
+    if reg = Regs.as_transtab_lo as_idx then begin
+      let root = Int64.logand value (Int64.lognot 0xFFFL) in
+      if not (Int64.equal root 0L) then
+        Memsync.register_pt_root t.uplink ~fmt:(Device.sku t.device).Grt_gpu.Sku.pt_format
+          ~root_pa:root
+    end
+  done
+
+let apply_accesses t accesses =
+  require_isolation t;
+  let reads = List.filter (function W_read _ -> true | W_write _ -> false) accesses in
+  let batch = Array.make (List.length reads) 0L in
+  let next_read = ref 0 in
+  List.iter
+    (fun access ->
+      match access with
+      | W_read reg ->
+        count t "client.reg_reads";
+        batch.(!next_read) <- Device.read_reg t.device reg;
+        incr next_read
+      | W_write (reg, expr) ->
+        count t "client.reg_writes";
+        let v = eval_expr (Array.sub batch 0 !next_read) expr in
+        sniff_transtab t reg v;
+        Device.write_reg t.device reg v)
+    accesses;
+  Array.to_list batch
+
+let run_poll t ~reg ~mask ~cond ~max_iters ~spin_ns =
+  require_isolation t;
+  count t "client.polls";
+  let rec loop i =
+    if i >= max_iters then None
+    else begin
+      let v = Device.read_reg t.device reg in
+      let ok =
+        match cond with
+        | Grt_driver.Backend.Bits_set -> Int64.logand v mask = mask
+        | Grt_driver.Backend.Bits_clear -> Int64.logand v mask = 0L
+      in
+      if ok then Some (i + 1, v)
+      else begin
+        Grt_sim.Clock.advance_ns t.clock spin_ns;
+        loop (i + 1)
+      end
+    end
+  in
+  loop 0
+
+let wait_irq t ~timeout_ns =
+  require_isolation t;
+  count t "client.irq_waits";
+  match Device.wait_for_irq t.device ~timeout_ns with
+  | None -> None
+  | Some line ->
+    (* The monitor must be routing this line to the secure world, or the
+       normal-world OS would have consumed the interrupt. *)
+    let irq =
+      match line with
+      | Grt_gpu.Device.Job_irq -> irq_job
+      | Grt_gpu.Device.Gpu_irq -> irq_gpu
+      | Grt_gpu.Device.Mmu_irq -> irq_mmu
+    in
+    (match Grt_tee.Monitor.deliver_irq t.monitor ~irq with
+    | Worlds.Secure -> Some line
+    | Worlds.Normal -> raise Not_isolated)
+
+let upload_meta t =
+  require_isolation t;
+  count t "client.uploads";
+  Memsync.sync_meta t.uplink t.mem
+
+let load_pages t payload =
+  require_isolation t;
+  count t "client.downloads";
+  Memsync.apply t.mem payload;
+  (* The cloud now knows these contents; don't echo them back on upload. *)
+  List.iter
+    (fun (pfn, data) -> Memsync.note_peer_page t.uplink pfn data)
+    payload.Memsync.pages
+
+let reset_gpu t =
+  require_isolation t;
+  Device.write_reg t.device Regs.gpu_command Regs.cmd_soft_reset;
+  let deadline = Int64.add (Grt_sim.Clock.now_ns t.clock) 10_000_000L in
+  let rec wait () =
+    let v = Device.read_reg t.device Regs.gpu_irq_rawstat in
+    if Int64.logand v Regs.irq_reset_completed <> 0L then
+      Device.write_reg t.device Regs.gpu_irq_clear Regs.irq_reset_completed
+    else if Int64.compare (Grt_sim.Clock.now_ns t.clock) deadline < 0 then begin
+      Grt_sim.Clock.advance_ns t.clock 1_000L;
+      wait ()
+    end
+    else failwith "GPUShim: reset timeout"
+  in
+  wait ()

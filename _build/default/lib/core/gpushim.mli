@@ -1,0 +1,78 @@
+(** GPUShim — the client-TEE half of the recorder (§3.2, §6).
+
+    Instantiated as a TEE module on the client: it locks the GPU into the
+    secure world for the duration of a record (or replay) session, applies
+    the cloud's committed register accesses to the physical GPU in exact
+    program order, runs offloaded polling loops, forwards interrupts, and
+    ships the client-side memory deltas (GPU-written job status) back up.
+
+    Committed writes may carry symbolic expressions referencing reads from
+    the same batch; the shim resolves them incrementally as it applies the
+    batch — the client never sees an unresolvable (i.e. speculative) value. *)
+
+type wire_expr =
+  | Lit of int64
+  | Batch of int  (** value of the [n]-th read in this batch *)
+  | Bop of Grt_util.Sexpr.binop * wire_expr * wire_expr
+  | Unot of wire_expr
+
+type wire_access = W_read of int | W_write of int * wire_expr
+
+type t
+
+val create :
+  clock:Grt_sim.Clock.t ->
+  sku:Grt_gpu.Sku.t ->
+  ?energy:Grt_sim.Energy.t ->
+  ?counters:Grt_sim.Counters.t ->
+  session_salt:int64 ->
+  cfg:Mode.config ->
+  unit ->
+  t
+(** Builds the client's memory, device and TZASC state. *)
+
+val device : t -> Grt_gpu.Device.t
+val mem : t -> Grt_gpu.Mem.t
+val worlds : t -> Grt_tee.Worlds.t
+val monitor : t -> Grt_tee.Monitor.t
+val uplink : t -> Memsync.t
+(** The client→cloud sync state; the orchestrator registers regions here. *)
+
+val isolate : t -> unit
+(** SMC to the secure monitor: lock GPU MMIO, the GPU memory carveout and
+    the GPU's power/clock controls to the secure world, and reroute the
+    GPU's interrupt lines to the TEE (§6). *)
+
+val release : t -> unit
+val isolated : t -> bool
+
+exception Not_isolated
+
+val apply_accesses : t -> wire_access list -> int64 list
+(** Apply a committed batch in order; returns the concrete value of every
+    read, in batch order. Raises {!Not_isolated} if the GPU is not locked to
+    the TEE, and [Failure] on unresolvable write expressions. *)
+
+val run_poll :
+  t ->
+  reg:int ->
+  mask:int64 ->
+  cond:Grt_driver.Backend.poll_cond ->
+  max_iters:int ->
+  spin_ns:int64 ->
+  (int * int64) option
+(** Execute an offloaded polling loop against the device; [None] on
+    timeout. *)
+
+val wait_irq : t -> timeout_ns:int64 -> Grt_gpu.Device.irq_line option
+
+val upload_meta : t -> Memsync.sync_payload
+(** Client→cloud dump: metastate pages changed since the last exchange
+    (e.g. job statuses the GPU wrote). *)
+
+val load_pages : t -> Memsync.sync_payload -> unit
+(** Install a cloud→client dump into client memory. *)
+
+val reset_gpu : t -> unit
+(** Soft-reset and quiesce the GPU (used before replay-based recovery and
+    around replay sessions). *)

@@ -1,0 +1,162 @@
+module Mem = Grt_gpu.Mem
+module Mmu = Grt_gpu.Mmu
+module Session = Grt_runtime.Session
+
+type region = {
+  name : string;
+  usage : Session.usage;
+  va : int64;
+  pa : int64;
+  model_bytes : int;
+  actual_bytes : int;
+}
+
+let region_of_session (r : Session.region) =
+  {
+    name = r.Session.name;
+    usage = r.Session.usage;
+    va = r.Session.va;
+    pa = r.Session.pa;
+    model_bytes = r.Session.model_bytes;
+    actual_bytes = r.Session.actual_bytes;
+  }
+
+type t = {
+  cfg : Mode.config;
+  mutable regions : region list;
+  mutable pt_roots : (Grt_gpu.Sku.pt_format * int64) list;
+  baseline : (int64, bytes) Hashtbl.t;
+  shipped_data : (string, unit) Hashtbl.t; (* data regions the peer holds (Naive) *)
+}
+
+let create cfg =
+  {
+    cfg;
+    regions = [];
+    pt_roots = [];
+    baseline = Hashtbl.create 256;
+    shipped_data = Hashtbl.create 64;
+  }
+
+let register_region t r = t.regions <- r :: t.regions
+
+let regions t = List.rev t.regions
+
+let region_containing t ~va =
+  List.find_opt
+    (fun r ->
+      Int64.compare va r.va >= 0
+      && Int64.compare va (Int64.add r.va (Int64.of_int (max r.model_bytes r.actual_bytes))) < 0)
+    t.regions
+
+let register_pt_root t ~fmt ~root_pa =
+  if not (List.exists (fun (_, r) -> Int64.equal r root_pa) t.pt_roots) then
+    t.pt_roots <- (fmt, root_pa) :: t.pt_roots
+
+let region_pfns mem r =
+  (* Materialized pages of a region: its allocation is PA-contiguous. *)
+  let first = Mem.page_of_addr r.pa in
+  let n_pages = (r.actual_bytes + Mem.page_size - 1) / Mem.page_size in
+  ignore mem;
+  List.init (max 1 n_pages) (fun i -> Int64.add first (Int64.of_int i))
+
+let meta_pfns t mem =
+  let pt =
+    List.concat_map
+      (fun (fmt, root) -> Mmu.table_pages (Mmu.of_root mem ~fmt ~root))
+      t.pt_roots
+  in
+  let meta_regions =
+    List.filter (fun r -> Session.usage_is_metastate r.usage) t.regions
+    |> List.concat_map (region_pfns mem)
+  in
+  List.sort_uniq Int64.compare (pt @ meta_regions)
+
+type sync_payload = {
+  pages : (int64 * bytes) list;
+  wire_bytes : int;
+  raw_bytes : int;
+}
+
+let per_page_header = 12 (* pfn + length on the wire *)
+
+let sync_meta t mem =
+  let pfns = meta_pfns t mem in
+  let changed = ref [] and wire = ref 0 and raw = ref 0 in
+  List.iter
+    (fun pfn ->
+      let current = Mem.get_page mem pfn in
+      let previous = Hashtbl.find_opt t.baseline pfn in
+      let same = match previous with Some p -> Bytes.equal p current | None -> false in
+      if not same then begin
+        changed := (pfn, current) :: !changed;
+        raw := !raw + Mem.page_size;
+        let payload =
+          match (t.cfg.Mode.delta_dumps, previous) with
+          | true, Some prev -> Grt_util.Delta.diff ~old_:prev ~fresh:current
+          | _ -> current
+        in
+        let payload =
+          if t.cfg.Mode.compress_dumps then Grt_util.Range_coder.encode payload else payload
+        in
+        wire := !wire + Bytes.length payload + per_page_header;
+        Hashtbl.replace t.baseline pfn (Bytes.copy current)
+      end)
+    pfns;
+  { pages = List.rev !changed; wire_bytes = !wire; raw_bytes = !raw }
+
+let apply mem payload = List.iter (fun (pfn, data) -> Mem.set_page mem pfn data) payload.pages
+
+let note_peer_page t pfn contents = Hashtbl.replace t.baseline pfn (Bytes.copy contents)
+
+(* Walk the descriptor chain in local memory and apply [f] to every data
+   region it references, tagged with its role. *)
+let fold_chain_regions t mem ~chain_va f =
+  let desc_pa_of_va va =
+    match region_containing t ~va with
+    | Some r -> Some (Int64.add r.pa (Int64.sub va r.va))
+    | None -> None
+  in
+  let note role va =
+    if not (Int64.equal va 0L) then
+      match region_containing t ~va with
+      | Some r when not (Session.usage_is_metastate r.usage) -> f role r
+      | _ -> ()
+  in
+  let rec walk va guard =
+    if guard > 0 && not (Int64.equal va 0L) then
+      match desc_pa_of_va va with
+      | None -> ()
+      | Some pa -> (
+        match Grt_gpu.Job_desc.read mem ~pa with
+        | Error _ -> ()
+        | Ok d ->
+          note `In d.Grt_gpu.Job_desc.input_va;
+          note `In d.Grt_gpu.Job_desc.input2_va;
+          note `In d.Grt_gpu.Job_desc.bias_va;
+          note `Out d.Grt_gpu.Job_desc.output_va;
+          walk d.Grt_gpu.Job_desc.next_va (guard - 1))
+  in
+  walk chain_va 64
+
+let naive_down_bytes t mem ~chain_va =
+  let total = ref 0 in
+  fold_chain_regions t mem ~chain_va (fun _role r ->
+      if not (Hashtbl.mem t.shipped_data r.name) then begin
+        Hashtbl.add t.shipped_data r.name ();
+        total := !total + r.model_bytes
+      end);
+  !total
+
+let naive_up_bytes t mem ~chain_va =
+  let seen = Hashtbl.create 4 in
+  let total = ref 0 in
+  fold_chain_regions t mem ~chain_va (fun role r ->
+      match role with
+      | `Out ->
+        if not (Hashtbl.mem seen r.name) then begin
+          Hashtbl.add seen r.name ();
+          total := !total + r.model_bytes
+        end
+      | `In -> ());
+  !total

@@ -1,0 +1,65 @@
+(** Selective memory synchronization (§5).
+
+    The cloud (GPU stack) and client (GPU) each hold a local memory; at job
+    boundaries the shims exchange just enough of it to preserve the semantics
+    of CPU/GPU interaction. A [t] tracks one direction's baseline — the pages
+    the peer is known to hold — so each sync ships only page deltas, range-
+    coded when the config enables compression.
+
+    Metastate = page-table pages (walked from the registered roots) plus the
+    materialized pages of regions mapped as [Code] or [Cmd]. Program data
+    (inputs, weights, activations) is never shipped in meta-only mode; in
+    Naive mode its *model-scale* size is charged per referenced buffer. *)
+
+type region = {
+  name : string;
+  usage : Grt_runtime.Session.usage;
+  va : int64;
+  pa : int64;
+  model_bytes : int;
+  actual_bytes : int;
+}
+
+val region_of_session : Grt_runtime.Session.region -> region
+
+type t
+
+val create : Mode.config -> t
+
+val register_region : t -> region -> unit
+val regions : t -> region list
+val region_containing : t -> va:int64 -> region option
+
+val register_pt_root : t -> fmt:Grt_gpu.Sku.pt_format -> root_pa:int64 -> unit
+(** Called when the shim observes an AS_TRANSTAB programming. *)
+
+val meta_pfns : t -> Grt_gpu.Mem.t -> int64 list
+(** Current metastate page set, sorted. *)
+
+type sync_payload = {
+  pages : (int64 * bytes) list;  (** changed pages, full contents *)
+  wire_bytes : int;  (** bytes on the wire after delta + compression *)
+  raw_bytes : int;  (** bytes before delta + compression *)
+}
+
+val sync_meta : t -> Grt_gpu.Mem.t -> sync_payload
+(** Diff the metastate against the baseline, advance the baseline, and
+    return what must be shipped. *)
+
+val apply : Grt_gpu.Mem.t -> sync_payload -> unit
+(** Install the shipped pages into the receiving memory. *)
+
+val note_peer_page : t -> int64 -> bytes -> unit
+(** Teach the baseline that the peer now holds [contents] for [pfn] —
+    called when a page arrives from the other direction, so it is not
+    echoed back on the next sync. *)
+
+val naive_down_bytes : t -> Grt_gpu.Mem.t -> chain_va:int64 -> int
+(** Model-scale bytes Naive mode must push to the client before the job at
+    [chain_va]: every referenced data buffer the client does not hold yet
+    (weights and staged inputs ship once; activations the GPU produced are
+    already client-side). *)
+
+val naive_up_bytes : t -> Grt_gpu.Mem.t -> chain_va:int64 -> int
+(** Model-scale bytes Naive mode pulls back after the job: the output
+    buffers the GPU wrote. *)

@@ -1,0 +1,267 @@
+module Link = Grt_net.Link
+module Sku = Grt_gpu.Sku
+module Network = Grt_mlfw.Network
+
+let cloud_signing_key : Grt_tee.Crypto.key = "grt-cloud-recording-service-v1"
+
+let cloud_measurement = Cloudvm.default_image.Cloudvm.measurement
+
+type record_outcome = {
+  blob : bytes;
+  recording : Recording.t;
+  total_s : float;
+  client_energy_j : float;
+  blocking_rtts : int;
+  sync_wire_bytes : int;
+  sync_raw_bytes : int;
+  commits_total : int;
+  commits_speculated : int;
+  speculated_by_category : (Drivershim.category * int) list;
+  spec_rejected_nondet : int;
+  accesses_total : int;
+  poll_instances : int;
+  poll_offloaded : int;
+  rollbacks : int;
+  rollback_s : float;
+  counters : Grt_sim.Counters.t;
+  segments : bytes list;
+      (* per-layer recording segments when recorded with [`Per_layer]
+         granularity (Figure 2); empty otherwise *)
+}
+
+(* Misprediction recovery (§4.2): both parties restart and replay the
+   validated log locally — no network round trips. The cloud side dominates:
+   driver reload plus JIT recompilation of the workload's kernels. *)
+let rollback_cost_s ~entries_so_far ~jit_kernels =
+  let driver_reload = 0.5 in
+  let jit = float_of_int jit_kernels *. Int64.to_float Grt_sim.Costs.jit_compile_ns_per_kernel *. 1e-9 in
+  (* Re-preparing the GPU jobs covered by the validated log dominates: the
+     runtime re-emits and re-optimizes each one while fast-forwarding. *)
+  let recompile = float_of_int entries_so_far *. 7.5e-4 in
+  driver_reload +. jit +. recompile
+
+(* Mispredictions can surface wrapped in [Fun.Finally_raised] when the
+   validating drain runs inside a cleanup handler (hot-function exit). *)
+let rec mispredict_prefix = function
+  | Drivershim.Mispredict { valid_log; _ } -> Some valid_log
+  | Fun.Finally_raised e -> mispredict_prefix e
+  | _ -> None
+
+let record ?history ?inject_fault_after ?config ?(granularity = `Monolithic) ~profile ~mode ~sku
+    ~net ~seed () =
+  let cfg = match config with Some c -> c | None -> Mode.default_config mode in
+  let clock = Grt_sim.Clock.create () in
+  let energy = Grt_sim.Energy.create clock in
+  let counters = Grt_sim.Counters.create () in
+  let link = Link.create ~clock ~energy ~counters profile in
+  let history = match history with Some h -> h | None -> Drivershim.fresh_history () in
+  (* Attested channel establishment (§7.1): one-time handshake cost. *)
+  let channel =
+    match
+      Grt_tee.Channel.establish ~link ~verification_key:cloud_signing_key
+        ~vm_signing_key:cloud_signing_key ~vm_measurement:cloud_measurement
+        ~expected:cloud_measurement
+        ~nonce:(Grt_util.Hashing.combine seed 0x6e6f6e6365L)
+    with
+    | Ok c -> c
+    | Error e -> failwith ("attestation failed: " ^ e)
+  in
+  ignore (Grt_tee.Channel.session_key channel);
+  (* Boot the recording VM: the image picks the device tree (and thus the
+     driver binding) matching the client's attested GPU (§6). *)
+  let vm =
+    match Cloudvm.boot Cloudvm.default_image ~client_gpu_id:sku.Sku.gpu_id with
+    | Ok vm -> vm
+    | Error e -> failwith (Format.asprintf "cloud VM boot failed: %a" Cloudvm.pp_boot_error e)
+  in
+  (match Cloudvm.begin_session vm ~client:(Printf.sprintf "client-%Lx" seed) with
+  | Ok () -> ()
+  | Error e -> failwith (Format.asprintf "cloud VM refused session: %a" Cloudvm.pp_boot_error e));
+  let devicetree = Cloudvm.selected_tree vm in
+  let plan = Network.expand net in
+  let inject = ref inject_fault_after in
+  let rollbacks = ref 0 and rollback_s = ref 0.0 in
+  let rec attempt n prefix =
+    if n > 8 then failwith "recording failed: too many rollbacks";
+    (* The GPU's nondeterministic state (flush-id salt) is a property of the
+       physical device, stable across rollback attempts within a session. *)
+    let salt = Grt_util.Hashing.combine seed 0x5a17L in
+    let gpushim =
+      Gpushim.create ~clock ~sku ~energy ~counters ~session_salt:salt ~cfg ()
+    in
+    Gpushim.isolate gpushim;
+    let cloud_mem = Grt_gpu.Mem.create () in
+    let shim =
+      Drivershim.create ~cfg ~link ~gpushim ~cloud_mem ~counters ~history
+        ~wire_overhead:Grt_tee.Channel.wire_overhead ~replay_prefix:prefix ()
+    in
+    (match !inject with
+    | Some k ->
+      Drivershim.inject_fault_after shim k;
+      inject := None
+    | None -> ());
+    let regions = ref [] in
+    let on_region (r : Grt_runtime.Session.region) =
+      let mr = Memsync.region_of_session r in
+      regions := mr :: !regions;
+      Memsync.register_region (Drivershim.downlink shim) mr;
+      Memsync.register_region (Gpushim.uplink gpushim) mr
+    in
+    let drv =
+      Grt_driver.Kbase.create ~backend:(Drivershim.backend shim) ~mem:cloud_mem
+        ~coherency_ace:devicetree.Cloudvm.coherency_ace
+    in
+    try
+      Grt_driver.Kbase.init drv;
+      let session = Grt_runtime.Session.create ~drv ~as_idx:1 ~clock ~on_region () in
+      (* Dry run: no weights, no input — the cloud never sees them (§2.3). *)
+      let runner = Grt_mlfw.Runner.setup ~session ~plan ~seed ~load_weights:false in
+      (match granularity with
+      | `Monolithic -> Grt_mlfw.Runner.run runner
+      | `Per_layer ->
+        Grt_mlfw.Runner.run
+          ~between_layers:(fun ~prev:_ ~next:_ -> Drivershim.mark_segment shim)
+          runner);
+      Grt_driver.Kbase.shutdown drv;
+      Drivershim.finalize shim;
+      (gpushim, shim, session, runner)
+    with e when mispredict_prefix e <> None ->
+      let valid_log = Option.get (mispredict_prefix e) in
+      incr rollbacks;
+      (* Both parties restart and fast-forward through the validated log
+         locally (§4.2). The dominant cost — driver reload and GPU job
+         re-preparation on the cloud — is charged here; the log replay
+         itself advances the clock as it runs in the next attempt. *)
+      let cost = rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10 in
+      rollback_s := !rollback_s +. cost;
+      Grt_sim.Clock.advance_s clock cost;
+      Gpushim.release gpushim;
+      attempt (n + 1) valid_log
+  in
+  let gpushim, shim, _session, runner = attempt 0 [] in
+  (* Assemble and sign the recording; build the slot binding table. *)
+  let slot_of_region kind name =
+    let r = Grt_mlfw.Runner.region runner name in
+    {
+      Recording.slot_name = name;
+      kind;
+      va = r.Grt_runtime.Session.va;
+      pa = r.Grt_runtime.Session.pa;
+      actual_bytes = r.Grt_runtime.Session.actual_bytes;
+      model_bytes = r.Grt_runtime.Session.model_bytes;
+    }
+  in
+  let slots =
+    slot_of_region `Input plan.Network.input_buffer
+    :: slot_of_region `Output plan.Network.output_buffer
+    :: List.map (slot_of_region `Param) plan.Network.weight_buffers
+  in
+  let recording =
+    {
+      Recording.workload = net.Network.name;
+      gpu_id = sku.Sku.gpu_id;
+      entries = Array.of_list (Drivershim.entries shim);
+      slots;
+    }
+  in
+  (* Per-layer granularity (Figure 2): cut the log at the layer marks and
+     sign each segment as its own recording, with its own slot table. *)
+  let segments =
+    match granularity with
+    | `Monolithic -> []
+    | `Per_layer ->
+      let entries = recording.Recording.entries in
+      let bounds = (0 :: Drivershim.segment_marks shim) @ [ Array.length entries ] in
+      let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+      let weight_for_layer layer suffix =
+        let name = Printf.sprintf "%s.%02d" suffix layer in
+        if List.mem name plan.Network.weight_buffers then [ slot_of_region `Param name ] else []
+      in
+      List.mapi
+        (fun i (lo, hi) ->
+          (* Segment i covers layer i of the plan. *)
+          let jobs_of_layer =
+            List.filter (fun (j : Network.job_spec) -> j.Network.layer = i) plan.Network.jobs
+          in
+          let input_name =
+            match jobs_of_layer with j :: _ -> j.Network.input | [] -> plan.Network.input_buffer
+          in
+          let output_name =
+            match jobs_of_layer with j :: _ -> j.Network.output | [] -> plan.Network.output_buffer
+          in
+          let seg =
+            {
+              Recording.workload = Printf.sprintf "%s/layer%02d" net.Network.name i;
+              gpu_id = sku.Sku.gpu_id;
+              entries = Array.sub entries lo (hi - lo);
+              slots =
+                ({ (slot_of_region `Input input_name) with Recording.kind = `Input }
+                :: { (slot_of_region `Output output_name) with Recording.kind = `Output }
+                :: (weight_for_layer i "w" @ weight_for_layer i "b"));
+            }
+          in
+          Recording.sign ~key:cloud_signing_key seg)
+        (pairs bounds)
+  in
+  let blob = Recording.sign ~key:cloud_signing_key recording in
+  (* The client downloads and verifies the recording. *)
+  Link.one_way_to_client link ~bytes:(Bytes.length blob);
+  (match Recording.verify_and_parse ~key:cloud_signing_key blob with
+  | Ok _ -> ()
+  | Error e -> failwith ("client rejected recording: " ^ e));
+  Gpushim.release gpushim;
+  Cloudvm.end_session vm;
+  let get name = Grt_sim.Counters.get_int counters name in
+  {
+    blob;
+    recording;
+    total_s = Grt_sim.Clock.now_s clock;
+    client_energy_j = Grt_sim.Energy.total_j energy;
+    blocking_rtts = get "net.blocking_rtts";
+    sync_wire_bytes = get "sync.down_wire_bytes" + get "sync.up_wire_bytes";
+    sync_raw_bytes = get "sync.down_raw_bytes" + get "sync.up_raw_bytes";
+    commits_total = Drivershim.commits_total shim;
+    commits_speculated = Drivershim.commits_speculated shim;
+    speculated_by_category = Drivershim.speculated_by_category shim;
+    spec_rejected_nondet = Drivershim.spec_rejected_nondet shim;
+    accesses_total = Drivershim.accesses_total shim;
+    poll_instances = get "poll.instances";
+    poll_offloaded = get "poll.offloaded";
+    rollbacks = !rollbacks;
+    rollback_s = !rollback_s;
+    counters;
+    segments;
+  }
+
+type replay_outcome = { r : Replayer.result; setup_s : float }
+
+let replay_recording ~sku ~blob ~input ~params ~seed () =
+  let clock = Grt_sim.Clock.create () in
+  let energy = Grt_sim.Energy.create clock in
+  let cfg = Mode.default_config Mode.Ours_mds in
+  let gpushim =
+    Gpushim.create ~clock ~sku ~energy
+      ~session_salt:(Grt_util.Hashing.combine seed 0x7265706CL)
+      ~cfg ()
+  in
+  let t0 = Grt_sim.Clock.now_s clock in
+  let r =
+    Replayer.replay ~gpushim ~signing_key:cloud_signing_key ~blob ~input ~params ~energy ()
+  in
+  { r; setup_s = Grt_sim.Clock.now_s clock -. t0 -. r.Replayer.delay_s }
+
+let replay_segments ~sku ~blobs ~input ~params ~seed () =
+  let clock = Grt_sim.Clock.create () in
+  let energy = Grt_sim.Energy.create clock in
+  let cfg = Mode.default_config Mode.Ours_mds in
+  let gpushim =
+    Gpushim.create ~clock ~sku ~energy
+      ~session_salt:(Grt_util.Hashing.combine seed 0x7365676CL)
+      ~cfg ()
+  in
+  let t0 = Grt_sim.Clock.now_s clock in
+  let r =
+    Replayer.replay_segments ~gpushim ~signing_key:cloud_signing_key ~blobs ~input ~params
+      ~energy ()
+  in
+  { r; setup_s = Grt_sim.Clock.now_s clock -. t0 -. r.Replayer.delay_s }

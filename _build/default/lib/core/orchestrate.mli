@@ -1,0 +1,80 @@
+(** End-to-end GR-T sessions (§3.1's workflow).
+
+    [record] runs the whole online-recording pipeline: attested channel
+    establishment, GPU isolation on the client, the cloud GPU stack dry-
+    running the workload against the client GPU through DriverShim/GPUShim,
+    misprediction recovery if speculation goes wrong, recording signing and
+    download. [replay_recording] then reproduces the computation inside the
+    client TEE on fresh inputs without touching the network. *)
+
+val cloud_signing_key : Grt_tee.Crypto.key
+
+val cloud_measurement : Grt_tee.Attestation.measurement
+(** Measurement of {!Cloudvm.default_image}, which [record] boots. *)
+
+type record_outcome = {
+  blob : bytes;  (** signed recording, as downloaded by the client *)
+  recording : Recording.t;
+  total_s : float;  (** end-to-end recording delay *)
+  client_energy_j : float;
+  blocking_rtts : int;
+  sync_wire_bytes : int;  (** memory-sync traffic, both directions *)
+  sync_raw_bytes : int;
+  commits_total : int;
+  commits_speculated : int;
+  speculated_by_category : (Drivershim.category * int) list;
+  spec_rejected_nondet : int;
+  accesses_total : int;
+  poll_instances : int;
+  poll_offloaded : int;
+  rollbacks : int;
+  rollback_s : float;  (** time spent in misprediction recovery *)
+  counters : Grt_sim.Counters.t;
+  segments : bytes list;
+      (** per-layer recording segments when recorded with [`Per_layer]
+          granularity (Figure 2); empty otherwise *)
+}
+
+val record :
+  ?history:Drivershim.history ->
+  ?inject_fault_after:int ->
+  ?config:Mode.config ->
+  ?granularity:[ `Monolithic | `Per_layer ] ->
+  profile:Grt_net.Profile.t ->
+  mode:Mode.t ->
+  sku:Grt_gpu.Sku.t ->
+  net:Grt_mlfw.Network.t ->
+  seed:int64 ->
+  unit ->
+  record_outcome
+(** Runs one record session on a fresh virtual clock. [history] carries
+    speculation history across workloads (§7.3). [inject_fault_after n]
+    corrupts the response to the [n]-th speculated commit of the first
+    attempt, forcing one rollback. [config] overrides the default knobs for
+    [mode] (ablations). *)
+
+type replay_outcome = {
+  r : Replayer.result;
+  setup_s : float;  (** verification + data injection, before stimuli *)
+}
+
+val replay_segments :
+  sku:Grt_gpu.Sku.t ->
+  blobs:bytes list ->
+  input:float array ->
+  params:(string * float array) list ->
+  seed:int64 ->
+  unit ->
+  replay_outcome
+(** Composable replay of per-layer segments on a fresh client (Figure 2). *)
+
+val replay_recording :
+  sku:Grt_gpu.Sku.t ->
+  blob:bytes ->
+  input:float array ->
+  params:(string * float array) list ->
+  seed:int64 ->
+  unit ->
+  replay_outcome
+(** Replay on a fresh client (own clock and energy meter), as an app inside
+    the TEE would. Raises {!Replayer.Rejected} / {!Replayer.Divergence}. *)

@@ -1,0 +1,189 @@
+module Byte_buf = Grt_util.Byte_buf
+
+type poll_cond = Until_set | Until_clear
+
+type entry =
+  | Reg_write of { reg : int; value : int64 }
+  | Reg_read of { reg : int; value : int64; verify : bool }
+  | Poll of { reg : int; mask : int64; cond : poll_cond; max_iters : int; spin_ns : int64 }
+  | Wait_irq of { line : int }
+  | Mem_load of { pages : (int64 * bytes) list }
+
+let irq_line_to_int = function
+  | Grt_gpu.Device.Job_irq -> 0
+  | Grt_gpu.Device.Gpu_irq -> 1
+  | Grt_gpu.Device.Mmu_irq -> 2
+
+let irq_line_of_int = function
+  | 0 -> Some Grt_gpu.Device.Job_irq
+  | 1 -> Some Grt_gpu.Device.Gpu_irq
+  | 2 -> Some Grt_gpu.Device.Mmu_irq
+  | _ -> None
+
+type slot = {
+  slot_name : string;
+  kind : [ `Input | `Output | `Param ];
+  va : int64;
+  pa : int64;
+  actual_bytes : int;
+  model_bytes : int;
+}
+
+type t = {
+  workload : string;
+  gpu_id : int64;
+  entries : entry array;
+  slots : slot list;
+}
+
+let input_slot t = List.find_opt (fun s -> s.kind = `Input) t.slots
+let output_slot t = List.find_opt (fun s -> s.kind = `Output) t.slots
+let param_slots t = List.filter (fun s -> s.kind = `Param) t.slots
+
+let magic = 0x47525452 (* "GRTR" *)
+let version = 1
+
+let kind_to_int = function `Input -> 0 | `Output -> 1 | `Param -> 2
+
+let kind_of_int = function 0 -> Some `Input | 1 -> Some `Output | 2 -> Some `Param | _ -> None
+
+let add_entry buf = function
+  | Reg_write { reg; value } ->
+    Byte_buf.add_u8 buf 1;
+    Byte_buf.add_u32 buf reg;
+    Byte_buf.add_i64 buf value
+  | Reg_read { reg; value; verify } ->
+    Byte_buf.add_u8 buf 2;
+    Byte_buf.add_u32 buf reg;
+    Byte_buf.add_i64 buf value;
+    Byte_buf.add_u8 buf (if verify then 1 else 0)
+  | Poll { reg; mask; cond; max_iters; spin_ns } ->
+    Byte_buf.add_u8 buf 3;
+    Byte_buf.add_u32 buf reg;
+    Byte_buf.add_i64 buf mask;
+    Byte_buf.add_u8 buf (match cond with Until_set -> 1 | Until_clear -> 0);
+    Byte_buf.add_varint buf max_iters;
+    Byte_buf.add_i64 buf spin_ns
+  | Wait_irq { line } ->
+    Byte_buf.add_u8 buf 4;
+    Byte_buf.add_u8 buf line
+  | Mem_load { pages } ->
+    Byte_buf.add_u8 buf 5;
+    Byte_buf.add_varint buf (List.length pages);
+    List.iter
+      (fun (pfn, data) ->
+        Byte_buf.add_i64 buf pfn;
+        Byte_buf.add_varint buf (Bytes.length data);
+        Byte_buf.add_bytes buf data)
+      pages
+
+let read_entry r =
+  match Byte_buf.Reader.u8 r with
+  | 1 ->
+    let reg = Byte_buf.Reader.u32 r in
+    let value = Byte_buf.Reader.i64 r in
+    Reg_write { reg; value }
+  | 2 ->
+    let reg = Byte_buf.Reader.u32 r in
+    let value = Byte_buf.Reader.i64 r in
+    let verify = Byte_buf.Reader.u8 r = 1 in
+    Reg_read { reg; value; verify }
+  | 3 ->
+    let reg = Byte_buf.Reader.u32 r in
+    let mask = Byte_buf.Reader.i64 r in
+    let cond = if Byte_buf.Reader.u8 r = 1 then Until_set else Until_clear in
+    let max_iters = Byte_buf.Reader.varint r in
+    let spin_ns = Byte_buf.Reader.i64 r in
+    Poll { reg; mask; cond; max_iters; spin_ns }
+  | 4 -> Wait_irq { line = Byte_buf.Reader.u8 r }
+  | 5 ->
+    let n = Byte_buf.Reader.varint r in
+    let pages =
+      List.init n (fun _ ->
+          let pfn = Byte_buf.Reader.i64 r in
+          let len = Byte_buf.Reader.varint r in
+          (pfn, Byte_buf.Reader.bytes r len))
+    in
+    Mem_load { pages }
+  | tag -> failwith (Printf.sprintf "recording: unknown entry tag %d" tag)
+
+let serialize t =
+  let buf = Byte_buf.create ~capacity:4096 () in
+  Byte_buf.add_u32 buf magic;
+  Byte_buf.add_u16 buf version;
+  Byte_buf.add_string buf t.workload;
+  Byte_buf.add_i64 buf t.gpu_id;
+  Byte_buf.add_varint buf (List.length t.slots);
+  List.iter
+    (fun s ->
+      Byte_buf.add_string buf s.slot_name;
+      Byte_buf.add_u8 buf (kind_to_int s.kind);
+      Byte_buf.add_i64 buf s.va;
+      Byte_buf.add_i64 buf s.pa;
+      Byte_buf.add_varint buf s.actual_bytes;
+      Byte_buf.add_varint buf s.model_bytes)
+    t.slots;
+  Byte_buf.add_varint buf (Array.length t.entries);
+  Array.iter (add_entry buf) t.entries;
+  Byte_buf.contents buf
+
+let deserialize data =
+  try
+    let r = Byte_buf.Reader.of_bytes data in
+    if Byte_buf.Reader.u32 r <> magic then Error "recording: bad magic"
+    else if Byte_buf.Reader.u16 r <> version then Error "recording: unsupported version"
+    else begin
+      let workload = Byte_buf.Reader.string r in
+      let gpu_id = Byte_buf.Reader.i64 r in
+      let n_slots = Byte_buf.Reader.varint r in
+      let slots =
+        List.init n_slots (fun _ ->
+            let slot_name = Byte_buf.Reader.string r in
+            let kind =
+              match kind_of_int (Byte_buf.Reader.u8 r) with
+              | Some k -> k
+              | None -> failwith "recording: bad slot kind"
+            in
+            let va = Byte_buf.Reader.i64 r in
+            let pa = Byte_buf.Reader.i64 r in
+            let actual_bytes = Byte_buf.Reader.varint r in
+            let model_bytes = Byte_buf.Reader.varint r in
+            { slot_name; kind; va; pa; actual_bytes; model_bytes })
+      in
+      let n_entries = Byte_buf.Reader.varint r in
+      let entries = Array.init n_entries (fun _ -> read_entry r) in
+      Ok { workload; gpu_id; entries; slots }
+    end
+  with Failure msg -> Error msg
+
+let sign ~key t =
+  let body = serialize t in
+  let buf = Byte_buf.create ~capacity:(Bytes.length body + 8) () in
+  Byte_buf.add_bytes buf body;
+  Byte_buf.add_i64 buf (Grt_tee.Crypto.mac ~key body);
+  Byte_buf.contents buf
+
+let verify_and_parse ~key blob =
+  let n = Bytes.length blob in
+  if n < 8 then Error "recording: truncated"
+  else begin
+    let body = Bytes.sub blob 0 (n - 8) in
+    let tag = Bytes.get_int64_le blob (n - 8) in
+    if not (Grt_tee.Crypto.verify ~key body tag) then
+      Error "recording: signature verification failed"
+    else deserialize body
+  end
+
+let size_bytes t = Bytes.length (serialize t)
+
+let count_entries t what =
+  Array.fold_left
+    (fun acc e ->
+      match (what, e) with
+      | `Writes, Reg_write _ -> acc + 1
+      | `Reads, Reg_read _ -> acc + 1
+      | `Polls, Poll _ -> acc + 1
+      | `Irqs, Wait_irq _ -> acc + 1
+      | `Mem_pages, Mem_load { pages } -> acc + List.length pages
+      | _ -> acc)
+    0 t.entries

@@ -1,0 +1,60 @@
+(** Recordings: the interaction log plus the data-slot binding table.
+
+    A recording is what the cloud service produces from a dry run and what
+    the client TEE replays (§2.3, §3.2). It contains:
+
+    - the ordered CPU→GPU stimuli and GPU→CPU responses: register writes,
+      register reads (with expected values), polling loops, interrupt waits;
+    - memory images: the metastate pages (page tables, shaders, command
+      streams) the cloud synchronized before each job;
+    - the binding table: where new inputs, model parameters and outputs live
+      in the recorded GPU address space — replay injects fresh data there;
+    - the SKU identity it was recorded against, and the cloud's signature.
+
+    The replayer refuses recordings whose signature does not verify or whose
+    SKU does not match the local GPU (§2.4). *)
+
+type poll_cond = Until_set | Until_clear
+
+type entry =
+  | Reg_write of { reg : int; value : int64 }
+  | Reg_read of { reg : int; value : int64; verify : bool }
+      (** [verify = false] for legitimately nondeterministic registers *)
+  | Poll of { reg : int; mask : int64; cond : poll_cond; max_iters : int; spin_ns : int64 }
+  | Wait_irq of { line : int }  (** 0 = job, 1 = gpu, 2 = mmu *)
+  | Mem_load of { pages : (int64 * bytes) list }  (** (pfn, contents) *)
+
+val irq_line_to_int : Grt_gpu.Device.irq_line -> int
+val irq_line_of_int : int -> Grt_gpu.Device.irq_line option
+
+type slot = {
+  slot_name : string;
+  kind : [ `Input | `Output | `Param ];
+  va : int64;
+  pa : int64;
+  actual_bytes : int;
+  model_bytes : int;
+}
+
+type t = {
+  workload : string;
+  gpu_id : int64;
+  entries : entry array;
+  slots : slot list;
+}
+
+val input_slot : t -> slot option
+val output_slot : t -> slot option
+val param_slots : t -> slot list
+
+val serialize : t -> bytes
+val deserialize : bytes -> (t, string) result
+
+val sign : key:Grt_tee.Crypto.key -> t -> bytes
+(** Serialized recording with an appended signature — the artifact the
+    client downloads. *)
+
+val verify_and_parse : key:Grt_tee.Crypto.key -> bytes -> (t, string) result
+
+val size_bytes : t -> int
+val count_entries : t -> [ `Writes | `Reads | `Polls | `Irqs | `Mem_pages ] -> int

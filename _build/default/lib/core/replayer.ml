@@ -1,0 +1,186 @@
+module Device = Grt_gpu.Device
+module Mem = Grt_gpu.Mem
+
+exception Rejected of string
+
+exception Divergence of { index : int; reg : int; expected : int64; got : int64 }
+
+type result = {
+  output : float array;
+  delay_s : float;
+  entries_applied : int;
+  reads_verified : int;
+  reads_skipped_nondet : int;
+  energy_j : float option;
+}
+
+let write_slot_floats mem (slot : Recording.slot) values =
+  let n = min (Array.length values) (slot.Recording.actual_bytes / 4) in
+  for i = 0 to n - 1 do
+    Mem.write_f32 mem (Int64.add slot.Recording.pa (Int64.of_int (4 * i))) values.(i)
+  done
+
+let read_slot_floats mem (slot : Recording.slot) =
+  Array.init (slot.Recording.actual_bytes / 4) (fun i ->
+      Mem.read_f32 mem (Int64.add slot.Recording.pa (Int64.of_int (4 * i))))
+
+let apply_entries ~gpushim ~clock ~mem ~dev ~reads_verified ~skipped ~applied entries =
+  Array.iteri
+    (fun index entry ->
+      incr applied;
+      Grt_sim.Clock.advance_ns clock Grt_sim.Costs.replayer_step_ns;
+      match entry with
+      | Recording.Mem_load { pages } ->
+        (* The metastate snapshot for the upcoming interactions. *)
+        List.iter (fun (pfn, data) -> Mem.set_page mem pfn data) pages
+      | Recording.Reg_write { reg; value } -> Device.write_reg dev reg value
+      | Recording.Reg_read { reg; value; verify } ->
+        let got = Device.read_reg dev reg in
+        if verify then begin
+          incr reads_verified;
+          if not (Int64.equal got value) then
+            raise (Divergence { index; reg; expected = value; got })
+        end
+        else incr skipped
+      | Recording.Poll { reg; mask; cond; max_iters; spin_ns } ->
+        let rec loop i =
+          if i >= max_iters then raise (Divergence { index; reg; expected = mask; got = -1L })
+          else begin
+            let v = Device.read_reg dev reg in
+            let ok =
+              match cond with
+              | Recording.Until_set -> Int64.logand v mask = mask
+              | Recording.Until_clear -> Int64.logand v mask = 0L
+            in
+            if not ok then begin
+              Grt_sim.Clock.advance_ns clock spin_ns;
+              loop (i + 1)
+            end
+          end
+        in
+        loop 0
+      | Recording.Wait_irq { line } -> (
+        let want = Recording.irq_line_of_int line in
+        match Gpushim.wait_irq gpushim ~timeout_ns:4_000_000_000L with
+        | Some got when Some got = want -> ()
+        | Some _ | None ->
+          raise (Divergence { index; reg = -1; expected = Int64.of_int line; got = -1L })))
+    entries
+
+let replay ~gpushim ~signing_key ~blob ~input ~params ?energy () =
+  let rec_t =
+    match Recording.verify_and_parse ~key:signing_key blob with
+    | Ok r -> r
+    | Error e -> raise (Rejected e)
+  in
+  let dev = Gpushim.device gpushim in
+  let sku = Device.sku dev in
+  if not (Int64.equal rec_t.Recording.gpu_id sku.Grt_gpu.Sku.gpu_id) then
+    raise
+      (Rejected
+         (Printf.sprintf "recording is for GPU %Lx but this device is %Lx (SKU mismatch)"
+            rec_t.Recording.gpu_id sku.Grt_gpu.Sku.gpu_id));
+  let clock = Device.clock dev in
+  let mem = Gpushim.mem gpushim in
+  let energy_start = Option.map Grt_sim.Energy.total_j energy in
+  let start_s = Grt_sim.Clock.now_s clock in
+  Gpushim.isolate gpushim;
+  Gpushim.reset_gpu gpushim;
+  (* Install fresh data into the recorded slots before feeding stimuli. *)
+  (match Recording.input_slot rec_t with
+  | Some slot -> write_slot_floats mem slot input
+  | None -> raise (Rejected "recording has no input slot"));
+  let param_slots = Recording.param_slots rec_t in
+  List.iter
+    (fun (name, values) ->
+      match List.find_opt (fun s -> String.equal s.Recording.slot_name name) param_slots with
+      | Some slot -> write_slot_floats mem slot values
+      | None -> raise (Rejected (Printf.sprintf "unknown parameter slot %s" name)))
+    params;
+  let reads_verified = ref 0 and skipped = ref 0 and applied = ref 0 in
+  apply_entries ~gpushim ~clock ~mem ~dev ~reads_verified ~skipped ~applied
+    rec_t.Recording.entries;
+  let output =
+    match Recording.output_slot rec_t with
+    | Some slot -> read_slot_floats mem slot
+    | None -> raise (Rejected "recording has no output slot")
+  in
+  (* Clean up all hardware state before handing the GPU back (§3.2). *)
+  Gpushim.reset_gpu gpushim;
+  Gpushim.release gpushim;
+  {
+    output;
+    delay_s = Grt_sim.Clock.now_s clock -. start_s;
+    entries_applied = !applied;
+    reads_verified = !reads_verified;
+    reads_skipped_nondet = !skipped;
+    energy_j =
+      (match (energy, energy_start) with
+      | Some e, Some j0 -> Some (Grt_sim.Energy.total_j e -. j0)
+      | _ -> None);
+  }
+
+let replay_segments ~gpushim ~signing_key ~blobs ~input ~params ?energy () =
+  if blobs = [] then raise (Rejected "no segments");
+  let dev = Gpushim.device gpushim in
+  let sku = Device.sku dev in
+  let segments =
+    List.map
+      (fun blob ->
+        match Recording.verify_and_parse ~key:signing_key blob with
+        | Ok r ->
+          if not (Int64.equal r.Recording.gpu_id sku.Grt_gpu.Sku.gpu_id) then
+            raise (Rejected "segment recorded on a different GPU SKU");
+          r
+        | Error e -> raise (Rejected e))
+      blobs
+  in
+  let clock = Device.clock dev in
+  let mem = Gpushim.mem gpushim in
+  let energy_start = Option.map Grt_sim.Energy.total_j energy in
+  let start_s = Grt_sim.Clock.now_s clock in
+  Gpushim.isolate gpushim;
+  Gpushim.reset_gpu gpushim;
+  (* Fresh input into the first segment; parameters into whichever segment
+     declares their slot. *)
+  (match Recording.input_slot (List.hd segments) with
+  | Some slot -> write_slot_floats mem slot input
+  | None -> raise (Rejected "first segment has no input slot"));
+  List.iter
+    (fun (name, values) ->
+      let slot =
+        List.find_map
+          (fun seg ->
+            List.find_opt (fun s -> String.equal s.Recording.slot_name name)
+              (Recording.param_slots seg))
+          segments
+      in
+      match slot with
+      | Some slot -> write_slot_floats mem slot values
+      | None -> raise (Rejected (Printf.sprintf "unknown parameter slot %s" name)))
+    params;
+  let reads_verified = ref 0 and skipped = ref 0 and applied = ref 0 in
+  List.iter
+    (fun seg ->
+      apply_entries ~gpushim ~clock ~mem ~dev ~reads_verified ~skipped ~applied
+        seg.Recording.entries)
+    segments;
+  let last = List.nth segments (List.length segments - 1) in
+  let output =
+    match Recording.output_slot last with
+    | Some slot -> read_slot_floats mem slot
+    | None -> raise (Rejected "last segment has no output slot")
+  in
+  Gpushim.reset_gpu gpushim;
+  Gpushim.release gpushim;
+  {
+    output;
+    delay_s = Grt_sim.Clock.now_s clock -. start_s;
+    entries_applied = !applied;
+    reads_verified = !reads_verified;
+    reads_skipped_nondet = !skipped;
+    energy_j =
+      (match (energy, energy_start) with
+      | Some e, Some j0 -> Some (Grt_sim.Energy.total_j e -. j0)
+      | _ -> None);
+  }

@@ -1,0 +1,56 @@
+(** The in-TEE replayer (§2.3, §3.2).
+
+    A few hundred lines with no GPU-stack dependency: it verifies a signed
+    recording, locks the GPU to the secure world, loads the recorded
+    metastate pages, injects fresh input and model parameters into the
+    recorded data slots, and feeds the recorded register stimuli to the GPU
+    — verifying that the GPU's responses match the recording (except
+    registers marked nondeterministic). The GPU executes the same jobs on
+    the new data and the output is read back from the recorded output slot.
+
+    Rejects recordings that fail signature verification or that were
+    recorded on a different GPU SKU. *)
+
+exception Rejected of string
+
+exception Divergence of { index : int; reg : int; expected : int64; got : int64 }
+(** The GPU's behaviour departed from the recording — replay aborts rather
+    than continue on corrupt state. *)
+
+type result = {
+  output : float array;
+  delay_s : float;  (** end-to-end replay delay *)
+  entries_applied : int;
+  reads_verified : int;
+  reads_skipped_nondet : int;
+  energy_j : float option;
+}
+
+val replay :
+  gpushim:Gpushim.t ->
+  signing_key:Grt_tee.Crypto.key ->
+  blob:bytes ->
+  input:float array ->
+  params:(string * float array) list ->
+  ?energy:Grt_sim.Energy.t ->
+  unit ->
+  result
+(** [params] are keyed by the recording's parameter-slot names (the weight
+    buffer names of the plan). Missing slots stay zero; unknown names raise
+    {!Rejected}. *)
+
+val replay_segments :
+  gpushim:Gpushim.t ->
+  signing_key:Grt_tee.Crypto.key ->
+  blobs:bytes list ->
+  input:float array ->
+  params:(string * float array) list ->
+  ?energy:Grt_sim.Energy.t ->
+  unit ->
+  result
+(** Composable replay of per-layer recording segments (Figure 2): each
+    segment is verified independently, the fresh input goes into the first
+    segment's input slot, parameters into whichever segment declares them,
+    intermediate activations flow through GPU memory, and the output comes
+    from the last segment. The GPU is reset once before and once after the
+    whole sequence. *)

@@ -1,0 +1,1 @@
+lib/driver/backend.ml: Fun Grt_gpu Grt_util

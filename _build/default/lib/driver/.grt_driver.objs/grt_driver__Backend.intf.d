@@ -1,0 +1,1 @@
+lib/driver/backend.mli: Grt_gpu Grt_util

@@ -1,0 +1,1 @@
+lib/driver/kbase.ml: Backend Grt_gpu Grt_util Int64 List Printf

@@ -1,0 +1,1 @@
+lib/driver/kbase.mli: Backend Grt_gpu

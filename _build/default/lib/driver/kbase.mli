@@ -1,0 +1,75 @@
+(** A kbase-shaped Mali GPU kernel driver.
+
+    Structured after the Bifrost kernel driver the paper instruments: probe
+    and quirk discovery at load, a soft-reset path, power-domain sequencing,
+    per-address-space MMU management with lock/flush/unlock command
+    sequences, serialized job submission on slot 0 (the job queue length is
+    pinned to 1, §5) and interrupt-driven completion.
+
+    All hardware access flows through {!Backend.t}; the driver never touches
+    a device directly, so the same code records remotely, runs natively and
+    replays during recovery. *)
+
+exception Driver_error of string
+
+type t
+
+val create : backend:Backend.t -> mem:Grt_gpu.Mem.t -> coherency_ace:bool -> t
+(** [mem] is the CPU-visible shared memory on the machine hosting the GPU
+    stack. [coherency_ace] is the platform's interconnect attribute, driving
+    the quirk branch of Listing 1(a). *)
+
+val init : t -> unit
+(** Probe, soft-reset, quirk setup, interrupt unmasking, initial power-up.
+    Raises {!Driver_error} on timeout or unsupported hardware. *)
+
+val shutdown : t -> unit
+(** Power everything down and mask interrupts. *)
+
+val backend : t -> Backend.t
+val mem : t -> Grt_gpu.Mem.t
+val gpu_id : t -> int64
+(** Valid after [init]. *)
+
+val pt_format : t -> Grt_gpu.Sku.pt_format
+val shader_present : t -> int64
+val powered : t -> bool
+
+val create_address_space : t -> as_idx:int -> Grt_gpu.Mmu.t
+(** Allocate a page-table hierarchy in shared memory and program the AS's
+    TRANSTAB/MEMATTR registers (with the update/flush command dance). *)
+
+val map_region :
+  t ->
+  mmu:Grt_gpu.Mmu.t ->
+  as_idx:int ->
+  va:int64 ->
+  pa:int64 ->
+  pages:int ->
+  flags:Grt_gpu.Mmu.flags ->
+  unit
+(** Install 4 KiB mappings and flush the AS's page-table walks. *)
+
+val map_block_region :
+  t ->
+  mmu:Grt_gpu.Mmu.t ->
+  as_idx:int ->
+  va:int64 ->
+  pa:int64 ->
+  blocks:int ->
+  flags:Grt_gpu.Mmu.flags ->
+  unit
+(** Same, with 2 MiB block mappings (large data buffers). *)
+
+val run_job : t -> as_idx:int -> chain_va:int64 -> unit
+(** The serialized per-job pipeline: wake the GPU if needed, flush MMU and
+    caches, submit the chain on slot 0, sleep until the job interrupt, check
+    status, flush caches, and let the shader cores power down. Raises
+    {!Driver_error} if the GPU reports a fault or a timeout expires. *)
+
+val jobs_submitted : t -> int
+
+val hang_recoveries : t -> int
+(** Times the job watchdog fired and the driver reset + resubmitted — the
+    constant-exceptions failure mode of unoptimized remote recording
+    (§3.3). Always 0 on local execution and on optimized links. *)

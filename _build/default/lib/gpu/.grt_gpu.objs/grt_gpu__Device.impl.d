@@ -1,0 +1,1 @@
+lib/gpu/device.ml: Array Format Grt_sim Hashtbl Int64 Job_desc Kernels List Mem Mmu Option Printf Regs Shader Sku

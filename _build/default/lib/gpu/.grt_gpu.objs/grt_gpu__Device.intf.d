@@ -1,0 +1,1 @@
+lib/gpu/device.mli: Format Grt_sim Mem Regs Sku

@@ -1,0 +1,1 @@
+lib/gpu/job_desc.ml: Array Int64 Mem Shader

@@ -1,0 +1,1 @@
+lib/gpu/job_desc.mli: Mem Shader

@@ -1,0 +1,1 @@
+lib/gpu/kernels.ml: Int64 Job_desc Printf Shader

@@ -1,0 +1,1 @@
+lib/gpu/kernels.mli: Job_desc Shader

@@ -1,0 +1,1 @@
+lib/gpu/mem.ml: Bytes Char Hashtbl Int32 Int64 List

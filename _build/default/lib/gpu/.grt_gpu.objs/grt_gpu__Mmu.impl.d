@@ -1,0 +1,1 @@
+lib/gpu/mmu.ml: Format Int64 List Mem Printf Sku

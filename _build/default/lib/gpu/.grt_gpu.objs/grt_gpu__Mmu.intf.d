@@ -1,0 +1,1 @@
+lib/gpu/mmu.mli: Format Mem Sku

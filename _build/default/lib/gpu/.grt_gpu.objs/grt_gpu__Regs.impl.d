@@ -1,0 +1,1 @@
+lib/gpu/regs.ml: List Printf

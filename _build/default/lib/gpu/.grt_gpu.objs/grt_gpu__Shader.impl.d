@@ -1,0 +1,1 @@
+lib/gpu/shader.ml: Bytes Grt_util Int64 Sku

@@ -1,0 +1,1 @@
+lib/gpu/shader.mli: Sku

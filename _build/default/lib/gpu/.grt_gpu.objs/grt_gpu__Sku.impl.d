@@ -1,0 +1,1 @@
+lib/gpu/sku.ml: Format Grt_sim Int64 List String

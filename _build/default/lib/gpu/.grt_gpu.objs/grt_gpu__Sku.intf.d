@@ -1,0 +1,1 @@
+lib/gpu/sku.mli: Format

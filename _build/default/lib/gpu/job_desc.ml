@@ -1,0 +1,129 @@
+type params = {
+  in_c : int;
+  in_h : int;
+  in_w : int;
+  in2_c : int;
+  out_c : int;
+  out_h : int;
+  out_w : int;
+  kh : int;
+  kw : int;
+  stride : int;
+  pad : int;
+  relu : bool;
+  part_idx : int;
+  part_count : int;
+  flops_hint : int64;
+}
+
+let default_params =
+  {
+    in_c = 0;
+    in_h = 0;
+    in_w = 0;
+    in2_c = 0;
+    out_c = 0;
+    out_h = 0;
+    out_w = 0;
+    kh = 0;
+    kw = 0;
+    stride = 1;
+    pad = 0;
+    relu = false;
+    part_idx = 0;
+    part_count = 1;
+    flops_hint = 0L;
+  }
+
+type t = {
+  op : Shader.op;
+  shader_va : int64;
+  input_va : int64;
+  input2_va : int64;
+  bias_va : int64;
+  output_va : int64;
+  params : params;
+  next_va : int64;
+}
+
+let magic = 0x47524A44L (* "GRJD" *)
+
+let size_bytes = 128
+let status_offset = 120
+
+type status = Pending | Done | Fault of int
+
+let status_to_int = function Pending -> 0 | Done -> 1 | Fault code -> 0x40 lor (code land 0x3F)
+
+let status_of_int = function
+  | 0 -> Pending
+  | 1 -> Done
+  | v -> Fault (v land 0x3F)
+
+let u32 = Int64.of_int
+
+let write mem ~pa t =
+  let p = t.params in
+  Mem.write_u32 mem pa magic;
+  Mem.write_u32 mem (Int64.add pa 4L) (u32 (Shader.op_code t.op));
+  Mem.write_u64 mem (Int64.add pa 8L) t.shader_va;
+  Mem.write_u64 mem (Int64.add pa 16L) t.input_va;
+  Mem.write_u64 mem (Int64.add pa 24L) t.input2_va;
+  Mem.write_u64 mem (Int64.add pa 32L) t.bias_va;
+  Mem.write_u64 mem (Int64.add pa 40L) t.output_va;
+  let params_base = Int64.add pa 48L in
+  let fields =
+    [|
+      p.in_c; p.in_h; p.in_w; p.in2_c; p.out_c; p.out_h; p.out_w; p.kh; p.kw; p.stride; p.pad;
+      (if p.relu then 1 else 0); p.part_idx; p.part_count;
+    |]
+  in
+  Array.iteri (fun i v -> Mem.write_u32 mem (Int64.add params_base (u32 (4 * i))) (u32 v)) fields;
+  Mem.write_u64 mem (Int64.add pa 104L) p.flops_hint;
+  Mem.write_u64 mem (Int64.add pa 112L) t.next_va;
+  Mem.write_u32 mem (Int64.add pa (u32 status_offset)) (u32 (status_to_int Pending))
+
+let read mem ~pa =
+  if Mem.read_u32 mem pa <> magic then Error "job descriptor: bad magic"
+  else
+    match Shader.op_of_code (Int64.to_int (Mem.read_u32 mem (Int64.add pa 4L))) with
+    | None -> Error "job descriptor: unknown opcode"
+    | Some op ->
+      let rd64 off = Mem.read_u64 mem (Int64.add pa (u32 off)) in
+      let rdp i = Int64.to_int (Mem.read_u32 mem (Int64.add pa (u32 (48 + (4 * i))))) in
+      let params =
+        {
+          in_c = rdp 0;
+          in_h = rdp 1;
+          in_w = rdp 2;
+          in2_c = rdp 3;
+          out_c = rdp 4;
+          out_h = rdp 5;
+          out_w = rdp 6;
+          kh = rdp 7;
+          kw = rdp 8;
+          stride = rdp 9;
+          pad = rdp 10;
+          relu = rdp 11 <> 0;
+          part_idx = rdp 12;
+          part_count = rdp 13;
+          flops_hint = rd64 104;
+        }
+      in
+      Ok
+        {
+          op;
+          shader_va = rd64 8;
+          input_va = rd64 16;
+          input2_va = rd64 24;
+          bias_va = rd64 32;
+          output_va = rd64 40;
+          params;
+          next_va = rd64 112;
+        }
+
+let read_status mem ~pa =
+  status_of_int (Int64.to_int (Mem.read_u32 mem (Int64.add pa (u32 status_offset))))
+
+let write_status mem ~pa s =
+  Mem.write_u32 mem (Int64.add pa (u32 status_offset)) (u32 (status_to_int s))

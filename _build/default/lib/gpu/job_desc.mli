@@ -1,0 +1,53 @@
+(** GPU job descriptors.
+
+    A job descriptor lives in shared memory; the runtime writes it, the GPU
+    reads it when a job chain is started on a slot, executes the referenced
+    shader over the referenced buffers and writes back a status word. Jobs
+    chain through [next_va], letting one slot submission cover a whole
+    command list — the unit the recorder captures (§2.1). *)
+
+type params = {
+  in_c : int;
+  in_h : int;
+  in_w : int;
+  in2_c : int;  (** channel count of the second operand (concat). *)
+  out_c : int;
+  out_h : int;
+  out_w : int;
+  kh : int;
+  kw : int;
+  stride : int;
+  pad : int;
+  relu : bool;
+  part_idx : int;  (** output-channel partition index (0-based) *)
+  part_count : int;  (** number of partitions this op was split into *)
+  flops_hint : int64;
+      (** model-scale FLOPs of this job, used by the GPU timing model; the
+          materialized tensors may be smaller than the modeled ones. *)
+}
+
+val default_params : params
+
+type t = {
+  op : Shader.op;
+  shader_va : int64;
+  input_va : int64;
+  input2_va : int64;
+  bias_va : int64;
+  output_va : int64;
+  params : params;
+  next_va : int64;  (** 0 terminates the chain *)
+}
+
+val size_bytes : int
+val status_offset : int
+
+type status = Pending | Done | Fault of int
+
+val status_to_int : status -> int
+val status_of_int : int -> status
+
+val write : Mem.t -> pa:int64 -> t -> unit
+val read : Mem.t -> pa:int64 -> (t, string) result
+val read_status : Mem.t -> pa:int64 -> status
+val write_status : Mem.t -> pa:int64 -> status -> unit

@@ -1,0 +1,243 @@
+exception Kernel_fault of string
+
+type ctx = { getf : int64 -> float; setf : int64 -> float -> unit }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Kernel_fault s)) fmt
+
+let partition_range ~total ~part_idx ~part_count =
+  if part_count <= 0 || part_idx < 0 || part_idx >= part_count then
+    fail "bad partition %d/%d" part_idx part_count;
+  let q = total / part_count and r = total mod part_count in
+  let first = (part_idx * q) + min part_idx r in
+  let count = q + if part_idx < r then 1 else 0 in
+  (first, count)
+
+let f32 = 4L
+
+let elem base idx = Int64.add base (Int64.mul f32 (Int64.of_int idx))
+
+(* CHW indexing *)
+let chw ~h ~w c y x = (((c * h) + y) * w) + x
+
+let check_conv_geometry p =
+  let open Job_desc in
+  let expect_h = ((p.in_h + (2 * p.pad) - p.kh) / p.stride) + 1 in
+  let expect_w = ((p.in_w + (2 * p.pad) - p.kw) / p.stride) + 1 in
+  if expect_h <> p.out_h || expect_w <> p.out_w then
+    fail "conv geometry mismatch: got %dx%d want %dx%d" p.out_h p.out_w expect_h expect_w
+
+let conv2d ctx (d : Job_desc.t) =
+  let p = d.params in
+  check_conv_geometry p;
+  let first_oc, n_oc = partition_range ~total:p.out_c ~part_idx:p.part_idx ~part_count:p.part_count in
+  let in_idx = chw ~h:p.in_h ~w:p.in_w in
+  let out_idx = chw ~h:p.out_h ~w:p.out_w in
+  for oc = first_oc to first_oc + n_oc - 1 do
+    let bias = if Int64.equal d.bias_va 0L then 0.0 else ctx.getf (elem d.bias_va oc) in
+    for oy = 0 to p.out_h - 1 do
+      for ox = 0 to p.out_w - 1 do
+        let acc = ref bias in
+        for ic = 0 to p.in_c - 1 do
+          for ky = 0 to p.kh - 1 do
+            let iy = (oy * p.stride) + ky - p.pad in
+            if iy >= 0 && iy < p.in_h then
+              for kx = 0 to p.kw - 1 do
+                let ix = (ox * p.stride) + kx - p.pad in
+                if ix >= 0 && ix < p.in_w then begin
+                  let wi = (((((oc * p.in_c) + ic) * p.kh) + ky) * p.kw) + kx in
+                  let v = ctx.getf (elem d.input_va (in_idx ic iy ix)) in
+                  let w = ctx.getf (elem d.input2_va wi) in
+                  acc := !acc +. (v *. w)
+                end
+              done
+          done
+        done;
+        let r = if p.relu && !acc < 0.0 then 0.0 else !acc in
+        ctx.setf (elem d.output_va (out_idx oc oy ox)) r
+      done
+    done
+  done
+
+let depthwise ctx (d : Job_desc.t) =
+  let p = d.params in
+  check_conv_geometry p;
+  if p.in_c <> p.out_c then fail "depthwise needs in_c = out_c";
+  let in_idx = chw ~h:p.in_h ~w:p.in_w in
+  let out_idx = chw ~h:p.out_h ~w:p.out_w in
+  for c = 0 to p.out_c - 1 do
+    let bias = if Int64.equal d.bias_va 0L then 0.0 else ctx.getf (elem d.bias_va c) in
+    for oy = 0 to p.out_h - 1 do
+      for ox = 0 to p.out_w - 1 do
+        let acc = ref bias in
+        for ky = 0 to p.kh - 1 do
+          let iy = (oy * p.stride) + ky - p.pad in
+          if iy >= 0 && iy < p.in_h then
+            for kx = 0 to p.kw - 1 do
+              let ix = (ox * p.stride) + kx - p.pad in
+              if ix >= 0 && ix < p.in_w then begin
+                let wi = (((c * p.kh) + ky) * p.kw) + kx in
+                acc :=
+                  !acc +. (ctx.getf (elem d.input_va (in_idx c iy ix)) *. ctx.getf (elem d.input2_va wi))
+              end
+            done
+        done;
+        let r = if p.relu && !acc < 0.0 then 0.0 else !acc in
+        ctx.setf (elem d.output_va (out_idx c oy ox)) r
+      done
+    done
+  done
+
+let fc ctx (d : Job_desc.t) =
+  let p = d.params in
+  let in_n = p.in_c * p.in_h * p.in_w in
+  let out_n = p.out_c in
+  if in_n <= 0 || out_n <= 0 then fail "fc: empty shape";
+  let first, count = partition_range ~total:out_n ~part_idx:p.part_idx ~part_count:p.part_count in
+  for o = first to first + count - 1 do
+    let acc = ref (if Int64.equal d.bias_va 0L then 0.0 else ctx.getf (elem d.bias_va o)) in
+    for i = 0 to in_n - 1 do
+      acc := !acc +. (ctx.getf (elem d.input_va i) *. ctx.getf (elem d.input2_va ((o * in_n) + i)))
+    done;
+    let r = if p.relu && !acc < 0.0 then 0.0 else !acc in
+    ctx.setf (elem d.output_va o) r
+  done
+
+let maxpool ctx (d : Job_desc.t) =
+  let p = d.params in
+  check_conv_geometry p;
+  if p.in_c <> p.out_c then fail "maxpool needs in_c = out_c";
+  let in_idx = chw ~h:p.in_h ~w:p.in_w in
+  let out_idx = chw ~h:p.out_h ~w:p.out_w in
+  for c = 0 to p.out_c - 1 do
+    for oy = 0 to p.out_h - 1 do
+      for ox = 0 to p.out_w - 1 do
+        let best = ref neg_infinity in
+        for ky = 0 to p.kh - 1 do
+          let iy = (oy * p.stride) + ky - p.pad in
+          if iy >= 0 && iy < p.in_h then
+            for kx = 0 to p.kw - 1 do
+              let ix = (ox * p.stride) + kx - p.pad in
+              if ix >= 0 && ix < p.in_w then begin
+                let v = ctx.getf (elem d.input_va (in_idx c iy ix)) in
+                if v > !best then best := v
+              end
+            done
+        done;
+        ctx.setf (elem d.output_va (out_idx c oy ox)) !best
+      done
+    done
+  done
+
+let avgpool_global ctx (d : Job_desc.t) =
+  let p = d.params in
+  if p.out_h <> 1 || p.out_w <> 1 || p.in_c <> p.out_c then fail "avgpool: expects global CxHxW -> Cx1x1";
+  let n = p.in_h * p.in_w in
+  let in_idx = chw ~h:p.in_h ~w:p.in_w in
+  for c = 0 to p.in_c - 1 do
+    let acc = ref 0.0 in
+    for y = 0 to p.in_h - 1 do
+      for x = 0 to p.in_w - 1 do
+        acc := !acc +. ctx.getf (elem d.input_va (in_idx c y x))
+      done
+    done;
+    ctx.setf (elem d.output_va c) (!acc /. float_of_int n)
+  done
+
+let flat_len (p : Job_desc.params) = p.out_c * p.out_h * p.out_w
+
+let relu ctx (d : Job_desc.t) =
+  for i = 0 to flat_len d.params - 1 do
+    let v = ctx.getf (elem d.input_va i) in
+    ctx.setf (elem d.output_va i) (if v < 0.0 then 0.0 else v)
+  done
+
+let copy ctx (d : Job_desc.t) =
+  for i = 0 to flat_len d.params - 1 do
+    ctx.setf (elem d.output_va i) (ctx.getf (elem d.input_va i))
+  done
+
+let add ctx (d : Job_desc.t) =
+  let p = d.params in
+  for i = 0 to flat_len p - 1 do
+    let v = ctx.getf (elem d.input_va i) +. ctx.getf (elem d.input2_va i) in
+    ctx.setf (elem d.output_va i) (if p.relu && v < 0.0 then 0.0 else v)
+  done
+
+let unary_elementwise f ctx (d : Job_desc.t) =
+  for i = 0 to flat_len d.params - 1 do
+    ctx.setf (elem d.output_va i) (f (ctx.getf (elem d.input_va i)))
+  done
+
+let mul ctx (d : Job_desc.t) =
+  for i = 0 to flat_len d.params - 1 do
+    ctx.setf (elem d.output_va i)
+      (ctx.getf (elem d.input_va i) *. ctx.getf (elem d.input2_va i))
+  done
+
+let concat2 ctx (d : Job_desc.t) =
+  let p = d.params in
+  if p.in_c + p.in2_c <> p.out_c then fail "concat2: channel mismatch";
+  if p.in_h <> p.out_h || p.in_w <> p.out_w then fail "concat2: spatial mismatch";
+  let plane = p.out_h * p.out_w in
+  for i = 0 to (p.in_c * plane) - 1 do
+    ctx.setf (elem d.output_va i) (ctx.getf (elem d.input_va i))
+  done;
+  let off = p.in_c * plane in
+  for i = 0 to (p.in2_c * plane) - 1 do
+    ctx.setf (elem d.output_va (off + i)) (ctx.getf (elem d.input2_va i))
+  done
+
+let softmax ctx (d : Job_desc.t) =
+  let p = d.params in
+  let n = p.in_c * p.in_h * p.in_w in
+  if n <= 0 then fail "softmax: empty";
+  let m = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let v = ctx.getf (elem d.input_va i) in
+    if v > !m then m := v
+  done;
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    let e = exp (ctx.getf (elem d.input_va i) -. !m) in
+    ctx.setf (elem d.output_va i) e;
+    sum := !sum +. e
+  done;
+  for i = 0 to n - 1 do
+    ctx.setf (elem d.output_va i) (ctx.getf (elem d.output_va i) /. !sum)
+  done
+
+let execute ctx (d : Job_desc.t) =
+  match d.op with
+  | Shader.Conv2d -> conv2d ctx d
+  | Shader.Depthwise -> depthwise ctx d
+  | Shader.Fc -> fc ctx d
+  | Shader.Maxpool -> maxpool ctx d
+  | Shader.Avgpool -> avgpool_global ctx d
+  | Shader.Relu -> relu ctx d
+  | Shader.Copy -> copy ctx d
+  | Shader.Add -> add ctx d
+  | Shader.Concat2 -> concat2 ctx d
+  | Shader.Softmax -> softmax ctx d
+  | Shader.Tanh -> unary_elementwise tanh ctx d
+  | Shader.Sigmoid -> unary_elementwise (fun x -> 1.0 /. (1.0 +. exp (-.x))) ctx d
+  | Shader.Mul -> mul ctx d
+
+let flops op (p : Job_desc.params) =
+  let i64 = Int64.of_int in
+  let out_plane = p.out_h * p.out_w in
+  match op with
+  | Shader.Conv2d ->
+    let _, n_oc = partition_range ~total:p.out_c ~part_idx:p.part_idx ~part_count:p.part_count in
+    i64 (2 * n_oc * out_plane * p.in_c * p.kh * p.kw)
+  | Shader.Depthwise -> i64 (2 * p.out_c * out_plane * p.kh * p.kw)
+  | Shader.Fc ->
+    let in_n = p.in_c * p.in_h * p.in_w in
+    let _, count = partition_range ~total:p.out_c ~part_idx:p.part_idx ~part_count:p.part_count in
+    i64 (2 * count * in_n)
+  | Shader.Maxpool -> i64 (p.out_c * out_plane * p.kh * p.kw)
+  | Shader.Avgpool -> i64 (p.in_c * p.in_h * p.in_w)
+  | Shader.Relu | Shader.Copy -> i64 (p.out_c * out_plane)
+  | Shader.Add | Shader.Mul -> i64 (2 * p.out_c * out_plane)
+  | Shader.Tanh | Shader.Sigmoid -> i64 (8 * p.out_c * out_plane)
+  | Shader.Concat2 -> i64 (p.out_c * out_plane)
+  | Shader.Softmax -> i64 (4 * p.in_c * p.in_h * p.in_w)

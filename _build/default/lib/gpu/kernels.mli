@@ -1,0 +1,25 @@
+(** Compute kernels — the numerics the shader cores perform.
+
+    Tensors are FP32 in CHW layout at GPU virtual addresses. Kernels see
+    memory only through the access callbacks the device provides (which
+    perform MMU translation), exactly as real shader cores do. Output-channel
+    partitioning ([part_idx]/[part_count]) lets the runtime split one logical
+    operator across several GPU jobs. *)
+
+exception Kernel_fault of string
+
+type ctx = {
+  getf : int64 -> float;  (** read an FP32 at a GPU VA *)
+  setf : int64 -> float -> unit;  (** write an FP32 at a GPU VA *)
+}
+
+val execute : ctx -> Job_desc.t -> unit
+(** Run the job's operator. Raises {!Kernel_fault} on inconsistent shapes. *)
+
+val partition_range : total:int -> part_idx:int -> part_count:int -> int * int
+(** [(first, count)] of the slice a partition covers; partitions differ by at
+    most one element and tile the whole range. *)
+
+val flops : Shader.op -> Job_desc.params -> int64
+(** Analytic FLOP count of a job at the shapes given — used both by the
+    runtime to stamp [flops_hint] at model scale and by tests. *)

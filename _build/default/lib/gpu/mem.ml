@@ -1,0 +1,158 @@
+let page_shift = 12
+let page_size = 1 lsl page_shift
+
+exception Protected_page_write of int64
+
+type t = {
+  pages : (int64, bytes) Hashtbl.t;
+  mutable next_pfn : int64;
+  mutable dirty : (int64, unit) Hashtbl.t;
+  protected_ : (int64, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    pages = Hashtbl.create 1024;
+    next_pfn = 0x100L;
+    dirty = Hashtbl.create 256;
+    protected_ = Hashtbl.create 8;
+  }
+
+let protect_pages t pfns = List.iter (fun pfn -> Hashtbl.replace t.protected_ pfn ()) pfns
+
+let unprotect_all t = Hashtbl.reset t.protected_
+
+let protected_pfns t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.protected_ [] |> List.sort Int64.compare
+
+let page_of_addr addr = Int64.shift_right_logical addr page_shift
+
+let alloc_pages t n =
+  if n <= 0 then invalid_arg "Mem.alloc_pages";
+  let base = t.next_pfn in
+  t.next_pfn <- Int64.add t.next_pfn (Int64.of_int n);
+  Int64.shift_left base page_shift
+
+let page_for t pfn ~write =
+  if write && Hashtbl.mem t.protected_ pfn then raise (Protected_page_write pfn);
+  match Hashtbl.find_opt t.pages pfn with
+  | Some p ->
+    if write then Hashtbl.replace t.dirty pfn ();
+    Some p
+  | None ->
+    if write then begin
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace t.pages pfn p;
+      Hashtbl.replace t.dirty pfn ();
+      Some p
+    end
+    else None
+
+let read_u8 t addr =
+  let pfn = page_of_addr addr in
+  match page_for t pfn ~write:false with
+  | None -> 0
+  | Some p -> Char.code (Bytes.unsafe_get p (Int64.to_int (Int64.logand addr 0xFFFL)))
+
+let write_u8 t addr v =
+  let pfn = page_of_addr addr in
+  match page_for t pfn ~write:true with
+  | None -> assert false
+  | Some p -> Bytes.unsafe_set p (Int64.to_int (Int64.logand addr 0xFFFL)) (Char.unsafe_chr (v land 0xFF))
+
+(* Multi-byte accessors take a direct in-page fast path and fall back to
+   byte-by-byte when straddling a page boundary. *)
+
+let read_u32 t addr =
+  let off = Int64.to_int (Int64.logand addr 0xFFFL) in
+  if off <= page_size - 4 then
+    match page_for t (page_of_addr addr) ~write:false with
+    | None -> 0L
+    | Some p -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le p off)) 0xFFFFFFFFL
+  else begin
+    let b0 = read_u8 t addr in
+    let b1 = read_u8 t (Int64.add addr 1L) in
+    let b2 = read_u8 t (Int64.add addr 2L) in
+    let b3 = read_u8 t (Int64.add addr 3L) in
+    Int64.logor
+      (Int64.of_int (b0 lor (b1 lsl 8) lor (b2 lsl 16)))
+      (Int64.shift_left (Int64.of_int b3) 24)
+  end
+
+let write_u32 t addr v =
+  let off = Int64.to_int (Int64.logand addr 0xFFFL) in
+  if off <= page_size - 4 then begin
+    match page_for t (page_of_addr addr) ~write:true with
+    | None -> assert false
+    | Some p -> Bytes.set_int32_le p off (Int64.to_int32 v)
+  end
+  else begin
+    let v = Int64.to_int (Int64.logand v 0xFFFFFFFFL) in
+    write_u8 t addr v;
+    write_u8 t (Int64.add addr 1L) (v lsr 8);
+    write_u8 t (Int64.add addr 2L) (v lsr 16);
+    write_u8 t (Int64.add addr 3L) (v lsr 24)
+  end
+
+let read_u64 t addr =
+  let lo = read_u32 t addr in
+  let hi = read_u32 t (Int64.add addr 4L) in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+let write_u64 t addr v =
+  write_u32 t addr (Int64.logand v 0xFFFFFFFFL);
+  write_u32 t (Int64.add addr 4L) (Int64.shift_right_logical v 32)
+
+let read_f32 t addr = Int32.float_of_bits (Int64.to_int32 (read_u32 t addr))
+
+let write_f32 t addr f = write_u32 t addr (Int64.logand (Int64.of_int32 (Int32.bits_of_float f)) 0xFFFFFFFFL)
+
+let read_bytes t addr n =
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set out i (Char.unsafe_chr (read_u8 t (Int64.add addr (Int64.of_int i))))
+  done;
+  out
+
+let write_bytes t addr b =
+  for i = 0 to Bytes.length b - 1 do
+    write_u8 t (Int64.add addr (Int64.of_int i)) (Char.code (Bytes.unsafe_get b i))
+  done
+
+let get_page t pfn =
+  match Hashtbl.find_opt t.pages pfn with
+  | Some p -> Bytes.copy p
+  | None -> Bytes.make page_size '\000'
+
+let set_page t pfn b =
+  if Bytes.length b <> page_size then invalid_arg "Mem.set_page: wrong size";
+  if Hashtbl.mem t.protected_ pfn then raise (Protected_page_write pfn);
+  Hashtbl.replace t.pages pfn (Bytes.copy b);
+  Hashtbl.replace t.dirty pfn ()
+
+let sorted_keys h =
+  Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort Int64.compare
+
+let materialized_pages t = sorted_keys t.pages
+
+let dirty_pages t = sorted_keys t.dirty
+
+let clear_dirty t = Hashtbl.reset t.dirty
+
+let dirty_bytes t = Hashtbl.length t.dirty * page_size
+
+type snapshot = { snap_pages : (int64 * bytes) list; snap_next : int64; snap_dirty : int64 list }
+
+let snapshot t =
+  {
+    snap_pages = Hashtbl.fold (fun k v acc -> (k, Bytes.copy v) :: acc) t.pages [];
+    snap_next = t.next_pfn;
+    snap_dirty = dirty_pages t;
+  }
+
+let restore t s =
+  Hashtbl.reset t.pages;
+  List.iter (fun (k, v) -> Hashtbl.replace t.pages k (Bytes.copy v)) s.snap_pages;
+  t.next_pfn <- s.snap_next;
+  Hashtbl.reset t.dirty;
+  List.iter (fun k -> Hashtbl.replace t.dirty k ()) s.snap_dirty

@@ -1,0 +1,65 @@
+(** Sparse physical memory shared by CPU and GPU.
+
+    Pages are 4 KiB and materialized on demand. The store tracks dirty pages
+    (for cache-maintenance cost modeling and delta synchronization) and
+    supports snapshots (for misprediction rollback, §4.2). Physical addresses
+    are [int64]; unmapped reads return zeroes, like DRAM scrubbed at boot. *)
+
+val page_size : int
+val page_shift : int
+
+type t
+
+val create : unit -> t
+
+val alloc_pages : t -> int -> int64
+(** [alloc_pages t n] reserves [n] fresh zeroed pages and returns the
+    physical address of the first. Allocation is a simple bump pointer — the
+    simulator never frees physical pages within a session. *)
+
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+val read_u32 : t -> int64 -> int64
+val write_u32 : t -> int64 -> int64 -> unit
+val read_u64 : t -> int64 -> int64
+val write_u64 : t -> int64 -> int64 -> unit
+val read_f32 : t -> int64 -> float
+val write_f32 : t -> int64 -> float -> unit
+val read_bytes : t -> int64 -> int -> bytes
+val write_bytes : t -> int64 -> bytes -> unit
+
+val page_of_addr : int64 -> int64
+(** Page frame number containing an address. *)
+
+val get_page : t -> int64 -> bytes
+(** [get_page t pfn] returns a copy of the page (zeroes if never written). *)
+
+val set_page : t -> int64 -> bytes -> unit
+(** Install page contents (must be exactly [page_size] bytes). *)
+
+val materialized_pages : t -> int64 list
+(** PFNs of all pages that have been written, sorted. *)
+
+val dirty_pages : t -> int64 list
+(** PFNs dirtied since the last [clear_dirty], sorted. *)
+
+val clear_dirty : t -> unit
+val dirty_bytes : t -> int
+
+exception Protected_page_write of int64
+(** Raised on a write to a protected page — GR-T's continuous validation
+    (§5): after a memory dump is shipped, the dumped region is unmapped
+    from the CPU so any spurious access traps instead of silently
+    diverging the two parties' views. *)
+
+val protect_pages : t -> int64 list -> unit
+(** Add PFNs to the protected set. *)
+
+val unprotect_all : t -> unit
+val protected_pfns : t -> int64 list
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** Restores page contents, the allocator position and dirty state. *)

@@ -1,0 +1,199 @@
+type flags = { writable : bool; executable : bool; cacheable : bool }
+
+let rw_data = { writable = true; executable = false; cacheable = true }
+let ro_data = { writable = false; executable = false; cacheable = true }
+let rx_code = { writable = false; executable = true; cacheable = true }
+
+type fault = Unmapped | Permission of string | Bad_format
+
+let pp_fault ppf = function
+  | Unmapped -> Format.pp_print_string ppf "unmapped"
+  | Permission s -> Format.fprintf ppf "permission(%s)" s
+  | Bad_format -> Format.pp_print_string ppf "bad-format"
+
+type t = { mem : Mem.t; fmt : Sku.pt_format; root : int64 }
+
+let desc_table = 0b11L
+let desc_block = 0b01L
+let desc_type_mask = 0b11L
+let bit_writable = 0x40L
+let bit_executable = 0x80L
+let bit_cacheable = 0x100L
+let bit_access = 0x400L
+let pa_mask = 0xFF_FFFF_F000L
+
+let level_index va level =
+  (* level 1 -> bits 38:30, level 2 -> 29:21, level 3 -> 20:12 *)
+  let shift = 12 + (9 * (3 - level)) in
+  Int64.to_int (Int64.logand (Int64.shift_right_logical va shift) 0x1FFL)
+
+let create mem ~fmt =
+  let root = Mem.alloc_pages mem 1 in
+  (* Touch the page so it is materialized and tracked as metastate. *)
+  Mem.write_u64 mem root 0L;
+  { mem; fmt; root }
+
+let root_pa t = t.root
+let format t = t.fmt
+
+let of_root mem ~fmt ~root = { mem; fmt; root }
+
+let flag_bits t flags =
+  let v = ref 0L in
+  if flags.writable then v := Int64.logor !v bit_writable;
+  if flags.executable then v := Int64.logor !v bit_executable;
+  if flags.cacheable then v := Int64.logor !v bit_cacheable;
+  (match t.fmt with Sku.Lpae_v8 -> v := Int64.logor !v bit_access | Sku.Lpae_v7 -> ());
+  !v
+
+let entry_addr table_pa idx = Int64.add table_pa (Int64.of_int (8 * idx))
+
+(* Descend to [level], allocating intermediate tables as needed. *)
+let rec table_for t table_pa va level target =
+  if level = target then table_pa
+  else begin
+    let idx = level_index va level in
+    let ea = entry_addr table_pa idx in
+    let e = Mem.read_u64 t.mem ea in
+    let next =
+      if Int64.logand e desc_type_mask = desc_table then Int64.logand e pa_mask
+      else begin
+        let fresh = Mem.alloc_pages t.mem 1 in
+        Mem.write_u64 t.mem fresh 0L;
+        Mem.write_u64 t.mem ea (Int64.logor fresh desc_table);
+        fresh
+      end
+    in
+    table_for t next va (level + 1) target
+  end
+
+let check_align what v bits =
+  if Int64.logand v (Int64.sub (Int64.shift_left 1L bits) 1L) <> 0L then
+    invalid_arg (Printf.sprintf "Mmu: misaligned %s" what)
+
+let map_page t ~va ~pa ~flags =
+  check_align "va" va 12;
+  check_align "pa" pa 12;
+  let l3 = table_for t t.root va 1 3 in
+  let ea = entry_addr l3 (level_index va 3) in
+  Mem.write_u64 t.mem ea (Int64.logor (Int64.logor pa (flag_bits t flags)) desc_table)
+
+let map_block t ~va ~pa ~flags =
+  check_align "va" va 21;
+  check_align "pa" pa 21;
+  let l2 = table_for t t.root va 1 2 in
+  let ea = entry_addr l2 (level_index va 2) in
+  Mem.write_u64 t.mem ea (Int64.logor (Int64.logor pa (flag_bits t flags)) desc_block)
+
+let unmap_page t ~va =
+  check_align "va" va 12;
+  let l2 = table_for t t.root va 1 2 in
+  let l2_ea = entry_addr l2 (level_index va 2) in
+  let e2 = Mem.read_u64 t.mem l2_ea in
+  if Int64.logand e2 desc_type_mask = desc_block then Mem.write_u64 t.mem l2_ea 0L
+  else if Int64.logand e2 desc_type_mask = desc_table then begin
+    let l3 = Int64.logand e2 pa_mask in
+    Mem.write_u64 t.mem (entry_addr l3 (level_index va 3)) 0L
+  end
+
+let check_perm t e ~access =
+  let need bit msg = if Int64.logand e bit = 0L then Error (Permission msg) else Ok () in
+  let access_ok =
+    match t.fmt with
+    | Sku.Lpae_v8 -> need bit_access "access-flag"
+    | Sku.Lpae_v7 -> Ok ()
+  in
+  match access_ok with
+  | Error _ as err -> err
+  | Ok () -> (
+    match access with
+    | `Read -> Ok ()
+    | `Write -> need bit_writable "write"
+    | `Exec -> need bit_executable "exec")
+
+let translate t ~va ~access =
+  let idx1 = level_index va 1 in
+  let e1 = Mem.read_u64 t.mem (entry_addr t.root idx1) in
+  if Int64.logand e1 desc_type_mask <> desc_table then Error Unmapped
+  else begin
+    let l2 = Int64.logand e1 pa_mask in
+    let e2 = Mem.read_u64 t.mem (entry_addr l2 (level_index va 2)) in
+    let ty2 = Int64.logand e2 desc_type_mask in
+    if ty2 = desc_block then
+      match check_perm t e2 ~access with
+      | Error _ as err -> err
+      | Ok () ->
+        let base = Int64.logand e2 pa_mask in
+        Ok (Int64.logor base (Int64.logand va 0x1F_FFFFL))
+    else if ty2 = desc_table then begin
+      let l3 = Int64.logand e2 pa_mask in
+      let e3 = Mem.read_u64 t.mem (entry_addr l3 (level_index va 3)) in
+      if Int64.logand e3 desc_type_mask <> desc_table then Error Unmapped
+      else
+        match check_perm t e3 ~access with
+        | Error _ as err -> err
+        | Ok () ->
+          let base = Int64.logand e3 pa_mask in
+          Ok (Int64.logor base (Int64.logand va 0xFFFL))
+    end
+    else if e2 = 0L then Error Unmapped
+    else Error Bad_format
+  end
+
+let table_pages t =
+  let acc = ref [ Mem.page_of_addr t.root ] in
+  for i1 = 0 to 511 do
+    let e1 = Mem.read_u64 t.mem (entry_addr t.root i1) in
+    if Int64.logand e1 desc_type_mask = desc_table then begin
+      let l2 = Int64.logand e1 pa_mask in
+      acc := Mem.page_of_addr l2 :: !acc;
+      for i2 = 0 to 511 do
+        let e2 = Mem.read_u64 t.mem (entry_addr l2 i2) in
+        if Int64.logand e2 desc_type_mask = desc_table then
+          acc := Mem.page_of_addr (Int64.logand e2 pa_mask) :: !acc
+      done
+    end
+  done;
+  List.sort_uniq Int64.compare !acc
+
+let flags_of_entry e =
+  {
+    writable = Int64.logand e bit_writable <> 0L;
+    executable = Int64.logand e bit_executable <> 0L;
+    cacheable = Int64.logand e bit_cacheable <> 0L;
+  }
+
+let mapped_spans t =
+  let leaves = ref [] in
+  for i1 = 0 to 511 do
+    let e1 = Mem.read_u64 t.mem (entry_addr t.root i1) in
+    if Int64.logand e1 desc_type_mask = desc_table then begin
+      let l2 = Int64.logand e1 pa_mask in
+      for i2 = 0 to 511 do
+        let e2 = Mem.read_u64 t.mem (entry_addr l2 i2) in
+        let va2 = Int64.logor (Int64.shift_left (Int64.of_int i1) 30) (Int64.shift_left (Int64.of_int i2) 21) in
+        let ty2 = Int64.logand e2 desc_type_mask in
+        if ty2 = desc_block then leaves := (va2, 1 lsl 21, flags_of_entry e2) :: !leaves
+        else if ty2 = desc_table then begin
+          let l3 = Int64.logand e2 pa_mask in
+          for i3 = 0 to 511 do
+            let e3 = Mem.read_u64 t.mem (entry_addr l3 i3) in
+            if Int64.logand e3 desc_type_mask = desc_table then begin
+              let va = Int64.logor va2 (Int64.shift_left (Int64.of_int i3) 12) in
+              leaves := (va, Mem.page_size, flags_of_entry e3) :: !leaves
+            end
+          done
+        end
+      done
+    end
+  done;
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> Int64.compare a b) !leaves in
+  (* Coalesce contiguous identical-flag spans. *)
+  let rec merge = function
+    | (va1, len1, f1) :: (va2, len2, f2) :: rest
+      when Int64.add va1 (Int64.of_int len1) = va2 && f1 = f2 ->
+      merge ((va1, len1 + len2, f1) :: rest)
+    | x :: rest -> x :: merge rest
+    | [] -> []
+  in
+  merge sorted

@@ -1,0 +1,1 @@
+lib/mlfw/network.ml: Array Format Grt_gpu Grt_runtime Int64 List Option Printf

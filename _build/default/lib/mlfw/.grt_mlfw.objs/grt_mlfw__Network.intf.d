@@ -1,0 +1,1 @@
+lib/mlfw/network.mli: Format Grt_gpu Grt_runtime

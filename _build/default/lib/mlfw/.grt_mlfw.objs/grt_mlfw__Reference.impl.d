@@ -1,0 +1,1 @@
+lib/mlfw/reference.ml: Array Grt_gpu Int64 List Network

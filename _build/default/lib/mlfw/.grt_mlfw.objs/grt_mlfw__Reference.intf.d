@@ -1,0 +1,1 @@
+lib/mlfw/reference.mli: Network

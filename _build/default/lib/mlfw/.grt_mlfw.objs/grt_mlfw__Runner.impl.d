@@ -1,0 +1,1 @@
+lib/mlfw/runner.ml: Array Grt_gpu Grt_runtime Grt_util Int64 List Network String

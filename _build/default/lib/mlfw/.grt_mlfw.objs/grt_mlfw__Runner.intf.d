@@ -1,0 +1,1 @@
+lib/mlfw/runner.mli: Grt_runtime Network

@@ -1,0 +1,1 @@
+lib/mlfw/zoo.ml: Array Builder List Network String

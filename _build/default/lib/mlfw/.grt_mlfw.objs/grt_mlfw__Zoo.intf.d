@@ -1,0 +1,1 @@
+lib/mlfw/zoo.mli: Network

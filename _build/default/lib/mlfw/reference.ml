@@ -1,0 +1,64 @@
+module Kernels = Grt_gpu.Kernels
+module Job_desc = Grt_gpu.Job_desc
+
+(* Buffers live in a synthetic flat address space: buffer [i] starts at
+   [i * buf_stride] bytes, giving Kernels the same VA-based interface the GPU
+   provides, backed by float arrays. *)
+
+let buf_stride = 1 lsl 24
+
+let run (plan : Network.plan) ~weights ~input =
+  let names = List.mapi (fun i (b : Network.buffer_spec) -> (b.Network.bname, i)) plan.Network.buffers in
+  let arrays =
+    List.map
+      (fun (b : Network.buffer_spec) -> Array.make (max 1 (b.Network.actual_bytes / 4)) 0.0)
+      plan.Network.buffers
+    |> Array.of_list
+  in
+  let index name =
+    match List.assoc_opt name names with
+    | Some i -> i
+    | None -> invalid_arg ("Reference.run: unknown buffer " ^ name)
+  in
+  let va name = Int64.of_int (index name * buf_stride) in
+  let locate a =
+    let addr = Int64.to_int a in
+    let buf = addr / buf_stride and off = (addr mod buf_stride) / 4 in
+    (arrays.(buf), off)
+  in
+  let ctx =
+    {
+      Kernels.getf =
+        (fun a ->
+          let arr, off = locate a in
+          if off < Array.length arr then arr.(off) else 0.0);
+      Kernels.setf =
+        (fun a v ->
+          let arr, off = locate a in
+          if off < Array.length arr then arr.(off) <- v);
+    }
+  in
+  (* Load inputs and weights. *)
+  let blit name values =
+    let arr = arrays.(index name) in
+    Array.iteri (fun i v -> if i < Array.length arr then arr.(i) <- v) values
+  in
+  blit plan.Network.input_buffer input;
+  List.iter (fun (name, values) -> blit name values) weights;
+  List.iter
+    (fun (j : Network.job_spec) ->
+      let desc =
+        {
+          Job_desc.op = j.Network.op;
+          shader_va = 0L;
+          input_va = va j.Network.input;
+          input2_va = (match j.Network.input2 with Some n -> va n | None -> 0L);
+          bias_va = (match j.Network.bias with Some n -> va n | None -> 0L);
+          output_va = va j.Network.output;
+          params = j.Network.mat;
+          next_va = 0L;
+        }
+      in
+      Kernels.execute ctx desc)
+    plan.Network.jobs;
+  Array.copy (arrays.(index plan.Network.output_buffer))

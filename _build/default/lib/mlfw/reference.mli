@@ -1,0 +1,9 @@
+(** CPU reference execution of a plan.
+
+    Runs the same job specs over plain float arrays (no GPU, no MMU, no
+    driver). Used to check that native GPU execution and in-TEE replay both
+    produce exactly this output — the end-to-end correctness property of
+    record/replay. *)
+
+val run : Network.plan -> weights:(string * float array) list -> input:float array -> float array
+(** Returns the final output activation (materialized shape). *)

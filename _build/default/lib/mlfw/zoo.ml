@@ -1,0 +1,212 @@
+open Network
+
+let shape c h w = { c; h; w }
+
+let mnist =
+  let b = Builder.create () in
+  let _ = Builder.add b ~from:(-1) Stage_input in
+  let _ = Builder.add b (Conv { oc = 6; k = 5; s = 1; p = 0; relu = true; parts = 4 }) in
+  let _ = Builder.add b (Maxpool { k = 2; s = 2 }) in
+  let _ = Builder.add b (Conv { oc = 16; k = 5; s = 1; p = 0; relu = true; parts = 6 }) in
+  let _ = Builder.add b (Maxpool { k = 2; s = 2 }) in
+  let _ = Builder.add b (Fc { out = 120; relu = true; parts = 4 }) in
+  let _ = Builder.add b (Fc { out = 84; relu = true; parts = 3 }) in
+  let _ = Builder.add b (Fc { out = 10; relu = false; parts = 2 }) in
+  let _ = Builder.add b Softmax in
+  {
+    name = "MNIST";
+    model_input = shape 1 28 28;
+    mat_input = shape 1 28 28;
+    nodes = Builder.nodes b;
+  }
+
+let alexnet =
+  let b = Builder.create () in
+  let _ = Builder.add b ~from:(-1) Stage_input in
+  let _ = Builder.add b (Conv { oc = 96; k = 11; s = 4; p = 2; relu = true; parts = 6 }) in
+  let _ = Builder.add b (Maxpool { k = 3; s = 2 }) in
+  let _ = Builder.add b (Conv { oc = 256; k = 5; s = 1; p = 2; relu = true; parts = 8 }) in
+  let _ = Builder.add b (Maxpool { k = 3; s = 2 }) in
+  let _ = Builder.add b (Conv { oc = 384; k = 3; s = 1; p = 1; relu = true; parts = 8 }) in
+  let _ = Builder.add b (Conv { oc = 384; k = 3; s = 1; p = 1; relu = true; parts = 8 }) in
+  let _ = Builder.add b (Conv { oc = 256; k = 3; s = 1; p = 1; relu = true; parts = 8 }) in
+  let _ = Builder.add b (Maxpool { k = 3; s = 2 }) in
+  let _ = Builder.add b (Fc { out = 4096; relu = true; parts = 6 }) in
+  let _ = Builder.add b (Fc { out = 4096; relu = true; parts = 6 }) in
+  let _ = Builder.add b (Fc { out = 1000; relu = false; parts = 5 }) in
+  let _ = Builder.add b Softmax in
+  {
+    name = "AlexNet";
+    model_input = shape 3 224 224;
+    mat_input = shape 3 32 32;
+    nodes = Builder.nodes b;
+  }
+
+let mobilenet =
+  let b = Builder.create () in
+  let _ = Builder.add b ~from:(-1) Stage_input in
+  let _ = Builder.add b (Conv { oc = 32; k = 3; s = 2; p = 1; relu = true; parts = 2 }) in
+  let block ~stride ~oc =
+    let _ = Builder.add b (Depthwise { k = 3; s = stride; p = 1; relu = true }) in
+    let _ = Builder.add b (Conv { oc; k = 1; s = 1; p = 0; relu = true; parts = 6 }) in
+    ()
+  in
+  block ~stride:1 ~oc:64;
+  block ~stride:2 ~oc:128;
+  block ~stride:1 ~oc:128;
+  block ~stride:2 ~oc:256;
+  block ~stride:1 ~oc:256;
+  block ~stride:2 ~oc:512;
+  for _ = 1 to 5 do
+    block ~stride:1 ~oc:512
+  done;
+  block ~stride:2 ~oc:1024;
+  block ~stride:1 ~oc:1024;
+  let _ = Builder.add b Avgpool_global in
+  let _ = Builder.add b (Fc { out = 1000; relu = false; parts = 8 }) in
+  let _ = Builder.add b Softmax in
+  {
+    name = "MobileNet";
+    model_input = shape 3 224 224;
+    mat_input = shape 3 32 32;
+    nodes = Builder.nodes b;
+  }
+
+let squeezenet =
+  let b = Builder.create () in
+  let _ = Builder.add b ~from:(-1) Stage_input in
+  let _ = Builder.add b (Conv { oc = 96; k = 7; s = 2; p = 0; relu = true; parts = 4 }) in
+  let _ = Builder.add b (Maxpool { k = 3; s = 2 }) in
+  let fire ~squeeze ~expand =
+    let s = Builder.add b (Conv { oc = squeeze; k = 1; s = 1; p = 0; relu = true; parts = 2 }) in
+    let e1 =
+      Builder.add b ~from:s (Conv { oc = expand; k = 1; s = 1; p = 0; relu = true; parts = 3 })
+    in
+    let e3 =
+      Builder.add b ~from:s (Conv { oc = expand; k = 3; s = 1; p = 1; relu = true; parts = 3 })
+    in
+    Builder.add b ~from:e1 (Concat { other = e3 })
+  in
+  let _ = fire ~squeeze:16 ~expand:64 in
+  let _ = fire ~squeeze:16 ~expand:64 in
+  let f4 = fire ~squeeze:32 ~expand:128 in
+  let _ = Builder.add b ~from:f4 (Maxpool { k = 3; s = 2 }) in
+  let _ = fire ~squeeze:32 ~expand:128 in
+  let _ = fire ~squeeze:48 ~expand:192 in
+  let _ = fire ~squeeze:48 ~expand:192 in
+  let f8 = fire ~squeeze:64 ~expand:256 in
+  let _ = Builder.add b ~from:f8 (Maxpool { k = 3; s = 2 }) in
+  let _ = fire ~squeeze:64 ~expand:256 in
+  let _ = Builder.add b (Conv { oc = 1000; k = 1; s = 1; p = 0; relu = true; parts = 16 }) in
+  let _ = Builder.add b Avgpool_global in
+  let _ = Builder.add b Softmax in
+  {
+    name = "SqueezeNet";
+    model_input = shape 3 224 224;
+    mat_input = shape 3 32 32;
+    nodes = Builder.nodes b;
+  }
+
+let resnet12 =
+  let b = Builder.create () in
+  let _ = Builder.add b ~from:(-1) Stage_input in
+  let _ = Builder.add b (Conv { oc = 64; k = 3; s = 1; p = 1; relu = true; parts = 6 }) in
+  let _ = Builder.add b (Maxpool { k = 2; s = 2 }) in
+  for _ = 1 to 5 do
+    let entry = Builder.nodes b |> Array.length in
+    let x = entry - 1 in
+    let _ = Builder.add b (Conv { oc = 64; k = 3; s = 1; p = 1; relu = true; parts = 8 }) in
+    let _ = Builder.add b (Conv { oc = 64; k = 3; s = 1; p = 1; relu = false; parts = 8 }) in
+    let _ = Builder.add b (Add { other = x }) in
+    let _ = Builder.add b Relu_layer in
+    ()
+  done;
+  let _ = Builder.add b Avgpool_global in
+  let _ = Builder.add b (Fc { out = 128; relu = true; parts = 10 }) in
+  let _ = Builder.add b (Fc { out = 10; relu = false; parts = 1 }) in
+  let _ = Builder.add b Softmax in
+  {
+    name = "ResNet12";
+    model_input = shape 3 64 64;
+    mat_input = shape 3 16 16;
+    nodes = Builder.nodes b;
+  }
+
+let vgg16 =
+  let b = Builder.create () in
+  let _ = Builder.add b ~from:(-1) Stage_input in
+  let conv oc parts = ignore (Builder.add b (Conv { oc; k = 3; s = 1; p = 1; relu = true; parts })) in
+  let pool () = ignore (Builder.add b (Maxpool { k = 2; s = 2 })) in
+  conv 64 4;
+  conv 64 4;
+  pool ();
+  conv 128 5;
+  conv 128 5;
+  pool ();
+  conv 256 6;
+  conv 256 6;
+  conv 256 6;
+  pool ();
+  conv 512 7;
+  conv 512 7;
+  conv 512 7;
+  pool ();
+  conv 512 7;
+  conv 512 7;
+  conv 512 7;
+  pool ();
+  let _ = Builder.add b (Fc { out = 4096; relu = true; parts = 4 }) in
+  let _ = Builder.add b (Fc { out = 4096; relu = true; parts = 4 }) in
+  let _ = Builder.add b (Fc { out = 1000; relu = false; parts = 3 }) in
+  let _ = Builder.add b Softmax in
+  {
+    name = "VGG16";
+    model_input = shape 3 224 224;
+    mat_input = shape 3 32 32;
+    nodes = Builder.nodes b;
+  }
+
+(* Extension workload: an unrolled gated recurrent unit over feature maps,
+   h' = h + sigmoid(conv(h)) * tanh(conv(h)) — a static graph of
+   sigmoid/tanh gates and elementwise products, the RNN-shaped case of
+   §2.3. *)
+let gatednet =
+  let b = Builder.create () in
+  let _ = Builder.add b ~from:(-1) Stage_input in
+  let _ = Builder.add b (Conv { oc = 32; k = 3; s = 1; p = 1; relu = true; parts = 2 }) in
+  let _ = Builder.add b (Maxpool { k = 2; s = 2 }) in
+  for _ = 1 to 4 do
+    let h = Array.length (Builder.nodes b) - 1 in
+    let zc = Builder.add b ~from:h (Conv { oc = 32; k = 3; s = 1; p = 1; relu = false; parts = 3 }) in
+    let z = Builder.add b ~from:zc Sigmoid_layer in
+    let cc = Builder.add b ~from:h (Conv { oc = 32; k = 3; s = 1; p = 1; relu = false; parts = 3 }) in
+    let c = Builder.add b ~from:cc Tanh_layer in
+    let g = Builder.add b ~from:z (Mul { other = c }) in
+    let _ = Builder.add b ~from:g (Add { other = h }) in
+    ()
+  done;
+  let _ = Builder.add b Avgpool_global in
+  let _ = Builder.add b (Fc { out = 10; relu = false; parts = 2 }) in
+  let _ = Builder.add b Softmax in
+  {
+    name = "GatedNet";
+    model_input = shape 3 64 64;
+    mat_input = shape 3 16 16;
+    nodes = Builder.nodes b;
+  }
+
+let all = [ mnist; alexnet; mobilenet; squeezenet; resnet12; vgg16 ]
+
+let all_with_extensions = all @ [ gatednet ]
+
+let find name = List.find_opt (fun n -> String.equal n.name name) all_with_extensions
+
+let paper_job_count net =
+  match net.name with
+  | "MNIST" -> 23
+  | "AlexNet" -> 60
+  | "MobileNet" -> 104
+  | "SqueezeNet" -> 98
+  | "ResNet12" -> 111
+  | "VGG16" -> 96
+  | _ -> job_count net

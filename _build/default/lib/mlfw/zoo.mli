@@ -1,0 +1,42 @@
+(** The six neural networks the paper evaluates (Table 1).
+
+    Model-scale shapes follow the classic architectures; materialized shapes
+    are scaled-down prefixes (see [Network]). Each network expands to exactly
+    the GPU job count Table 1 reports, which pins the register-traffic and
+    memory-sync shapes of every experiment. *)
+
+val mnist : Network.t
+(** LeNet-style MNIST classifier — 23 GPU jobs. *)
+
+val alexnet : Network.t
+(** 60 GPU jobs. *)
+
+val mobilenet : Network.t
+(** MobileNet v1 — 104 GPU jobs. *)
+
+val squeezenet : Network.t
+(** SqueezeNet v1.0 — 98 GPU jobs. *)
+
+val resnet12 : Network.t
+(** A compact residual network (5 two-conv residual blocks) — 111 GPU
+    jobs. *)
+
+val vgg16 : Network.t
+(** 96 GPU jobs. *)
+
+val gatednet : Network.t
+(** Extension workload (not in the paper's evaluation): an unrolled gated
+    recurrent refinement network — sigmoid/tanh gates, elementwise products
+    — demonstrating §2.3's claim that RNN-style static graphs record and
+    replay exactly like CNNs. *)
+
+val all : Network.t list
+(** The paper's six, in Table 1 order. *)
+
+val all_with_extensions : Network.t list
+(** The paper's six plus the extension workloads. *)
+
+val find : string -> Network.t option
+
+val paper_job_count : Network.t -> int
+(** The "# GPU jobs" column of Table 1. *)

@@ -1,0 +1,1 @@
+lib/net/frame.ml: Bytes Grt_util Int32

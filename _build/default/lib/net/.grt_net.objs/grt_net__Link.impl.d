@@ -1,0 +1,1 @@
+lib/net/link.ml: Grt_sim Int64 Profile

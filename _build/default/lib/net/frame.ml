@@ -1,0 +1,63 @@
+type kind =
+  | Commit_request
+  | Commit_response
+  | Poll_offload
+  | Poll_result
+  | Mem_sync
+  | Mem_sync_ack
+  | Irq_notify
+  | Recording_download
+  | Control
+
+let kind_to_int = function
+  | Commit_request -> 1
+  | Commit_response -> 2
+  | Poll_offload -> 3
+  | Poll_result -> 4
+  | Mem_sync -> 5
+  | Mem_sync_ack -> 6
+  | Irq_notify -> 7
+  | Recording_download -> 8
+  | Control -> 9
+
+let kind_of_int = function
+  | 1 -> Some Commit_request
+  | 2 -> Some Commit_response
+  | 3 -> Some Poll_offload
+  | 4 -> Some Poll_result
+  | 5 -> Some Mem_sync
+  | 6 -> Some Mem_sync_ack
+  | 7 -> Some Irq_notify
+  | 8 -> Some Recording_download
+  | 9 -> Some Control
+  | _ -> None
+
+let magic = 0x47525446 (* "GRTF" *)
+
+let overhead_bytes = 4 + 1 + 4 + 4 (* magic + kind + length + crc *)
+
+let seal kind payload =
+  let buf = Grt_util.Byte_buf.create ~capacity:(Bytes.length payload + overhead_bytes) () in
+  Grt_util.Byte_buf.add_u32 buf magic;
+  Grt_util.Byte_buf.add_u8 buf (kind_to_int kind);
+  Grt_util.Byte_buf.add_u32 buf (Bytes.length payload);
+  Grt_util.Byte_buf.add_bytes buf payload;
+  Grt_util.Byte_buf.add_u32 buf (Int32.to_int (Grt_util.Hashing.crc32 payload) land 0xFFFFFFFF);
+  Grt_util.Byte_buf.contents buf
+
+let open_ frame =
+  try
+    let r = Grt_util.Byte_buf.Reader.of_bytes frame in
+    let m = Grt_util.Byte_buf.Reader.u32 r in
+    if m <> magic then Error "frame: bad magic"
+    else
+      match Grt_util.Byte_buf.Reader.u8 r |> kind_of_int with
+      | None -> Error "frame: unknown kind"
+      | Some kind ->
+        let len = Grt_util.Byte_buf.Reader.u32 r in
+        let payload = Grt_util.Byte_buf.Reader.bytes r len in
+        let crc = Grt_util.Byte_buf.Reader.u32 r in
+        if crc <> Int32.to_int (Grt_util.Hashing.crc32 payload) land 0xFFFFFFFF then
+          Error "frame: CRC mismatch"
+        else Ok (kind, payload)
+  with Failure _ -> Error "frame: truncated"

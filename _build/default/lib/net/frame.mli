@@ -1,0 +1,26 @@
+(** Message framing for the cloud/client channel: a type tag, a length and a
+    CRC-32 trailer. The secure-channel layer in [Grt_tee] wraps frames with
+    authentication; this layer catches accidental corruption. *)
+
+type kind =
+  | Commit_request
+  | Commit_response
+  | Poll_offload
+  | Poll_result
+  | Mem_sync
+  | Mem_sync_ack
+  | Irq_notify
+  | Recording_download
+  | Control
+
+val kind_to_int : kind -> int
+val kind_of_int : int -> kind option
+
+val seal : kind -> bytes -> bytes
+(** [seal kind payload] builds a framed message. *)
+
+val open_ : bytes -> (kind * bytes, string) result
+(** [open_ frame] validates length and CRC and returns the payload. *)
+
+val overhead_bytes : int
+(** Framing overhead added to every message. *)

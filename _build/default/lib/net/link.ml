@@ -1,0 +1,80 @@
+type t = {
+  profile : Profile.t;
+  clock : Grt_sim.Clock.t;
+  energy : Grt_sim.Energy.t option;
+  counters : Grt_sim.Counters.t option;
+}
+
+let create ~clock ?energy ?counters profile = { profile; clock; energy; counters }
+
+let profile t = t.profile
+
+let clock t = t.clock
+
+let count t name v = match t.counters with Some c -> Grt_sim.Counters.add c name v | None -> ()
+
+let charge_radio t ~tx_bytes ~rx_bytes =
+  (* The client radio is active while bytes are on the air in either
+     direction; energy is charged per transfer rather than via rails because
+     async sends overlap with computation. *)
+  match t.energy with
+  | None -> ()
+  | Some e ->
+    let tx_s = float_of_int (8 * tx_bytes) /. t.profile.Profile.bandwidth_bps in
+    let rx_s = float_of_int (8 * rx_bytes) /. t.profile.Profile.bandwidth_bps in
+    (* Each message also keeps the radio awake for roughly the per-message
+       overhead window. *)
+    let awake = 2. *. t.profile.Profile.per_message_s in
+    Grt_sim.Energy.charge_j e Grt_sim.Energy.Radio_tx
+      ((tx_s +. awake) *. Grt_sim.Energy.rail_power_w Grt_sim.Energy.Radio_tx);
+    Grt_sim.Energy.charge_j e Grt_sim.Energy.Radio_rx
+      ((rx_s +. awake) *. Grt_sim.Energy.rail_power_w Grt_sim.Energy.Radio_rx)
+
+let account t ~send_bytes ~recv_bytes =
+  count t "net.msgs" 2;
+  count t "net.bytes_tx" send_bytes;
+  count t "net.bytes_rx" recv_bytes;
+  charge_radio t ~tx_bytes:recv_bytes ~rx_bytes:send_bytes
+(* Note: [send_bytes] is cloud->client, which the *client* receives; the
+   client energy model therefore sees it as RX. *)
+
+let round_trip t ~send_bytes ~recv_bytes =
+  account t ~send_bytes ~recv_bytes;
+  count t "net.blocking_rtts" 1;
+  Grt_sim.Clock.advance_s t.clock (Profile.round_trip_s t.profile ~send_bytes ~recv_bytes)
+
+let async_send t ~send_bytes ~recv_bytes =
+  account t ~send_bytes ~recv_bytes;
+  count t "net.async_sends" 1;
+  let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes in
+  Int64.add (Grt_sim.Clock.now_ns t.clock) (Int64.of_float (latency *. 1e9))
+
+let wait_until t deadline =
+  if Int64.compare deadline (Grt_sim.Clock.now_ns t.clock) > 0 then begin
+    count t "net.blocking_rtts" 1;
+    count t "net.stall_waits" 1;
+    Grt_sim.Clock.advance_to t.clock deadline
+  end
+
+let one_way_to_client t ~bytes =
+  count t "net.msgs" 1;
+  count t "net.bytes_tx" bytes;
+  charge_radio t ~tx_bytes:0 ~rx_bytes:bytes;
+  Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes)
+
+let one_way_from_client t ~bytes =
+  count t "net.msgs" 1;
+  count t "net.bytes_rx" bytes;
+  charge_radio t ~tx_bytes:bytes ~rx_bytes:0;
+  Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes)
+
+let stats t ~blocking_rtts:() =
+  match t.counters with
+  | Some c -> Grt_sim.Counters.get_int c "net.blocking_rtts"
+  | None -> 0
+
+let bytes_tx t =
+  match t.counters with Some c -> Grt_sim.Counters.get c "net.bytes_tx" | None -> 0L
+
+let bytes_rx t =
+  match t.counters with Some c -> Grt_sim.Counters.get c "net.bytes_rx" | None -> 0L

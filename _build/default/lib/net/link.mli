@@ -1,0 +1,46 @@
+(** Cost-accounting view of the cloud/client connection.
+
+    The recording session is simulated in one process; the link does not move
+    bytes, it charges their cost: virtual-clock delay, radio energy on the
+    client, and statistic counters. It supports both blocking round trips
+    (synchronous commits) and fire-and-forget sends whose completion time is
+    returned so callers can overlap computation (speculative commits, §4.2). *)
+
+type t
+
+val create :
+  clock:Grt_sim.Clock.t ->
+  ?energy:Grt_sim.Energy.t ->
+  ?counters:Grt_sim.Counters.t ->
+  Profile.t ->
+  t
+
+val profile : t -> Profile.t
+val clock : t -> Grt_sim.Clock.t
+
+val round_trip : t -> send_bytes:int -> recv_bytes:int -> unit
+(** Blocking exchange: advances the clock by the full round-trip latency and
+    counts one blocking RTT. *)
+
+val async_send : t -> send_bytes:int -> recv_bytes:int -> int64
+(** Non-blocking exchange: charges bytes and energy now, returns the absolute
+    virtual time (ns) at which the response will have arrived. Does not
+    advance the clock and does not count a blocking RTT. *)
+
+val wait_until : t -> int64 -> unit
+(** Advance the clock to an [async_send] completion time (no-op if already
+    past). Counts a blocking RTT only if an actual wait occurred, mirroring
+    how a stalled speculative commit degenerates to a synchronous one. *)
+
+val one_way_to_client : t -> bytes:int -> unit
+(** Blocking one-way push (e.g. the final recording download). *)
+
+val one_way_from_client : t -> bytes:int -> unit
+(** Blocking one-way upload (interrupt forwarding plus the client's memory
+    dump, §5). *)
+
+val stats : t -> blocking_rtts:unit -> int
+(** Number of blocking round trips charged so far. *)
+
+val bytes_tx : t -> int64
+val bytes_rx : t -> int64

@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  rtt_s : float;
+  bandwidth_bps : float;
+  per_message_s : float;
+}
+
+let wifi = { name = "wifi"; rtt_s = 0.020; bandwidth_bps = 80.0e6; per_message_s = 40e-6 }
+
+let cellular = { name = "cellular"; rtt_s = 0.050; bandwidth_bps = 40.0e6; per_message_s = 60e-6 }
+
+let lan = { name = "lan"; rtt_s = 0.0002; bandwidth_bps = 1.0e9; per_message_s = 5e-6 }
+
+let custom ~name ~rtt_ms ~bandwidth_mbps =
+  if rtt_ms < 0. || bandwidth_mbps <= 0. then invalid_arg "Profile.custom";
+  { name; rtt_s = rtt_ms /. 1e3; bandwidth_bps = bandwidth_mbps *. 1e6; per_message_s = 40e-6 }
+
+let one_way_s p bytes =
+  (p.rtt_s /. 2.) +. (float_of_int (8 * bytes) /. p.bandwidth_bps) +. p.per_message_s
+
+let round_trip_s p ~send_bytes ~recv_bytes = one_way_s p send_bytes +. one_way_s p recv_bytes
+
+let pp ppf p =
+  Format.fprintf ppf "%s (RTT %.0f ms, BW %.0f Mbps)" p.name (p.rtt_s *. 1e3)
+    (p.bandwidth_bps /. 1e6)

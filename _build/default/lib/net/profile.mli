@@ -1,0 +1,30 @@
+(** Network conditions between the cloud recording service and the client
+    TEE. The paper evaluates under NetEm-shaped WiFi (20 ms RTT, 80 Mbps) and
+    cellular (50 ms RTT, 40 Mbps) conditions (§7.2). *)
+
+type t = {
+  name : string;
+  rtt_s : float;  (** full round-trip time for a minimal message *)
+  bandwidth_bps : float;  (** symmetric goodput *)
+  per_message_s : float;  (** fixed per-message processing overhead *)
+}
+
+val wifi : t
+(** 20 ms RTT, 80 Mbps. *)
+
+val cellular : t
+(** 50 ms RTT, 40 Mbps. *)
+
+val lan : t
+(** 0.2 ms RTT, 1 Gbps — a wired-lab control case. *)
+
+val custom : name:string -> rtt_ms:float -> bandwidth_mbps:float -> t
+
+val one_way_s : t -> int -> float
+(** [one_way_s p bytes] is the latency for one message of [bytes] payload:
+    half the RTT plus serialization plus per-message overhead. *)
+
+val round_trip_s : t -> send_bytes:int -> recv_bytes:int -> float
+(** Latency of a blocking request/response exchange. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/runtime/session.ml: Array Bytes Format Grt_driver Grt_gpu Grt_sim Int64 List Printf String

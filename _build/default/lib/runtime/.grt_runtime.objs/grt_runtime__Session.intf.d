@@ -1,0 +1,1 @@
+lib/runtime/session.mli: Format Grt_driver Grt_gpu Grt_sim

@@ -1,0 +1,1 @@
+lib/sim/energy.ml: Array Clock Format Fun Int64 List

@@ -1,0 +1,33 @@
+type t = { mutable now : int64; mutable observers : (int64 -> int64 -> unit) list }
+
+let create () = { now = 0L; observers = [] }
+
+let now_ns t = t.now
+
+let now_s t = Int64.to_float t.now *. 1e-9
+
+let advance_ns t d =
+  if Int64.compare d 0L < 0 then invalid_arg "Clock.advance_ns: negative delta";
+  if Int64.compare d 0L > 0 then begin
+    let old_now = t.now in
+    t.now <- Int64.add t.now d;
+    List.iter (fun f -> f old_now t.now) t.observers
+  end
+
+let advance_s t s =
+  if s < 0. then invalid_arg "Clock.advance_s: negative delta";
+  advance_ns t (Int64.of_float (s *. 1e9))
+
+let advance_to t deadline =
+  if Int64.compare deadline t.now > 0 then advance_ns t (Int64.sub deadline t.now)
+
+let on_advance t f = t.observers <- f :: t.observers
+
+type span = { start_ns : int64; stop_ns : int64 }
+
+let time t f =
+  let start_ns = t.now in
+  let v = f () in
+  (v, { start_ns; stop_ns = t.now })
+
+let span_s { start_ns; stop_ns } = Int64.to_float (Int64.sub stop_ns start_ns) *. 1e-9

@@ -1,0 +1,37 @@
+(** Virtual time.
+
+    Every delay in the reproduction — register MMIO latency, network round
+    trips, GPU job execution, driver compute — is modeled by advancing a
+    virtual clock measured in nanoseconds. Observers (e.g. the energy meter)
+    can subscribe to advances to integrate over time. *)
+
+type t
+
+val create : unit -> t
+
+val now_ns : t -> int64
+(** Current virtual time in nanoseconds since creation. *)
+
+val now_s : t -> float
+(** Current virtual time in seconds. *)
+
+val advance_ns : t -> int64 -> unit
+(** [advance_ns t d] moves time forward by [d] ns. [d] must be
+    non-negative. *)
+
+val advance_s : t -> float -> unit
+
+val advance_to : t -> int64 -> unit
+(** [advance_to t deadline] moves time forward to [deadline] if it is in the
+    future; no-op otherwise. *)
+
+val on_advance : t -> (int64 -> int64 -> unit) -> unit
+(** [on_advance t f] registers [f old_now new_now], called on every
+    advance. *)
+
+type span = { start_ns : int64; stop_ns : int64 }
+
+val time : t -> (unit -> 'a) -> 'a * span
+(** [time t f] runs [f] and reports the virtual span it covered. *)
+
+val span_s : span -> float

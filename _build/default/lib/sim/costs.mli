@@ -1,0 +1,37 @@
+(** Canonical latency constants for on-device operations.
+
+    These are the sub-microsecond costs the paper's §3.3 contrasts with
+    network delays. Centralizing them keeps the native, record and replay
+    paths comparable. *)
+
+val mmio_access_ns : int64
+(** One uncached register read or write over the SoC interconnect. *)
+
+val irq_delivery_ns : int64
+(** GPU interrupt to CPU handler entry. *)
+
+val page_table_walk_ns : int64
+(** GPU-side table walk on TLB miss. *)
+
+val cache_flush_ns_per_kb : int64
+(** GPU L2 clean+invalidate throughput. *)
+
+val driver_submit_overhead_ns : int64
+(** Kernel-side cost of one job submission (context switch, locking). *)
+
+val runtime_job_prep_ns : int64
+(** Userspace runtime cost per job: command emission, dependency setup. *)
+
+val jit_compile_ns_per_kernel : int64
+(** One-time JIT compilation of a hardware-neutral kernel for a SKU. *)
+
+val replayer_step_ns : int64
+(** Replayer cost to apply one recorded interaction. *)
+
+val gpu_flops_per_s : float
+(** Modeled shader throughput of the baseline SKU (Mali G71 MP8-class,
+    FP32). Per-SKU scaling happens in [Grt_gpu.Sku]. *)
+
+val gpu_job_fixed_ns : int64
+(** Fixed per-job GPU overhead: fetch descriptor, schedule cores, raise
+    IRQ. *)

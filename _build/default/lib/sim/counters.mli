@@ -1,0 +1,24 @@
+(** Named statistic counters.
+
+    The recorder, shims and network layer account everything they do
+    (register accesses, commits, round trips, bytes, speculation hits) into a
+    counter set which the benchmark harness turns into the paper's tables. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val add64 : t -> string -> int64 -> unit
+val get : t -> string -> int64
+(** Unknown counters read as zero. *)
+
+val get_int : t -> string -> int
+val reset : t -> unit
+val to_alist : t -> (string * int64) list
+(** Sorted by counter name. *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Adds every counter of [src] into [dst]. *)
+
+val pp : Format.formatter -> t -> unit

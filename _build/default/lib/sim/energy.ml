@@ -1,0 +1,56 @@
+type rail = Soc_base | Cpu_busy | Radio_tx | Radio_rx | Gpu_busy
+
+let rail_power_w = function
+  | Soc_base -> 1.3
+  | Cpu_busy -> 1.6
+  | Radio_tx -> 0.9
+  | Radio_rx -> 0.7
+  | Gpu_busy -> 2.4
+
+let rail_index = function
+  | Soc_base -> 0
+  | Cpu_busy -> 1
+  | Radio_tx -> 2
+  | Radio_rx -> 3
+  | Gpu_busy -> 4
+
+let all_rails = [ Soc_base; Cpu_busy; Radio_tx; Radio_rx; Gpu_busy ]
+
+type t = { active : bool array; joules : float array }
+
+let create clock =
+  let t = { active = Array.make 5 false; joules = Array.make 5 0. } in
+  t.active.(rail_index Soc_base) <- true;
+  Clock.on_advance clock (fun old_now new_now ->
+      let dt = Int64.to_float (Int64.sub new_now old_now) *. 1e-9 in
+      List.iter
+        (fun r ->
+          let i = rail_index r in
+          if t.active.(i) then t.joules.(i) <- t.joules.(i) +. (rail_power_w r *. dt))
+        all_rails);
+  t
+
+let set_active t rail on = t.active.(rail_index rail) <- on
+
+let with_rail t rail f =
+  let i = rail_index rail in
+  let prev = t.active.(i) in
+  t.active.(i) <- true;
+  Fun.protect ~finally:(fun () -> t.active.(i) <- prev) f
+
+let charge_j t rail j = t.joules.(rail_index rail) <- t.joules.(rail_index rail) +. j
+
+let total_j t = Array.fold_left ( +. ) 0. t.joules
+
+let by_rail_j t = List.map (fun r -> (r, t.joules.(rail_index r))) all_rails
+
+let reset t = Array.fill t.joules 0 5 0.
+
+let pp_rail ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Soc_base -> "soc_base"
+    | Cpu_busy -> "cpu_busy"
+    | Radio_tx -> "radio_tx"
+    | Radio_rx -> "radio_rx"
+    | Gpu_busy -> "gpu_busy")

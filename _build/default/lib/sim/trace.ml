@@ -1,0 +1,38 @@
+type event = { at_ns : int64; topic : string; detail : string }
+
+type t = {
+  clock : Clock.t;
+  ring : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) clock =
+  { clock; ring = Array.make (max 1 capacity) None; next = 0; total = 0 }
+
+let emit t ~topic detail =
+  let e = { at_ns = Clock.now_ns t.clock; topic; detail } in
+  t.ring.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let emitf t ~topic fmt = Format.kasprintf (fun s -> emit t ~topic s) fmt
+
+let recent ?topic t n =
+  let cap = Array.length t.ring in
+  let matches e = match topic with None -> true | Some want -> String.equal e.topic want in
+  let rec go i collected acc =
+    if collected >= n || i >= cap then List.rev acc
+    else
+      let idx = (t.next - 1 - i + (2 * cap)) mod cap in
+      match t.ring.(idx) with
+      | Some e when matches e -> go (i + 1) (collected + 1) (e :: acc)
+      | Some _ -> go (i + 1) collected acc
+      | None -> List.rev acc
+  in
+  go 0 0 []
+
+let count t = t.total
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%8.3f ms] %-12s %s" (Int64.to_float e.at_ns *. 1e-6) e.topic e.detail

@@ -1,0 +1,20 @@
+(** Bounded in-memory event trace.
+
+    Components append timestamped events; tests and the debugging CLI can
+    inspect the most recent ones. Keeping the trace bounded makes it safe to
+    leave enabled during long benchmark sweeps. *)
+
+type event = { at_ns : int64; topic : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> Clock.t -> t
+val emit : t -> topic:string -> string -> unit
+val emitf : t -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val recent : ?topic:string -> t -> int -> event list
+(** Most recent events first; optionally filtered by topic. *)
+
+val count : t -> int
+(** Total events emitted (including evicted ones). *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/tee/attestation.ml: Crypto Grt_util Int64 Printf

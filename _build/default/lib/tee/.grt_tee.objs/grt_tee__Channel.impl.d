@@ -1,0 +1,1 @@
+lib/tee/channel.ml: Attestation Crypto Grt_net Int64 Printf

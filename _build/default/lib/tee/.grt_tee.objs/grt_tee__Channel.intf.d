@@ -1,0 +1,1 @@
+lib/tee/channel.mli: Attestation Crypto Grt_net

@@ -1,0 +1,1 @@
+lib/tee/crypto.ml: Bytes Char Grt_util Int64 Printf

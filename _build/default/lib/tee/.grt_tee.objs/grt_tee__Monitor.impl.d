@@ -1,0 +1,1 @@
+lib/tee/monitor.ml: Hashtbl List Printf Worlds

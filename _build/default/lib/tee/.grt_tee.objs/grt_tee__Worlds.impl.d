@@ -1,0 +1,1 @@
+lib/tee/worlds.ml: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/tee/worlds.mli: Format

@@ -1,0 +1,29 @@
+type measurement = { kernel : string; gpu_stack : string; devicetree : string }
+
+let measure m =
+  Grt_util.Hashing.fnv1a_string (Printf.sprintf "%s\x00%s\x00%s" m.kernel m.gpu_stack m.devicetree)
+
+type quote = { digest : int64; nonce : int64; signature : int64 }
+
+let signed_payload digest nonce =
+  let buf = Grt_util.Byte_buf.create ~capacity:16 () in
+  Grt_util.Byte_buf.add_i64 buf digest;
+  Grt_util.Byte_buf.add_i64 buf nonce;
+  Grt_util.Byte_buf.contents buf
+
+let make_quote ~signing_key m ~nonce =
+  let digest = measure m in
+  { digest; nonce; signature = Crypto.mac ~key:signing_key (signed_payload digest nonce) }
+
+let quote_measurement q = q.digest
+let quote_nonce q = q.nonce
+
+let verify ~verification_key ~expected ~nonce q =
+  if not (Crypto.verify ~key:verification_key (signed_payload q.digest q.nonce) q.signature) then
+    Error "attestation: bad signature"
+  else if not (Int64.equal q.nonce nonce) then Error "attestation: nonce mismatch (replay?)"
+  else if not (Int64.equal q.digest (measure expected)) then
+    Error "attestation: unexpected measurement"
+  else Ok ()
+
+let tamper q = { q with signature = Int64.logxor q.signature 0x4L }

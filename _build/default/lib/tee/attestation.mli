@@ -1,0 +1,27 @@
+(** Remote attestation of the cloud recording VM.
+
+    Before a record run, the client TEE challenges the cloud VM with a
+    nonce; the VM responds with a quote over its measurement (kernel + GPU
+    stack image) signed by a key the verifier trusts. Only the control flow
+    matters for the reproduction: good quotes verify, tampered measurements
+    or replayed nonces fail (§7.1). *)
+
+type measurement = { kernel : string; gpu_stack : string; devicetree : string }
+
+val measure : measurement -> int64
+
+type quote
+
+val make_quote : signing_key:Crypto.key -> measurement -> nonce:int64 -> quote
+val quote_measurement : quote -> int64
+val quote_nonce : quote -> int64
+
+val verify :
+  verification_key:Crypto.key ->
+  expected:measurement ->
+  nonce:int64 ->
+  quote ->
+  (unit, string) result
+
+val tamper : quote -> quote
+(** Flip a bit in the signature — for negative tests. *)

@@ -1,0 +1,41 @@
+(** The secure monitor (EL3): world switching and interrupt routing.
+
+    The paper modifies the client's secure monitor so that GPU interrupts
+    are delivered to the TEE while a record or replay session holds the GPU
+    (§6), and so that SoC resources the GPU driver does not manage (power
+    and clock controls) can be claimed by the secure world rather than
+    requested from the normal-world OS by RPC.
+
+    The monitor is the only component allowed to flip TZASC assignments and
+    interrupt routes, and it does so only on behalf of secure-world callers
+    — a normal-world SMC asking to take a secure resource is denied. *)
+
+type world = Worlds.world
+
+type route = To_normal | To_secure
+
+type t
+
+val create : Worlds.t -> t
+
+val register_interrupt : t -> irq:int -> name:string -> unit
+(** Declare a hardware interrupt line (e.g. the GPU's job/gpu/mmu lines). *)
+
+val route_of : t -> irq:int -> route
+(** Defaults to [To_normal] until reassigned. *)
+
+exception Denied of string
+
+val smc_claim_for_secure : t -> caller:world -> resources:string list -> irqs:int list -> unit
+(** The TEE's "claim the GPU" SMC: flips the TZASC for [resources] and
+    routes [irqs] to the secure world. Raises {!Denied} when invoked from
+    the normal world. *)
+
+val smc_release : t -> caller:world -> resources:string list -> irqs:int list -> unit
+(** Return everything to the normal world. Secure-world callers only. *)
+
+val deliver_irq : t -> irq:int -> world
+(** Which world an asserted interrupt is delivered to right now. *)
+
+val claims : t -> int
+(** Number of successful claim SMCs (telemetry). *)

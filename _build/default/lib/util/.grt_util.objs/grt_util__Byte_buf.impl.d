@@ -1,0 +1,1 @@
+lib/util/byte_buf.ml: Bytes Char String

@@ -1,0 +1,1 @@
+lib/util/delta.ml: Byte_buf Bytes List

@@ -1,0 +1,1 @@
+lib/util/hashing.ml: Array Bytes Char Int32 Int64 Lazy

@@ -1,0 +1,1 @@
+lib/util/range_coder.ml: Array Byte_buf Bytes Char Int64

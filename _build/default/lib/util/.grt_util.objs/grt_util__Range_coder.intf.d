@@ -1,0 +1,1 @@
+lib/util/range_coder.mli:

@@ -1,0 +1,1 @@
+lib/util/sexpr.ml: Format Hashtbl Int64 List Option Printf

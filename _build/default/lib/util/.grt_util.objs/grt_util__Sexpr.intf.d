@@ -1,0 +1,1 @@
+lib/util/sexpr.mli: Format

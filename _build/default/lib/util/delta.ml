@@ -1,0 +1,69 @@
+(* Wire format: varint total_len, varint span_count, then per span:
+   varint offset-delta (from end of previous span), varint length, raw
+   bytes. Adjacent changes closer than [merge_gap] bytes are merged into one
+   span to amortize header overhead. *)
+
+let merge_gap = 8
+
+let scan_spans old_ fresh =
+  let n = Bytes.length old_ in
+  let spans = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if Bytes.get old_ !i <> Bytes.get fresh !i then begin
+      let start = !i in
+      let last_change = ref !i in
+      incr i;
+      let stop = ref false in
+      while (not !stop) && !i < n do
+        if Bytes.get old_ !i <> Bytes.get fresh !i then begin
+          last_change := !i;
+          incr i
+        end
+        else if !i - !last_change < merge_gap then incr i
+        else stop := true
+      done;
+      spans := (start, !last_change - start + 1) :: !spans
+    end
+    else incr i
+  done;
+  List.rev !spans
+
+let diff ~old_ ~fresh =
+  if Bytes.length old_ <> Bytes.length fresh then
+    invalid_arg "Delta.diff: length mismatch";
+  let spans = scan_spans old_ fresh in
+  let out = Byte_buf.create () in
+  Byte_buf.add_varint out (Bytes.length old_);
+  Byte_buf.add_varint out (List.length spans);
+  let prev_end = ref 0 in
+  List.iter
+    (fun (off, len) ->
+      Byte_buf.add_varint out (off - !prev_end);
+      Byte_buf.add_varint out len;
+      Byte_buf.add_sub out fresh ~pos:off ~len;
+      prev_end := off + len)
+    spans;
+  Byte_buf.contents out
+
+let apply ~old_ ~delta =
+  let r = Byte_buf.Reader.of_bytes delta in
+  let total = Byte_buf.Reader.varint r in
+  if total <> Bytes.length old_ then failwith "Delta.apply: base length mismatch";
+  let fresh = Bytes.copy old_ in
+  let count = Byte_buf.Reader.varint r in
+  let pos = ref 0 in
+  for _ = 1 to count do
+    let gap = Byte_buf.Reader.varint r in
+    let len = Byte_buf.Reader.varint r in
+    pos := !pos + gap;
+    let data = Byte_buf.Reader.bytes r len in
+    Bytes.blit data 0 fresh !pos len;
+    pos := !pos + len
+  done;
+  fresh
+
+let is_identity delta =
+  let r = Byte_buf.Reader.of_bytes delta in
+  let _total = Byte_buf.Reader.varint r in
+  Byte_buf.Reader.varint r = 0

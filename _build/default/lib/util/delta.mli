@@ -1,0 +1,18 @@
+(** Span-based binary delta between two equal-length buffers.
+
+    Each shim transfers only the deltas of memory dumps between consecutive
+    synchronization points (§5). A delta is the list of changed spans with
+    their new contents; applying it to the old buffer reconstructs the new
+    one. Deltas of mostly-unchanged pages are tiny and further shrink under
+    range coding. *)
+
+val diff : old_:bytes -> fresh:bytes -> bytes
+(** [diff ~old_ ~fresh] encodes the changes needed to turn [old_] into
+    [fresh]. Both buffers must have the same length. *)
+
+val apply : old_:bytes -> delta:bytes -> bytes
+(** [apply ~old_ ~delta] reconstructs the fresh buffer. Raises [Failure] if
+    the delta does not match [old_]'s length. *)
+
+val is_identity : bytes -> bool
+(** [is_identity delta] is true when the delta encodes zero changed spans. *)

@@ -1,0 +1,56 @@
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv1a_sub b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Hashing.fnv1a_sub: slice out of bounds";
+  let h = ref fnv_offset in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+    h := Int64.mul !h fnv_prime
+  done;
+  !h
+
+let fnv1a_bytes ?(seed = fnv_offset) b =
+  let h = ref seed in
+  for i = 0 to Bytes.length b - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+    h := Int64.mul !h fnv_prime
+  done;
+  !h
+
+let fnv1a_string s = fnv1a_bytes (Bytes.unsafe_of_string s)
+
+let combine a b =
+  let h = Int64.logxor a (Int64.add b 0x9E3779B97F4A7C15L) in
+  Int64.mul (Int64.logxor h (Int64.shift_right_logical h 29)) fnv_prime
+
+let hmac ~key data =
+  let inner = fnv1a_bytes ~seed:(fnv1a_string ("grt-ipad:" ^ key)) data in
+  let outer_seed = fnv1a_string ("grt-opad:" ^ key) in
+  combine outer_seed inner
+
+let crc_table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let crc32 b =
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = 0 to Bytes.length b - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get b i)))) 0xFFl)
+    in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl

@@ -1,0 +1,177 @@
+(* Adaptive order-0 arithmetic coder in the Witten–Neal–Cleary style:
+   32-bit interval registers with underflow (pending-bit) handling, driven by
+   an adaptive byte-frequency model whose total is kept below 2^16 so that
+   [range * cum] stays within int64 precision. *)
+
+let code_bits = 32
+let whole = Int64.shift_left 1L code_bits
+let half = Int64.shift_right_logical whole 1
+let quarter = Int64.shift_right_logical whole 2
+let three_quarter = Int64.add half quarter
+let max_total = (1 lsl 16) - 1
+
+module Model = struct
+  type t = { freq : int array; mutable total : int }
+
+  let create () = { freq = Array.make 256 1; total = 256 }
+
+  let cumulative t sym =
+    let c = ref 0 in
+    for i = 0 to sym - 1 do
+      c := !c + t.freq.(i)
+    done;
+    !c
+
+  let find t target =
+    let c = ref 0 and sym = ref 0 in
+    while !c + t.freq.(!sym) <= target do
+      c := !c + t.freq.(!sym);
+      incr sym
+    done;
+    (!sym, !c)
+
+  let update t sym =
+    t.freq.(sym) <- t.freq.(sym) + 24;
+    t.total <- t.total + 24;
+    if t.total >= max_total then begin
+      t.total <- 0;
+      for i = 0 to 255 do
+        t.freq.(i) <- (t.freq.(i) / 2) + 1;
+        t.total <- t.total + t.freq.(i)
+      done
+    end
+end
+
+module Bit_writer = struct
+  type t = { buf : Byte_buf.t; mutable acc : int; mutable nbits : int }
+
+  let create buf = { buf; acc = 0; nbits = 0 }
+
+  let put t bit =
+    t.acc <- (t.acc lsl 1) lor bit;
+    t.nbits <- t.nbits + 1;
+    if t.nbits = 8 then begin
+      Byte_buf.add_u8 t.buf t.acc;
+      t.acc <- 0;
+      t.nbits <- 0
+    end
+
+  let flush t =
+    while t.nbits <> 0 do
+      put t 0
+    done
+end
+
+module Bit_reader = struct
+  type t = { r : Byte_buf.Reader.r; mutable acc : int; mutable nbits : int }
+
+  let create r = { r; acc = 0; nbits = 0 }
+
+  let get t =
+    if t.nbits = 0 then begin
+      t.acc <- (if Byte_buf.Reader.remaining t.r > 0 then Byte_buf.Reader.u8 t.r else 0);
+      t.nbits <- 8
+    end;
+    t.nbits <- t.nbits - 1;
+    (t.acc lsr t.nbits) land 1
+end
+
+let encode data =
+  let n = Bytes.length data in
+  let out = Byte_buf.create ~capacity:(max 16 (n / 4)) () in
+  Byte_buf.add_varint out n;
+  let bw = Bit_writer.create out in
+  let model = Model.create () in
+  let low = ref 0L and high = ref (Int64.sub whole 1L) and pending = ref 0 in
+  let emit bit =
+    Bit_writer.put bw bit;
+    let inverse = 1 - bit in
+    while !pending > 0 do
+      Bit_writer.put bw inverse;
+      decr pending
+    done
+  in
+  for i = 0 to n - 1 do
+    let sym = Char.code (Bytes.get data i) in
+    let cum_lo = Model.cumulative model sym in
+    let cum_hi = cum_lo + model.Model.freq.(sym) in
+    let total = Int64.of_int model.Model.total in
+    let range = Int64.add (Int64.sub !high !low) 1L in
+    high := Int64.add !low (Int64.sub (Int64.div (Int64.mul range (Int64.of_int cum_hi)) total) 1L);
+    low := Int64.add !low (Int64.div (Int64.mul range (Int64.of_int cum_lo)) total);
+    let continue = ref true in
+    while !continue do
+      if Int64.compare !high half < 0 then emit 0
+      else if Int64.compare !low half >= 0 then begin
+        emit 1;
+        low := Int64.sub !low half;
+        high := Int64.sub !high half
+      end
+      else if Int64.compare !low quarter >= 0 && Int64.compare !high three_quarter < 0 then begin
+        incr pending;
+        low := Int64.sub !low quarter;
+        high := Int64.sub !high quarter
+      end
+      else continue := false;
+      if !continue then begin
+        low := Int64.shift_left !low 1;
+        high := Int64.add (Int64.shift_left !high 1) 1L
+      end
+    done;
+    Model.update model sym
+  done;
+  (* Disambiguate the final interval. *)
+  incr pending;
+  if Int64.compare !low quarter < 0 then emit 0 else emit 1;
+  Bit_writer.flush bw;
+  Byte_buf.contents out
+
+let decode blob =
+  let r = Byte_buf.Reader.of_bytes blob in
+  let n = Byte_buf.Reader.varint r in
+  let out = Bytes.create n in
+  let br = Bit_reader.create r in
+  let model = Model.create () in
+  let low = ref 0L and high = ref (Int64.sub whole 1L) and value = ref 0L in
+  for _ = 1 to code_bits do
+    value := Int64.logor (Int64.shift_left !value 1) (Int64.of_int (Bit_reader.get br))
+  done;
+  for i = 0 to n - 1 do
+    let total = Int64.of_int model.Model.total in
+    let range = Int64.add (Int64.sub !high !low) 1L in
+    let target =
+      Int64.to_int
+        (Int64.div (Int64.sub (Int64.mul (Int64.add (Int64.sub !value !low) 1L) total) 1L) range)
+    in
+    let sym, cum_lo = Model.find model (min target (model.Model.total - 1)) in
+    let cum_hi = cum_lo + model.Model.freq.(sym) in
+    high := Int64.add !low (Int64.sub (Int64.div (Int64.mul range (Int64.of_int cum_hi)) total) 1L);
+    low := Int64.add !low (Int64.div (Int64.mul range (Int64.of_int cum_lo)) total);
+    let continue = ref true in
+    while !continue do
+      if Int64.compare !high half < 0 then ()
+      else if Int64.compare !low half >= 0 then begin
+        low := Int64.sub !low half;
+        high := Int64.sub !high half;
+        value := Int64.sub !value half
+      end
+      else if Int64.compare !low quarter >= 0 && Int64.compare !high three_quarter < 0 then begin
+        low := Int64.sub !low quarter;
+        high := Int64.sub !high quarter;
+        value := Int64.sub !value quarter
+      end
+      else continue := false;
+      if !continue then begin
+        low := Int64.shift_left !low 1;
+        high := Int64.add (Int64.shift_left !high 1) 1L;
+        value := Int64.logor (Int64.shift_left !value 1) (Int64.of_int (Bit_reader.get br))
+      end
+    done;
+    Model.update model sym;
+    Bytes.set out i (Char.chr sym)
+  done;
+  out
+
+let ratio data =
+  let n = Bytes.length data in
+  if n = 0 then 1.0 else float_of_int (Bytes.length (encode data)) /. float_of_int n

@@ -1,0 +1,17 @@
+(** Order-0 adaptive range coder.
+
+    GR-T compresses memory-dump deltas with range encoding (§5). This is a
+    real, self-contained implementation: an adaptive byte-frequency model
+    driving a 64-bit carryless range coder. Compression ratios on the sparse,
+    zero-dominated dumps the recorder produces are what make the paper's
+    meta-only synchronization traffic numbers hold. *)
+
+val encode : bytes -> bytes
+(** [encode data] compresses [data]. The output embeds the original length. *)
+
+val decode : bytes -> bytes
+(** [decode blob] inverts {!encode}. Raises [Failure] on corrupt input. *)
+
+val ratio : bytes -> float
+(** [ratio data] is [compressed_size /. original_size] (1.0 for empty
+    input). Convenience for traffic accounting. *)

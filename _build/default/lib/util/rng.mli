@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that record
+    runs, replay runs and benchmarks are reproducible bit-for-bit. The
+    generator is SplitMix64, which is small, fast and has good statistical
+    quality for simulation purposes. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val next64 : t -> int64
+(** [next64 t] advances the state and returns 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is a uniform integer in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val int64_range : t -> int64 -> int64 -> int64
+(** [int64_range t lo hi] is uniform in [\[lo, hi)] with [lo < hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] random bytes. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of the
+    subsequent outputs of [t]. *)

@@ -1,0 +1,72 @@
+(** Symbolic 64-bit expressions.
+
+    Register access deferral (§4.1) queues register reads and lets the GPU
+    driver keep executing with *symbols* standing in for the unread values;
+    later writes may encode those symbols (e.g. [WRITE(MMU_CONFIG, S | 0x10)]).
+    When a commit returns concrete register values, the shim binds the
+    symbols and every expression referencing them becomes evaluable — the
+    paper's "resolving the symbolic state".
+
+    Symbols carry a speculation mark used for taint tracking (§4.2): a value
+    bound from a *predicted* commit taints every expression built on it until
+    the commit is validated. *)
+
+type sym = private {
+  id : int;
+  origin : string;  (** register name / site, for diagnostics *)
+  mutable binding : int64 option;
+  mutable speculative : bool;
+}
+
+type t =
+  | Const of int64
+  | Sym of sym
+  | Bin of binop * t * t
+  | Un of unop * t
+
+and binop = Or | And | Xor | Add | Sub | Shl | Shr
+
+and unop = Not
+
+val const : int64 -> t
+val of_int : int -> t
+
+val fresh_sym : origin:string -> sym
+(** Globally unique ids (per process). *)
+
+val sym : sym -> t
+
+val bind : sym -> int64 -> speculative:bool -> unit
+(** Bind a symbol's value. Raises [Invalid_argument] if already bound with a
+    different value. *)
+
+val confirm : sym -> unit
+(** Clear the speculation mark after validation. *)
+
+val rebind : sym -> int64 -> unit
+(** Replace a (speculative) binding with the actual value — used during
+    misprediction handling before rollback decisions. *)
+
+val logor : t -> t -> t
+val logand : t -> t -> t
+val logxor : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+val lognot : t -> t
+
+val eval : t -> int64 option
+(** [None] while any symbol underneath is unbound. Constant folds. *)
+
+val force_exn : t -> int64
+(** Raises [Failure] if unbound symbols remain. *)
+
+val is_concrete : t -> bool
+val unbound_syms : t -> sym list
+(** Unbound symbols, deduplicated, in first-use order. *)
+
+val speculative : t -> bool
+(** True if any bound symbol underneath is still marked speculative. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_cloudvm.ml: Alcotest Array Bytes Grt Grt_gpu Grt_mlfw Grt_net Grt_tee Int64 List

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Fun Grt Grt_driver Grt_gpu Grt_net Grt_runtime Grt_sim Grt_tee Grt_util Int64 List Option QCheck2 QCheck_alcotest

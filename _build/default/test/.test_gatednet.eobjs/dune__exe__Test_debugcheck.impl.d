@@ -1,0 +1,1 @@
+test/test_debugcheck.ml: Alcotest Array Format Grt Grt_gpu Grt_mlfw Grt_net Lazy String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Fun Grt Grt_driver Grt_gpu Grt_net Grt_sim Grt_util Int64 List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Grt Grt_driver Grt_gpu Grt_sim Int64 List String

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Grt Grt_mlfw Grt_net Lazy List Option

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Bytes Grt_gpu Grt_sim Grt_util Int64 List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mlfw.ml: Alcotest Array Grt Grt_gpu Grt_mlfw Grt_runtime Grt_sim Hashtbl Int64 List Option Printf QCheck2 QCheck_alcotest

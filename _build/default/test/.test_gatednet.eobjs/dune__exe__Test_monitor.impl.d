@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Grt Grt_gpu Grt_sim Grt_tee

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Char Grt_net Grt_sim Int64 List

@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Array Bytes Grt Grt_gpu Grt_mlfw Grt_net Grt_sim Int64 Lazy List Printf String

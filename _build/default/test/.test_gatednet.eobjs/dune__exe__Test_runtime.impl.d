@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Grt Grt_driver Grt_gpu Grt_runtime Grt_sim Int64 List Option

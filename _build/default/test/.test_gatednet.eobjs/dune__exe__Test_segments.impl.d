@@ -1,0 +1,1 @@
+test/test_segments.ml: Alcotest Array Bytes Grt Grt_gpu Grt_mlfw Grt_net Grt_sim Lazy List Printf

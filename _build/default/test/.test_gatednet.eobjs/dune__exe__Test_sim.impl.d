@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Grt_sim Int64 List

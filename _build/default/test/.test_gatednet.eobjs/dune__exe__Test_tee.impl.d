@@ -1,0 +1,1 @@
+test/test_tee.ml: Alcotest Bytes Char Grt_net Grt_sim Grt_tee List String

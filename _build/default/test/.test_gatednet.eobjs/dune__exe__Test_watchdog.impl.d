@@ -1,0 +1,1 @@
+test/test_watchdog.ml: Alcotest Array Grt Grt_driver Grt_gpu Grt_mlfw Grt_net Grt_runtime Grt_sim List String

@@ -1,0 +1,200 @@
+(* Qualitative checks of the paper's evaluation claims (§7) against the
+   experiment drivers — the "shape" assertions of the reproduction: who
+   wins, in which direction, with sane magnitudes. Run on a subset of
+   workloads to keep the suite fast; the bench harness covers all six. *)
+
+module E = Grt.Experiments
+module Mode = Grt.Mode
+module Profile = Grt_net.Profile
+module Zoo = Grt_mlfw.Zoo
+
+let check = Alcotest.check
+
+let ctx = E.create_ctx ()
+
+let delays_of (row : E.fig7_row) = row.E.delays
+
+let fig7_rows = lazy (E.fig7 ctx ~profile:Profile.wifi)
+
+let row_for name (rows : E.fig7_row list) =
+  List.find (fun (r : E.fig7_row) -> r.E.workload = name) rows
+
+let fig7_mode_monotonic () =
+  (* Each added technique must help (or at least not hurt) every workload:
+     Naive >= OursM >= OursMD >= OursMDS. *)
+  List.iter
+    (fun (row : E.fig7_row) ->
+      let d m = List.assoc m (delays_of row) in
+      let naive = d Mode.Naive and m = d Mode.Ours_m in
+      let md = d Mode.Ours_md and mds = d Mode.Ours_mds in
+      if not (naive >= m && m >= md && md >= mds) then
+        Alcotest.failf "%s: non-monotonic %f %f %f %f" row.E.workload naive m md mds)
+    (Lazy.force fig7_rows)
+
+let fig7_big_reduction () =
+  (* §7.2: OursMDS reduces recording delay by an order of magnitude. *)
+  List.iter
+    (fun (row : E.fig7_row) ->
+      let d m = List.assoc m (delays_of row) in
+      let reduction = 1.0 -. (d Mode.Ours_mds /. d Mode.Naive) in
+      if reduction < 0.75 then
+        Alcotest.failf "%s: only %.0f%% reduction" row.E.workload (100. *. reduction))
+    (Lazy.force fig7_rows)
+
+let fig7_meta_sync_helps_large_nets_most () =
+  (* §7.3: OursM vs Naive is pronounced for large NNs, marginal for MNIST. *)
+  let gain (row : E.fig7_row) =
+    let d m = List.assoc m (delays_of row) in
+    1.0 -. (d Mode.Ours_m /. d Mode.Naive)
+  in
+  let rows = Lazy.force fig7_rows in
+  let mnist = gain (row_for "MNIST" rows) in
+  let vgg = gain (row_for "VGG16" rows) in
+  check Alcotest.bool "MNIST gain small" true (mnist < 0.10);
+  check Alcotest.bool "VGG16 gain large" true (vgg > 0.30)
+
+let fig7_cellular_slower () =
+  let wifi = Lazy.force fig7_rows in
+  let cell = E.fig7 ctx ~profile:Profile.cellular in
+  List.iter2
+    (fun (w : E.fig7_row) (c : E.fig7_row) ->
+      let dw = List.assoc Mode.Ours_mds (delays_of w) in
+      let dc = List.assoc Mode.Ours_mds (delays_of c) in
+      if dc <= dw then Alcotest.failf "%s: cellular not slower" w.E.workload)
+    wifi cell
+
+let table1_rtt_reductions () =
+  (* Deferral and speculation each cut blocking round trips substantially
+     (73% and 86% cumulative in the paper). *)
+  List.iter
+    (fun (r : E.table1_row) ->
+      if not (r.E.rtts_md < r.E.rtts_m) then
+        Alcotest.failf "%s: deferral did not reduce RTTs" r.E.workload;
+      if not (float_of_int r.E.rtts_mds < 0.5 *. float_of_int r.E.rtts_m) then
+        Alcotest.failf "%s: speculation cut less than half" r.E.workload)
+    (E.table1 ctx ~profile:Profile.wifi)
+
+let table1_memsync_reduction () =
+  (* §7.3: meta-only sync reduces traffic by 72-99%. *)
+  List.iter
+    (fun (r : E.table1_row) ->
+      let reduction = 1.0 -. (r.E.memsync_ours_mb /. r.E.memsync_naive_mb) in
+      if reduction < 0.35 then
+        Alcotest.failf "%s: memsync reduction only %.0f%%" r.E.workload (100. *. reduction))
+    (E.table1 ctx ~profile:Profile.wifi)
+
+let table1_job_counts () =
+  List.iter
+    (fun (r : E.table1_row) ->
+      let net = Option.get (Zoo.find r.E.workload) in
+      check Alcotest.int (r.E.workload ^ " job count") (Zoo.paper_job_count net) r.E.gpu_jobs)
+    (E.table1 ctx ~profile:Profile.wifi)
+
+let table2_replay_competitive () =
+  (* Table 2: replay is faster on average, never catastrophically slower,
+     and outputs are bit-exact. *)
+  let rows = E.table2 ctx in
+  List.iter
+    (fun (r : E.table2_row) ->
+      check Alcotest.bool (r.E.workload ^ " bit-exact") true r.E.outputs_match;
+      if r.E.replay_ms > 1.10 *. r.E.native_ms then
+        Alcotest.failf "%s: replay %.1f ms vs native %.1f ms" r.E.workload r.E.replay_ms
+          r.E.native_ms)
+    rows;
+  let avg =
+    List.fold_left (fun acc r -> acc +. (r.E.replay_ms /. r.E.native_ms)) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  check Alcotest.bool "replay faster on average" true (avg < 1.0)
+
+let fig8_shares_normalized () =
+  List.iter
+    (fun (r : E.fig8_row) ->
+      let sum = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.E.shares in
+      if abs_float (sum -. 1.0) > 1e-6 then Alcotest.failf "%s: shares sum to %f" r.E.workload sum;
+      check Alcotest.bool (r.E.workload ^ " speculates a lot") true (r.E.total_speculated > 100);
+      (* All four paper categories are populated. *)
+      List.iter
+        (fun cat ->
+          let s = List.assoc cat r.E.shares in
+          if s <= 0.0 then
+            Alcotest.failf "%s: category %s empty" r.E.workload (Grt.Drivershim.category_name cat))
+        [ Grt.Drivershim.Interrupt; Grt.Drivershim.Power; Grt.Drivershim.Polling ])
+    (E.fig8 ctx ~profile:Profile.wifi)
+
+let fig9_energy_savings () =
+  (* §7.4: GR-T reduces record energy by 84-99%; replay energy is tiny. *)
+  List.iter
+    (fun (r : E.fig9_row) ->
+      let saving = 1.0 -. (r.E.record_mds_j /. r.E.record_naive_j) in
+      if saving < 0.7 then Alcotest.failf "%s: only %.0f%% saved" r.E.workload (100. *. saving);
+      check Alcotest.bool (r.E.workload ^ " replay energy well below record") true
+        (r.E.replay_j < 0.5 *. r.E.record_mds_j))
+    (E.fig9 ctx ~profile:Profile.wifi)
+
+let stats_speculation_rate () =
+  (* §7.3: the vast majority of commits satisfy the speculation criteria;
+     the rejects are the nondeterministic flush-id reads (one per job). *)
+  List.iter
+    (fun (r : E.stats_row) ->
+      if r.E.speculated_pct < 80.0 then
+        Alcotest.failf "%s: speculation rate %.0f%%" r.E.workload r.E.speculated_pct;
+      let net = Option.get (Zoo.find r.E.workload) in
+      check Alcotest.int
+        (r.E.workload ^ " one nondet reject per job")
+        (Zoo.paper_job_count net) r.E.rejected_nondet)
+    (E.deferral_stats ctx ~profile:Profile.wifi)
+
+let polling_offload_saves_rtts () =
+  List.iter
+    (fun (r : E.polling_row) ->
+      check Alcotest.int (r.E.workload ^ " everything offloaded") r.E.instances r.E.offloaded;
+      if r.E.rtts_with_offload >= r.E.rtts_without_offload then
+        Alcotest.failf "%s: offload saved nothing" r.E.workload)
+    (E.polling ctx ~profile:Profile.wifi)
+
+let rollback_detected_and_bounded () =
+  List.iter
+    (fun (r : E.rollback_row) ->
+      check Alcotest.bool (r.E.workload ^ " detected") true r.E.detected;
+      check Alcotest.bool (r.E.workload ^ " completed") true r.E.completed;
+      if r.E.rollback_s <= 0.0 || r.E.rollback_s > 10.0 then
+        Alcotest.failf "%s: rollback %.1f s out of range" r.E.workload r.E.rollback_s)
+    (E.rollback ctx ~profile:Profile.wifi ~nets:[ Zoo.mnist ])
+
+let ablation_polling_matters () =
+  let rows = E.ablation ctx ~profile:Profile.wifi ~net:Zoo.mnist in
+  let find label = List.find (fun (r : E.ablation_row) -> r.E.label = label) rows in
+  let base = find "GR-T (all techniques)" in
+  let no_poll = find "no polling offload" in
+  check Alcotest.bool "offload is significant" true (no_poll.E.rtts > base.E.rtts);
+  let no_comp = find "no dump compression" in
+  check Alcotest.bool "compression shrinks sync" true (no_comp.E.sync_mb > base.E.sync_mb)
+
+let () =
+  Alcotest.run "grt_experiments"
+    [
+      ( "fig7",
+        [
+          Alcotest.test_case "modes monotonic" `Slow fig7_mode_monotonic;
+          Alcotest.test_case "big reduction" `Slow fig7_big_reduction;
+          Alcotest.test_case "meta sync helps big nets" `Slow fig7_meta_sync_helps_large_nets_most;
+          Alcotest.test_case "cellular slower" `Slow fig7_cellular_slower;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "rtt reductions" `Slow table1_rtt_reductions;
+          Alcotest.test_case "memsync reduction" `Slow table1_memsync_reduction;
+          Alcotest.test_case "job counts" `Slow table1_job_counts;
+        ] );
+      ("table2", [ Alcotest.test_case "replay competitive" `Slow table2_replay_competitive ]);
+      ("fig8", [ Alcotest.test_case "shares normalized" `Slow fig8_shares_normalized ]);
+      ("fig9", [ Alcotest.test_case "energy savings" `Slow fig9_energy_savings ]);
+      ( "sec7.3",
+        [
+          Alcotest.test_case "speculation rate" `Slow stats_speculation_rate;
+          Alcotest.test_case "polling offload" `Slow polling_offload_saves_rtts;
+          Alcotest.test_case "rollback" `Slow rollback_detected_and_bounded;
+          Alcotest.test_case "ablation" `Slow ablation_polling_matters;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* The GatedNet extension workload: recurrent-style static graphs
+   (sigmoid/tanh gates, elementwise products) record and replay exactly
+   like the paper's CNNs (§2.3 claims this for RNNs without evaluating
+   one). Also unit tests for the new elementwise kernels. *)
+
+module Kernels = Grt_gpu.Kernels
+module Shader = Grt_gpu.Shader
+module Job_desc = Grt_gpu.Job_desc
+module Network = Grt_mlfw.Network
+module Zoo = Grt_mlfw.Zoo
+module Runner = Grt_mlfw.Runner
+module Reference = Grt_mlfw.Reference
+module Orchestrate = Grt.Orchestrate
+module Mode = Grt.Mode
+module Profile = Grt_net.Profile
+module Sku = Grt_gpu.Sku
+
+let check = Alcotest.check
+
+(* ---- new kernels ---- *)
+
+let flat_ctx n =
+  let arr = Array.make n 0.0 in
+  ( arr,
+    {
+      Kernels.getf = (fun va -> arr.(Int64.to_int va / 4));
+      Kernels.setf = (fun va v -> arr.(Int64.to_int va / 4) <- v);
+    } )
+
+let elementwise_desc op =
+  {
+    Job_desc.op;
+    shader_va = 0L;
+    input_va = 0L;
+    input2_va = 64L;
+    bias_va = 0L;
+    output_va = 128L;
+    params =
+      { Job_desc.default_params with Job_desc.in_c = 4; in_h = 1; in_w = 1; out_c = 4; out_h = 1; out_w = 1 };
+    next_va = 0L;
+  }
+
+let kernel_tanh () =
+  let arr, ctx = flat_ctx 64 in
+  List.iteri (fun i v -> arr.(i) <- v) [ -100.0; 0.0; 0.5; 100.0 ];
+  Kernels.execute ctx (elementwise_desc Shader.Tanh);
+  check (Alcotest.float 1e-6) "tanh(-inf)" (-1.0) arr.(32);
+  check (Alcotest.float 1e-6) "tanh(0)" 0.0 arr.(33);
+  check (Alcotest.float 1e-6) "tanh(0.5)" (tanh 0.5) arr.(34);
+  check (Alcotest.float 1e-6) "tanh(+inf)" 1.0 arr.(35)
+
+let kernel_sigmoid () =
+  let arr, ctx = flat_ctx 64 in
+  List.iteri (fun i v -> arr.(i) <- v) [ -100.0; 0.0; 1.0; 100.0 ];
+  Kernels.execute ctx (elementwise_desc Shader.Sigmoid);
+  check (Alcotest.float 1e-6) "sigmoid(-inf)" 0.0 arr.(32);
+  check (Alcotest.float 1e-6) "sigmoid(0)" 0.5 arr.(33);
+  check (Alcotest.float 1e-6) "sigmoid(1)" (1.0 /. (1.0 +. exp (-1.0))) arr.(34);
+  check (Alcotest.float 1e-6) "sigmoid(+inf)" 1.0 arr.(35)
+
+let kernel_mul () =
+  let arr, ctx = flat_ctx 64 in
+  List.iteri (fun i v -> arr.(i) <- v) [ 1.0; -2.0; 3.0; 0.5 ];
+  List.iteri (fun i v -> arr.(16 + i) <- v) [ 4.0; 5.0; -6.0; 0.0 ];
+  Kernels.execute ctx (elementwise_desc Shader.Mul);
+  check (Alcotest.float 1e-6) "1*4" 4.0 arr.(32);
+  check (Alcotest.float 1e-6) "-2*5" (-10.0) arr.(33);
+  check (Alcotest.float 1e-6) "3*-6" (-18.0) arr.(34);
+  check (Alcotest.float 1e-6) "0.5*0" 0.0 arr.(35)
+
+let new_ops_roundtrip () =
+  List.iter
+    (fun op ->
+      match Shader.op_of_code (Shader.op_code op) with
+      | Some op' when op = op' -> ()
+      | _ -> Alcotest.failf "%s does not roundtrip" (Shader.op_name op))
+    [ Shader.Tanh; Shader.Sigmoid; Shader.Mul ]
+
+(* ---- the workload ---- *)
+
+let plan = lazy (Network.expand Zoo.gatednet)
+
+let gatednet_structure () =
+  let p = Lazy.force plan in
+  check Alcotest.int "job count" (Network.job_count Zoo.gatednet) (List.length p.Network.jobs);
+  let has op = List.exists (fun (j : Network.job_spec) -> j.Network.op = op) p.Network.jobs in
+  check Alcotest.bool "uses sigmoid" true (has Shader.Sigmoid);
+  check Alcotest.bool "uses tanh" true (has Shader.Tanh);
+  check Alcotest.bool "uses mul gates" true (has Shader.Mul)
+
+let gatednet_native_matches_reference () =
+  let p = Lazy.force plan in
+  let input = Runner.input_values p ~seed:3L in
+  let clock = Grt_sim.Clock.create () in
+  let r =
+    Grt.Native.run_inference ~clock ~sku:Sku.g71_mp8 ~net:Zoo.gatednet ~seed:3L ~input ()
+  in
+  let weights = Runner.weight_values p ~seed:3L in
+  let expected = Reference.run p ~weights ~input in
+  Array.iteri
+    (fun i v ->
+      if abs_float (v -. r.Grt.Native.output.(i)) > 1e-5 then
+        Alcotest.failf "output[%d]: gpu %f vs ref %f" i r.Grt.Native.output.(i) v)
+    expected;
+  (* The head is a softmax: a proper distribution. *)
+  let sum = Array.fold_left ( +. ) 0.0 r.Grt.Native.output in
+  check (Alcotest.float 1e-4) "softmax" 1.0 sum
+
+let gatednet_records_and_replays () =
+  (* The §2.3 property, for a gated recurrent graph: one dry run records
+     everything; fresh inputs replay bit-exactly. *)
+  let o =
+    Orchestrate.record ~profile:Profile.wifi ~mode:Mode.Ours_mds ~sku:Sku.g71_mp8
+      ~net:Zoo.gatednet ~seed:3L ()
+  in
+  let p = Lazy.force plan in
+  let params = Runner.weight_values p ~seed:3L in
+  List.iter
+    (fun seed ->
+      let input = Runner.input_values p ~seed in
+      let ro =
+        Orchestrate.replay_recording ~sku:Sku.g71_mp8 ~blob:o.Orchestrate.blob ~input ~params
+          ~seed ()
+      in
+      let clock = Grt_sim.Clock.create () in
+      let nat =
+        Grt.Native.run_inference ~clock ~sku:Sku.g71_mp8 ~net:Zoo.gatednet ~seed:3L ~input ()
+      in
+      check Alcotest.bool
+        (Printf.sprintf "bit-exact replay (input seed %Ld)" seed)
+        true
+        (ro.Orchestrate.r.Grt.Replayer.output = nat.Grt.Native.output))
+    [ 8L; 9L ]
+
+let gatednet_not_in_paper_tables () =
+  check Alcotest.int "paper zoo unchanged" 6 (List.length Zoo.all);
+  check Alcotest.int "extensions visible" 7 (List.length Zoo.all_with_extensions);
+  check Alcotest.bool "findable" true (Zoo.find "GatedNet" = Some Zoo.gatednet)
+
+let () =
+  Alcotest.run "grt_gatednet"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "tanh" `Quick kernel_tanh;
+          Alcotest.test_case "sigmoid" `Quick kernel_sigmoid;
+          Alcotest.test_case "mul" `Quick kernel_mul;
+          Alcotest.test_case "opcodes roundtrip" `Quick new_ops_roundtrip;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "structure" `Quick gatednet_structure;
+          Alcotest.test_case "native = reference" `Quick gatednet_native_matches_reference;
+          Alcotest.test_case "records and replays" `Quick gatednet_records_and_replays;
+          Alcotest.test_case "paper tables unchanged" `Quick gatednet_not_in_paper_tables;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+(* Tests for the ML framework: network expansion invariants, the six
+   paper networks (exact job counts from Table 1), runner execution and
+   CPU-reference agreement. *)
+
+module Network = Grt_mlfw.Network
+module Zoo = Grt_mlfw.Zoo
+module Runner = Grt_mlfw.Runner
+module Reference = Grt_mlfw.Reference
+module Session = Grt_runtime.Session
+module Job_desc = Grt_gpu.Job_desc
+module Shader = Grt_gpu.Shader
+module Sku = Grt_gpu.Sku
+
+let check = Alcotest.check
+
+(* ---- exact job counts: the anchor of Table 1 ---- *)
+
+let zoo_job_counts () =
+  List.iter
+    (fun net ->
+      check Alcotest.int
+        (Printf.sprintf "%s job count matches Table 1" net.Network.name)
+        (Zoo.paper_job_count net) (Network.job_count net))
+    Zoo.all
+
+let zoo_expansion_counts_agree () =
+  List.iter
+    (fun net ->
+      let plan = Network.expand net in
+      check Alcotest.int
+        (Printf.sprintf "%s plan jobs = declared count" net.Network.name)
+        (Network.job_count net)
+        (List.length plan.Network.jobs))
+    Zoo.all
+
+let zoo_model_scale_sanity () =
+  (* Classic architectures: VGG16 has ~528 MB of FP32 weights, AlexNet
+     ~230-240 MB, MobileNet ~16 MB. *)
+  let weight_mb net =
+    float_of_int (Network.model_weight_bytes (Network.expand net)) /. 1048576.
+  in
+  let vgg = weight_mb Zoo.vgg16 in
+  if vgg < 480. || vgg > 580. then Alcotest.failf "vgg16 weights %.0f MB" vgg;
+  let alex = weight_mb Zoo.alexnet in
+  if alex < 200. || alex > 280. then Alcotest.failf "alexnet weights %.0f MB" alex;
+  let mob = weight_mb Zoo.mobilenet in
+  if mob < 10. || mob > 25. then Alcotest.failf "mobilenet weights %.0f MB" mob;
+  check Alcotest.bool "mnist tiny" true (weight_mb Zoo.mnist < 1.0)
+
+let zoo_flops_ordering () =
+  let flops net = Network.model_flops (Network.expand net) in
+  check Alcotest.bool "vgg heaviest" true
+    (List.for_all (fun n -> Int64.compare (flops Zoo.vgg16) (flops n) >= 0) Zoo.all);
+  check Alcotest.bool "mnist lightest" true
+    (List.for_all (fun n -> Int64.compare (flops Zoo.mnist) (flops n) <= 0) Zoo.all)
+
+let zoo_find () =
+  check Alcotest.bool "find by name" true (Zoo.find "VGG16" = Some Zoo.vgg16);
+  check Alcotest.bool "unknown" true (Zoo.find "GPT4" = None)
+
+(* ---- plan structural invariants ---- *)
+
+let plan_invariants () =
+  List.iter
+    (fun net ->
+      let plan = Network.expand net in
+      let buffer_names =
+        List.map (fun (b : Network.buffer_spec) -> b.Network.bname) plan.Network.buffers
+      in
+      let unique = List.sort_uniq compare buffer_names in
+      check Alcotest.int
+        (net.Network.name ^ ": buffer names unique")
+        (List.length buffer_names) (List.length unique);
+      let exists n = List.mem n buffer_names in
+      List.iter
+        (fun (j : Network.job_spec) ->
+          if not (exists j.Network.input) then Alcotest.failf "dangling input %s" j.Network.input;
+          if not (exists j.Network.output) then Alcotest.failf "dangling output %s" j.Network.output;
+          Option.iter
+            (fun n -> if not (exists n) then Alcotest.failf "dangling input2 %s" n)
+            j.Network.input2;
+          (* materialized geometry is positive *)
+          let p = j.Network.mat in
+          if p.Job_desc.out_c <= 0 || p.Job_desc.out_h <= 0 || p.Job_desc.out_w <= 0 then
+            Alcotest.failf "%s: empty materialized output in %s" net.Network.name j.Network.jname;
+          if Int64.compare p.Job_desc.flops_hint 0L <= 0 then
+            Alcotest.failf "%s: no flops hint in %s" net.Network.name j.Network.jname)
+        plan.Network.jobs;
+      check Alcotest.bool "input buffer exists" true (exists plan.Network.input_buffer);
+      check Alcotest.bool "output buffer exists" true (exists plan.Network.output_buffer))
+    Zoo.all
+
+let plan_weight_buffers_are_weights () =
+  let plan = Network.expand Zoo.vgg16 in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (b : Network.buffer_spec) -> b.Network.bname = name) plan.Network.buffers with
+      | Some b ->
+        if b.Network.busage <> Session.Weights then Alcotest.failf "%s not a weight buffer" name
+      | None -> Alcotest.failf "missing weight buffer %s" name)
+    plan.Network.weight_buffers
+
+let plan_partition_counts () =
+  (* Each conv/fc layer's jobs must tile its partitions exactly once. *)
+  let plan = Network.expand Zoo.alexnet in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (j : Network.job_spec) ->
+      match j.Network.op with
+      | Shader.Conv2d | Shader.Fc ->
+        let key = (j.Network.layer, j.Network.mat.Job_desc.part_count) in
+        Hashtbl.replace tbl key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      | _ -> ())
+    plan.Network.jobs;
+  Hashtbl.iter
+    (fun (layer, parts) seen ->
+      if seen <> parts then Alcotest.failf "layer %d: %d jobs for %d parts" layer seen parts)
+    tbl
+
+let builder_rejects_dangling () =
+  let b = Network.Builder.create () in
+  match Network.Builder.add b ~from:3 Network.Softmax with
+  | _ -> Alcotest.fail "dangling from accepted"
+  | exception Invalid_argument _ -> ()
+
+let qcheck_mat_shapes_bounded =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30 ~name:"materialized tensors stay small"
+       (QCheck2.Gen.oneofl Zoo.all)
+       (fun net ->
+         let plan = Network.expand net in
+         List.for_all
+           (fun (b : Network.buffer_spec) -> b.Network.actual_bytes <= 1 lsl 20)
+           plan.Network.buffers))
+
+(* ---- runner + reference ---- *)
+
+let run_native net =
+  let clock = Grt_sim.Clock.create () in
+  let plan = Network.expand net in
+  let input = Runner.input_values plan ~seed:11L in
+  let r = Grt.Native.run_inference ~clock ~sku:Sku.g71_mp8 ~net ~seed:11L ~input () in
+  (plan, input, r)
+
+let runner_matches_reference name net () =
+  let plan, input, r = run_native net in
+  let weights = Runner.weight_values plan ~seed:11L in
+  let expected = Reference.run plan ~weights ~input in
+  check Alcotest.int (name ^ " output length") (Array.length expected)
+    (Array.length r.Grt.Native.output);
+  Array.iteri
+    (fun i v ->
+      if abs_float (v -. r.Grt.Native.output.(i)) > 1e-5 then
+        Alcotest.failf "%s: output[%d] gpu=%f ref=%f" name i r.Grt.Native.output.(i) v)
+    expected
+
+let runner_output_is_probability name net () =
+  (* Every zoo network ends in softmax (over the materialized classes). *)
+  let _, _, r = run_native net in
+  let sum = Array.fold_left ( +. ) 0.0 r.Grt.Native.output in
+  check (Alcotest.float 1e-4) (name ^ " softmax sums to 1") 1.0 sum;
+  Array.iter (fun v -> if v < 0.0 || v > 1.0 then Alcotest.failf "bad probability %f" v)
+    r.Grt.Native.output
+
+let weights_deterministic () =
+  let plan = Network.expand Zoo.mnist in
+  let a = Runner.weight_values plan ~seed:5L and b = Runner.weight_values plan ~seed:5L in
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      check Alcotest.string "same order" n1 n2;
+      check Alcotest.bool "same values" true (v1 = v2))
+    a b;
+  let c = Runner.weight_values plan ~seed:6L in
+  check Alcotest.bool "different seed differs" false
+    (List.for_all2 (fun (_, v1) (_, v2) -> v1 = v2) a c)
+
+let input_sensitivity () =
+  (* Different inputs through the same weights must give different outputs —
+     i.e. the pipeline is actually computing, not constant. *)
+  let net = Zoo.mnist in
+  let clock = Grt_sim.Clock.create () in
+  let plan = Network.expand net in
+  let i1 = Runner.input_values plan ~seed:1L in
+  let r1 = Grt.Native.run_inference ~clock ~sku:Sku.g71_mp8 ~net ~seed:11L ~input:i1 () in
+  let clock2 = Grt_sim.Clock.create () in
+  let i2 = Runner.input_values plan ~seed:2L in
+  let r2 = Grt.Native.run_inference ~clock:clock2 ~sku:Sku.g71_mp8 ~net ~seed:11L ~input:i2 () in
+  check Alcotest.bool "outputs differ" false (r1.Grt.Native.output = r2.Grt.Native.output)
+
+let native_delay_ordering () =
+  let delay net =
+    let _, _, r = run_native net in
+    r.Grt.Native.delay_s
+  in
+  let mnist = delay Zoo.mnist and vgg = delay Zoo.vgg16 in
+  check Alcotest.bool "vgg16 much slower than mnist" true (vgg > 5.0 *. mnist)
+
+let () =
+  Alcotest.run "grt_mlfw"
+    [
+      ( "zoo",
+        [
+          Alcotest.test_case "exact Table 1 job counts" `Quick zoo_job_counts;
+          Alcotest.test_case "expansion counts agree" `Quick zoo_expansion_counts_agree;
+          Alcotest.test_case "model-scale weights" `Quick zoo_model_scale_sanity;
+          Alcotest.test_case "flops ordering" `Quick zoo_flops_ordering;
+          Alcotest.test_case "find" `Quick zoo_find;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "structural invariants" `Quick plan_invariants;
+          Alcotest.test_case "weight buffers tagged" `Quick plan_weight_buffers_are_weights;
+          Alcotest.test_case "partitions tile layers" `Quick plan_partition_counts;
+          Alcotest.test_case "builder rejects dangling" `Quick builder_rejects_dangling;
+          qcheck_mat_shapes_bounded;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "mnist matches reference" `Quick
+            (runner_matches_reference "mnist" Zoo.mnist);
+          Alcotest.test_case "squeezenet matches reference" `Quick
+            (runner_matches_reference "squeezenet" Zoo.squeezenet);
+          Alcotest.test_case "resnet12 matches reference" `Quick
+            (runner_matches_reference "resnet12" Zoo.resnet12);
+          Alcotest.test_case "mobilenet matches reference" `Slow
+            (runner_matches_reference "mobilenet" Zoo.mobilenet);
+          Alcotest.test_case "vgg16 matches reference" `Slow
+            (runner_matches_reference "vgg16" Zoo.vgg16);
+          Alcotest.test_case "mnist outputs probabilities" `Quick
+            (runner_output_is_probability "mnist" Zoo.mnist);
+          Alcotest.test_case "alexnet outputs probabilities" `Quick
+            (runner_output_is_probability "alexnet" Zoo.alexnet);
+          Alcotest.test_case "weights deterministic" `Quick weights_deterministic;
+          Alcotest.test_case "input sensitivity" `Quick input_sensitivity;
+          Alcotest.test_case "native delay ordering" `Quick native_delay_ordering;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Secure monitor tests (§6): SMC-gated TZASC flips and GPU interrupt
+   routing, plus the GPUShim integration. *)
+
+module Monitor = Grt_tee.Monitor
+module Worlds = Grt_tee.Worlds
+module Gpushim = Grt.Gpushim
+module Mode = Grt.Mode
+module Sku = Grt_gpu.Sku
+
+let check = Alcotest.check
+
+let fresh () =
+  let w = Worlds.create () in
+  Worlds.add_resource w ~name:"gpu-mmio" ~secure:false;
+  let m = Monitor.create w in
+  Monitor.register_interrupt m ~irq:33 ~name:"gpu-job";
+  (w, m)
+
+let default_route_is_normal () =
+  let _, m = fresh () in
+  check Alcotest.bool "normal by default" true (Monitor.route_of m ~irq:33 = Monitor.To_normal);
+  check Alcotest.bool "delivered to normal" true (Monitor.deliver_irq m ~irq:33 = Worlds.Normal)
+
+let claim_flips_tzasc_and_routes () =
+  let w, m = fresh () in
+  Monitor.smc_claim_for_secure m ~caller:Worlds.Secure ~resources:[ "gpu-mmio" ] ~irqs:[ 33 ];
+  check Alcotest.bool "resource secured" true (Worlds.is_secure w ~name:"gpu-mmio");
+  check Alcotest.bool "irq to secure" true (Monitor.deliver_irq m ~irq:33 = Worlds.Secure);
+  check Alcotest.int "claim counted" 1 (Monitor.claims m);
+  Monitor.smc_release m ~caller:Worlds.Secure ~resources:[ "gpu-mmio" ] ~irqs:[ 33 ];
+  check Alcotest.bool "resource returned" false (Worlds.is_secure w ~name:"gpu-mmio");
+  check Alcotest.bool "irq back to normal" true (Monitor.deliver_irq m ~irq:33 = Worlds.Normal)
+
+let normal_world_smc_denied () =
+  (* A compromised OS must not be able to grab (or release!) secure
+     resources through the monitor. *)
+  let _, m = fresh () in
+  (match
+     Monitor.smc_claim_for_secure m ~caller:Worlds.Normal ~resources:[ "gpu-mmio" ] ~irqs:[ 33 ]
+   with
+  | () -> Alcotest.fail "normal world claimed secure resources"
+  | exception Monitor.Denied _ -> ());
+  Monitor.smc_claim_for_secure m ~caller:Worlds.Secure ~resources:[ "gpu-mmio" ] ~irqs:[ 33 ];
+  match Monitor.smc_release m ~caller:Worlds.Normal ~resources:[ "gpu-mmio" ] ~irqs:[ 33 ] with
+  | () -> Alcotest.fail "normal world released secure resources"
+  | exception Monitor.Denied _ -> ()
+
+let unknown_irq_rejected () =
+  let _, m = fresh () in
+  Alcotest.check_raises "unknown irq" (Invalid_argument "Monitor: unknown irq 99") (fun () ->
+      ignore (Monitor.route_of m ~irq:99))
+
+let duplicate_irq_rejected () =
+  let _, m = fresh () in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Monitor.register_interrupt: duplicate irq")
+    (fun () -> Monitor.register_interrupt m ~irq:33 ~name:"again")
+
+(* ---- GPUShim integration ---- *)
+
+let shim () =
+  let clock = Grt_sim.Clock.create () in
+  Gpushim.create ~clock ~sku:Sku.g71_mp8 ~session_salt:1L
+    ~cfg:(Mode.default_config Mode.Ours_mds) ()
+
+let gpushim_claims_power_clock () =
+  (* §6: SoC resources not managed by the GPU driver (power/clock) are
+     protected inside the TEE during a session. *)
+  let g = shim () in
+  Gpushim.isolate g;
+  check Alcotest.bool "power/clock secured" true
+    (Worlds.is_secure (Gpushim.worlds g) ~name:"gpu-power-clock");
+  Gpushim.release g;
+  check Alcotest.bool "returned" false (Worlds.is_secure (Gpushim.worlds g) ~name:"gpu-power-clock")
+
+let gpushim_irqs_routed_during_session () =
+  let g = shim () in
+  check Alcotest.bool "job irq to normal before" true
+    (Monitor.deliver_irq (Gpushim.monitor g) ~irq:33 = Worlds.Normal);
+  Gpushim.isolate g;
+  check Alcotest.bool "job irq to secure during" true
+    (Monitor.deliver_irq (Gpushim.monitor g) ~irq:33 = Worlds.Secure);
+  check Alcotest.bool "mmu irq to secure during" true
+    (Monitor.deliver_irq (Gpushim.monitor g) ~irq:35 = Worlds.Secure)
+
+let () =
+  Alcotest.run "grt_monitor"
+    [
+      ( "monitor",
+        [
+          Alcotest.test_case "default route" `Quick default_route_is_normal;
+          Alcotest.test_case "claim and release" `Quick claim_flips_tzasc_and_routes;
+          Alcotest.test_case "normal-world SMC denied" `Quick normal_world_smc_denied;
+          Alcotest.test_case "unknown irq" `Quick unknown_irq_rejected;
+          Alcotest.test_case "duplicate irq" `Quick duplicate_irq_rejected;
+        ] );
+      ( "gpushim",
+        [
+          Alcotest.test_case "claims power/clock" `Quick gpushim_claims_power_clock;
+          Alcotest.test_case "irqs routed during session" `Quick gpushim_irqs_routed_during_session;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* Tests for the network model: profile math, link cost accounting
+   (blocking round trips, async sends, stall waits, one-ways) and message
+   framing. *)
+
+module Profile = Grt_net.Profile
+module Link = Grt_net.Link
+module Frame = Grt_net.Frame
+module Clock = Grt_sim.Clock
+module Counters = Grt_sim.Counters
+
+let check = Alcotest.check
+
+let feq = Alcotest.float 1e-9
+
+(* ---- Profile ---- *)
+
+let profile_presets () =
+  check feq "wifi rtt" 0.020 Profile.wifi.Profile.rtt_s;
+  check feq "wifi bw" 80.0e6 Profile.wifi.Profile.bandwidth_bps;
+  check feq "cellular rtt" 0.050 Profile.cellular.Profile.rtt_s;
+  check feq "cellular bw" 40.0e6 Profile.cellular.Profile.bandwidth_bps
+
+let profile_one_way_math () =
+  let p = Profile.custom ~name:"t" ~rtt_ms:10.0 ~bandwidth_mbps:8.0 in
+  (* half RTT (5 ms) + 1000 bytes at 8 Mbps (1 ms) + per-message. *)
+  check feq "one way" (0.005 +. 0.001 +. p.Profile.per_message_s) (Profile.one_way_s p 1000)
+
+let profile_round_trip_math () =
+  let p = Profile.wifi in
+  check feq "rt = both ways"
+    (Profile.one_way_s p 100 +. Profile.one_way_s p 200)
+    (Profile.round_trip_s p ~send_bytes:100 ~recv_bytes:200)
+
+let profile_custom_validation () =
+  Alcotest.check_raises "bad bw" (Invalid_argument "Profile.custom") (fun () ->
+      ignore (Profile.custom ~name:"x" ~rtt_ms:1.0 ~bandwidth_mbps:0.0))
+
+let profile_ordering () =
+  (* Cellular must be strictly slower than WiFi for any message size —
+     Figure 7b sits above Figure 7a because of this. *)
+  List.iter
+    (fun bytes ->
+      check Alcotest.bool "cellular slower" true
+        (Profile.one_way_s Profile.cellular bytes > Profile.one_way_s Profile.wifi bytes))
+    [ 0; 100; 10_000; 1_000_000 ]
+
+(* ---- Link ---- *)
+
+let make_link profile =
+  let clock = Clock.create () in
+  let counters = Counters.create () in
+  (Link.create ~clock ~counters profile, clock, counters)
+
+let link_round_trip_blocks () =
+  let link, clock, counters = make_link Profile.wifi in
+  Link.round_trip link ~send_bytes:100 ~recv_bytes:100;
+  check Alcotest.bool "clock advanced by ~rtt" true (Clock.now_s clock >= 0.020);
+  check Alcotest.int "one blocking rtt" 1 (Counters.get_int counters "net.blocking_rtts");
+  check Alcotest.int64 "tx counted" 100L (Counters.get counters "net.bytes_tx");
+  check Alcotest.int64 "rx counted" 100L (Counters.get counters "net.bytes_rx")
+
+let link_async_does_not_block () =
+  let link, clock, counters = make_link Profile.wifi in
+  let completion = Link.async_send link ~send_bytes:64 ~recv_bytes:64 in
+  check Alcotest.int64 "clock unchanged" 0L (Clock.now_ns clock);
+  check Alcotest.int "no blocking rtt" 0 (Counters.get_int counters "net.blocking_rtts");
+  check Alcotest.bool "completion in future" true (Int64.compare completion 0L > 0)
+
+let link_wait_until_counts_only_real_waits () =
+  let link, clock, counters = make_link Profile.wifi in
+  let completion = Link.async_send link ~send_bytes:64 ~recv_bytes:64 in
+  Link.wait_until link completion;
+  check Alcotest.int "stalled once" 1 (Counters.get_int counters "net.stall_waits");
+  check Alcotest.int64 "clock at completion" completion (Clock.now_ns clock);
+  (* Second wait on the same (past) deadline is free. *)
+  Link.wait_until link completion;
+  check Alcotest.int "no extra stall" 1 (Counters.get_int counters "net.stall_waits")
+
+let link_one_ways () =
+  let link, clock, counters = make_link Profile.wifi in
+  Link.one_way_to_client link ~bytes:1000;
+  let after_down = Clock.now_s clock in
+  check Alcotest.bool "half rtt-ish" true (after_down >= 0.010);
+  Link.one_way_from_client link ~bytes:500;
+  check Alcotest.int64 "down counted as tx" 1000L (Counters.get counters "net.bytes_tx");
+  check Alcotest.int64 "up counted as rx" 500L (Counters.get counters "net.bytes_rx")
+
+let link_async_fifo_order () =
+  let link, _, _ = make_link Profile.wifi in
+  let c1 = Link.async_send link ~send_bytes:64 ~recv_bytes:64 in
+  let c2 = Link.async_send link ~send_bytes:64 ~recv_bytes:64 in
+  check Alcotest.bool "later send completes no earlier" true (Int64.compare c2 c1 >= 0)
+
+let link_bandwidth_matters () =
+  let link_fast, clock_fast, _ = make_link Profile.lan in
+  let link_slow, clock_slow, _ = make_link Profile.cellular in
+  Link.round_trip link_fast ~send_bytes:1_000_000 ~recv_bytes:0;
+  Link.round_trip link_slow ~send_bytes:1_000_000 ~recv_bytes:0;
+  check Alcotest.bool "lan much faster" true (Clock.now_s clock_fast *. 5. < Clock.now_s clock_slow)
+
+(* ---- Frame ---- *)
+
+let frame_roundtrip () =
+  let payload = Bytes.of_string "commit #42" in
+  let framed = Frame.seal Frame.Commit_request payload in
+  match Frame.open_ framed with
+  | Ok (Frame.Commit_request, p) -> check Alcotest.bytes "payload" payload p
+  | Ok _ -> Alcotest.fail "wrong kind"
+  | Error e -> Alcotest.fail e
+
+let frame_all_kinds () =
+  List.iter
+    (fun k ->
+      match Frame.kind_of_int (Frame.kind_to_int k) with
+      | Some k' when k = k' -> ()
+      | _ -> Alcotest.fail "kind roundtrip failed")
+    [
+      Frame.Commit_request;
+      Frame.Commit_response;
+      Frame.Poll_offload;
+      Frame.Poll_result;
+      Frame.Mem_sync;
+      Frame.Mem_sync_ack;
+      Frame.Irq_notify;
+      Frame.Recording_download;
+      Frame.Control;
+    ]
+
+let frame_detects_corruption () =
+  let framed = Frame.seal Frame.Mem_sync (Bytes.of_string "page data here") in
+  let corrupted = Bytes.copy framed in
+  let pos = Bytes.length framed - 6 in
+  Bytes.set corrupted pos (Char.chr (Char.code (Bytes.get corrupted pos) lxor 0xFF));
+  (match Frame.open_ corrupted with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corruption not detected");
+  (* Also corrupt inside the payload. *)
+  let corrupted2 = Bytes.copy framed in
+  Bytes.set corrupted2 12 '!';
+  match Frame.open_ corrupted2 with
+  | Error _ -> ()
+  | Ok (_, p) ->
+    if not (Bytes.equal p (Bytes.of_string "page data here")) then ()
+    else Alcotest.fail "payload corruption not detected"
+
+let frame_bad_magic () =
+  match Frame.open_ (Bytes.of_string "garbage frame data") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage"
+
+let frame_truncated () =
+  let framed = Frame.seal Frame.Control (Bytes.of_string "x") in
+  match Frame.open_ (Bytes.sub framed 0 (Bytes.length framed - 3)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated frame"
+
+let frame_overhead_accurate () =
+  let framed = Frame.seal Frame.Control (Bytes.create 10) in
+  check Alcotest.int "overhead constant" Frame.overhead_bytes (Bytes.length framed - 10)
+
+let () =
+  Alcotest.run "grt_net"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "presets" `Quick profile_presets;
+          Alcotest.test_case "one-way math" `Quick profile_one_way_math;
+          Alcotest.test_case "round-trip math" `Quick profile_round_trip_math;
+          Alcotest.test_case "custom validation" `Quick profile_custom_validation;
+          Alcotest.test_case "cellular slower than wifi" `Quick profile_ordering;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "round trip blocks" `Quick link_round_trip_blocks;
+          Alcotest.test_case "async does not block" `Quick link_async_does_not_block;
+          Alcotest.test_case "wait_until semantics" `Quick link_wait_until_counts_only_real_waits;
+          Alcotest.test_case "one-way transfers" `Quick link_one_ways;
+          Alcotest.test_case "async FIFO order" `Quick link_async_fifo_order;
+          Alcotest.test_case "bandwidth matters" `Quick link_bandwidth_matters;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick frame_roundtrip;
+          Alcotest.test_case "all kinds" `Quick frame_all_kinds;
+          Alcotest.test_case "detects corruption" `Quick frame_detects_corruption;
+          Alcotest.test_case "bad magic" `Quick frame_bad_magic;
+          Alcotest.test_case "truncated" `Quick frame_truncated;
+          Alcotest.test_case "overhead constant" `Quick frame_overhead_accurate;
+        ] );
+    ]

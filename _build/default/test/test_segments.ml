@@ -1,0 +1,160 @@
+(* Per-layer recording granularity (Figure 2, §2.3): recordings are a
+   developer choice between one monolithic recording and one per NN layer;
+   per-layer segments compose at replay time and must produce the same
+   result. *)
+
+module Orchestrate = Grt.Orchestrate
+module Recording = Grt.Recording
+module Replayer = Grt.Replayer
+module Mode = Grt.Mode
+module Network = Grt_mlfw.Network
+module Zoo = Grt_mlfw.Zoo
+module Runner = Grt_mlfw.Runner
+module Profile = Grt_net.Profile
+module Sku = Grt_gpu.Sku
+
+let check = Alcotest.check
+
+let sku = Sku.g71_mp8
+
+let layered net =
+  Orchestrate.record ~granularity:`Per_layer ~profile:Profile.wifi ~mode:Mode.Ours_mds ~sku ~net
+    ~seed:42L ()
+
+let mnist_layered = lazy (layered Zoo.mnist)
+
+let plan = lazy (Network.expand Zoo.mnist)
+
+let one_segment_per_layer () =
+  let o = Lazy.force mnist_layered in
+  let layers = Array.length Zoo.mnist.Network.nodes in
+  check Alcotest.int "segment count = layer count" layers
+    (List.length o.Orchestrate.segments)
+
+let segments_individually_signed () =
+  let o = Lazy.force mnist_layered in
+  List.iteri
+    (fun i blob ->
+      match Recording.verify_and_parse ~key:Orchestrate.cloud_signing_key blob with
+      | Ok seg ->
+        check Alcotest.string
+          (Printf.sprintf "segment %d names its layer" i)
+          (Printf.sprintf "MNIST/layer%02d" i)
+          seg.Recording.workload
+      | Error e -> Alcotest.fail e)
+    o.Orchestrate.segments;
+  (* Tampering with one segment breaks only that segment. *)
+  let blob = Bytes.copy (List.nth o.Orchestrate.segments 3) in
+  Bytes.set blob 10 '\xFF';
+  match Recording.verify_and_parse ~key:Orchestrate.cloud_signing_key blob with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered segment verified"
+
+let segments_partition_the_log () =
+  let o = Lazy.force mnist_layered in
+  let total =
+    List.fold_left
+      (fun acc blob ->
+        match Recording.verify_and_parse ~key:Orchestrate.cloud_signing_key blob with
+        | Ok seg -> acc + Array.length seg.Recording.entries
+        | Error e -> Alcotest.fail e)
+      0 o.Orchestrate.segments
+  in
+  check Alcotest.int "no entry lost or duplicated"
+    (Array.length o.Orchestrate.recording.Recording.entries)
+    total
+
+let composed_replay_matches_monolithic () =
+  let o = Lazy.force mnist_layered in
+  let p = Lazy.force plan in
+  let input = Runner.input_values p ~seed:9L in
+  let params = Runner.weight_values p ~seed:42L in
+  let seg =
+    Orchestrate.replay_segments ~sku ~blobs:o.Orchestrate.segments ~input ~params ~seed:5L ()
+  in
+  let mono =
+    Orchestrate.replay_recording ~sku ~blob:o.Orchestrate.blob ~input ~params ~seed:5L ()
+  in
+  check Alcotest.bool "same output" true
+    (seg.Orchestrate.r.Replayer.output = mono.Orchestrate.r.Replayer.output);
+  (* And both equal native execution. *)
+  let clock = Grt_sim.Clock.create () in
+  let nat = Grt.Native.run_inference ~clock ~sku ~net:Zoo.mnist ~seed:42L ~input () in
+  check Alcotest.bool "matches native" true
+    (seg.Orchestrate.r.Replayer.output = nat.Grt.Native.output)
+
+let composed_replay_fresh_inputs () =
+  let o = Lazy.force mnist_layered in
+  let p = Lazy.force plan in
+  let params = Runner.weight_values p ~seed:42L in
+  List.iter
+    (fun seed ->
+      let input = Runner.input_values p ~seed in
+      let seg =
+        Orchestrate.replay_segments ~sku ~blobs:o.Orchestrate.segments ~input ~params ~seed ()
+      in
+      let clock = Grt_sim.Clock.create () in
+      let nat = Grt.Native.run_inference ~clock ~sku ~net:Zoo.mnist ~seed:42L ~input () in
+      check Alcotest.bool
+        (Printf.sprintf "seed %Ld" seed)
+        true
+        (seg.Orchestrate.r.Replayer.output = nat.Grt.Native.output))
+    [ 100L; 101L ]
+
+let segment_slots_are_scoped () =
+  (* Layer 1 (the first conv) should declare its weight slot; the pool
+     layers declare none. *)
+  let o = Lazy.force mnist_layered in
+  let seg i =
+    match Recording.verify_and_parse ~key:Orchestrate.cloud_signing_key (List.nth o.Orchestrate.segments i) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.int "conv layer has w+b" 2 (List.length (Recording.param_slots (seg 1)));
+  check Alcotest.int "pool layer has none" 0 (List.length (Recording.param_slots (seg 2)))
+
+let missing_segment_rejected_or_diverges () =
+  (* Dropping a middle segment must not silently produce a result: the GPU
+     state no longer lines up, so the replayer reports divergence (or the
+     result disagrees with native — never a silent pass). *)
+  let o = Lazy.force mnist_layered in
+  let p = Lazy.force plan in
+  let input = Runner.input_values p ~seed:9L in
+  let params = Runner.weight_values p ~seed:42L in
+  let blobs = List.filteri (fun i _ -> i <> 3) o.Orchestrate.segments in
+  let clock = Grt_sim.Clock.create () in
+  let nat = Grt.Native.run_inference ~clock ~sku ~net:Zoo.mnist ~seed:42L ~input () in
+  match Orchestrate.replay_segments ~sku ~blobs ~input ~params ~seed:5L () with
+  | exception Replayer.Divergence _ -> ()
+  | exception Replayer.Rejected _ -> ()
+  | out ->
+    check Alcotest.bool "hole changes the result" false
+      (out.Orchestrate.r.Replayer.output = nat.Grt.Native.output)
+
+let monolithic_unaffected () =
+  (* Default granularity still produces no segments. *)
+  let o =
+    Orchestrate.record ~profile:Profile.wifi ~mode:Mode.Ours_mds ~sku ~net:Zoo.mnist ~seed:42L ()
+  in
+  check Alcotest.int "no segments" 0 (List.length o.Orchestrate.segments)
+
+let () =
+  Alcotest.run "grt_segments"
+    [
+      ( "granularity",
+        [
+          Alcotest.test_case "one segment per layer" `Quick one_segment_per_layer;
+          Alcotest.test_case "individually signed" `Quick segments_individually_signed;
+          Alcotest.test_case "partition the log" `Quick segments_partition_the_log;
+          Alcotest.test_case "slots scoped per layer" `Quick segment_slots_are_scoped;
+          Alcotest.test_case "monolithic unaffected" `Quick monolithic_unaffected;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "composed replay = monolithic" `Quick
+            composed_replay_matches_monolithic;
+          Alcotest.test_case "fresh inputs" `Quick composed_replay_fresh_inputs;
+          Alcotest.test_case "missing segment not silent" `Quick
+            missing_segment_rejected_or_diverges;
+        ] );
+    ]

@@ -1,0 +1,403 @@
+(* Unit and property tests for Grt_util: RNG, byte buffers, hashing, the
+   range coder, the delta codec and symbolic expressions. *)
+
+module Rng = Grt_util.Rng
+module Byte_buf = Grt_util.Byte_buf
+module Hashing = Grt_util.Hashing
+module Range_coder = Grt_util.Range_coder
+module Delta = Grt_util.Delta
+module Sexpr = Grt_util.Sexpr
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---- Rng ---- *)
+
+let rng_deterministic () =
+  let a = Rng.create ~seed:1234L and b = Rng.create ~seed:1234L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  check Alcotest.bool "different streams" false (Int64.equal (Rng.next64 a) (Rng.next64 b))
+
+let rng_int_bounds () =
+  let r = Rng.create ~seed:99L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let rng_int_rejects_nonpositive () =
+  let r = Rng.create ~seed:1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let rng_float_bounds () =
+  let r = Rng.create ~seed:5L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let rng_int64_range () =
+  let r = Rng.create ~seed:5L in
+  for _ = 1 to 1000 do
+    let v = Rng.int64_range r (-10L) 10L in
+    if Int64.compare v (-10L) < 0 || Int64.compare v 10L >= 0 then
+      Alcotest.failf "out of range: %Ld" v
+  done
+
+let rng_copy_independent () =
+  let a = Rng.create ~seed:7L in
+  ignore (Rng.next64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.next64 a) (Rng.next64 b)
+
+let rng_split_diverges () =
+  let a = Rng.create ~seed:7L in
+  let b = Rng.split a in
+  check Alcotest.bool "split stream differs" false (Int64.equal (Rng.next64 a) (Rng.next64 b))
+
+let rng_bytes_len () =
+  let r = Rng.create ~seed:3L in
+  check Alcotest.int "bytes length" 133 (Bytes.length (Rng.bytes r 133))
+
+(* ---- Byte_buf ---- *)
+
+let byte_buf_primitives () =
+  let b = Byte_buf.create () in
+  Byte_buf.add_u8 b 0xAB;
+  Byte_buf.add_u16 b 0xBEEF;
+  Byte_buf.add_u32 b 0xDEADBEEF;
+  Byte_buf.add_i64 b (-42L);
+  Byte_buf.add_string b "hello";
+  let r = Byte_buf.Reader.of_bytes (Byte_buf.contents b) in
+  check Alcotest.int "u8" 0xAB (Byte_buf.Reader.u8 r);
+  check Alcotest.int "u16" 0xBEEF (Byte_buf.Reader.u16 r);
+  check Alcotest.int "u32" 0xDEADBEEF (Byte_buf.Reader.u32 r);
+  check Alcotest.int64 "i64" (-42L) (Byte_buf.Reader.i64 r);
+  check Alcotest.string "string" "hello" (Byte_buf.Reader.string r);
+  check Alcotest.int "fully consumed" 0 (Byte_buf.Reader.remaining r)
+
+let byte_buf_varint_roundtrip () =
+  List.iter
+    (fun v ->
+      let b = Byte_buf.create () in
+      Byte_buf.add_varint b v;
+      let r = Byte_buf.Reader.of_bytes (Byte_buf.contents b) in
+      check Alcotest.int (Printf.sprintf "varint %d" v) v (Byte_buf.Reader.varint r))
+    [ 0; 1; 127; 128; 255; 300; 16383; 16384; 1_000_000; max_int / 2 ]
+
+let byte_buf_varint_negative () =
+  let b = Byte_buf.create () in
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Byte_buf.add_varint: negative")
+    (fun () -> Byte_buf.add_varint b (-1))
+
+let byte_buf_truncation () =
+  let r = Byte_buf.Reader.of_bytes (Bytes.create 2) in
+  ignore (Byte_buf.Reader.u16 r);
+  Alcotest.check_raises "truncated" (Failure "Byte_buf.Reader: truncated input") (fun () ->
+      ignore (Byte_buf.Reader.u8 r))
+
+let byte_buf_growth () =
+  let b = Byte_buf.create ~capacity:1 () in
+  for i = 0 to 9999 do
+    Byte_buf.add_u8 b (i land 0xFF)
+  done;
+  check Alcotest.int "length" 10000 (Byte_buf.length b);
+  let c = Byte_buf.contents b in
+  check Alcotest.int "content survives growth" 0x0F (Char.code (Bytes.get c 0x0F))
+
+let byte_buf_clear () =
+  let b = Byte_buf.create () in
+  Byte_buf.add_u32 b 7;
+  Byte_buf.clear b;
+  check Alcotest.int "cleared" 0 (Byte_buf.length b)
+
+(* ---- Hashing ---- *)
+
+let hashing_stable () =
+  check Alcotest.int64 "fnv1a of empty" (Hashing.fnv1a_string "")
+    (Hashing.fnv1a_bytes Bytes.empty);
+  check Alcotest.bool "distinct inputs differ" false
+    (Int64.equal (Hashing.fnv1a_string "abc") (Hashing.fnv1a_string "abd"))
+
+let hashing_sub_consistent () =
+  let b = Bytes.of_string "hello world" in
+  check Alcotest.int64 "sub = whole" (Hashing.fnv1a_bytes b)
+    (Hashing.fnv1a_sub b ~pos:0 ~len:(Bytes.length b));
+  check Alcotest.bool "different slice differs" false
+    (Int64.equal (Hashing.fnv1a_sub b ~pos:0 ~len:5) (Hashing.fnv1a_sub b ~pos:6 ~len:5))
+
+let hashing_hmac_keys () =
+  let data = Bytes.of_string "payload" in
+  check Alcotest.bool "different keys differ" false
+    (Int64.equal (Hashing.hmac ~key:"k1" data) (Hashing.hmac ~key:"k2" data))
+
+let crc32_known () =
+  (* CRC-32 of "123456789" is 0xCBF43926 (IEEE). *)
+  check Alcotest.int32 "crc32 check value" 0xCBF43926l
+    (Hashing.crc32 (Bytes.of_string "123456789"))
+
+let crc32_detects_flip () =
+  let b = Bytes.of_string "some frame payload" in
+  let c1 = Hashing.crc32 b in
+  Bytes.set b 3 'X';
+  check Alcotest.bool "flip detected" false (Int32.equal c1 (Hashing.crc32 b))
+
+(* ---- Range coder ---- *)
+
+let rc_roundtrip_cases () =
+  List.iter
+    (fun s ->
+      let b = Bytes.of_string s in
+      let enc = Range_coder.encode b in
+      check Alcotest.bytes ("roundtrip " ^ String.escaped (String.sub s 0 (min 8 (String.length s))))
+        b (Range_coder.decode enc))
+    [
+      "";
+      "a";
+      "aaaa";
+      "hello world";
+      String.make 10_000 '\000';
+      String.init 256 Char.chr;
+      String.concat "" (List.init 64 (fun i -> Printf.sprintf "line %d\n" i));
+    ]
+
+let rc_compresses_sparse () =
+  let b = Bytes.make 4096 '\000' in
+  let ratio = Range_coder.ratio b in
+  if ratio > 0.05 then Alcotest.failf "sparse page should compress hard, got %.3f" ratio
+
+let rc_random_data_no_explosion () =
+  let r = Rng.create ~seed:11L in
+  let b = Rng.bytes r 4096 in
+  let enc = Range_coder.encode b in
+  if Bytes.length enc > 4096 + 256 then
+    Alcotest.failf "incompressible data exploded: %d" (Bytes.length enc)
+
+let rc_qcheck_roundtrip =
+  qtest "range coder roundtrips arbitrary bytes"
+    QCheck2.Gen.(string_size (int_bound 3000))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Range_coder.decode (Range_coder.encode b)))
+
+let rc_qcheck_sparse =
+  qtest ~count:50 "range coder roundtrips sparse pages"
+    QCheck2.Gen.(list_size (int_bound 64) (pair (int_bound 4095) (int_bound 255)))
+    (fun edits ->
+      let b = Bytes.make 4096 '\000' in
+      List.iter (fun (i, v) -> Bytes.set b i (Char.chr v)) edits;
+      Bytes.equal b (Range_coder.decode (Range_coder.encode b)))
+
+(* ---- Delta ---- *)
+
+let delta_identity () =
+  let b = Bytes.of_string "unchanged page" in
+  let d = Delta.diff ~old_:b ~fresh:b in
+  check Alcotest.bool "identity delta" true (Delta.is_identity d);
+  check Alcotest.bytes "apply identity" b (Delta.apply ~old_:b ~delta:d)
+
+let delta_basic () =
+  let old_ = Bytes.of_string "hello world, how are you" in
+  let fresh = Bytes.of_string "hello belts, how are YOU" in
+  let d = Delta.diff ~old_ ~fresh in
+  check Alcotest.bytes "apply" fresh (Delta.apply ~old_ ~delta:d)
+
+let delta_smaller_than_page () =
+  let old_ = Bytes.make 4096 'a' in
+  let fresh = Bytes.copy old_ in
+  Bytes.set fresh 100 'b';
+  Bytes.set fresh 4000 'c';
+  let d = Delta.diff ~old_ ~fresh in
+  if Bytes.length d > 64 then Alcotest.failf "delta too large: %d" (Bytes.length d);
+  check Alcotest.bytes "apply" fresh (Delta.apply ~old_ ~delta:d)
+
+let delta_length_mismatch () =
+  Alcotest.check_raises "mismatch rejected" (Invalid_argument "Delta.diff: length mismatch")
+    (fun () -> ignore (Delta.diff ~old_:(Bytes.create 4) ~fresh:(Bytes.create 5)))
+
+let delta_wrong_base () =
+  let old_ = Bytes.make 16 'a' and fresh = Bytes.make 16 'b' in
+  let d = Delta.diff ~old_ ~fresh in
+  Alcotest.check_raises "base length checked" (Failure "Delta.apply: base length mismatch")
+    (fun () -> ignore (Delta.apply ~old_:(Bytes.create 8) ~delta:d))
+
+let delta_qcheck =
+  qtest "delta diff/apply reconstructs"
+    QCheck2.Gen.(
+      bind (int_range 1 2000) (fun n ->
+          pair (string_size (return n)) (list_size (int_bound 50) (pair (int_bound (n - 1)) char))))
+    (fun (base, edits) ->
+      let old_ = Bytes.of_string base in
+      let fresh = Bytes.copy old_ in
+      List.iter (fun (i, c) -> Bytes.set fresh i c) edits;
+      Bytes.equal fresh (Delta.apply ~old_ ~delta:(Delta.diff ~old_ ~fresh)))
+
+(* ---- Sexpr ---- *)
+
+let sexpr_const_fold () =
+  let e = Sexpr.logor (Sexpr.const 0x0FL) (Sexpr.const 0x30L) in
+  check Alcotest.bool "folded to const" true (match e with Sexpr.Const 0x3FL -> true | _ -> false)
+
+let sexpr_symbolic_pipeline () =
+  (* Listing 1(a): qrk_mmu = read(MMU_CONFIG); write(MMU_CONFIG, qrk | 0x10) *)
+  let s = Sexpr.fresh_sym ~origin:"MMU_CONFIG" in
+  let written = Sexpr.logor (Sexpr.sym s) (Sexpr.const 0x10L) in
+  check Alcotest.bool "unresolved before bind" false (Sexpr.is_concrete written);
+  check Alcotest.int "one unbound sym" 1 (List.length (Sexpr.unbound_syms written));
+  Sexpr.bind s 0x08L ~speculative:false;
+  check (Alcotest.option Alcotest.int64) "resolves after bind" (Some 0x18L) (Sexpr.eval written)
+
+let sexpr_ops () =
+  let v e = Option.get (Sexpr.eval e) in
+  check Alcotest.int64 "and" 0x0CL (v (Sexpr.logand (Sexpr.const 0xFCL) (Sexpr.const 0x0FL)));
+  check Alcotest.int64 "xor" 0xFFL (v (Sexpr.logxor (Sexpr.const 0xF0L) (Sexpr.const 0x0FL)));
+  check Alcotest.int64 "add" 5L (v (Sexpr.add (Sexpr.const 2L) (Sexpr.const 3L)));
+  check Alcotest.int64 "sub" (-1L) (v (Sexpr.sub (Sexpr.const 2L) (Sexpr.const 3L)));
+  check Alcotest.int64 "shl" 8L (v (Sexpr.shift_left (Sexpr.const 1L) 3));
+  check Alcotest.int64 "shr" 1L (v (Sexpr.shift_right (Sexpr.const 8L) 3));
+  check Alcotest.int64 "not" (-1L) (v (Sexpr.lognot (Sexpr.const 0L)))
+
+let sexpr_force_unbound () =
+  let s = Sexpr.fresh_sym ~origin:"X" in
+  Alcotest.check_raises "force unbound"
+    (Failure "Sexpr.force_exn: expression contains unbound symbols") (fun () ->
+      ignore (Sexpr.force_exn (Sexpr.sym s)))
+
+let sexpr_rebind_conflict () =
+  let s = Sexpr.fresh_sym ~origin:"X" in
+  Sexpr.bind s 1L ~speculative:false;
+  (try
+     Sexpr.bind s 2L ~speculative:false;
+     Alcotest.fail "conflicting bind should raise"
+   with Invalid_argument _ -> ());
+  Sexpr.bind s 1L ~speculative:false (* same value is fine *)
+
+let sexpr_speculation_taint () =
+  let s = Sexpr.fresh_sym ~origin:"JOB_IRQ_STATUS" in
+  let e = Sexpr.logand (Sexpr.sym s) (Sexpr.const 0xFFL) in
+  Sexpr.bind s 1L ~speculative:true;
+  check Alcotest.bool "tainted while speculative" true (Sexpr.speculative e);
+  Sexpr.confirm s;
+  check Alcotest.bool "clean after confirm" false (Sexpr.speculative e)
+
+let sexpr_rebind_clears_spec () =
+  let s = Sexpr.fresh_sym ~origin:"X" in
+  Sexpr.bind s 1L ~speculative:true;
+  Sexpr.rebind s 5L;
+  check Alcotest.bool "not speculative" false (Sexpr.speculative (Sexpr.sym s));
+  check (Alcotest.option Alcotest.int64) "new value" (Some 5L) (Sexpr.eval (Sexpr.sym s))
+
+let sexpr_unbound_dedup () =
+  let s = Sexpr.fresh_sym ~origin:"X" in
+  let e = Sexpr.add (Sexpr.sym s) (Sexpr.sym s) in
+  check Alcotest.int "deduplicated" 1 (List.length (Sexpr.unbound_syms e))
+
+let sexpr_qcheck_fold_matches_eval =
+  qtest "constant folding agrees with eval"
+    QCheck2.Gen.(triple (int_range 0 6) int64 int64)
+    (fun (op, a, b) ->
+      let build f = f (Sexpr.const a) (Sexpr.const b) in
+      let e =
+        match op with
+        | 0 -> build Sexpr.logor
+        | 1 -> build Sexpr.logand
+        | 2 -> build Sexpr.logxor
+        | 3 -> build Sexpr.add
+        | 4 -> build Sexpr.sub
+        | 5 -> Sexpr.shift_left (Sexpr.const a) (Int64.to_int b land 31)
+        | _ -> Sexpr.shift_right (Sexpr.const a) (Int64.to_int b land 31)
+      in
+      Sexpr.is_concrete e)
+
+(* ---- Hexdump ---- *)
+
+let hexdump_sizes () =
+  check Alcotest.string "bytes" "17 B" (Grt_util.Hexdump.size_to_string 17);
+  check Alcotest.string "kb" "1.5 KB" (Grt_util.Hexdump.size_to_string 1536);
+  check Alcotest.string "mb" "2.00 MB" (Grt_util.Hexdump.size_to_string (2 * 1024 * 1024));
+  check Alcotest.string "gb" "1.00 GB" (Grt_util.Hexdump.size_to_string (1024 * 1024 * 1024))
+
+let contains_substring hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let hexdump_renders () =
+  let out = Format.asprintf "%a" Grt_util.Hexdump.pp_bytes (Bytes.of_string "hello\x00world!") in
+  check Alcotest.bool "contains hex" true (contains_substring out "68 65 6c 6c 6f");
+  check Alcotest.bool "contains ascii gutter" true (contains_substring out "|hello.world!|")
+
+let () =
+  Alcotest.run "grt_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick rng_int_bounds;
+          Alcotest.test_case "int rejects <=0" `Quick rng_int_rejects_nonpositive;
+          Alcotest.test_case "float bounds" `Quick rng_float_bounds;
+          Alcotest.test_case "int64 range" `Quick rng_int64_range;
+          Alcotest.test_case "copy" `Quick rng_copy_independent;
+          Alcotest.test_case "split" `Quick rng_split_diverges;
+          Alcotest.test_case "bytes" `Quick rng_bytes_len;
+        ] );
+      ( "byte_buf",
+        [
+          Alcotest.test_case "primitives" `Quick byte_buf_primitives;
+          Alcotest.test_case "varint roundtrip" `Quick byte_buf_varint_roundtrip;
+          Alcotest.test_case "varint negative" `Quick byte_buf_varint_negative;
+          Alcotest.test_case "truncation" `Quick byte_buf_truncation;
+          Alcotest.test_case "growth" `Quick byte_buf_growth;
+          Alcotest.test_case "clear" `Quick byte_buf_clear;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "stable" `Quick hashing_stable;
+          Alcotest.test_case "sub consistent" `Quick hashing_sub_consistent;
+          Alcotest.test_case "hmac keys" `Quick hashing_hmac_keys;
+          Alcotest.test_case "crc32 known value" `Quick crc32_known;
+          Alcotest.test_case "crc32 detects flip" `Quick crc32_detects_flip;
+        ] );
+      ( "range_coder",
+        [
+          Alcotest.test_case "roundtrip cases" `Quick rc_roundtrip_cases;
+          Alcotest.test_case "sparse compresses" `Quick rc_compresses_sparse;
+          Alcotest.test_case "no explosion" `Quick rc_random_data_no_explosion;
+          rc_qcheck_roundtrip;
+          rc_qcheck_sparse;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "identity" `Quick delta_identity;
+          Alcotest.test_case "basic" `Quick delta_basic;
+          Alcotest.test_case "small for sparse edits" `Quick delta_smaller_than_page;
+          Alcotest.test_case "length mismatch" `Quick delta_length_mismatch;
+          Alcotest.test_case "wrong base" `Quick delta_wrong_base;
+          delta_qcheck;
+        ] );
+      ( "sexpr",
+        [
+          Alcotest.test_case "const folding" `Quick sexpr_const_fold;
+          Alcotest.test_case "listing 1a pipeline" `Quick sexpr_symbolic_pipeline;
+          Alcotest.test_case "operators" `Quick sexpr_ops;
+          Alcotest.test_case "force unbound" `Quick sexpr_force_unbound;
+          Alcotest.test_case "rebind conflict" `Quick sexpr_rebind_conflict;
+          Alcotest.test_case "speculation taint" `Quick sexpr_speculation_taint;
+          Alcotest.test_case "rebind clears speculation" `Quick sexpr_rebind_clears_spec;
+          Alcotest.test_case "unbound dedup" `Quick sexpr_unbound_dedup;
+          sexpr_qcheck_fold_matches_eval;
+        ] );
+      ( "hexdump",
+        [
+          Alcotest.test_case "sizes" `Quick hexdump_sizes;
+          Alcotest.test_case "renders" `Quick hexdump_renders;
+        ] );
+    ]
