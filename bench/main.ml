@@ -4,7 +4,7 @@
 
    Usage:
      bench/main.exe                 print every table and figure
-     bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation
+     bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults
      bench/main.exe bechamel        run the Bechamel micro-suite only
 *)
 
@@ -109,6 +109,18 @@ let rollback () =
         (if r.E.completed then "yes" else "NO"))
     (E.rollback ctx ~profile:Profile.wifi ~nets:[ Grt_mlfw.Zoo.mnist; Grt_mlfw.Zoo.vgg16 ])
 
+let faults () =
+  hr "Lossy-link campaign (MNIST, OursMDS): drop sweep x {wifi, cellular}";
+  Printf.printf "%-10s %8s %10s %12s %10s %10s %10s %10s\n" "profile" "drop" "delay(s)"
+    "retransmits" "degraded" "rollbacks" "linkdowns" "bitexact";
+  List.iter
+    (fun (r : E.fault_row) ->
+      Printf.printf "%-10s %7.0f%% %10.1f %12d %10d %10d %10d %10s\n" r.E.profile_name
+        (100. *. r.E.drop_prob) r.E.total_s r.E.retransmits r.E.degraded_entries r.E.rollbacks
+        r.E.link_downs
+        (if r.E.blob_identical then "yes" else "NO"))
+    (E.fault_campaign ctx ~net:Grt_mlfw.Zoo.mnist ())
+
 let ablation () =
   hr "Ablation of design knobs (MobileNet, WiFi)";
   Printf.printf "%-38s %10s %8s %10s\n" "variant" "delay(s)" "RTTs" "sync(MB)";
@@ -196,6 +208,7 @@ let all () =
   polling ();
   rollback ();
   ablation ();
+  faults ();
   run_bechamel ()
 
 let () =
@@ -210,11 +223,12 @@ let () =
   | "polling" -> polling ()
   | "rollback" -> rollback ()
   | "ablation" -> ablation ()
+  | "faults" -> faults ()
   | "bechamel" -> run_bechamel ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown command %s (expected \
-       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|bechamel|all)\n"
+       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|bechamel|all)\n"
       other;
     exit 2

@@ -26,6 +26,14 @@ let seed_arg =
   let doc = "Deterministic session seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let drop_prob_arg =
+  let doc =
+    "Message drop probability in [0,1) applied to the chosen profile; lost exchanges are \
+     retransmitted with exponential backoff. The recording stays bit-identical, only the \
+     delay and energy change."
+  in
+  Arg.(value & opt float 0.0 & info [ "drop-prob" ] ~docv:"P" ~doc)
+
 let out_arg =
   let doc = "Write the signed recording to $(docv)." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -44,7 +52,7 @@ let profile_of_name = function
   | "lan" -> Some Grt_net.Profile.lan
   | _ -> None
 
-let run net_name mode_name profile_name sku_name seed out list_skus stats =
+let run net_name mode_name profile_name sku_name seed drop_prob out list_skus stats =
   if list_skus then begin
     List.iter
       (fun s -> Format.printf "%a@." Grt_gpu.Sku.pp s)
@@ -63,8 +71,13 @@ let run net_name mode_name profile_name sku_name seed out list_skus stats =
     | _, _, None, _ -> `Error (false, "unknown profile " ^ profile_name)
     | _, _, _, None -> `Error (false, "unknown SKU " ^ sku_name ^ " (try --list-skus)")
     | Some net, Some mode, Some profile, Some sku ->
+      if drop_prob < 0. || drop_prob >= 1. then `Error (false, "--drop-prob must be in [0,1)")
+      else begin
+      let profile =
+        if drop_prob > 0. then Grt_net.Profile.degrade ~drop_prob profile else profile
+      in
       Printf.printf "recording %s (%d GPU jobs) on %s, %s over %s...\n%!" net_name
-        (Grt_mlfw.Network.job_count net) sku_name (Grt.Mode.name mode) profile_name;
+        (Grt_mlfw.Network.job_count net) sku_name (Grt.Mode.name mode) profile.Grt_net.Profile.name;
       let o =
         Grt.Orchestrate.record ~profile ~mode ~sku ~net ~seed:(Int64.of_int seed) ()
       in
@@ -83,6 +96,9 @@ let run net_name mode_name profile_name sku_name seed out list_skus stats =
         o.Grt.Orchestrate.client_energy_j
         (Grt_util.Hexdump.size_to_string (Bytes.length o.Grt.Orchestrate.blob))
         (Array.length o.Grt.Orchestrate.recording.Grt.Recording.entries);
+      if drop_prob > 0. then
+        Printf.printf "  lossy link:      %d retransmits, %d link-down recoveries\n"
+          o.Grt.Orchestrate.retransmits o.Grt.Orchestrate.link_downs;
       (match out with
       | Some path ->
         let oc = open_out_bin path in
@@ -92,6 +108,7 @@ let run net_name mode_name profile_name sku_name seed out list_skus stats =
       | None -> ());
       if stats then Format.printf "%a" Grt_sim.Counters.pp o.Grt.Orchestrate.counters;
       `Ok ()
+      end
 
 let cmd =
   let doc = "record a GPU workload with the GR-T cloud recording service (simulated)" in
@@ -99,7 +116,7 @@ let cmd =
   Cmd.v info
     Term.(
       ret
-        (const run $ net_arg $ mode_arg $ profile_arg $ sku_arg $ seed_arg $ out_arg
-       $ list_skus_arg $ stats_arg))
+        (const run $ net_arg $ mode_arg $ profile_arg $ sku_arg $ seed_arg $ drop_prob_arg
+       $ out_arg $ list_skus_arg $ stats_arg))
 
 let () = exit (Cmd.eval cmd)

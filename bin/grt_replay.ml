@@ -61,11 +61,13 @@ let run recording_path sku_name input_seed param_seed top =
             ~seed:(Int64.of_int input_seed) ()
         with
         | exception Grt.Replayer.Rejected msg -> `Error (false, "replay rejected: " ^ msg)
-        | exception Grt.Replayer.Divergence { index; reg; expected; got } ->
+        | exception Grt.Replayer.Divergence { kind; index; reg; expected; got } ->
           `Error
             ( false,
-              Printf.sprintf "replay diverged at entry %d (reg %#x): expected %Ld, GPU said %Ld"
-                index reg expected got )
+              Printf.sprintf
+                "replay diverged at entry %d (reg %#x, %s): expected %Ld, GPU said %Ld" index reg
+                (Grt.Replayer.divergence_kind_name kind)
+                expected got )
         | ro ->
           let r = ro.Grt.Orchestrate.r in
           Printf.printf

@@ -155,6 +155,8 @@ let history_update t site values =
   let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest in
   Hashtbl.replace t.history site (take keep (values :: prev))
 
+let history_forget t site = Hashtbl.remove t.history site
+
 let history_confident t site =
   let k = t.cfg.Mode.spec_history_k in
   let entries = history_lookup t site in
@@ -331,6 +333,12 @@ let maybe_inject t actuals =
     actuals
   | None, _ -> actuals
 
+(* Degraded-mode policy: while the link reports a persistently lossy
+   channel, speculation is suspended and commits go out synchronously —
+   optimistic work is cheap to start but expensive to roll back when the
+   retransmitting channel keeps stretching validation latencies. *)
+let degraded_now t = t.cfg.Mode.degraded_mode && Link.health t.link = Link.Degraded
+
 let commit t ~trigger =
   let qr = queue_ref t in
   let queue = List.rev !qr in
@@ -357,6 +365,10 @@ let commit t ~trigger =
     let recv = response_bytes t n_reads in
     let speculate_values =
       if (not (Mode.speculation t.cfg.Mode.mode)) || t.in_poll_loop then None
+      else if degraded_now t then begin
+        count t "spec.degraded_suppressed" 1;
+        None
+      end
       else if n_reads = 0 then Some [||] (* write-only commits go out asynchronously *)
       else confident
     in
@@ -611,13 +623,21 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
     in
     let send = request_bytes t 2 and recv = response_bytes t 2 in
     let run () = Gpushim.run_poll t.gpushim ~reg ~mask ~cond ~max_iters ~spin_ns in
-    match (if Regs.is_nondeterministic reg then None else history_confident t site) with
+    let speculate =
+      if Regs.is_nondeterministic reg then None
+      else if degraded_now t then begin
+        count t "spec.degraded_suppressed" 1;
+        None
+      end
+      else history_confident t site
+    in
+    match speculate with
     | Some predicted when Array.length predicted = 1 ->
       let log_mark = List.length t.log - 1 in
       (* the Poll entry itself was just logged; exclude it from the prefix *)
       let result = run () in
-      let actual_final = match result with Some (_, v) -> v | None -> -1L in
-      let actual_final = match maybe_inject t [ actual_final ] with v :: _ -> v | [] -> actual_final in
+      let observed = match result with Some (_, v) -> v | None -> -1L in
+      let checked = match maybe_inject t [ observed ] with v :: _ -> v | [] -> observed in
       let completion = Link.async_send t.link ~send_bytes:send ~recv_bytes:recv in
       t.outstanding <-
         t.outstanding
@@ -625,7 +645,7 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
             {
               o_completion = completion;
               o_site = site;
-              o_checks = [ (reg, predicted.(0), actual_final) ];
+              o_checks = [ (reg, predicted.(0), checked) ];
               o_syms = [];
               o_log_mark = max 0 log_mark;
             };
@@ -635,7 +655,16 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
       count t "commits.total" 1;
       count t "commits.speculated" 1;
       bump_category t Polling;
-      history_update t site [| actual_final |];
+      (* History learns only the true observation, never the injected value
+         used for the validation check — one transient fault must not poison
+         future predictions at this site — and never the -1L timeout
+         sentinel, which is not a register value. A timeout instead forgets
+         the site: the prediction is about to fail validation, and keeping
+         the stale confidence would re-speculate the same wrong value on
+         every recovery attempt. *)
+      (match result with
+      | Some (_, v) -> history_update t site [| v |]
+      | None -> history_forget t site);
       (match result with
       | Some (iters, _) -> Backend.Poll_ok { iters; value = predicted.(0) }
       | None -> Backend.Poll_ok { iters = max_iters; value = predicted.(0) })
@@ -778,6 +807,21 @@ let finalize t =
   drain t
 
 let entries t = List.rev t.log
+
+let validated_prefix t =
+  (* Everything logged before the oldest unvalidated speculative commit is
+     confirmed truth; with nothing outstanding, the whole log is. Used by
+     the orchestrator to resume after a [Link.Link_down], exactly like a
+     misprediction's [valid_log]. *)
+  let all = List.rev t.log in
+  match t.outstanding with
+  | [] -> all
+  | o :: _ ->
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+    in
+    take o.o_log_mark all
 
 let mark_segment t = t.segment_marks <- List.length t.log :: t.segment_marks
 

@@ -81,6 +81,12 @@ val finalize : t -> unit
 val entries : t -> Recording.entry list
 (** The interaction log, in order. *)
 
+val validated_prefix : t -> Recording.entry list
+(** The longest log prefix whose client responses have been validated: the
+    full log when no speculative commit is outstanding, else everything
+    before the oldest one. This is the safe resume point after a
+    [Grt_net.Link.Link_down], mirroring a misprediction's [valid_log]. *)
+
 val mark_segment : t -> unit
 (** Note a recording-segment boundary at the current log position — the
     per-layer granularity of Figure 2 (a developer choice, §2.3). *)

@@ -310,3 +310,48 @@ let ablation ctx ~profile ~net =
         sync_mb = mb o.Orchestrate.sync_wire_bytes;
       })
     variants
+
+(* ---- fault campaign ----
+
+   Record the same workload over increasingly lossy channels and check the
+   property the whole PR hangs on: the link is a cost model, retransmission
+   and degraded-mode fallbacks change *when* things happen, never *what* is
+   recorded — so the signed blob must stay bit-identical to the zero-fault
+   recording. *)
+
+type fault_row = {
+  profile_name : string;
+  drop_prob : float;
+  total_s : float;
+  retransmits : int;
+  degraded_entries : int;
+  rollbacks : int;
+  link_downs : int;
+  blob_identical : bool;
+}
+
+let fault_campaign ctx ?(drops = [ 0.0; 0.01; 0.05; 0.1 ]) ~net () =
+  List.concat_map
+    (fun base ->
+      (* Each run gets a fresh history so speculation warms up identically;
+         the cache is bypassed for the same reason. *)
+      let run profile =
+        Orchestrate.record ~history:(Drivershim.fresh_history ()) ~profile ~mode:Mode.Ours_mds
+          ~sku:ctx.sku ~net ~seed:ctx.seed ()
+      in
+      let reference = run base in
+      List.map
+        (fun drop ->
+          let o = if drop = 0. then reference else run (Profile.degrade ~drop_prob:drop base) in
+          {
+            profile_name = base.Profile.name;
+            drop_prob = drop;
+            total_s = o.Orchestrate.total_s;
+            retransmits = o.Orchestrate.retransmits;
+            degraded_entries = Grt_sim.Counters.get_int o.Orchestrate.counters "net.degraded_entries";
+            rollbacks = o.Orchestrate.rollbacks;
+            link_downs = o.Orchestrate.link_downs;
+            blob_identical = Bytes.equal o.Orchestrate.blob reference.Orchestrate.blob;
+          })
+        drops)
+    [ Profile.wifi; Profile.cellular ]

@@ -101,3 +101,22 @@ val rollback : ctx -> profile:Grt_net.Profile.t -> nets:Grt_mlfw.Network.t list 
 type ablation_row = { label : string; delay_s : float; rtts : int; sync_mb : float }
 
 val ablation : ctx -> profile:Grt_net.Profile.t -> net:Grt_mlfw.Network.t -> ablation_row list
+
+(** Lossy-link campaign: sweep drop probability over the wifi and cellular
+    profiles and check each run's signed blob against the zero-fault
+    recording (they must be bit-identical — faults may move the clock and
+    the counters, never the recorded interactions). *)
+type fault_row = {
+  profile_name : string;  (** base profile swept (wifi, cellular) *)
+  drop_prob : float;
+  total_s : float;
+  retransmits : int;
+  degraded_entries : int;  (** times the link tripped into degraded mode *)
+  rollbacks : int;
+  link_downs : int;
+  blob_identical : bool;  (** blob matches the zero-fault recording *)
+}
+
+val fault_campaign :
+  ctx -> ?drops:float list -> net:Grt_mlfw.Network.t -> unit -> fault_row list
+(** [drops] defaults to [0; 0.01; 0.05; 0.1]. *)

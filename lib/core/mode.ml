@@ -28,6 +28,7 @@ type config = {
   commit_on_kernel_api : bool;
   hot_function_scope : bool;
   continuous_validation : bool;
+  degraded_mode : bool;
 }
 
 let default_config mode =
@@ -40,4 +41,5 @@ let default_config mode =
     commit_on_kernel_api = true;
     hot_function_scope = true;
     continuous_validation = true;
+    degraded_mode = true;
   }

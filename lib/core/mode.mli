@@ -32,6 +32,9 @@ type config = {
   continuous_validation : bool;
       (** §5's safety net: unmap dumped regions from the CPU between a job
           start and its completion so spurious accesses trap *)
+  degraded_mode : bool;
+      (** when the link reports a persistently lossy channel, suspend
+          speculation and commit synchronously until it recovers *)
 }
 
 val default_config : t -> config

@@ -23,6 +23,8 @@ type record_outcome = {
   poll_offloaded : int;
   rollbacks : int;
   rollback_s : float;
+  retransmits : int;
+  link_downs : int;
   counters : Grt_sim.Counters.t;
   segments : bytes list;
       (* per-layer recording segments when recorded with [`Per_layer]
@@ -47,13 +49,24 @@ let rec mispredict_prefix = function
   | Fun.Finally_raised e -> mispredict_prefix e
   | _ -> None
 
-let record ?history ?inject_fault_after ?config ?(granularity = `Monolithic) ~profile ~mode ~sku
-    ~net ~seed () =
+(* A [Link_down] can likewise surface through a cleanup handler. *)
+let rec is_link_down = function
+  | Link.Link_down _ -> true
+  | Fun.Finally_raised e -> is_link_down e
+  | _ -> false
+
+let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granularity = `Monolithic)
+    ~profile ~mode ~sku ~net ~seed () =
   let cfg = match config with Some c -> c | None -> Mode.default_config mode in
   let clock = Grt_sim.Clock.create () in
   let energy = Grt_sim.Energy.create clock in
   let counters = Grt_sim.Counters.create () in
-  let link = Link.create ~clock ~energy ~counters profile in
+  (* The link's fault draws derive from the session seed so a lossy run is
+     exactly reproducible. *)
+  let link =
+    Link.create ~clock ~energy ~counters ~seed:(Grt_util.Hashing.combine seed 0x6C696E6BL) profile
+  in
+  (match inject_outage_after with Some k -> Link.inject_outage_after link k | None -> ());
   let history = match history with Some h -> h | None -> Drivershim.fresh_history () in
   (* Attested channel establishment (§7.1): one-time handshake cost. *)
   let channel =
@@ -125,13 +138,27 @@ let record ?history ?inject_fault_after ?config ?(granularity = `Monolithic) ~pr
       Grt_driver.Kbase.shutdown drv;
       Drivershim.finalize shim;
       (gpushim, shim, session, runner)
-    with e when mispredict_prefix e <> None ->
+    with
+    | e when mispredict_prefix e <> None ->
       let valid_log = Option.get (mispredict_prefix e) in
       incr rollbacks;
       (* Both parties restart and fast-forward through the validated log
          locally (§4.2). The dominant cost — driver reload and GPU job
          re-preparation on the cloud — is charged here; the log replay
          itself advances the clock as it runs in the next attempt. *)
+      let cost = rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10 in
+      rollback_s := !rollback_s +. cost;
+      Grt_sim.Clock.advance_s clock cost;
+      Gpushim.release gpushim;
+      attempt (n + 1) valid_log
+    | e when is_link_down e ->
+      (* The ARQ gave up mid-session. Recovery mirrors a misprediction:
+         restart from the longest validated log prefix and fast-forward
+         locally while the channel re-establishes. Responses to commits
+         still in flight were never validated, so they are replayed live. *)
+      let valid_log = Drivershim.validated_prefix shim in
+      incr rollbacks;
+      Grt_sim.Counters.add counters "recovery.link_downs" 1;
       let cost = rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10 in
       rollback_s := !rollback_s +. cost;
       Grt_sim.Clock.advance_s clock cost;
@@ -229,6 +256,8 @@ let record ?history ?inject_fault_after ?config ?(granularity = `Monolithic) ~pr
     poll_offloaded = get "poll.offloaded";
     rollbacks = !rollbacks;
     rollback_s = !rollback_s;
+    retransmits = get "net.retransmits";
+    link_downs = get "recovery.link_downs";
     counters;
     segments;
   }

@@ -29,6 +29,8 @@ type record_outcome = {
   poll_offloaded : int;
   rollbacks : int;
   rollback_s : float;  (** time spent in misprediction recovery *)
+  retransmits : int;  (** link-level retransmitted exchanges *)
+  link_downs : int;  (** mid-session link losses recovered from *)
   counters : Grt_sim.Counters.t;
   segments : bytes list;
       (** per-layer recording segments when recorded with [`Per_layer]
@@ -38,6 +40,7 @@ type record_outcome = {
 val record :
   ?history:Drivershim.history ->
   ?inject_fault_after:int ->
+  ?inject_outage_after:int ->
   ?config:Mode.config ->
   ?granularity:[ `Monolithic | `Per_layer ] ->
   profile:Grt_net.Profile.t ->
@@ -50,8 +53,10 @@ val record :
 (** Runs one record session on a fresh virtual clock. [history] carries
     speculation history across workloads (§7.3). [inject_fault_after n]
     corrupts the response to the [n]-th speculated commit of the first
-    attempt, forcing one rollback. [config] overrides the default knobs for
-    [mode] (ablations). *)
+    attempt, forcing one rollback. [inject_outage_after k] makes the link's
+    [k]-th exchange deterministically time out all retransmission attempts,
+    forcing a [Link_down] recovery. [config] overrides the default knobs
+    for [mode] (ablations). *)
 
 type replay_outcome = {
   r : Replayer.result;

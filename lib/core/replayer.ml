@@ -3,7 +3,15 @@ module Mem = Grt_gpu.Mem
 
 exception Rejected of string
 
-exception Divergence of { index : int; reg : int; expected : int64; got : int64 }
+type divergence_kind = Value_mismatch | Poll_timeout | Irq_mismatch
+
+let divergence_kind_name = function
+  | Value_mismatch -> "value mismatch"
+  | Poll_timeout -> "poll timeout"
+  | Irq_mismatch -> "IRQ mismatch"
+
+exception
+  Divergence of { kind : divergence_kind; index : int; reg : int; expected : int64; got : int64 }
 
 type result = {
   output : float array;
@@ -39,12 +47,15 @@ let apply_entries ~gpushim ~clock ~mem ~dev ~reads_verified ~skipped ~applied en
         if verify then begin
           incr reads_verified;
           if not (Int64.equal got value) then
-            raise (Divergence { index; reg; expected = value; got })
+            raise (Divergence { kind = Value_mismatch; index; reg; expected = value; got })
         end
         else incr skipped
       | Recording.Poll { reg; mask; cond; max_iters; spin_ns } ->
         let rec loop i =
-          if i >= max_iters then raise (Divergence { index; reg; expected = mask; got = -1L })
+          if i >= max_iters then
+            (* Not a wrong value — the condition never held within the
+               recorded iteration budget. [expected] carries the mask. *)
+            raise (Divergence { kind = Poll_timeout; index; reg; expected = mask; got = -1L })
           else begin
             let v = Device.read_reg dev reg in
             let ok =
@@ -63,8 +74,20 @@ let apply_entries ~gpushim ~clock ~mem ~dev ~reads_verified ~skipped ~applied en
         let want = Recording.irq_line_of_int line in
         match Gpushim.wait_irq gpushim ~timeout_ns:4_000_000_000L with
         | Some got when Some got = want -> ()
-        | Some _ | None ->
-          raise (Divergence { index; reg = -1; expected = Int64.of_int line; got = -1L })))
+        | Some got_line ->
+          raise
+            (Divergence
+               {
+                 kind = Irq_mismatch;
+                 index;
+                 reg = -1;
+                 expected = Int64.of_int line;
+                 got = Int64.of_int (Recording.irq_line_to_int got_line);
+               })
+        | None ->
+          raise
+            (Divergence
+               { kind = Irq_mismatch; index; reg = -1; expected = Int64.of_int line; got = -1L })))
     entries
 
 let replay ~gpushim ~signing_key ~blob ~input ~params ?energy () =

@@ -13,9 +13,21 @@
 
 exception Rejected of string
 
-exception Divergence of { index : int; reg : int; expected : int64; got : int64 }
+type divergence_kind =
+  | Value_mismatch  (** a verified register read returned the wrong value *)
+  | Poll_timeout
+      (** a recorded poll never satisfied its condition within the recorded
+          iteration budget; [expected] carries the poll mask, [got] is -1 *)
+  | Irq_mismatch
+      (** the wrong interrupt line fired, or none did ([got] = -1) *)
+
+val divergence_kind_name : divergence_kind -> string
+
+exception
+  Divergence of { kind : divergence_kind; index : int; reg : int; expected : int64; got : int64 }
 (** The GPU's behaviour departed from the recording — replay aborts rather
-    than continue on corrupt state. *)
+    than continue on corrupt state. [kind] distinguishes a genuine value
+    mismatch from a poll that timed out or a missing/wrong interrupt. *)
 
 type result = {
   output : float array;

@@ -8,6 +8,7 @@ type kind =
   | Irq_notify
   | Recording_download
   | Control
+  | Ack
 
 let kind_to_int = function
   | Commit_request -> 1
@@ -19,6 +20,7 @@ let kind_to_int = function
   | Irq_notify -> 7
   | Recording_download -> 8
   | Control -> 9
+  | Ack -> 10
 
 let kind_of_int = function
   | 1 -> Some Commit_request
@@ -30,22 +32,37 @@ let kind_of_int = function
   | 7 -> Some Irq_notify
   | 8 -> Some Recording_download
   | 9 -> Some Control
+  | 10 -> Some Ack
   | _ -> None
 
 let magic = 0x47525446 (* "GRTF" *)
 
-let overhead_bytes = 4 + 1 + 4 + 4 (* magic + kind + length + crc *)
+let overhead_bytes = 4 + 1 + 4 + 4 + 4 (* magic + kind + seq + length + crc *)
 
-let seal kind payload =
-  let buf = Grt_util.Byte_buf.create ~capacity:(Bytes.length payload + overhead_bytes) () in
+type msg = { kind : kind; seq : int; payload : bytes }
+
+(* The CRC covers kind, seq, length and payload — everything after the
+   magic — so a damaged sequence number is caught, not just a damaged
+   payload. *)
+let crc_of_body body =
+  Int32.to_int (Grt_util.Hashing.crc32 body) land 0xFFFFFFFF
+
+let seal ?(seq = 0) kind payload =
+  let body = Grt_util.Byte_buf.create ~capacity:(Bytes.length payload + 13) () in
+  Grt_util.Byte_buf.add_u8 body (kind_to_int kind);
+  Grt_util.Byte_buf.add_u32 body (seq land 0xFFFFFFFF);
+  Grt_util.Byte_buf.add_u32 body (Bytes.length payload);
+  Grt_util.Byte_buf.add_bytes body payload;
+  let body = Grt_util.Byte_buf.contents body in
+  let buf = Grt_util.Byte_buf.create ~capacity:(Bytes.length body + 8) () in
   Grt_util.Byte_buf.add_u32 buf magic;
-  Grt_util.Byte_buf.add_u8 buf (kind_to_int kind);
-  Grt_util.Byte_buf.add_u32 buf (Bytes.length payload);
-  Grt_util.Byte_buf.add_bytes buf payload;
-  Grt_util.Byte_buf.add_u32 buf (Int32.to_int (Grt_util.Hashing.crc32 payload) land 0xFFFFFFFF);
+  Grt_util.Byte_buf.add_bytes buf body;
+  Grt_util.Byte_buf.add_u32 buf (crc_of_body body);
   Grt_util.Byte_buf.contents buf
 
-let open_ frame =
+let ack ~seq = seal ~seq Ack Bytes.empty
+
+let open_full frame =
   try
     let r = Grt_util.Byte_buf.Reader.of_bytes frame in
     let m = Grt_util.Byte_buf.Reader.u32 r in
@@ -54,10 +71,15 @@ let open_ frame =
       match Grt_util.Byte_buf.Reader.u8 r |> kind_of_int with
       | None -> Error "frame: unknown kind"
       | Some kind ->
+        let seq = Grt_util.Byte_buf.Reader.u32 r in
         let len = Grt_util.Byte_buf.Reader.u32 r in
         let payload = Grt_util.Byte_buf.Reader.bytes r len in
         let crc = Grt_util.Byte_buf.Reader.u32 r in
-        if crc <> Int32.to_int (Grt_util.Hashing.crc32 payload) land 0xFFFFFFFF then
+        if Bytes.length frame < 4 + 9 + len then Error "frame: truncated"
+        else if crc <> crc_of_body (Bytes.sub frame 4 (9 + len)) then
           Error "frame: CRC mismatch"
-        else Ok (kind, payload)
+        else Ok { kind; seq; payload }
   with Failure _ -> Error "frame: truncated"
+
+let open_ frame =
+  match open_full frame with Ok m -> Ok (m.kind, m.payload) | Error _ as e -> e

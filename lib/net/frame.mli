@@ -1,6 +1,7 @@
-(** Message framing for the cloud/client channel: a type tag, a length and a
-    CRC-32 trailer. The secure-channel layer in [Grt_tee] wraps frames with
-    authentication; this layer catches accidental corruption. *)
+(** Message framing for the cloud/client channel: a type tag, a sequence
+    number, a length and a CRC-32 trailer. The secure-channel layer in
+    [Grt_tee] wraps frames with authentication; this layer catches accidental
+    corruption and lets the link detect retransmitted duplicates. *)
 
 type kind =
   | Commit_request
@@ -12,15 +13,27 @@ type kind =
   | Irq_notify
   | Recording_download
   | Control
+  | Ack  (** link-level acknowledgement of a sequence number *)
 
 val kind_to_int : kind -> int
 val kind_of_int : int -> kind option
 
-val seal : kind -> bytes -> bytes
-(** [seal kind payload] builds a framed message. *)
+type msg = { kind : kind; seq : int; payload : bytes }
+
+val seal : ?seq:int -> kind -> bytes -> bytes
+(** [seal ?seq kind payload] builds a framed message. [seq] defaults to 0
+    and is truncated to 32 bits. *)
+
+val ack : seq:int -> bytes
+(** An empty [Ack] frame carrying [seq]. *)
 
 val open_ : bytes -> (kind * bytes, string) result
-(** [open_ frame] validates length and CRC and returns the payload. *)
+(** [open_ frame] validates magic, length and CRC and returns the payload. *)
+
+val open_full : bytes -> (msg, string) result
+(** Like [open_] but also exposes the sequence number. The CRC covers the
+    header fields after the magic as well as the payload, so a damaged
+    sequence number is rejected too. *)
 
 val overhead_bytes : int
 (** Framing overhead added to every message. *)

@@ -1,15 +1,52 @@
+module Costs = Grt_sim.Costs
+
+type health = Healthy | Degraded
+
+exception Link_down of { attempts : int; op : string }
+
+(* Sliding window over recent exchanges used to detect a persistently lossy
+   channel (degraded mode, hysteresis: trip high, clear low). *)
+let window_size = 64
+
+let degraded_trip = 0.20
+let degraded_clear = degraded_trip /. 4.
+
 type t = {
-  profile : Profile.t;
+  mutable profile : Profile.t;
   clock : Grt_sim.Clock.t;
   energy : Grt_sim.Energy.t option;
   counters : Grt_sim.Counters.t option;
+  rng : Grt_util.Rng.t;
+  mutable last_delivery : int64;
+  window : Bytes.t;
+  mutable window_fill : int;
+  mutable window_pos : int;
+  mutable window_sum : int;
+  mutable health : health;
+  mutable outage_countdown : int option;
 }
 
-let create ~clock ?energy ?counters profile = { profile; clock; energy; counters }
+let create ~clock ?energy ?counters ?(seed = 0x4C494E4BL) profile =
+  {
+    profile;
+    clock;
+    energy;
+    counters;
+    rng = Grt_util.Rng.create ~seed;
+    last_delivery = 0L;
+    window = Bytes.make window_size '\000';
+    window_fill = 0;
+    window_pos = 0;
+    window_sum = 0;
+    health = Healthy;
+    outage_countdown = None;
+  }
 
 let profile t = t.profile
-
+let set_profile t p = t.profile <- p
 let clock t = t.clock
+let health t = t.health
+let inject_outage_after t n = t.outage_countdown <- Some n
 
 let count t name v = match t.counters with Some c -> Grt_sim.Counters.add c name v | None -> ()
 
@@ -38,40 +75,187 @@ let account t ~send_bytes ~recv_bytes =
 (* Note: [send_bytes] is cloud->client, which the *client* receives; the
    client energy model therefore sees it as RX. *)
 
+let note_transfer t ~retransmitted =
+  let v = if retransmitted then 1 else 0 in
+  if t.window_fill = window_size then
+    t.window_sum <- t.window_sum - Char.code (Bytes.get t.window t.window_pos)
+  else t.window_fill <- t.window_fill + 1;
+  Bytes.set t.window t.window_pos (Char.chr v);
+  t.window_sum <- t.window_sum + v;
+  t.window_pos <- (t.window_pos + 1) mod window_size;
+  let rate = float_of_int t.window_sum /. float_of_int (max 1 t.window_fill) in
+  match t.health with
+  | Healthy when t.window_fill >= window_size / 2 && rate >= degraded_trip ->
+    t.health <- Degraded;
+    count t "net.degraded_entries" 1
+  | Degraded when rate <= degraded_clear ->
+    t.health <- Healthy;
+    count t "net.degraded_exits" 1
+  | _ -> ()
+
+let rto t attempt =
+  let base =
+    Float.max Costs.link_rto_min_s (Costs.link_rto_rtt_multiplier *. t.profile.Profile.rtt_s)
+  in
+  Float.min Costs.link_rto_max_s (base *. (Costs.link_rto_backoff ** float_of_int (attempt - 1)))
+
+(* One leg of an exchange: lost, damaged (receiver drops it on CRC), or
+   delivered. *)
+let leg_outcome t =
+  let f = t.profile.Profile.faults in
+  if Grt_util.Rng.float t.rng 1.0 < f.Profile.drop_prob then `Dropped
+  else if
+    f.Profile.corrupt_prob > 0. && Grt_util.Rng.float t.rng 1.0 < f.Profile.corrupt_prob
+  then `Corrupt
+  else begin
+    if f.Profile.dup_prob > 0. && Grt_util.Rng.float t.rng 1.0 < f.Profile.dup_prob then
+      (* Duplicate delivery: the sequence number identifies it and the
+         receiver discards it; only the counter records it happened. *)
+      count t "net.dups" 1;
+    `Ok
+  end
+
+(* Stop-and-wait ARQ over one exchange of [legs] messages. Draws fault
+   outcomes per leg; a lost or damaged leg times out the whole attempt, the
+   sender backs off and retransmits ([charge_attempt] re-charges the resent
+   bytes and energy). Returns the extra delay (timeouts + jitter) in
+   seconds; the caller folds it into the exchange latency. Raises
+   [Link_down] — after advancing the clock past the final timeout — once
+   [Costs.link_max_attempts] attempts have failed. *)
+let run_arq t ~op ~legs ~charge_attempt =
+  let fail_down ~extra ~retransmitted =
+    count t "net.link_downs" 1;
+    Grt_sim.Clock.advance_s t.clock extra;
+    note_transfer t ~retransmitted;
+    raise (Link_down { attempts = Costs.link_max_attempts; op })
+  in
+  match t.outage_countdown with
+  | Some 0 ->
+    (* Deterministic hard outage: every attempt times out. *)
+    t.outage_countdown <- None;
+    let extra = ref 0. in
+    for a = 1 to Costs.link_max_attempts do
+      extra := !extra +. rto t a;
+      if a > 1 then begin
+        count t "net.retransmits" 1;
+        charge_attempt ()
+      end
+    done;
+    fail_down ~extra:!extra ~retransmitted:true
+  | Some n ->
+    t.outage_countdown <- Some (n - 1);
+    note_transfer t ~retransmitted:false;
+    0.
+  | None ->
+    if not (Profile.has_faults t.profile) then begin
+      note_transfer t ~retransmitted:false;
+      0.
+    end
+    else begin
+      let f = t.profile.Profile.faults in
+      let extra = ref 0. in
+      let rec attempt a =
+        if a > Costs.link_max_attempts then fail_down ~extra:!extra ~retransmitted:true;
+        if a > 1 then begin
+          count t "net.retransmits" 1;
+          charge_attempt ()
+        end;
+        let ok = ref true in
+        for _ = 1 to legs do
+          if !ok then
+            match leg_outcome t with
+            | `Dropped ->
+              count t "net.drops" 1;
+              ok := false
+            | `Corrupt ->
+              count t "net.corrupt_drops" 1;
+              ok := false
+            | `Ok -> ()
+        done;
+        if !ok then begin
+          if f.Profile.jitter_s > 0. then
+            extra := !extra +. Grt_util.Rng.float t.rng f.Profile.jitter_s;
+          note_transfer t ~retransmitted:(a > 1);
+          !extra
+        end
+        else begin
+          extra := !extra +. rto t a;
+          attempt (a + 1)
+        end
+      in
+      attempt 1
+    end
+
+(* Jitter and retransmission must not reorder deliveries: the channel is
+   FIFO (sequence numbers), so completion times are clamped monotonic. *)
+let deliver_at t completion =
+  let completion =
+    if Int64.compare completion t.last_delivery < 0 then t.last_delivery else completion
+  in
+  t.last_delivery <- completion;
+  completion
+
 let round_trip t ~send_bytes ~recv_bytes =
   account t ~send_bytes ~recv_bytes;
   count t "net.blocking_rtts" 1;
-  Grt_sim.Clock.advance_s t.clock (Profile.round_trip_s t.profile ~send_bytes ~recv_bytes)
+  let extra =
+    run_arq t ~op:"round_trip" ~legs:2 ~charge_attempt:(fun () ->
+        account t ~send_bytes ~recv_bytes)
+  in
+  Grt_sim.Clock.advance_s t.clock
+    (Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra);
+  ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
 
 let async_send t ~send_bytes ~recv_bytes =
   account t ~send_bytes ~recv_bytes;
   count t "net.async_sends" 1;
-  let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes in
-  Int64.add (Grt_sim.Clock.now_ns t.clock) (Int64.of_float (latency *. 1e9))
+  let extra =
+    run_arq t ~op:"async_send" ~legs:2 ~charge_attempt:(fun () ->
+        account t ~send_bytes ~recv_bytes)
+  in
+  let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
+  deliver_at t (Int64.add (Grt_sim.Clock.now_ns t.clock) (Int64.of_float (latency *. 1e9)))
 
 let wait_until t deadline =
   if Int64.compare deadline (Grt_sim.Clock.now_ns t.clock) > 0 then begin
-    count t "net.blocking_rtts" 1;
     count t "net.stall_waits" 1;
     Grt_sim.Clock.advance_to t.clock deadline
   end
 
+(* One-way pushes retransmit on payload loss only; the tiny reverse ack is
+   assumed reliable (its loss would be repaired by the next exchange). *)
 let one_way_to_client t ~bytes =
   count t "net.msgs" 1;
   count t "net.bytes_tx" bytes;
   charge_radio t ~tx_bytes:0 ~rx_bytes:bytes;
-  Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes)
+  let extra =
+    run_arq t ~op:"one_way_to_client" ~legs:1 ~charge_attempt:(fun () ->
+        count t "net.msgs" 1;
+        count t "net.bytes_tx" bytes;
+        charge_radio t ~tx_bytes:0 ~rx_bytes:bytes)
+  in
+  Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
+  ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
 
 let one_way_from_client t ~bytes =
   count t "net.msgs" 1;
   count t "net.bytes_rx" bytes;
   charge_radio t ~tx_bytes:bytes ~rx_bytes:0;
-  Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes)
+  let extra =
+    run_arq t ~op:"one_way_from_client" ~legs:1 ~charge_attempt:(fun () ->
+        count t "net.msgs" 1;
+        count t "net.bytes_rx" bytes;
+        charge_radio t ~tx_bytes:bytes ~rx_bytes:0)
+  in
+  Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
+  ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
 
-let stats t ~blocking_rtts:() =
-  match t.counters with
-  | Some c -> Grt_sim.Counters.get_int c "net.blocking_rtts"
-  | None -> 0
+let counter_int t name =
+  match t.counters with Some c -> Grt_sim.Counters.get_int c name | None -> 0
+
+let blocking_rtts t = counter_int t "net.blocking_rtts"
+let stall_waits t = counter_int t "net.stall_waits"
+let retransmits t = counter_int t "net.retransmits"
 
 let bytes_tx t =
   match t.counters with Some c -> Grt_sim.Counters.get c "net.bytes_tx" | None -> 0L

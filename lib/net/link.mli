@@ -4,33 +4,68 @@
     bytes, it charges their cost: virtual-clock delay, radio energy on the
     client, and statistic counters. It supports both blocking round trips
     (synchronous commits) and fire-and-forget sends whose completion time is
-    returned so callers can overlap computation (speculative commits, §4.2). *)
+    returned so callers can overlap computation (speculative commits, §4.2).
+
+    When the profile carries faults, every exchange runs a stop-and-wait ARQ:
+    lost or damaged legs time out, the sender backs off exponentially
+    ([Grt_sim.Costs.link_rto_*]) and retransmits, and after
+    [Grt_sim.Costs.link_max_attempts] failures the link raises [Link_down].
+    All fault draws come from a seeded [Grt_util.Rng], so a given (seed,
+    profile, traffic) triple is fully deterministic. *)
 
 type t
+
+type health = Healthy | Degraded
+
+exception Link_down of { attempts : int; op : string }
+(** The ARQ gave up on an exchange: [attempts] sends (first try plus
+    retransmissions) all timed out. The virtual clock has already been
+    advanced past the final timeout when this is raised. *)
 
 val create :
   clock:Grt_sim.Clock.t ->
   ?energy:Grt_sim.Energy.t ->
   ?counters:Grt_sim.Counters.t ->
+  ?seed:int64 ->
   Profile.t ->
   t
+(** [seed] defaults to a fixed constant so fault draws are reproducible even
+    when the caller does not thread a seed through. *)
 
 val profile : t -> Profile.t
+
+val set_profile : t -> Profile.t -> unit
+(** Swap network conditions mid-session (e.g. an experiment moving from a
+    clean to a lossy phase). Counters and the degraded-mode window carry
+    over. *)
+
 val clock : t -> Grt_sim.Clock.t
 
+val health : t -> health
+(** [Degraded] once the retransmission rate over a sliding window of recent
+    exchanges trips a high-water threshold; back to [Healthy] after the rate
+    falls under a quarter of it (hysteresis, so the policy doesn't flap). *)
+
+val inject_outage_after : t -> int -> unit
+(** [inject_outage_after t n]: after [n] more successful exchanges, the next
+    one deterministically times out every attempt and raises [Link_down].
+    Test hook for recovery paths — independent of the random fault draws. *)
+
 val round_trip : t -> send_bytes:int -> recv_bytes:int -> unit
-(** Blocking exchange: advances the clock by the full round-trip latency and
-    counts one blocking RTT. *)
+(** Blocking exchange: advances the clock by the full round-trip latency
+    (plus any retransmission timeouts and jitter) and counts one blocking
+    RTT. Raises [Link_down] if the ARQ gives up. *)
 
 val async_send : t -> send_bytes:int -> recv_bytes:int -> int64
 (** Non-blocking exchange: charges bytes and energy now, returns the absolute
     virtual time (ns) at which the response will have arrived. Does not
-    advance the clock and does not count a blocking RTT. *)
+    advance the clock and does not count a blocking RTT. Completion times are
+    clamped monotonic so jitter never reorders the FIFO channel. Raises
+    [Link_down] if the ARQ gives up. *)
 
 val wait_until : t -> int64 -> unit
 (** Advance the clock to an [async_send] completion time (no-op if already
-    past). Counts a blocking RTT only if an actual wait occurred, mirroring
-    how a stalled speculative commit degenerates to a synchronous one. *)
+    past). Counts [net.stall_waits] only when an actual wait occurred. *)
 
 val one_way_to_client : t -> bytes:int -> unit
 (** Blocking one-way push (e.g. the final recording download). *)
@@ -39,8 +74,14 @@ val one_way_from_client : t -> bytes:int -> unit
 (** Blocking one-way upload (interrupt forwarding plus the client's memory
     dump, §5). *)
 
-val stats : t -> blocking_rtts:unit -> int
+val blocking_rtts : t -> int
 (** Number of blocking round trips charged so far. *)
+
+val stall_waits : t -> int
+(** Number of speculative commits that stalled on their completion time. *)
+
+val retransmits : t -> int
+(** Number of retransmitted exchanges so far. *)
 
 val bytes_tx : t -> int64
 val bytes_rx : t -> int64

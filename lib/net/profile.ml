@@ -1,19 +1,60 @@
+type faults = {
+  drop_prob : float;
+  dup_prob : float;
+  corrupt_prob : float;
+  jitter_s : float;
+}
+
+let no_faults = { drop_prob = 0.; dup_prob = 0.; corrupt_prob = 0.; jitter_s = 0. }
+
 type t = {
   name : string;
   rtt_s : float;
   bandwidth_bps : float;
   per_message_s : float;
+  faults : faults;
 }
 
-let wifi = { name = "wifi"; rtt_s = 0.020; bandwidth_bps = 80.0e6; per_message_s = 40e-6 }
+let wifi =
+  { name = "wifi"; rtt_s = 0.020; bandwidth_bps = 80.0e6; per_message_s = 40e-6; faults = no_faults }
 
-let cellular = { name = "cellular"; rtt_s = 0.050; bandwidth_bps = 40.0e6; per_message_s = 60e-6 }
+let cellular =
+  {
+    name = "cellular";
+    rtt_s = 0.050;
+    bandwidth_bps = 40.0e6;
+    per_message_s = 60e-6;
+    faults = no_faults;
+  }
 
-let lan = { name = "lan"; rtt_s = 0.0002; bandwidth_bps = 1.0e9; per_message_s = 5e-6 }
+let lan =
+  { name = "lan"; rtt_s = 0.0002; bandwidth_bps = 1.0e9; per_message_s = 5e-6; faults = no_faults }
 
 let custom ~name ~rtt_ms ~bandwidth_mbps =
   if rtt_ms < 0. || bandwidth_mbps <= 0. then invalid_arg "Profile.custom";
-  { name; rtt_s = rtt_ms /. 1e3; bandwidth_bps = bandwidth_mbps *. 1e6; per_message_s = 40e-6 }
+  {
+    name;
+    rtt_s = rtt_ms /. 1e3;
+    bandwidth_bps = bandwidth_mbps *. 1e6;
+    per_message_s = 40e-6;
+    faults = no_faults;
+  }
+
+let valid_prob p = p >= 0. && p < 1.
+
+let degrade ?(dup_prob = 0.) ?(corrupt_prob = 0.) ?(jitter_s = 0.) ~drop_prob p =
+  if
+    not
+      (valid_prob drop_prob && valid_prob dup_prob && valid_prob corrupt_prob && jitter_s >= 0.)
+  then invalid_arg "Profile.degrade";
+  let faults = { drop_prob; dup_prob; corrupt_prob; jitter_s } in
+  let name =
+    if faults = no_faults then p.name
+    else Printf.sprintf "%s+loss%.2g%%" p.name (100. *. (drop_prob +. corrupt_prob))
+  in
+  { p with name; faults }
+
+let has_faults p = p.faults <> no_faults
 
 let one_way_s p bytes =
   (p.rtt_s /. 2.) +. (float_of_int (8 * bytes) /. p.bandwidth_bps) +. p.per_message_s
@@ -22,4 +63,8 @@ let round_trip_s p ~send_bytes ~recv_bytes = one_way_s p send_bytes +. one_way_s
 
 let pp ppf p =
   Format.fprintf ppf "%s (RTT %.0f ms, BW %.0f Mbps)" p.name (p.rtt_s *. 1e3)
-    (p.bandwidth_bps /. 1e6)
+    (p.bandwidth_bps /. 1e6);
+  if has_faults p then
+    Format.fprintf ppf " [drop %.1f%%, dup %.1f%%, corrupt %.1f%%, jitter %.1f ms]"
+      (100. *. p.faults.drop_prob) (100. *. p.faults.dup_prob) (100. *. p.faults.corrupt_prob)
+      (p.faults.jitter_s *. 1e3)

@@ -2,11 +2,22 @@
     TEE. The paper evaluates under NetEm-shaped WiFi (20 ms RTT, 80 Mbps) and
     cellular (50 ms RTT, 40 Mbps) conditions (§7.2). *)
 
+type faults = {
+  drop_prob : float;  (** probability a message is silently lost *)
+  dup_prob : float;  (** probability a message is delivered twice *)
+  corrupt_prob : float;  (** probability the payload arrives damaged *)
+  jitter_s : float;  (** max extra one-way delay, drawn uniformly *)
+}
+
+val no_faults : faults
+(** A perfect channel: all probabilities zero, no jitter. *)
+
 type t = {
   name : string;
   rtt_s : float;  (** full round-trip time for a minimal message *)
   bandwidth_bps : float;  (** symmetric goodput *)
   per_message_s : float;  (** fixed per-message processing overhead *)
+  faults : faults;  (** channel impairments; [no_faults] for presets *)
 }
 
 val wifi : t
@@ -19,6 +30,20 @@ val lan : t
 (** 0.2 ms RTT, 1 Gbps — a wired-lab control case. *)
 
 val custom : name:string -> rtt_ms:float -> bandwidth_mbps:float -> t
+
+val degrade :
+  ?dup_prob:float ->
+  ?corrupt_prob:float ->
+  ?jitter_s:float ->
+  drop_prob:float ->
+  t ->
+  t
+(** [degrade ~drop_prob p] is [p] with channel impairments applied. The
+    profile is renamed so experiment caches keyed by name don't collide
+    with the clean profile. Probabilities must be in [0, 1); raises
+    [Invalid_argument] otherwise. *)
+
+val has_faults : t -> bool
 
 val one_way_s : t -> int -> float
 (** [one_way_s p bytes] is the latency for one message of [bytes] payload:

@@ -35,3 +35,19 @@ val gpu_flops_per_s : float
 val gpu_job_fixed_ns : int64
 (** Fixed per-job GPU overhead: fetch descriptor, schedule cores, raise
     IRQ. *)
+
+val link_rto_min_s : float
+(** Floor for the retransmission timeout. *)
+
+val link_rto_rtt_multiplier : float
+(** Initial RTO as a multiple of the profile RTT. *)
+
+val link_rto_backoff : float
+(** Multiplicative backoff applied to the RTO after each timeout. *)
+
+val link_rto_max_s : float
+(** Ceiling for the backed-off RTO. *)
+
+val link_max_attempts : int
+(** Send attempts (first try + retransmissions) before the link gives up
+    and raises [Grt_net.Link.Link_down]. *)

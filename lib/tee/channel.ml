@@ -21,11 +21,18 @@ let session_key t = t.key
 let wire_overhead = Grt_net.Frame.overhead_bytes + Crypto.sealed_overhead
 
 let seal_message t kind payload =
-  let framed = Grt_net.Frame.seal kind payload in
   t.nonce <- Int64.add t.nonce 1L;
+  (* The channel nonce doubles as the frame sequence number, so the link's
+     ARQ can spot retransmitted duplicates without extra state. *)
+  let framed = Grt_net.Frame.seal ~seq:(Int64.to_int t.nonce land 0xFFFFFFFF) kind payload in
   Crypto.seal ~key:t.key ~nonce:t.nonce framed
 
 let open_message t blob =
   match Crypto.open_ ~key:t.key blob with
   | Error _ as e -> e
   | Ok framed -> Grt_net.Frame.open_ framed
+
+let open_message_full t blob =
+  match Crypto.open_ ~key:t.key blob with
+  | Error _ as e -> e
+  | Ok framed -> Grt_net.Frame.open_full framed

@@ -71,10 +71,26 @@ let link_wait_until_counts_only_real_waits () =
   let completion = Link.async_send link ~send_bytes:64 ~recv_bytes:64 in
   Link.wait_until link completion;
   check Alcotest.int "stalled once" 1 (Counters.get_int counters "net.stall_waits");
+  (* A stall is not a blocking round trip: the RTT was already charged by
+     async_send's completion time. Counting both would double-report. *)
+  check Alcotest.int "no blocking rtt for a stall" 0
+    (Counters.get_int counters "net.blocking_rtts");
   check Alcotest.int64 "clock at completion" completion (Clock.now_ns clock);
   (* Second wait on the same (past) deadline is free. *)
   Link.wait_until link completion;
-  check Alcotest.int "no extra stall" 1 (Counters.get_int counters "net.stall_waits")
+  check Alcotest.int "no extra stall" 1 (Counters.get_int counters "net.stall_waits");
+  check Alcotest.int "still no blocking rtt" 0 (Counters.get_int counters "net.blocking_rtts")
+
+let link_accessors_match_counters () =
+  let link, _, counters = make_link Profile.wifi in
+  Link.round_trip link ~send_bytes:10 ~recv_bytes:10;
+  Link.round_trip link ~send_bytes:10 ~recv_bytes:10;
+  Link.wait_until link (Link.async_send link ~send_bytes:10 ~recv_bytes:10);
+  check Alcotest.int "blocking_rtts" (Counters.get_int counters "net.blocking_rtts")
+    (Link.blocking_rtts link);
+  check Alcotest.int "blocking_rtts value" 2 (Link.blocking_rtts link);
+  check Alcotest.int "stall_waits" 1 (Link.stall_waits link);
+  check Alcotest.int "retransmits (clean link)" 0 (Link.retransmits link)
 
 let link_one_ways () =
   let link, clock, counters = make_link Profile.wifi in
@@ -97,6 +113,111 @@ let link_bandwidth_matters () =
   Link.round_trip link_fast ~send_bytes:1_000_000 ~recv_bytes:0;
   Link.round_trip link_slow ~send_bytes:1_000_000 ~recv_bytes:0;
   check Alcotest.bool "lan much faster" true (Clock.now_s clock_fast *. 5. < Clock.now_s clock_slow)
+
+(* ---- faulty links ---- *)
+
+let make_lossy ?(seed = 11L) ?(drop = 0.3) ?dup ?corrupt ?jitter profile =
+  let p = Profile.degrade ?dup_prob:dup ?corrupt_prob:corrupt ?jitter_s:jitter ~drop_prob:drop profile in
+  let clock = Clock.create () in
+  let counters = Counters.create () in
+  (Link.create ~clock ~counters ~seed p, clock, counters)
+
+let drive link n =
+  for _ = 1 to n do
+    try Link.round_trip link ~send_bytes:64 ~recv_bytes:64 with Link.Link_down _ -> ()
+  done
+
+let link_lossy_retransmits () =
+  let link, clock, counters = make_lossy Profile.wifi in
+  let clean, clean_clock, _ = make_link Profile.wifi in
+  for _ = 1 to 50 do
+    Link.round_trip clean ~send_bytes:64 ~recv_bytes:64
+  done;
+  drive link 50;
+  check Alcotest.bool "retransmits happened" true (Link.retransmits link > 0);
+  check Alcotest.bool "drops counted" true (Counters.get_int counters "net.drops" > 0);
+  check Alcotest.bool "loss costs time" true (Clock.now_s clock > Clock.now_s clean_clock)
+
+let link_lossy_deterministic () =
+  let run () =
+    let link, clock, _ = make_lossy ~seed:99L Profile.wifi in
+    drive link 40;
+    (Clock.now_ns clock, Link.retransmits link)
+  in
+  let t1, r1 = run () and t2, r2 = run () in
+  check Alcotest.int64 "same virtual time" t1 t2;
+  check Alcotest.int "same retransmit count" r1 r2
+
+let link_corruption_counted_separately () =
+  let link, _, counters = make_lossy ~drop:0.0 ~corrupt:0.4 Profile.wifi in
+  drive link 50;
+  check Alcotest.bool "corrupt drops counted" true
+    (Counters.get_int counters "net.corrupt_drops" > 0);
+  check Alcotest.int "no plain drops" 0 (Counters.get_int counters "net.drops")
+
+let link_dups_cost_nothing_but_counted () =
+  let link, clock, counters = make_lossy ~drop:0.0 ~dup:0.5 Profile.wifi in
+  let clean, clean_clock, _ = make_link Profile.wifi in
+  drive link 30;
+  for _ = 1 to 30 do
+    Link.round_trip clean ~send_bytes:64 ~recv_bytes:64
+  done;
+  check Alcotest.bool "dups counted" true (Counters.get_int counters "net.dups" > 0);
+  check Alcotest.int "no retransmits from dups" 0 (Link.retransmits link);
+  (* Duplicates are discarded by sequence number; they add no latency. *)
+  check (Alcotest.float 1e-9) "same virtual time" (Clock.now_s clean_clock) (Clock.now_s clock)
+
+let link_outage_raises_link_down () =
+  let link, clock, counters = make_link Profile.wifi in
+  Link.inject_outage_after link 1;
+  Link.round_trip link ~send_bytes:64 ~recv_bytes:64 (* survives: countdown at 1 *);
+  let before = Clock.now_s clock in
+  (match Link.round_trip link ~send_bytes:64 ~recv_bytes:64 with
+  | () -> Alcotest.fail "outage did not raise"
+  | exception Link.Link_down { attempts; op } ->
+    check Alcotest.int "gave up after max attempts" Grt_sim.Costs.link_max_attempts attempts;
+    check Alcotest.string "op" "round_trip" op);
+  check Alcotest.bool "timeouts charged to the clock" true (Clock.now_s clock > before);
+  check Alcotest.int "link_down counted" 1 (Counters.get_int counters "net.link_downs");
+  check Alcotest.bool "retransmit attempts counted" true (Link.retransmits link > 0)
+
+let link_heavy_loss_eventually_down () =
+  let link, _, _ = make_lossy ~seed:3L ~drop:0.9 Profile.wifi in
+  let downs = ref 0 in
+  for _ = 1 to 30 do
+    try Link.round_trip link ~send_bytes:64 ~recv_bytes:64
+    with Link.Link_down _ -> incr downs
+  done;
+  check Alcotest.bool "random loss can exhaust the ARQ" true (!downs > 0)
+
+let link_degraded_state_machine () =
+  let link, _, counters = make_lossy ~seed:7L ~drop:0.4 Profile.wifi in
+  check Alcotest.bool "starts healthy" true (Link.health link = Link.Healthy);
+  drive link 64;
+  check Alcotest.bool "tripped degraded" true (Link.health link = Link.Degraded);
+  check Alcotest.bool "entry counted" true (Counters.get_int counters "net.degraded_entries" >= 1);
+  (* The channel clears up: hysteresis exits after a quiet stretch. *)
+  Link.set_profile link Profile.wifi;
+  drive link 128;
+  check Alcotest.bool "recovered" true (Link.health link = Link.Healthy);
+  check Alcotest.bool "exit counted" true (Counters.get_int counters "net.degraded_exits" >= 1)
+
+let link_jitter_keeps_fifo () =
+  let link, _, _ = make_lossy ~seed:5L ~drop:0.2 ~jitter:0.080 Profile.wifi in
+  let prev = ref 0L in
+  for _ = 1 to 40 do
+    let c = Link.async_send link ~send_bytes:64 ~recv_bytes:64 in
+    check Alcotest.bool "monotonic completion" true (Int64.compare c !prev >= 0);
+    prev := c
+  done
+
+let profile_degrade_renames () =
+  let p = Profile.degrade ~drop_prob:0.05 Profile.wifi in
+  check Alcotest.bool "renamed" true (p.Profile.name <> Profile.wifi.Profile.name);
+  check Alcotest.bool "has faults" true (Profile.has_faults p);
+  check Alcotest.bool "presets clean" false (Profile.has_faults Profile.wifi);
+  Alcotest.check_raises "bad prob" (Invalid_argument "Profile.degrade") (fun () ->
+      ignore (Profile.degrade ~drop_prob:1.5 Profile.wifi))
 
 (* ---- Frame ---- *)
 
@@ -124,7 +245,42 @@ let frame_all_kinds () =
       Frame.Irq_notify;
       Frame.Recording_download;
       Frame.Control;
+      Frame.Ack;
     ]
+
+let frame_seq_roundtrip () =
+  let payload = Bytes.of_string "seq'd" in
+  let framed = Frame.seal ~seq:123456 Frame.Poll_result payload in
+  match Frame.open_full framed with
+  | Ok m ->
+    check Alcotest.bool "kind" true (m.Frame.kind = Frame.Poll_result);
+    check Alcotest.int "seq" 123456 m.Frame.seq;
+    check Alcotest.bytes "payload" payload m.Frame.payload
+  | Error e -> Alcotest.fail e
+
+let frame_default_seq_zero () =
+  match Frame.open_full (Frame.seal Frame.Control Bytes.empty) with
+  | Ok m -> check Alcotest.int "seq defaults to 0" 0 m.Frame.seq
+  | Error e -> Alcotest.fail e
+
+let frame_ack () =
+  match Frame.open_full (Frame.ack ~seq:77) with
+  | Ok { Frame.kind = Frame.Ack; seq = 77; payload } ->
+    check Alcotest.int "empty payload" 0 (Bytes.length payload)
+  | Ok _ -> Alcotest.fail "wrong kind or seq"
+  | Error e -> Alcotest.fail e
+
+let frame_corrupt_seq_detected () =
+  (* The CRC must cover the header, not just the payload: a damaged
+     sequence number would otherwise ack the wrong exchange. *)
+  let framed = Frame.seal ~seq:1 Frame.Control (Bytes.of_string "abc") in
+  let c = Bytes.copy framed in
+  (* seq lives in bytes 5-8, after magic (4) and kind (1) *)
+  Bytes.set c 6 (Char.chr (Char.code (Bytes.get c 6) lxor 0x10));
+  match Frame.open_full c with
+  | Error _ -> ()
+  | Ok m ->
+    Alcotest.fail (Printf.sprintf "corrupted seq accepted (seq now %d)" m.Frame.seq)
 
 let frame_detects_corruption () =
   let framed = Frame.seal Frame.Mem_sync (Bytes.of_string "page data here") in
@@ -168,6 +324,7 @@ let () =
           Alcotest.test_case "round-trip math" `Quick profile_round_trip_math;
           Alcotest.test_case "custom validation" `Quick profile_custom_validation;
           Alcotest.test_case "cellular slower than wifi" `Quick profile_ordering;
+          Alcotest.test_case "degrade renames and validates" `Quick profile_degrade_renames;
         ] );
       ( "link",
         [
@@ -177,6 +334,19 @@ let () =
           Alcotest.test_case "one-way transfers" `Quick link_one_ways;
           Alcotest.test_case "async FIFO order" `Quick link_async_fifo_order;
           Alcotest.test_case "bandwidth matters" `Quick link_bandwidth_matters;
+          Alcotest.test_case "accessors match counters" `Quick link_accessors_match_counters;
+        ] );
+      ( "faulty-link",
+        [
+          Alcotest.test_case "loss retransmits and costs time" `Quick link_lossy_retransmits;
+          Alcotest.test_case "seeded loss is deterministic" `Quick link_lossy_deterministic;
+          Alcotest.test_case "corruption counted separately" `Quick
+            link_corruption_counted_separately;
+          Alcotest.test_case "dups counted, free" `Quick link_dups_cost_nothing_but_counted;
+          Alcotest.test_case "outage raises Link_down" `Quick link_outage_raises_link_down;
+          Alcotest.test_case "heavy loss exhausts ARQ" `Quick link_heavy_loss_eventually_down;
+          Alcotest.test_case "degraded-mode hysteresis" `Quick link_degraded_state_machine;
+          Alcotest.test_case "jitter keeps FIFO order" `Quick link_jitter_keeps_fifo;
         ] );
       ( "frame",
         [
@@ -186,5 +356,9 @@ let () =
           Alcotest.test_case "bad magic" `Quick frame_bad_magic;
           Alcotest.test_case "truncated" `Quick frame_truncated;
           Alcotest.test_case "overhead constant" `Quick frame_overhead_accurate;
+          Alcotest.test_case "sequence number roundtrip" `Quick frame_seq_roundtrip;
+          Alcotest.test_case "default seq is 0" `Quick frame_default_seq_zero;
+          Alcotest.test_case "ack frame" `Quick frame_ack;
+          Alcotest.test_case "corrupt seq detected" `Quick frame_corrupt_seq_detected;
         ] );
     ]
