@@ -1,343 +1,29 @@
+open Shim_engine
 module Backend = Grt_driver.Backend
 module Regs = Grt_gpu.Regs
 module Sexpr = Grt_util.Sexpr
 module Link = Grt_net.Link
+module Metrics = Grt_sim.Metrics
 
-exception
-  Mispredict of {
-    site : string;
-    reg : int;
-    predicted : int64;
-    actual : int64;
-    valid_log : Recording.entry list;
-        (** interactions validated before the failing commit — the prefix
-            both parties replay locally to fast-forward (§4.2) *)
-  }
+exception Mispredict = Shim_engine.Mispredict
+exception Recovery_diverged = Recovery.Recovery_diverged
 
-exception Recovery_diverged of string
+type category = Shim_engine.category = Init | Interrupt | Power | Polling | Other
 
-type category = Init | Interrupt | Power | Polling | Other
+let category_name = Shim_engine.category_name
+let all_categories = Shim_engine.all_categories
 
-let category_name = function
-  | Init -> "Init"
-  | Interrupt -> "Interrupt"
-  | Power -> "Power state"
-  | Polling -> "Polling"
-  | Other -> "Other"
+type history = Spec_history.t
 
-let all_categories = [ Init; Interrupt; Power; Polling; Other ]
+let fresh_history = Spec_history.create
 
-type history = (string, int64 array list) Hashtbl.t
+type t = Shim_engine.t
 
-let fresh_history () : history = Hashtbl.create 128
+let create = Shim_engine.create
 
-type pending = Qr of { reg : int; sym : Sexpr.sym } | Qw of { reg : int; expr : Sexpr.t }
-
-type outstanding = {
-  o_completion : int64;
-  o_site : string;
-  o_checks : (int * int64 * int64) list; (* reg, predicted, actual *)
-  o_syms : Sexpr.sym list;
-  o_log_mark : int; (* length of the log before this commit's entries *)
-}
-
-type thread = Main | Irq
-
-type t = {
-  cfg : Mode.config;
-  link : Link.t;
-  gpushim : Gpushim.t;
-  cloud_mem : Grt_gpu.Mem.t;
-  counters : Grt_sim.Counters.t option;
-  history : history;
-  wire_overhead : int;
-  downlink : Memsync.t;
-  main_queue : pending list ref;
-  irq_queue : pending list ref;
-  mutable cur_thread : thread;
-  mutable hot_stack : string list;
-  mutable outstanding : outstanding list; (* oldest first *)
-  mutable epoch_tainted : bool;
-  mutable log : Recording.entry list; (* newest first *)
-  mutable commits_total : int;
-  mutable commits_speculated : int;
-  mutable spec_rejected_nondet : int;
-  mutable accesses_total : int;
-  mutable accesses_deferred : int;
-  by_category : (category, int ref) Hashtbl.t;
-  mutable inject_countdown : int option;
-  mutable last_head_lo : int64;
-  mutable last_head_hi : int64;
-  mutable suppress_read_log : int option;
-  mutable segment_marks : int list; (* log positions of layer boundaries, newest first *)
-  mutable prefix : Recording.entry list;
-      (* misprediction recovery: validated interactions to replay locally
-         (oldest first); empty once live *)
-  mutable in_poll_loop : bool;
-      (* §4.3: speculation on polling-loop iterations would require
-         predicting the iteration count, which is nondeterministic — the
-         shim never speculates on in-loop reads. *)
-      (* register whose reads are represented by a Poll entry rather than
-         individual Reg_read entries (replay re-iterates the loop itself) *)
-}
-
-let create ~cfg ~link ~gpushim ~cloud_mem ?counters ?history ?(wire_overhead = 0)
-    ?(replay_prefix = []) () =
-  {
-    cfg;
-    link;
-    gpushim;
-    cloud_mem;
-    counters;
-    history = (match history with Some h -> h | None -> fresh_history ());
-    wire_overhead;
-    downlink = Memsync.create cfg;
-    main_queue = ref [];
-    irq_queue = ref [];
-    cur_thread = Main;
-    hot_stack = [];
-    outstanding = [];
-    epoch_tainted = false;
-    log = [];
-    commits_total = 0;
-    commits_speculated = 0;
-    spec_rejected_nondet = 0;
-    accesses_total = 0;
-    accesses_deferred = 0;
-    by_category = Hashtbl.create 8;
-    inject_countdown = None;
-    last_head_lo = 0L;
-    last_head_hi = 0L;
-    suppress_read_log = None;
-    segment_marks = [];
-    prefix = replay_prefix;
-    in_poll_loop = false;
-  }
-
-let downlink t = t.downlink
-
-let count t name v = match t.counters with Some c -> Grt_sim.Counters.add c name v | None -> ()
-
-let queue_ref t = match t.cur_thread with Main -> t.main_queue | Irq -> t.irq_queue
-
-let current_hot t = match t.hot_stack with fn :: _ -> Some fn | [] -> None
-
-let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
-
-let contains_sub sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  go 0
-
-let category_of t ~is_poll =
-  if is_poll then Polling
-  else
-    match current_hot t with
-    | Some fn when has_prefix "kbase_gpuprops" fn || has_prefix "kbase_pm_hw_issues" fn
-                   || has_prefix "kbase_pm_init_hw" fn ->
-      Init
-    | Some fn when contains_sub "irq" fn -> Interrupt
-    | Some fn when has_prefix "kbase_pm_" fn -> Power
-    | Some _ | None -> Other
-
-let bump_category t cat =
-  match Hashtbl.find_opt t.by_category cat with
-  | Some r -> incr r
-  | None -> Hashtbl.replace t.by_category cat (ref 1)
-
-(* ---- speculation history ---- *)
-
-let history_lookup t site = Option.value ~default:[] (Hashtbl.find_opt t.history site)
-
-let history_update t site values =
-  let prev = history_lookup t site in
-  let keep = max 1 t.cfg.Mode.spec_history_k in
-  let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest in
-  Hashtbl.replace t.history site (take keep (values :: prev))
-
-let history_forget t site = Hashtbl.remove t.history site
-
-let history_confident t site =
-  let k = t.cfg.Mode.spec_history_k in
-  let entries = history_lookup t site in
-  if List.length entries < k then None
-  else
-    match entries with
-    | first :: rest -> if List.for_all (fun v -> v = first) rest then Some first else None
-    | [] -> None
-
-(* ---- wire conversion ---- *)
-
-exception Need_drain
-
-let to_wire queue =
-  let batch_index : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let n_reads = ref 0 in
-  List.iter
-    (function
-      | Qr { sym; _ } ->
-        Hashtbl.replace batch_index sym.Sexpr.id !n_reads;
-        incr n_reads
-      | Qw _ -> ())
-    queue;
-  let rec conv = function
-    | Sexpr.Const v -> Gpushim.Lit v
-    | Sexpr.Sym s -> (
-      match Hashtbl.find_opt batch_index s.Sexpr.id with
-      | Some i -> Gpushim.Batch i
-      | None -> (
-        match s.Sexpr.binding with
-        | Some v when not s.Sexpr.speculative -> Gpushim.Lit v
-        | Some _ -> raise Need_drain
-        | None -> failwith "DriverShim: write references unbound symbol outside batch"))
-    | Sexpr.Bin (op, a, b) -> Gpushim.Bop (op, conv a, conv b)
-    | Sexpr.Un (Sexpr.Not, a) -> Gpushim.Unot (conv a)
-  in
-  List.map
-    (function
-      | Qr { reg; _ } -> Gpushim.W_read reg
-      | Qw { reg; expr } -> Gpushim.W_write (reg, conv expr))
-    queue
-
-let request_bytes t n_accesses = 24 + (14 * n_accesses) + t.wire_overhead
-
-let response_bytes t n_reads = 16 + (8 * n_reads) + t.wire_overhead
-
-(* ---- draining / validation ---- *)
-
-let drain t =
-  let pending = t.outstanding in
-  t.outstanding <- [];
-  List.iter
-    (fun o ->
-      Link.wait_until t.link o.o_completion;
-      List.iter
-        (fun (reg, predicted, actual) ->
-          if not (Int64.equal predicted actual) then begin
-            count t "spec.mispredicts" 1;
-            (* Everything logged before this commit is validated truth; the
-               recovery replays it locally on both sides. *)
-            let all = List.rev t.log in
-            let rec take n = function
-              | [] -> []
-              | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
-            in
-            raise
-              (Mispredict
-                 { site = o.o_site; reg; predicted; actual; valid_log = take o.o_log_mark all })
-          end)
-        o.o_checks;
-      List.iter Sexpr.confirm o.o_syms)
-    pending;
-  t.epoch_tainted <- false
-
-(* ---- memory synchronization (§5) ---- *)
-
-let chain_va t = Int64.logor t.last_head_lo (Int64.shift_left t.last_head_hi 32)
-
-let sync_down t =
-  let payload = Memsync.sync_meta t.downlink t.cloud_mem in
-  let meta_wire =
-    if t.cfg.Mode.compress_dumps then payload.Memsync.wire_bytes
-    else payload.Memsync.raw_bytes + (12 * List.length payload.Memsync.pages)
-  in
-  let data_bytes =
-    if Mode.meta_only_sync t.cfg.Mode.mode then 0
-    else Memsync.naive_down_bytes t.downlink t.cloud_mem ~chain_va:(chain_va t)
-  in
-  let wire = meta_wire + data_bytes + t.wire_overhead in
-  count t "sync.down_events" 1;
-  count t "sync.down_wire_bytes" wire;
-  count t "sync.down_raw_bytes" (payload.Memsync.raw_bytes + data_bytes);
-  Link.one_way_to_client t.link ~bytes:wire;
-  Gpushim.load_pages t.gpushim payload;
-  if payload.Memsync.pages <> [] then
-    t.log <- Recording.Mem_load { pages = payload.Memsync.pages } :: t.log;
-  (* Continuous validation (§5): the dumped metastate now belongs to the
-     GPU; unmap it from the CPU until the job interrupt returns it. *)
-  if t.cfg.Mode.continuous_validation then
-    Grt_gpu.Mem.protect_pages t.cloud_mem (Memsync.meta_pfns t.downlink t.cloud_mem)
-
-let sync_up t =
-  if t.cfg.Mode.continuous_validation then Grt_gpu.Mem.unprotect_all t.cloud_mem;
-  let payload = Gpushim.upload_meta t.gpushim in
-  let meta_wire =
-    if t.cfg.Mode.compress_dumps then payload.Memsync.wire_bytes
-    else payload.Memsync.raw_bytes + (12 * List.length payload.Memsync.pages)
-  in
-  let data_bytes =
-    if Mode.meta_only_sync t.cfg.Mode.mode then 0
-    else Memsync.naive_up_bytes t.downlink t.cloud_mem ~chain_va:(chain_va t)
-  in
-  let wire = meta_wire + data_bytes + t.wire_overhead in
-  count t "sync.up_events" 1;
-  count t "sync.up_wire_bytes" wire;
-  count t "sync.up_raw_bytes" (payload.Memsync.raw_bytes + data_bytes);
-  Link.one_way_from_client t.link ~bytes:wire;
-  (* Install the client's changes (job status words) and teach the downlink
-     baseline so they are not shipped back. *)
-  Memsync.apply t.cloud_mem payload;
-  List.iter
-    (fun (pfn, data) -> Memsync.note_peer_page t.downlink pfn data)
-    payload.Memsync.pages
+let downlink (t : t) = t.downlink
 
 (* ---- committing ---- *)
-
-let log_applied t queue actuals =
-  let rec go queue actuals =
-    match queue with
-    | [] -> ()
-    | Qr { reg; _ } :: rest -> (
-      match actuals with
-      | v :: more ->
-        if t.suppress_read_log <> Some reg then
-          t.log <-
-            Recording.Reg_read { reg; value = v; verify = not (Regs.is_nondeterministic reg) }
-            :: t.log;
-        go rest more
-      | [] -> assert false)
-    | Qw { reg; expr } :: rest ->
-      (* By apply time every referenced symbol is bound. *)
-      let value = match Sexpr.eval expr with Some v -> v | None -> 0L in
-      t.log <- Recording.Reg_write { reg; value } :: t.log;
-      go rest actuals
-  in
-  go queue actuals
-
-let site_key t ~trigger queue =
-  let fn = Option.value ~default:"<cold>" (current_hot t) in
-  let sig_hash =
-    List.fold_left
-      (fun acc q ->
-        let v = match q with Qr { reg; _ } -> (reg * 2) + 1 | Qw { reg; _ } -> reg * 2 in
-        Grt_util.Hashing.combine acc (Int64.of_int v))
-      (Grt_util.Hashing.fnv1a_string fn)
-      queue
-  in
-  Printf.sprintf "%s@%s#%Lx" fn trigger sig_hash
-
-let apply_now t wire = Gpushim.apply_accesses t.gpushim wire
-
-let read_syms queue =
-  List.filter_map (function Qr { reg; sym } -> Some (reg, sym) | Qw _ -> None) queue
-
-let maybe_inject t actuals =
-  match (t.inject_countdown, actuals) with
-  | Some 0, v :: rest ->
-    t.inject_countdown <- None;
-    count t "fault.injected" 1;
-    Int64.logxor v 0x1L :: rest
-  | Some 0, [] -> [] (* hold until a commit that actually carries a read *)
-  | Some n, _ ->
-    t.inject_countdown <- Some (n - 1);
-    actuals
-  | None, _ -> actuals
-
-(* Degraded-mode policy: while the link reports a persistently lossy
-   channel, speculation is suspended and commits go out synchronously —
-   optimistic work is cheap to start but expensive to roll back when the
-   retransmitting channel keeps stretching validation latencies. *)
-let degraded_now t = t.cfg.Mode.degraded_mode && Link.health t.link = Link.Degraded
 
 let commit t ~trigger =
   let qr = queue_ref t in
@@ -345,19 +31,21 @@ let commit t ~trigger =
   qr := [];
   if queue <> [] then begin
     t.commits_total <- t.commits_total + 1;
-    count t "commits.total" 1;
-    count t "commits.accesses" (List.length queue);
+    count t Metrics.Commits_total 1;
+    count t Metrics.Commits_accesses (List.length queue);
     if t.epoch_tainted && t.outstanding <> [] then begin
-      count t "spec.epoch_stalls" 1;
+      count t Metrics.Spec_epoch_stalls 1;
       drain t
     end;
-    let wire = try to_wire queue with Need_drain ->
-      count t "spec.dep_stalls" 1;
-      drain t;
-      to_wire queue
+    let wire =
+      try Wire.to_wire queue
+      with Wire.Need_drain ->
+        count t Metrics.Spec_dep_stalls 1;
+        drain t;
+        Wire.to_wire queue
     in
     let site = site_key t ~trigger queue in
-    let reads = read_syms queue in
+    let reads = Wire.read_syms queue in
     let n_reads = List.length reads in
     let nondet = List.exists (fun (reg, _) -> Regs.is_nondeterministic reg) reads in
     let confident = if nondet then None else history_confident t site in
@@ -366,7 +54,7 @@ let commit t ~trigger =
     let speculate_values =
       if (not (Mode.speculation t.cfg.Mode.mode)) || t.in_poll_loop then None
       else if degraded_now t then begin
-        count t "spec.degraded_suppressed" 1;
+        count t Metrics.Spec_degraded_suppressed 1;
         None
       end
       else if n_reads = 0 then Some [||] (* write-only commits go out asynchronously *)
@@ -374,33 +62,19 @@ let commit t ~trigger =
     in
     if Mode.speculation t.cfg.Mode.mode && nondet then begin
       t.spec_rejected_nondet <- t.spec_rejected_nondet + 1;
-      count t "spec.rejected_nondet" 1
+      count t Metrics.Spec_rejected_nondet 1
     end;
     match speculate_values with
     | Some predicted when Array.length predicted = n_reads ->
-      let log_mark = List.length t.log in
+      let log_mark = List.length !(t.log) in
       let actuals = apply_now t wire in
       let actuals_checked = maybe_inject t actuals in
-      let completion = Link.async_send t.link ~send_bytes:send ~recv_bytes:recv in
-      List.iteri
-        (fun i (_, sym) -> Sexpr.bind sym predicted.(i) ~speculative:true)
-        reads;
       let checks =
         List.mapi (fun i (reg, _) -> (reg, predicted.(i), List.nth actuals_checked i)) reads
       in
-      t.outstanding <-
-        t.outstanding
-        @ [
-            {
-              o_completion = completion;
-              o_site = site;
-              o_checks = checks;
-              o_syms = List.map snd reads;
-              o_log_mark = log_mark;
-            };
-          ];
-      t.commits_speculated <- t.commits_speculated + 1;
-      count t "commits.speculated" 1;
+      dispatch_speculative t ~site ~send ~recv ~checks ~syms:(List.map snd reads) ~log_mark
+        ~bind:(fun () ->
+          List.iteri (fun i (_, sym) -> Sexpr.bind sym predicted.(i) ~speculative:true) reads);
       bump_category t (category_of t ~is_poll:(trigger = "poll"));
       if n_reads > 0 then history_update t site (Array.of_list actuals);
       log_applied t queue actuals
@@ -414,129 +88,10 @@ let commit t ~trigger =
       let actuals = apply_now t wire in
       List.iteri (fun i (_, sym) -> Sexpr.bind sym (List.nth actuals i) ~speculative:false) reads;
       if n_reads > 0 then history_update t site (Array.of_list actuals);
-      count t "commits.sync" 1;
+      count t Metrics.Commits_sync 1;
+      trace t ~topic:"shim" "commit site=%s accesses=%d" site (List.length queue);
       log_applied t queue actuals
   end
-
-let sniff_root_and_head t reg v =
-  (* Track page-table roots (for metastate classification, on both the
-     downlink and the client's uplink) and the pending job-chain head. *)
-  for as_idx = 0 to Regs.as_count - 1 do
-    if reg = Regs.as_transtab_lo as_idx then begin
-      let root = Int64.logand v (Int64.lognot 0xFFFL) in
-      if not (Int64.equal root 0L) then begin
-        let fmt = (Grt_gpu.Device.sku (Gpushim.device t.gpushim)).Grt_gpu.Sku.pt_format in
-        Memsync.register_pt_root t.downlink ~fmt ~root_pa:root;
-        Memsync.register_pt_root (Gpushim.uplink t.gpushim) ~fmt ~root_pa:root
-      end
-    end
-  done;
-  if reg = Regs.js_head_lo 0 || reg = Regs.js_head_next_lo 0 then t.last_head_lo <- v;
-  if reg = Regs.js_head_hi 0 || reg = Regs.js_head_next_hi 0 then t.last_head_hi <- v
-
-(* ---- misprediction recovery: local replay of the validated prefix ----
-
-   Both parties fast-forward without the network: the client feeds the
-   logged stimuli to its physical GPU (rebuilding its hardware state), the
-   cloud feeds the logged responses to the re-executing driver. Entries are
-   appended to the fresh log as they replay, so the final recording is the
-   prefix plus the live continuation. *)
-
-let step_cost t = Grt_sim.Clock.advance_ns (Link.clock t.link) Grt_sim.Costs.replayer_step_ns
-
-let in_recovery t = t.prefix <> []
-
-let recovery_fail fmt = Printf.ksprintf (fun m -> raise (Recovery_diverged m)) fmt
-
-(* Apply any memory snapshots sitting at the head of the prefix. *)
-let rec pop_memloads t =
-  match t.prefix with
-  | Recording.Mem_load { pages } :: rest ->
-    t.prefix <- rest;
-    step_cost t;
-    count t "recovery.pages" (List.length pages);
-    Gpushim.load_pages t.gpushim { Memsync.pages; wire_bytes = 0; raw_bytes = 0 };
-    List.iter (fun (pfn, data) -> Memsync.note_peer_page t.downlink pfn data) pages;
-    t.log <- Recording.Mem_load { pages } :: t.log;
-    pop_memloads t
-  | _ -> ()
-
-let prefix_pop t =
-  pop_memloads t;
-  match t.prefix with
-  | [] -> None
-  | e :: rest ->
-    t.prefix <- rest;
-    step_cost t;
-    count t "recovery.entries" 1;
-    Some e
-
-let recovery_read t reg =
-  match prefix_pop t with
-  | Some (Recording.Reg_read { reg = r; value; verify = _ }) when r = reg ->
-    (* The client replays the read against its GPU to keep read-sensitive
-       hardware state moving; the driver consumes the logged value. *)
-    ignore (Grt_gpu.Device.read_reg (Gpushim.device t.gpushim) reg);
-    t.log <- Recording.Reg_read { reg; value; verify = not (Regs.is_nondeterministic reg) } :: t.log;
-    Sexpr.const value
-  | Some e ->
-    recovery_fail "expected read of %s, log has %s" (Regs.name reg)
-      (match e with
-      | Recording.Reg_write { reg; _ } -> "write " ^ Regs.name reg
-      | Recording.Reg_read { reg; _ } -> "read " ^ Regs.name reg
-      | Recording.Poll { reg; _ } -> "poll " ^ Regs.name reg
-      | Recording.Wait_irq _ -> "wait_irq"
-      | Recording.Mem_load _ -> "mem_load")
-  | None -> recovery_fail "prefix exhausted mid-access (read %s)" (Regs.name reg)
-
-let recovery_write t reg =
-  match prefix_pop t with
-  | Some (Recording.Reg_write { reg = r; value }) when r = reg ->
-    sniff_root_and_head t reg value;
-    Grt_gpu.Device.write_reg (Gpushim.device t.gpushim) reg value;
-    t.log <- Recording.Reg_write { reg; value } :: t.log
-  | Some _ -> recovery_fail "log does not expect a write of %s here" (Regs.name reg)
-  | None -> recovery_fail "prefix exhausted mid-access (write %s)" (Regs.name reg)
-
-let recovery_poll t ~reg ~mask ~cond ~max_iters ~spin_ns =
-  match prefix_pop t with
-  | Some (Recording.Poll { reg = r; _ }) when r = reg ->
-    t.log <-
-      Recording.Poll
-        {
-          reg;
-          mask;
-          cond =
-            (match cond with
-            | Backend.Bits_set -> Recording.Until_set
-            | Backend.Bits_clear -> Recording.Until_clear);
-          max_iters;
-          spin_ns;
-        }
-      :: t.log;
-    (match Gpushim.run_poll t.gpushim ~reg ~mask ~cond ~max_iters ~spin_ns with
-    | Some (iters, value) -> Backend.Poll_ok { iters; value }
-    | None -> Backend.Poll_timeout)
-  | Some _ -> recovery_fail "log does not expect a poll of %s here" (Regs.name reg)
-  | None -> recovery_fail "prefix exhausted mid-access (poll %s)" (Regs.name reg)
-
-let recovery_wait_irq t ~timeout_us =
-  match prefix_pop t with
-  | Some (Recording.Wait_irq { line }) -> (
-    match Gpushim.wait_irq t.gpushim ~timeout_ns:(Int64.of_int (timeout_us * 1000)) with
-    | Some got ->
-      t.log <- Recording.Wait_irq { line = Recording.irq_line_to_int got } :: t.log;
-      (* Local status exchange, no network: the cloud's memory learns the
-         GPU-written words directly. *)
-      if t.cfg.Mode.continuous_validation then Grt_gpu.Mem.unprotect_all t.cloud_mem;
-      let payload = Gpushim.upload_meta t.gpushim in
-      Memsync.apply t.cloud_mem payload;
-      List.iter (fun (pfn, data) -> Memsync.note_peer_page t.downlink pfn data) payload.Memsync.pages;
-      ignore line;
-      Some got
-    | None -> recovery_fail "no interrupt while replaying the log")
-  | Some _ -> recovery_fail "log does not expect an interrupt wait here"
-  | None -> recovery_fail "prefix exhausted mid-access (wait_irq)"
 
 (* ---- backend implementation ---- *)
 
@@ -546,38 +101,36 @@ let deferral_active t =
 
 let sniff_write t reg expr =
   (* Detect the job-start write that triggers a downlink sync (§5). *)
-  (match Sexpr.eval expr with
-  | Some v -> sniff_root_and_head t reg v
-  | None -> ());
+  (match Sexpr.eval expr with Some v -> t.sniff reg v | None -> ());
   if reg = Regs.js_command 0 || reg = Regs.js_command_next 0 then
     match Sexpr.eval expr with
-    | Some v when Int64.equal v Regs.js_cmd_start -> sync_down t
+    | Some v when Int64.equal v Regs.js_cmd_start -> Sync_flow.down t
     | _ -> ()
 
 let read_reg t reg =
   t.accesses_total <- t.accesses_total + 1;
-  count t "reg.reads" 1;
+  count t Metrics.Reg_reads 1;
   if deferral_active t then begin
     t.accesses_deferred <- t.accesses_deferred + 1;
     let sym = Sexpr.fresh_sym ~origin:(Regs.name reg) in
     let qr = queue_ref t in
-    qr := Qr { reg; sym } :: !qr;
+    qr := Wire.Qr { reg; sym } :: !qr;
     Sexpr.sym sym
   end
   else begin
     let qr = queue_ref t in
     let sym = Sexpr.fresh_sym ~origin:(Regs.name reg) in
-    qr := Qr { reg; sym } :: !qr;
+    qr := Wire.Qr { reg; sym } :: !qr;
     commit t ~trigger:"sync";
     Sexpr.const (Option.get (Sexpr.eval (Sexpr.sym sym)))
   end
 
 let write_reg t reg expr =
   t.accesses_total <- t.accesses_total + 1;
-  count t "reg.writes" 1;
+  count t Metrics.Reg_writes 1;
   sniff_write t reg expr;
   let qr = queue_ref t in
-  qr := Qw { reg; expr } :: !qr;
+  qr := Wire.Qw { reg; expr } :: !qr;
   if deferral_active t then t.accesses_deferred <- t.accesses_deferred + 1
   else commit t ~trigger:"sync"
 
@@ -595,7 +148,7 @@ let force t expr =
     | None -> failwith "DriverShim.force: symbol still unbound after commit")
 
 let log_poll t ~reg ~mask ~cond ~max_iters ~spin_ns =
-  t.log <-
+  t.log :=
     Recording.Poll
       {
         reg;
@@ -607,16 +160,16 @@ let log_poll t ~reg ~mask ~cond ~max_iters ~spin_ns =
         max_iters;
         spin_ns;
       }
-    :: t.log
+    :: !(t.log)
 
 let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
-  count t "poll.instances" 1;
+  count t Metrics.Poll_instances 1;
   if t.cfg.Mode.offload_polling then begin
     (* Flush pending accesses so the loop observes their effects, then ship
        the loop in one message (§4.3). *)
     commit t ~trigger:"poll";
     log_poll t ~reg ~mask ~cond ~max_iters ~spin_ns;
-    count t "poll.offloaded" 1;
+    count t Metrics.Poll_offloaded 1;
     let site =
       Printf.sprintf "poll:%s:%Lx:%s" (Regs.name reg) mask
         (match cond with Backend.Bits_set -> "set" | Backend.Bits_clear -> "clear")
@@ -626,34 +179,23 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
     let speculate =
       if Regs.is_nondeterministic reg then None
       else if degraded_now t then begin
-        count t "spec.degraded_suppressed" 1;
+        count t Metrics.Spec_degraded_suppressed 1;
         None
       end
       else history_confident t site
     in
     match speculate with
     | Some predicted when Array.length predicted = 1 ->
-      let log_mark = List.length t.log - 1 in
+      let log_mark = List.length !(t.log) - 1 in
       (* the Poll entry itself was just logged; exclude it from the prefix *)
       let result = run () in
       let observed = match result with Some (_, v) -> v | None -> -1L in
       let checked = match maybe_inject t [ observed ] with v :: _ -> v | [] -> observed in
-      let completion = Link.async_send t.link ~send_bytes:send ~recv_bytes:recv in
-      t.outstanding <-
-        t.outstanding
-        @ [
-            {
-              o_completion = completion;
-              o_site = site;
-              o_checks = [ (reg, predicted.(0), checked) ];
-              o_syms = [];
-              o_log_mark = max 0 log_mark;
-            };
-          ];
       t.commits_total <- t.commits_total + 1;
-      t.commits_speculated <- t.commits_speculated + 1;
-      count t "commits.total" 1;
-      count t "commits.speculated" 1;
+      count t Metrics.Commits_total 1;
+      dispatch_speculative t ~site ~send ~recv
+        ~checks:[ (reg, predicted.(0), checked) ]
+        ~syms:[] ~log_mark:(max 0 log_mark) ~bind:(fun () -> ());
       bump_category t Polling;
       (* History learns only the true observation, never the injected value
          used for the validation check — one transient fault must not poison
@@ -672,8 +214,9 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
       drain t;
       Link.round_trip t.link ~send_bytes:send ~recv_bytes:recv;
       t.commits_total <- t.commits_total + 1;
-      count t "commits.total" 1;
-      count t "commits.sync" 1;
+      count t Metrics.Commits_total 1;
+      count t Metrics.Commits_sync 1;
+      trace t ~topic:"shim" "commit site=%s accesses=2" site;
       (match run () with
       | Some (iters, value) ->
         history_update t site [| value |];
@@ -699,7 +242,7 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
           if i >= max_iters then Backend.Poll_timeout
           else begin
             let v = force t (read_reg t reg) in
-            count t "poll.iters" 1;
+            count t Metrics.Poll_iters 1;
             let ok =
               match cond with
               | Backend.Bits_set -> Int64.logand v mask = mask
@@ -713,12 +256,12 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
 
 let wait_irq t ~timeout_us =
   commit t ~trigger:"wait_irq";
-  count t "irq.waits" 1;
+  count t Metrics.Irq_waits 1;
   match Gpushim.wait_irq t.gpushim ~timeout_ns:(Int64.of_int (timeout_us * 1000)) with
   | None -> None
   | Some line ->
-    t.log <- Recording.Wait_irq { line = Recording.irq_line_to_int line } :: t.log;
-    sync_up t;
+    t.log := Recording.Wait_irq { line = Recording.irq_line_to_int line } :: !(t.log);
+    Sync_flow.up t;
     Some line
 
 let backend t =
@@ -726,35 +269,36 @@ let backend t =
      with local GPU replay; once the prefix runs dry the live machinery
      takes over transparently. *)
   let recovering () =
-    if in_recovery t then begin
-      pop_memloads t;
-      in_recovery t
+    if Recovery.active t.recovery then begin
+      Recovery.pop_memloads t.recovery;
+      Recovery.active t.recovery
     end
     else false
   in
+  let in_recovery () = Recovery.active t.recovery in
   {
     Backend.read_reg =
       (fun reg ->
         if recovering () then begin
-          count t "reg.reads" 1;
+          count t Metrics.Reg_reads 1;
           t.accesses_total <- t.accesses_total + 1;
-          recovery_read t reg
+          Recovery.read t.recovery reg
         end
         else read_reg t reg);
     write_reg =
       (fun reg v ->
         if recovering () then begin
-          count t "reg.writes" 1;
+          count t Metrics.Reg_writes 1;
           t.accesses_total <- t.accesses_total + 1;
-          recovery_write t reg
+          Recovery.write t.recovery reg
         end
         else write_reg t reg v);
     force = (fun e -> force t e);
     poll_reg =
       (fun ~reg ~mask ~cond ~max_iters ~spin_ns ->
         if recovering () then begin
-          count t "poll.instances" 1;
-          recovery_poll t ~reg ~mask ~cond ~max_iters ~spin_ns
+          count t Metrics.Poll_instances 1;
+          Recovery.poll t.recovery ~reg ~mask ~cond ~max_iters ~spin_ns
         end
         else poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns);
     delay_us =
@@ -767,14 +311,14 @@ let backend t =
         end);
     lock =
       (fun _ ->
-        if (not (in_recovery t)) && t.cfg.Mode.commit_on_kernel_api then commit t ~trigger:"lock");
+        if (not (in_recovery ())) && t.cfg.Mode.commit_on_kernel_api then commit t ~trigger:"lock");
     unlock =
       (fun _ ->
-        if (not (in_recovery t)) && t.cfg.Mode.commit_on_kernel_api then
+        if (not (in_recovery ())) && t.cfg.Mode.commit_on_kernel_api then
           commit t ~trigger:"unlock");
     externalize =
       (fun _ ->
-        if not (in_recovery t) then begin
+        if not (in_recovery ()) then begin
           (* printk must observe fully validated state (§4.2). *)
           commit t ~trigger:"externalize";
           drain t
@@ -782,7 +326,7 @@ let backend t =
     now_us = (fun () -> Int64.div (Grt_sim.Clock.now_ns (Link.clock t.link)) 1000L);
     wait_irq =
       (fun ~timeout_us ->
-        if recovering () then recovery_wait_irq t ~timeout_us else wait_irq t ~timeout_us);
+        if recovering () then Recovery.wait_irq t.recovery ~timeout_us else wait_irq t ~timeout_us);
     irq_scope =
       (fun f ->
         let prev = t.cur_thread in
@@ -806,14 +350,14 @@ let finalize t =
   commit t ~trigger:"finalize";
   drain t
 
-let entries t = List.rev t.log
+let entries t = List.rev !(t.log)
 
 let validated_prefix t =
   (* Everything logged before the oldest unvalidated speculative commit is
      confirmed truth; with nothing outstanding, the whole log is. Used by
      the orchestrator to resume after a [Link.Link_down], exactly like a
      misprediction's [valid_log]. *)
-  let all = List.rev t.log in
+  let all = List.rev !(t.log) in
   match t.outstanding with
   | [] -> all
   | o :: _ ->
@@ -823,7 +367,7 @@ let validated_prefix t =
     in
     take o.o_log_mark all
 
-let mark_segment t = t.segment_marks <- List.length t.log :: t.segment_marks
+let mark_segment t = t.segment_marks <- List.length !(t.log) :: t.segment_marks
 
 let segment_marks t = List.rev t.segment_marks
 

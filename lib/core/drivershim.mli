@@ -33,8 +33,9 @@ exception
   }
 
 exception Recovery_diverged of string
-(** Raised when re-execution departs from the validated log during
-    recovery — indicates nondeterminism the recorder failed to forestall. *)
+(** Re-export of {!Recovery.Recovery_diverged}: re-execution departed from
+    the validated log during recovery — indicates nondeterminism the
+    recorder failed to forestall. *)
 
 type category = Init | Interrupt | Power | Polling | Other
 
@@ -43,8 +44,10 @@ val all_categories : category list
 
 (** Speculation history — keyed by driver commit site. Sharable across
     record runs of different workloads (§7.3 "retaining register access
-    history in between"). *)
-type history
+    history in between"). The equation with {!Spec_history.t} is public so
+    a {!Session_ctx} can carry the table without depending on this
+    module. *)
+type history = Spec_history.t
 
 val fresh_history : unit -> history
 
@@ -56,6 +59,7 @@ val create :
   gpushim:Gpushim.t ->
   cloud_mem:Grt_gpu.Mem.t ->
   ?counters:Grt_sim.Counters.t ->
+  ?trace:Grt_sim.Trace.t ->
   ?history:history ->
   ?wire_overhead:int ->
   ?replay_prefix:Recording.entry list ->
@@ -65,7 +69,9 @@ val create :
     exhausted, register accesses are served from the validated log — the
     client feeds the recorded stimuli to its physical GPU and the cloud
     feeds the recorded responses to the driver, with no network traffic
-    (§4.2's rollback). Once the prefix runs dry the shim goes live. *)
+    (§4.2's rollback). Once the prefix runs dry the shim goes live.
+    [trace] receives commit / speculate / rollback events under topic
+    ["shim"]. *)
 
 val backend : t -> Grt_driver.Backend.t
 (** The instrumented-driver interface. *)

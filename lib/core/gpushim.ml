@@ -3,6 +3,7 @@ module Mem = Grt_gpu.Mem
 module Regs = Grt_gpu.Regs
 module Worlds = Grt_tee.Worlds
 module Sexpr = Grt_util.Sexpr
+module Metrics = Grt_sim.Metrics
 
 type wire_expr =
   | Lit of int64
@@ -19,7 +20,7 @@ type t = {
   worlds : Worlds.t;
   monitor : Grt_tee.Monitor.t;
   uplink : Memsync.t;
-  counters : Grt_sim.Counters.t option;
+  metrics : Metrics.t option;
   mutable isolated : bool;
 }
 
@@ -44,7 +45,16 @@ let create ~clock ~sku ?energy ?counters ~session_salt ~cfg () =
   List.iter2
     (fun irq name -> Grt_tee.Monitor.register_interrupt monitor ~irq ~name)
     gpu_irqs [ "gpu-job"; "gpu-irq"; "gpu-mmu" ];
-  { clock; mem; device; worlds; monitor; uplink = Memsync.create cfg; counters; isolated = false }
+  {
+    clock;
+    mem;
+    device;
+    worlds;
+    monitor;
+    uplink = Memsync.create cfg;
+    metrics = Option.map Metrics.of_counters counters;
+    isolated = false;
+  }
 
 let device t = t.device
 let mem t = t.mem
@@ -67,7 +77,7 @@ let isolated t = t.isolated
 
 exception Not_isolated
 
-let count t name = match t.counters with Some c -> Grt_sim.Counters.incr c name | None -> ()
+let count t key = match t.metrics with Some m -> Metrics.incr m key | None -> ()
 
 let require_isolation t = if not t.isolated then raise Not_isolated
 
@@ -109,11 +119,11 @@ let apply_accesses t accesses =
     (fun access ->
       match access with
       | W_read reg ->
-        count t "client.reg_reads";
+        count t Metrics.Client_reg_reads;
         batch.(!next_read) <- Device.read_reg t.device reg;
         incr next_read
       | W_write (reg, expr) ->
-        count t "client.reg_writes";
+        count t Metrics.Client_reg_writes;
         let v = eval_expr (Array.sub batch 0 !next_read) expr in
         sniff_transtab t reg v;
         Device.write_reg t.device reg v)
@@ -122,7 +132,7 @@ let apply_accesses t accesses =
 
 let run_poll t ~reg ~mask ~cond ~max_iters ~spin_ns =
   require_isolation t;
-  count t "client.polls";
+  count t Metrics.Client_polls;
   let rec loop i =
     if i >= max_iters then None
     else begin
@@ -143,7 +153,7 @@ let run_poll t ~reg ~mask ~cond ~max_iters ~spin_ns =
 
 let wait_irq t ~timeout_ns =
   require_isolation t;
-  count t "client.irq_waits";
+  count t Metrics.Client_irq_waits;
   match Device.wait_for_irq t.device ~timeout_ns with
   | None -> None
   | Some line ->
@@ -161,12 +171,12 @@ let wait_irq t ~timeout_ns =
 
 let upload_meta t =
   require_isolation t;
-  count t "client.uploads";
+  count t Metrics.Client_uploads;
   Memsync.sync_meta t.uplink t.mem
 
 let load_pages t payload =
   require_isolation t;
-  count t "client.downloads";
+  count t Metrics.Client_downloads;
   Memsync.apply t.mem payload;
   (* The cloud now knows these contents; don't echo them back on upload. *)
   List.iter

@@ -1,27 +1,28 @@
 module Backend = Grt_driver.Backend
 module Device = Grt_gpu.Device
 module Sexpr = Grt_util.Sexpr
+module Metrics = Grt_sim.Metrics
 
 let backend ?counters dev =
-  let count name = match counters with Some c -> Grt_sim.Counters.incr c name | None -> () in
-  let add name v = match counters with Some c -> Grt_sim.Counters.add c name v | None -> () in
+  let metrics = Option.map Metrics.of_counters counters in
+  let count key = match metrics with Some m -> Metrics.incr m key | None -> () in
   let clock = Device.clock dev in
   let read_reg reg =
-    count "reg.reads";
+    count Metrics.Reg_reads;
     Sexpr.const (Device.read_reg dev reg)
   in
   let write_reg reg v =
-    count "reg.writes";
+    count Metrics.Reg_writes;
     Device.write_reg dev reg (Sexpr.force_exn v)
   in
   let poll_reg ~reg ~mask ~cond ~max_iters ~spin_ns =
-    count "poll.instances";
+    count Metrics.Poll_instances;
     let rec loop i =
       if i >= max_iters then Backend.Poll_timeout
       else begin
         let v = Device.read_reg dev reg in
-        count "reg.reads";
-        add "poll.iters" 1;
+        count Metrics.Reg_reads;
+        count Metrics.Poll_iters;
         let ok =
           match cond with
           | Backend.Bits_set -> Int64.logand v mask = mask
@@ -48,7 +49,7 @@ let backend ?counters dev =
     now_us = (fun () -> Int64.div (Grt_sim.Clock.now_ns clock) 1000L);
     wait_irq =
       (fun ~timeout_us ->
-        count "irq.waits";
+        count Metrics.Irq_waits;
         Device.wait_for_irq dev ~timeout_ns:(Int64.of_int (timeout_us * 1000)));
     irq_scope = (fun f -> f ());
     enter_hot = (fun _ -> ());

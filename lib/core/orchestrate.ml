@@ -1,6 +1,8 @@
 module Link = Grt_net.Link
 module Sku = Grt_gpu.Sku
 module Network = Grt_mlfw.Network
+module Metrics = Grt_sim.Metrics
+module Ctx = Session_ctx
 
 let cloud_signing_key : Grt_tee.Crypto.key = "grt-cloud-recording-service-v1"
 
@@ -55,63 +57,57 @@ let rec is_link_down = function
   | Fun.Finally_raised e -> is_link_down e
   | _ -> false
 
-let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granularity = `Monolithic)
-    ~profile ~mode ~sku ~net ~seed () =
-  let cfg = match config with Some c -> c | None -> Mode.default_config mode in
-  let clock = Grt_sim.Clock.create () in
-  let energy = Grt_sim.Energy.create clock in
-  let counters = Grt_sim.Counters.create () in
-  (* The link's fault draws derive from the session seed so a lossy run is
-     exactly reproducible. *)
-  let link =
-    Link.create ~clock ~energy ~counters ~seed:(Grt_util.Hashing.combine seed 0x6C696E6BL) profile
-  in
-  (match inject_outage_after with Some k -> Link.inject_outage_after link k | None -> ());
-  let history = match history with Some h -> h | None -> Drivershim.fresh_history () in
-  (* Attested channel establishment (§7.1): one-time handshake cost. *)
+(* ---- the recording pipeline: establish → boot → attempt loop →
+   finalize/sign, all sharing one Session_ctx ---- *)
+
+(* Attested channel establishment (§7.1): one-time handshake cost. *)
+let establish (ctx : Ctx.t) =
   let channel =
     match
-      Grt_tee.Channel.establish ~link ~verification_key:cloud_signing_key
+      Grt_tee.Channel.establish ~link:ctx.link ~verification_key:cloud_signing_key
         ~vm_signing_key:cloud_signing_key ~vm_measurement:cloud_measurement
         ~expected:cloud_measurement
-        ~nonce:(Grt_util.Hashing.combine seed 0x6e6f6e6365L)
+        ~nonce:(Grt_util.Hashing.combine ctx.seed 0x6e6f6e6365L)
     with
     | Ok c -> c
     | Error e -> failwith ("attestation failed: " ^ e)
   in
-  ignore (Grt_tee.Channel.session_key channel);
-  (* Boot the recording VM: the image picks the device tree (and thus the
-     driver binding) matching the client's attested GPU (§6). *)
+  ignore (Grt_tee.Channel.session_key channel)
+
+(* Boot the recording VM: the image picks the device tree (and thus the
+   driver binding) matching the client's attested GPU (§6). *)
+let boot (ctx : Ctx.t) =
   let vm =
-    match Cloudvm.boot Cloudvm.default_image ~client_gpu_id:sku.Sku.gpu_id with
+    match Cloudvm.boot Cloudvm.default_image ~client_gpu_id:ctx.sku.Sku.gpu_id with
     | Ok vm -> vm
     | Error e -> failwith (Format.asprintf "cloud VM boot failed: %a" Cloudvm.pp_boot_error e)
   in
-  (match Cloudvm.begin_session vm ~client:(Printf.sprintf "client-%Lx" seed) with
+  (match Cloudvm.begin_session vm ~client:(Printf.sprintf "client-%Lx" ctx.seed) with
   | Ok () -> ()
   | Error e -> failwith (Format.asprintf "cloud VM refused session: %a" Cloudvm.pp_boot_error e));
-  let devicetree = Cloudvm.selected_tree vm in
-  let plan = Network.expand net in
-  let inject = ref inject_fault_after in
-  let rollbacks = ref 0 and rollback_s = ref 0.0 in
+  vm
+
+(* The dry-run attempt loop: record until the workload completes, rolling
+   both parties back onto the validated log prefix after a misprediction
+   (§4.2) or a link outage. *)
+let attempt_loop (ctx : Ctx.t) ~devicetree =
   let rec attempt n prefix =
     if n > 8 then failwith "recording failed: too many rollbacks";
-    (* The GPU's nondeterministic state (flush-id salt) is a property of the
-       physical device, stable across rollback attempts within a session. *)
-    let salt = Grt_util.Hashing.combine seed 0x5a17L in
     let gpushim =
-      Gpushim.create ~clock ~sku ~energy ~counters ~session_salt:salt ~cfg ()
+      Gpushim.create ~clock:ctx.clock ~sku:ctx.sku ~energy:ctx.energy ~counters:ctx.counters
+        ~session_salt:(Ctx.session_salt ctx) ~cfg:ctx.cfg ()
     in
     Gpushim.isolate gpushim;
     let cloud_mem = Grt_gpu.Mem.create () in
     let shim =
-      Drivershim.create ~cfg ~link ~gpushim ~cloud_mem ~counters ~history
-        ~wire_overhead:Grt_tee.Channel.wire_overhead ~replay_prefix:prefix ()
+      Drivershim.create ~cfg:ctx.cfg ~link:ctx.link ~gpushim ~cloud_mem ~counters:ctx.counters
+        ~trace:ctx.trace ~history:ctx.history ~wire_overhead:Grt_tee.Channel.wire_overhead
+        ~replay_prefix:prefix ()
     in
-    (match !inject with
+    (match ctx.inject_fault_after with
     | Some k ->
       Drivershim.inject_fault_after shim k;
-      inject := None
+      ctx.inject_fault_after <- None
     | None -> ());
     let regions = ref [] in
     let on_region (r : Grt_runtime.Session.region) =
@@ -126,10 +122,10 @@ let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granulari
     in
     try
       Grt_driver.Kbase.init drv;
-      let session = Grt_runtime.Session.create ~drv ~as_idx:1 ~clock ~on_region () in
+      let session = Grt_runtime.Session.create ~drv ~as_idx:1 ~clock:ctx.clock ~on_region () in
       (* Dry run: no weights, no input — the cloud never sees them (§2.3). *)
-      let runner = Grt_mlfw.Runner.setup ~session ~plan ~seed ~load_weights:false in
-      (match granularity with
+      let runner = Grt_mlfw.Runner.setup ~session ~plan:ctx.plan ~seed:ctx.seed ~load_weights:false in
+      (match ctx.granularity with
       | `Monolithic -> Grt_mlfw.Runner.run runner
       | `Per_layer ->
         Grt_mlfw.Runner.run
@@ -141,14 +137,11 @@ let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granulari
     with
     | e when mispredict_prefix e <> None ->
       let valid_log = Option.get (mispredict_prefix e) in
-      incr rollbacks;
       (* Both parties restart and fast-forward through the validated log
          locally (§4.2). The dominant cost — driver reload and GPU job
          re-preparation on the cloud — is charged here; the log replay
          itself advances the clock as it runs in the next attempt. *)
-      let cost = rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10 in
-      rollback_s := !rollback_s +. cost;
-      Grt_sim.Clock.advance_s clock cost;
+      Ctx.charge_rollback ctx (rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10);
       Gpushim.release gpushim;
       attempt (n + 1) valid_log
     | e when is_link_down e ->
@@ -157,16 +150,17 @@ let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granulari
          locally while the channel re-establishes. Responses to commits
          still in flight were never validated, so they are replayed live. *)
       let valid_log = Drivershim.validated_prefix shim in
-      incr rollbacks;
-      Grt_sim.Counters.add counters "recovery.link_downs" 1;
-      let cost = rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10 in
-      rollback_s := !rollback_s +. cost;
-      Grt_sim.Clock.advance_s clock cost;
+      Metrics.add ctx.metrics Metrics.Recovery_link_downs 1;
+      Ctx.charge_rollback ctx (rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10);
       Gpushim.release gpushim;
       attempt (n + 1) valid_log
   in
-  let gpushim, shim, _session, runner = attempt 0 [] in
-  (* Assemble and sign the recording; build the slot binding table. *)
+  attempt 0 []
+
+(* Assemble and sign the recording; build the slot binding table; ship the
+   blob to the client and account the stats of the whole session. *)
+let finalize_and_sign (ctx : Ctx.t) ~vm ~gpushim ~shim ~runner =
+  let plan = ctx.plan in
   let slot_of_region kind name =
     let r = Grt_mlfw.Runner.region runner name in
     {
@@ -185,8 +179,8 @@ let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granulari
   in
   let recording =
     {
-      Recording.workload = net.Network.name;
-      gpu_id = sku.Sku.gpu_id;
+      Recording.workload = ctx.net.Network.name;
+      gpu_id = ctx.sku.Sku.gpu_id;
       entries = Array.of_list (Drivershim.entries shim);
       slots;
     }
@@ -194,7 +188,7 @@ let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granulari
   (* Per-layer granularity (Figure 2): cut the log at the layer marks and
      sign each segment as its own recording, with its own slot table. *)
   let segments =
-    match granularity with
+    match ctx.granularity with
     | `Monolithic -> []
     | `Per_layer ->
       let entries = recording.Recording.entries in
@@ -218,8 +212,8 @@ let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granulari
           in
           let seg =
             {
-              Recording.workload = Printf.sprintf "%s/layer%02d" net.Network.name i;
-              gpu_id = sku.Sku.gpu_id;
+              Recording.workload = Printf.sprintf "%s/layer%02d" ctx.net.Network.name i;
+              gpu_id = ctx.sku.Sku.gpu_id;
               entries = Array.sub entries lo (hi - lo);
               slots =
                 ({ (slot_of_region `Input input_name) with Recording.kind = `Input }
@@ -232,35 +226,64 @@ let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granulari
   in
   let blob = Recording.sign ~key:cloud_signing_key recording in
   (* The client downloads and verifies the recording. *)
-  Link.one_way_to_client link ~bytes:(Bytes.length blob);
+  Link.one_way_to_client ctx.link ~bytes:(Bytes.length blob);
   (match Recording.verify_and_parse ~key:cloud_signing_key blob with
   | Ok _ -> ()
   | Error e -> failwith ("client rejected recording: " ^ e));
   Gpushim.release gpushim;
   Cloudvm.end_session vm;
-  let get name = Grt_sim.Counters.get_int counters name in
+  let get = Ctx.stat ctx in
   {
     blob;
     recording;
-    total_s = Grt_sim.Clock.now_s clock;
-    client_energy_j = Grt_sim.Energy.total_j energy;
-    blocking_rtts = get "net.blocking_rtts";
-    sync_wire_bytes = get "sync.down_wire_bytes" + get "sync.up_wire_bytes";
-    sync_raw_bytes = get "sync.down_raw_bytes" + get "sync.up_raw_bytes";
+    total_s = Grt_sim.Clock.now_s ctx.clock;
+    client_energy_j = Grt_sim.Energy.total_j ctx.energy;
+    blocking_rtts = get Metrics.Net_blocking_rtts;
+    sync_wire_bytes = get Metrics.Sync_down_wire_bytes + get Metrics.Sync_up_wire_bytes;
+    sync_raw_bytes = get Metrics.Sync_down_raw_bytes + get Metrics.Sync_up_raw_bytes;
     commits_total = Drivershim.commits_total shim;
     commits_speculated = Drivershim.commits_speculated shim;
     speculated_by_category = Drivershim.speculated_by_category shim;
     spec_rejected_nondet = Drivershim.spec_rejected_nondet shim;
     accesses_total = Drivershim.accesses_total shim;
-    poll_instances = get "poll.instances";
-    poll_offloaded = get "poll.offloaded";
-    rollbacks = !rollbacks;
-    rollback_s = !rollback_s;
-    retransmits = get "net.retransmits";
-    link_downs = get "recovery.link_downs";
-    counters;
+    poll_instances = get Metrics.Poll_instances;
+    poll_offloaded = get Metrics.Poll_offloaded;
+    rollbacks = ctx.rollbacks;
+    rollback_s = ctx.rollback_s;
+    retransmits = get Metrics.Net_retransmits;
+    link_downs = get Metrics.Recovery_link_downs;
+    counters = ctx.counters;
     segments;
   }
+
+let trace_dump_n = 32
+
+let dump_recent_trace (ctx : Ctx.t) =
+  let events = Grt_sim.Trace.recent ctx.trace trace_dump_n in
+  if events <> [] then begin
+    Format.eprintf "--- recording failed; last %d recorder events ---@." (List.length events);
+    List.iter (fun e -> Format.eprintf "  %a@." Grt_sim.Trace.pp_event e) events;
+    Format.eprintf "--- end of trace ---@."
+  end
+
+let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granularity = `Monolithic)
+    ~profile ~mode ~sku ~net ~seed () =
+  let cfg = match config with Some c -> c | None -> Mode.default_config mode in
+  let ctx =
+    Ctx.create ?history ?inject_fault_after ~cfg ~profile ~sku ~net ~seed ~granularity ()
+  in
+  (match inject_outage_after with Some k -> Link.inject_outage_after ctx.link k | None -> ());
+  try
+    establish ctx;
+    let vm = boot ctx in
+    let gpushim, shim, _session, runner = attempt_loop ctx ~devicetree:(Cloudvm.selected_tree vm) in
+    finalize_and_sign ctx ~vm ~gpushim ~shim ~runner
+  with e ->
+    (* Session post-mortem (mispredict storms, Recovery_diverged, link
+       collapse): surface the tail of the link/shim event ring. *)
+    let bt = Printexc.get_raw_backtrace () in
+    dump_recent_trace ctx;
+    Printexc.raise_with_backtrace e bt
 
 type replay_outcome = { r : Replayer.result; setup_s : float }
 

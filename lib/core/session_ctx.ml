@@ -1,0 +1,60 @@
+module Link = Grt_net.Link
+
+type t = {
+  cfg : Mode.config;
+  seed : int64;
+  sku : Grt_gpu.Sku.t;
+  net : Grt_mlfw.Network.t;
+  plan : Grt_mlfw.Network.plan;
+  granularity : [ `Monolithic | `Per_layer ];
+  clock : Grt_sim.Clock.t;
+  energy : Grt_sim.Energy.t;
+  counters : Grt_sim.Counters.t;
+  metrics : Grt_sim.Metrics.t;
+  trace : Grt_sim.Trace.t;
+  link : Link.t;
+  history : Spec_history.t;
+  mutable inject_fault_after : int option;
+  mutable rollbacks : int;
+  mutable rollback_s : float;
+}
+
+let create ?history ?inject_fault_after ~cfg ~profile ~sku ~net ~seed ~granularity () =
+  let clock = Grt_sim.Clock.create () in
+  let energy = Grt_sim.Energy.create clock in
+  let counters = Grt_sim.Counters.create () in
+  let trace = Grt_sim.Trace.create clock in
+  (* The link's fault draws derive from the session seed so a lossy run is
+     exactly reproducible. *)
+  let link =
+    Link.create ~clock ~energy ~counters ~trace
+      ~seed:(Grt_util.Hashing.combine seed 0x6C696E6BL)
+      profile
+  in
+  {
+    cfg;
+    seed;
+    sku;
+    net;
+    plan = Grt_mlfw.Network.expand net;
+    granularity;
+    clock;
+    energy;
+    counters;
+    metrics = Grt_sim.Metrics.of_counters counters;
+    trace;
+    link;
+    history = (match history with Some h -> h | None -> Spec_history.create ());
+    inject_fault_after;
+    rollbacks = 0;
+    rollback_s = 0.;
+  }
+
+let session_salt t = Grt_util.Hashing.combine t.seed 0x5a17L
+
+let charge_rollback t cost =
+  t.rollbacks <- t.rollbacks + 1;
+  t.rollback_s <- t.rollback_s +. cost;
+  Grt_sim.Clock.advance_s t.clock cost
+
+let stat t key = Grt_sim.Metrics.get_int t.metrics key

@@ -1,0 +1,53 @@
+(** Shared context of one recording session.
+
+    One [t] is created per {!Orchestrate.record} call and threaded through
+    the pipeline stages (establish → boot → attempt loop → finalize/sign)
+    in place of long optional-argument plumbing: the virtual clock, the
+    client energy model, the counter set with its typed {!Grt_sim.Metrics}
+    view, the diagnostic {!Grt_sim.Trace} ring (shared by the link and the
+    driver shim), the seeded link, and the speculation history — plus the
+    mutable rollback accounting the attempt loop updates. *)
+
+type t = {
+  cfg : Mode.config;
+  seed : int64;
+  sku : Grt_gpu.Sku.t;
+  net : Grt_mlfw.Network.t;
+  plan : Grt_mlfw.Network.plan;
+  granularity : [ `Monolithic | `Per_layer ];
+  clock : Grt_sim.Clock.t;
+  energy : Grt_sim.Energy.t;
+  counters : Grt_sim.Counters.t;
+  metrics : Grt_sim.Metrics.t;  (** typed view over [counters] *)
+  trace : Grt_sim.Trace.t;  (** link + shim event ring, dumped on failure *)
+  link : Grt_net.Link.t;
+  history : Spec_history.t;  (** shared across attempts (and sessions, §7.3) *)
+  mutable inject_fault_after : int option;
+      (** armed once, on the first attempt that consumes it (§7.3) *)
+  mutable rollbacks : int;
+  mutable rollback_s : float;
+}
+
+val create :
+  ?history:Spec_history.t ->
+  ?inject_fault_after:int ->
+  cfg:Mode.config ->
+  profile:Grt_net.Profile.t ->
+  sku:Grt_gpu.Sku.t ->
+  net:Grt_mlfw.Network.t ->
+  seed:int64 ->
+  granularity:[ `Monolithic | `Per_layer ] ->
+  unit ->
+  t
+(** Build the session infrastructure: clock, energy, counters/metrics,
+    trace ring, and the link (fault-seeded from [seed]). *)
+
+val session_salt : t -> int64
+(** The GPU's nondeterministic-state salt: a property of the physical
+    device, stable across rollback attempts within a session. *)
+
+val charge_rollback : t -> float -> unit
+(** Account one rollback of the given cost and advance the clock by it. *)
+
+val stat : t -> Grt_sim.Metrics.key -> int
+(** Typed counter lookup, for assembling the outcome record. *)

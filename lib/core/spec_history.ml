@@ -1,0 +1,25 @@
+type t = (string, int64 array list) Hashtbl.t
+
+let create () : t = Hashtbl.create 128
+
+let lookup t site = Option.value ~default:[] (Hashtbl.find_opt t site)
+
+let observe t ~k site values =
+  let prev = lookup t site in
+  let keep = max 1 k in
+  let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest in
+  Hashtbl.replace t site (take keep (values :: prev))
+
+let forget t site = Hashtbl.remove t site
+
+let confident t ~k site =
+  let entries = lookup t site in
+  if List.length entries < k then None
+  else
+    match entries with
+    | first :: rest -> if List.for_all (fun v -> v = first) rest then Some first else None
+    | [] -> None
+
+let sites t = Hashtbl.fold (fun site _ acc -> site :: acc) t []
+
+let size t = Hashtbl.length t

@@ -1,0 +1,38 @@
+(** Per-site speculation history (§4.2, §7.3).
+
+    Maps a driver commit site (function @ trigger # access-signature, see
+    {!Wire.site_key}) to the read-value vectors its last few commits
+    produced. A site qualifies for speculation once its last [k] outcomes
+    are identical ({!confident}); the paper uses k = 3. The table is
+    sharable across record runs of different workloads — §7.3's "retaining
+    register access history in between" — which is why it lives outside
+    {!Drivershim.t} and is passed in at create time.
+
+    Policy notes, enforced by the callers:
+    - {!observe} must record only true client observations, never injected
+      fault values or timeout sentinels, or one transient fault poisons
+      every later prediction at the site;
+    - {!forget} drops a site whose poll timed out — the prediction is about
+      to fail validation, and stale confidence would re-speculate the same
+      wrong value on every recovery attempt. *)
+
+type t
+
+val create : unit -> t
+
+val lookup : t -> string -> int64 array list
+(** Recorded outcome vectors, newest first; [[]] for an unknown site. *)
+
+val observe : t -> k:int -> string -> int64 array -> unit
+(** Prepend an outcome vector, keeping at most [max 1 k] entries. *)
+
+val forget : t -> string -> unit
+
+val confident : t -> k:int -> string -> int64 array option
+(** The predicted outcome vector, iff the site has at least [k] recorded
+    outcomes and they are all equal. *)
+
+val sites : t -> string list
+(** Known sites, in no particular order (diagnostics). *)
+
+val size : t -> int

@@ -1,0 +1,51 @@
+open Shim_engine
+module Link = Grt_net.Link
+module Metrics = Grt_sim.Metrics
+
+let chain_va t = Int64.logor t.head.lo (Int64.shift_left t.head.hi 32)
+
+let down t =
+  let payload = Memsync.sync_meta t.downlink t.cloud_mem in
+  let meta_wire =
+    if t.cfg.Mode.compress_dumps then payload.Memsync.wire_bytes
+    else payload.Memsync.raw_bytes + (12 * List.length payload.Memsync.pages)
+  in
+  let data_bytes =
+    if Mode.meta_only_sync t.cfg.Mode.mode then 0
+    else Memsync.naive_down_bytes t.downlink t.cloud_mem ~chain_va:(chain_va t)
+  in
+  let wire = meta_wire + data_bytes + t.wire_overhead in
+  count t Metrics.Sync_down_events 1;
+  count t Metrics.Sync_down_wire_bytes wire;
+  count t Metrics.Sync_down_raw_bytes (payload.Memsync.raw_bytes + data_bytes);
+  Link.one_way_to_client t.link ~bytes:wire;
+  Gpushim.load_pages t.gpushim payload;
+  if payload.Memsync.pages <> [] then
+    t.log := Recording.Mem_load { pages = payload.Memsync.pages } :: !(t.log);
+  (* Continuous validation (§5): the dumped metastate now belongs to the
+     GPU; unmap it from the CPU until the job interrupt returns it. *)
+  if t.cfg.Mode.continuous_validation then
+    Grt_gpu.Mem.protect_pages t.cloud_mem (Memsync.meta_pfns t.downlink t.cloud_mem)
+
+let up t =
+  if t.cfg.Mode.continuous_validation then Grt_gpu.Mem.unprotect_all t.cloud_mem;
+  let payload = Gpushim.upload_meta t.gpushim in
+  let meta_wire =
+    if t.cfg.Mode.compress_dumps then payload.Memsync.wire_bytes
+    else payload.Memsync.raw_bytes + (12 * List.length payload.Memsync.pages)
+  in
+  let data_bytes =
+    if Mode.meta_only_sync t.cfg.Mode.mode then 0
+    else Memsync.naive_up_bytes t.downlink t.cloud_mem ~chain_va:(chain_va t)
+  in
+  let wire = meta_wire + data_bytes + t.wire_overhead in
+  count t Metrics.Sync_up_events 1;
+  count t Metrics.Sync_up_wire_bytes wire;
+  count t Metrics.Sync_up_raw_bytes (payload.Memsync.raw_bytes + data_bytes);
+  Link.one_way_from_client t.link ~bytes:wire;
+  (* Install the client's changes (job status words) and teach the downlink
+     baseline so they are not shipped back. *)
+  Memsync.apply t.cloud_mem payload;
+  List.iter
+    (fun (pfn, data) -> Memsync.note_peer_page t.downlink pfn data)
+    payload.Memsync.pages

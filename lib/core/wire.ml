@@ -1,0 +1,52 @@
+module Sexpr = Grt_util.Sexpr
+
+type pending = Qr of { reg : int; sym : Sexpr.sym } | Qw of { reg : int; expr : Sexpr.t }
+
+exception Need_drain
+
+let to_wire queue =
+  let batch_index : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let n_reads = ref 0 in
+  List.iter
+    (function
+      | Qr { sym; _ } ->
+        Hashtbl.replace batch_index sym.Sexpr.id !n_reads;
+        incr n_reads
+      | Qw _ -> ())
+    queue;
+  let rec conv = function
+    | Sexpr.Const v -> Gpushim.Lit v
+    | Sexpr.Sym s -> (
+      match Hashtbl.find_opt batch_index s.Sexpr.id with
+      | Some i -> Gpushim.Batch i
+      | None -> (
+        match s.Sexpr.binding with
+        | Some v when not s.Sexpr.speculative -> Gpushim.Lit v
+        | Some _ -> raise Need_drain
+        | None -> failwith "Wire: write references unbound symbol outside batch"))
+    | Sexpr.Bin (op, a, b) -> Gpushim.Bop (op, conv a, conv b)
+    | Sexpr.Un (Sexpr.Not, a) -> Gpushim.Unot (conv a)
+  in
+  List.map
+    (function
+      | Qr { reg; _ } -> Gpushim.W_read reg
+      | Qw { reg; expr } -> Gpushim.W_write (reg, conv expr))
+    queue
+
+let request_bytes ~overhead n_accesses = 24 + (14 * n_accesses) + overhead
+
+let response_bytes ~overhead n_reads = 16 + (8 * n_reads) + overhead
+
+let read_syms queue =
+  List.filter_map (function Qr { reg; sym } -> Some (reg, sym) | Qw _ -> None) queue
+
+let site_key ~fn ~trigger queue =
+  let sig_hash =
+    List.fold_left
+      (fun acc q ->
+        let v = match q with Qr { reg; _ } -> (reg * 2) + 1 | Qw { reg; _ } -> reg * 2 in
+        Grt_util.Hashing.combine acc (Int64.of_int v))
+      (Grt_util.Hashing.fnv1a_string fn)
+      queue
+  in
+  Printf.sprintf "%s@%s#%Lx" fn trigger sig_hash

@@ -1,0 +1,43 @@
+(** Queue→wire conversion and message byte accounting (§4.1).
+
+    A deferring shim accumulates {!pending} register accesses per thread;
+    at a commit boundary the queue is lowered to the {!Gpushim.wire_access}
+    form the client applies — reads become batch positions, write
+    expressions are resolved against earlier reads of the same batch or
+    against already-validated bindings — and the message sizes charged to
+    the link are computed here, so cloud and client agree on the framing by
+    construction. *)
+
+type pending =
+  | Qr of { reg : int; sym : Grt_util.Sexpr.sym }
+  | Qw of { reg : int; expr : Grt_util.Sexpr.t }
+
+exception Need_drain
+(** A queued write references a {e speculative} binding from an earlier,
+    not-yet-validated commit. Speculative values must never reach the
+    client (§4.2): the caller drains outstanding commits — turning the
+    binding into validated truth — and converts again. *)
+
+val to_wire : pending list -> Gpushim.wire_access list
+(** Lower a queue (oldest first) to the client wire form. Raises
+    {!Need_drain} as described above; [Failure] on an unbound symbol that
+    is not part of this batch (a shim bug, not a recoverable state). *)
+
+val request_bytes : overhead:int -> int -> int
+(** [request_bytes ~overhead n] — cloud→client commit message carrying [n]
+    accesses: 24-byte header plus 14 bytes per access (opcode, register,
+    operand) plus the configured per-message [overhead] (transport
+    framing). *)
+
+val response_bytes : overhead:int -> int -> int
+(** [response_bytes ~overhead n] — client→cloud response carrying [n] read
+    values: 16-byte header plus 8 bytes per value plus [overhead]. *)
+
+val read_syms : pending list -> (int * Grt_util.Sexpr.sym) list
+(** The queue's reads, in order, as (register, symbol) pairs. *)
+
+val site_key : fn:string -> trigger:string -> pending list -> string
+(** Stable identity of a driver commit site: the innermost hot function
+    [fn] (or ["<cold>"]), the commit [trigger], and a hash of the queue's
+    access signature (registers and read/write kinds, not values). Keys
+    the speculation history (§4.2). *)

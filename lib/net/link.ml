@@ -1,4 +1,5 @@
 module Costs = Grt_sim.Costs
+module Metrics = Grt_sim.Metrics
 
 type health = Healthy | Degraded
 
@@ -15,7 +16,8 @@ type t = {
   mutable profile : Profile.t;
   clock : Grt_sim.Clock.t;
   energy : Grt_sim.Energy.t option;
-  counters : Grt_sim.Counters.t option;
+  metrics : Metrics.t option;
+  trace : Grt_sim.Trace.t option;
   rng : Grt_util.Rng.t;
   mutable last_delivery : int64;
   window : Bytes.t;
@@ -26,12 +28,13 @@ type t = {
   mutable outage_countdown : int option;
 }
 
-let create ~clock ?energy ?counters ?(seed = 0x4C494E4BL) profile =
+let create ~clock ?energy ?counters ?trace ?(seed = 0x4C494E4BL) profile =
   {
     profile;
     clock;
     energy;
-    counters;
+    metrics = Option.map Metrics.of_counters counters;
+    trace;
     rng = Grt_util.Rng.create ~seed;
     last_delivery = 0L;
     window = Bytes.make window_size '\000';
@@ -48,7 +51,12 @@ let clock t = t.clock
 let health t = t.health
 let inject_outage_after t n = t.outage_countdown <- Some n
 
-let count t name v = match t.counters with Some c -> Grt_sim.Counters.add c name v | None -> ()
+let count t key v = match t.metrics with Some m -> Metrics.add m key v | None -> ()
+
+let trace t ~topic fmt =
+  match t.trace with
+  | Some tr -> Grt_sim.Trace.emitf tr ~topic fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let charge_radio t ~tx_bytes ~rx_bytes =
   (* The client radio is active while bytes are on the air in either
@@ -68,9 +76,9 @@ let charge_radio t ~tx_bytes ~rx_bytes =
       ((rx_s +. awake) *. Grt_sim.Energy.rail_power_w Grt_sim.Energy.Radio_rx)
 
 let account t ~send_bytes ~recv_bytes =
-  count t "net.msgs" 2;
-  count t "net.bytes_tx" send_bytes;
-  count t "net.bytes_rx" recv_bytes;
+  count t Metrics.Net_msgs 2;
+  count t Metrics.Net_bytes_tx send_bytes;
+  count t Metrics.Net_bytes_rx recv_bytes;
   charge_radio t ~tx_bytes:recv_bytes ~rx_bytes:send_bytes
 (* Note: [send_bytes] is cloud->client, which the *client* receives; the
    client energy model therefore sees it as RX. *)
@@ -87,10 +95,12 @@ let note_transfer t ~retransmitted =
   match t.health with
   | Healthy when t.window_fill >= window_size / 2 && rate >= degraded_trip ->
     t.health <- Degraded;
-    count t "net.degraded_entries" 1
+    count t Metrics.Net_degraded_entries 1;
+    trace t ~topic:"link" "degraded (retransmit rate %.0f%%)" (100. *. rate)
   | Degraded when rate <= degraded_clear ->
     t.health <- Healthy;
-    count t "net.degraded_exits" 1
+    count t Metrics.Net_degraded_exits 1;
+    trace t ~topic:"link" "healthy (retransmit rate %.0f%%)" (100. *. rate)
   | _ -> ()
 
 let rto t attempt =
@@ -111,7 +121,7 @@ let leg_outcome t =
     if f.Profile.dup_prob > 0. && Grt_util.Rng.float t.rng 1.0 < f.Profile.dup_prob then
       (* Duplicate delivery: the sequence number identifies it and the
          receiver discards it; only the counter records it happened. *)
-      count t "net.dups" 1;
+      count t Metrics.Net_dups 1;
     `Ok
   end
 
@@ -124,7 +134,9 @@ let leg_outcome t =
    [Costs.link_max_attempts] attempts have failed. *)
 let run_arq t ~op ~legs ~charge_attempt =
   let fail_down ~extra ~retransmitted =
-    count t "net.link_downs" 1;
+    count t Metrics.Net_link_downs 1;
+    trace t ~topic:"link" "link_down op=%s after %d attempts (+%.3fs)" op
+      Costs.link_max_attempts extra;
     Grt_sim.Clock.advance_s t.clock extra;
     note_transfer t ~retransmitted;
     raise (Link_down { attempts = Costs.link_max_attempts; op })
@@ -137,7 +149,8 @@ let run_arq t ~op ~legs ~charge_attempt =
     for a = 1 to Costs.link_max_attempts do
       extra := !extra +. rto t a;
       if a > 1 then begin
-        count t "net.retransmits" 1;
+        count t Metrics.Net_retransmits 1;
+        trace t ~topic:"link" "retransmit op=%s attempt=%d (outage)" op a;
         charge_attempt ()
       end
     done;
@@ -157,7 +170,8 @@ let run_arq t ~op ~legs ~charge_attempt =
       let rec attempt a =
         if a > Costs.link_max_attempts then fail_down ~extra:!extra ~retransmitted:true;
         if a > 1 then begin
-          count t "net.retransmits" 1;
+          count t Metrics.Net_retransmits 1;
+          trace t ~topic:"link" "retransmit op=%s attempt=%d" op a;
           charge_attempt ()
         end;
         let ok = ref true in
@@ -165,10 +179,10 @@ let run_arq t ~op ~legs ~charge_attempt =
           if !ok then
             match leg_outcome t with
             | `Dropped ->
-              count t "net.drops" 1;
+              count t Metrics.Net_drops 1;
               ok := false
             | `Corrupt ->
-              count t "net.corrupt_drops" 1;
+              count t Metrics.Net_corrupt_drops 1;
               ok := false
             | `Ok -> ()
         done;
@@ -197,7 +211,7 @@ let deliver_at t completion =
 
 let round_trip t ~send_bytes ~recv_bytes =
   account t ~send_bytes ~recv_bytes;
-  count t "net.blocking_rtts" 1;
+  count t Metrics.Net_blocking_rtts 1;
   let extra =
     run_arq t ~op:"round_trip" ~legs:2 ~charge_attempt:(fun () ->
         account t ~send_bytes ~recv_bytes)
@@ -208,7 +222,7 @@ let round_trip t ~send_bytes ~recv_bytes =
 
 let async_send t ~send_bytes ~recv_bytes =
   account t ~send_bytes ~recv_bytes;
-  count t "net.async_sends" 1;
+  count t Metrics.Net_async_sends 1;
   let extra =
     run_arq t ~op:"async_send" ~legs:2 ~charge_attempt:(fun () ->
         account t ~send_bytes ~recv_bytes)
@@ -218,47 +232,44 @@ let async_send t ~send_bytes ~recv_bytes =
 
 let wait_until t deadline =
   if Int64.compare deadline (Grt_sim.Clock.now_ns t.clock) > 0 then begin
-    count t "net.stall_waits" 1;
+    count t Metrics.Net_stall_waits 1;
     Grt_sim.Clock.advance_to t.clock deadline
   end
 
 (* One-way pushes retransmit on payload loss only; the tiny reverse ack is
    assumed reliable (its loss would be repaired by the next exchange). *)
 let one_way_to_client t ~bytes =
-  count t "net.msgs" 1;
-  count t "net.bytes_tx" bytes;
+  count t Metrics.Net_msgs 1;
+  count t Metrics.Net_bytes_tx bytes;
   charge_radio t ~tx_bytes:0 ~rx_bytes:bytes;
   let extra =
     run_arq t ~op:"one_way_to_client" ~legs:1 ~charge_attempt:(fun () ->
-        count t "net.msgs" 1;
-        count t "net.bytes_tx" bytes;
+        count t Metrics.Net_msgs 1;
+        count t Metrics.Net_bytes_tx bytes;
         charge_radio t ~tx_bytes:0 ~rx_bytes:bytes)
   in
   Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
   ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
 
 let one_way_from_client t ~bytes =
-  count t "net.msgs" 1;
-  count t "net.bytes_rx" bytes;
+  count t Metrics.Net_msgs 1;
+  count t Metrics.Net_bytes_rx bytes;
   charge_radio t ~tx_bytes:bytes ~rx_bytes:0;
   let extra =
     run_arq t ~op:"one_way_from_client" ~legs:1 ~charge_attempt:(fun () ->
-        count t "net.msgs" 1;
-        count t "net.bytes_rx" bytes;
+        count t Metrics.Net_msgs 1;
+        count t Metrics.Net_bytes_rx bytes;
         charge_radio t ~tx_bytes:bytes ~rx_bytes:0)
   in
   Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
   ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
 
-let counter_int t name =
-  match t.counters with Some c -> Grt_sim.Counters.get_int c name | None -> 0
+let counter_int t key = match t.metrics with Some m -> Metrics.get_int m key | None -> 0
 
-let blocking_rtts t = counter_int t "net.blocking_rtts"
-let stall_waits t = counter_int t "net.stall_waits"
-let retransmits t = counter_int t "net.retransmits"
+let blocking_rtts t = counter_int t Metrics.Net_blocking_rtts
+let stall_waits t = counter_int t Metrics.Net_stall_waits
+let retransmits t = counter_int t Metrics.Net_retransmits
 
-let bytes_tx t =
-  match t.counters with Some c -> Grt_sim.Counters.get c "net.bytes_tx" | None -> 0L
+let bytes_tx t = match t.metrics with Some m -> Metrics.get m Metrics.Net_bytes_tx | None -> 0L
 
-let bytes_rx t =
-  match t.counters with Some c -> Grt_sim.Counters.get c "net.bytes_rx" | None -> 0L
+let bytes_rx t = match t.metrics with Some m -> Metrics.get m Metrics.Net_bytes_rx | None -> 0L

@@ -26,11 +26,14 @@ val create :
   clock:Grt_sim.Clock.t ->
   ?energy:Grt_sim.Energy.t ->
   ?counters:Grt_sim.Counters.t ->
+  ?trace:Grt_sim.Trace.t ->
   ?seed:int64 ->
   Profile.t ->
   t
 (** [seed] defaults to a fixed constant so fault draws are reproducible even
-    when the caller does not thread a seed through. *)
+    when the caller does not thread a seed through. [trace] receives
+    retransmit / link-down / degraded-transition events under topic
+    ["link"]. *)
 
 val profile : t -> Profile.t
 

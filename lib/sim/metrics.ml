@@ -1,0 +1,131 @@
+type key =
+  (* link *)
+  | Net_msgs
+  | Net_bytes_tx
+  | Net_bytes_rx
+  | Net_blocking_rtts
+  | Net_async_sends
+  | Net_stall_waits
+  | Net_retransmits
+  | Net_drops
+  | Net_corrupt_drops
+  | Net_dups
+  | Net_link_downs
+  | Net_degraded_entries
+  | Net_degraded_exits
+  (* recorder-side register traffic *)
+  | Reg_reads
+  | Reg_writes
+  (* commit pipeline *)
+  | Commits_total
+  | Commits_speculated
+  | Commits_sync
+  | Commits_accesses
+  (* speculation *)
+  | Spec_mispredicts
+  | Spec_rejected_nondet
+  | Spec_epoch_stalls
+  | Spec_dep_stalls
+  | Spec_degraded_suppressed
+  (* polling *)
+  | Poll_instances
+  | Poll_offloaded
+  | Poll_iters
+  | Irq_waits
+  (* memory synchronization *)
+  | Sync_down_events
+  | Sync_down_wire_bytes
+  | Sync_down_raw_bytes
+  | Sync_up_events
+  | Sync_up_wire_bytes
+  | Sync_up_raw_bytes
+  (* fault injection + recovery *)
+  | Fault_injected
+  | Recovery_entries
+  | Recovery_pages
+  | Recovery_link_downs
+  (* client-side shim *)
+  | Client_reg_reads
+  | Client_reg_writes
+  | Client_polls
+  | Client_irq_waits
+  | Client_uploads
+  | Client_downloads
+
+let name = function
+  | Net_msgs -> "net.msgs"
+  | Net_bytes_tx -> "net.bytes_tx"
+  | Net_bytes_rx -> "net.bytes_rx"
+  | Net_blocking_rtts -> "net.blocking_rtts"
+  | Net_async_sends -> "net.async_sends"
+  | Net_stall_waits -> "net.stall_waits"
+  | Net_retransmits -> "net.retransmits"
+  | Net_drops -> "net.drops"
+  | Net_corrupt_drops -> "net.corrupt_drops"
+  | Net_dups -> "net.dups"
+  | Net_link_downs -> "net.link_downs"
+  | Net_degraded_entries -> "net.degraded_entries"
+  | Net_degraded_exits -> "net.degraded_exits"
+  | Reg_reads -> "reg.reads"
+  | Reg_writes -> "reg.writes"
+  | Commits_total -> "commits.total"
+  | Commits_speculated -> "commits.speculated"
+  | Commits_sync -> "commits.sync"
+  | Commits_accesses -> "commits.accesses"
+  | Spec_mispredicts -> "spec.mispredicts"
+  | Spec_rejected_nondet -> "spec.rejected_nondet"
+  | Spec_epoch_stalls -> "spec.epoch_stalls"
+  | Spec_dep_stalls -> "spec.dep_stalls"
+  | Spec_degraded_suppressed -> "spec.degraded_suppressed"
+  | Poll_instances -> "poll.instances"
+  | Poll_offloaded -> "poll.offloaded"
+  | Poll_iters -> "poll.iters"
+  | Irq_waits -> "irq.waits"
+  | Sync_down_events -> "sync.down_events"
+  | Sync_down_wire_bytes -> "sync.down_wire_bytes"
+  | Sync_down_raw_bytes -> "sync.down_raw_bytes"
+  | Sync_up_events -> "sync.up_events"
+  | Sync_up_wire_bytes -> "sync.up_wire_bytes"
+  | Sync_up_raw_bytes -> "sync.up_raw_bytes"
+  | Fault_injected -> "fault.injected"
+  | Recovery_entries -> "recovery.entries"
+  | Recovery_pages -> "recovery.pages"
+  | Recovery_link_downs -> "recovery.link_downs"
+  | Client_reg_reads -> "client.reg_reads"
+  | Client_reg_writes -> "client.reg_writes"
+  | Client_polls -> "client.polls"
+  | Client_irq_waits -> "client.irq_waits"
+  | Client_uploads -> "client.uploads"
+  | Client_downloads -> "client.downloads"
+
+let all =
+  [
+    Net_msgs; Net_bytes_tx; Net_bytes_rx; Net_blocking_rtts; Net_async_sends; Net_stall_waits;
+    Net_retransmits; Net_drops; Net_corrupt_drops; Net_dups; Net_link_downs;
+    Net_degraded_entries; Net_degraded_exits; Reg_reads; Reg_writes; Commits_total;
+    Commits_speculated; Commits_sync; Commits_accesses; Spec_mispredicts; Spec_rejected_nondet;
+    Spec_epoch_stalls; Spec_dep_stalls; Spec_degraded_suppressed; Poll_instances;
+    Poll_offloaded; Poll_iters; Irq_waits; Sync_down_events; Sync_down_wire_bytes;
+    Sync_down_raw_bytes; Sync_up_events; Sync_up_wire_bytes; Sync_up_raw_bytes; Fault_injected;
+    Recovery_entries; Recovery_pages; Recovery_link_downs; Client_reg_reads; Client_reg_writes;
+    Client_polls; Client_irq_waits; Client_uploads; Client_downloads;
+  ]
+
+let of_name s = List.find_opt (fun k -> String.equal (name k) s) all
+
+(* Write-through onto a legacy counter set: the typed spine and the stringly
+   world always agree, and [Counters.pp] output is byte-identical to what it
+   was when every call site spelled the name out. *)
+type t = { counters : Counters.t }
+
+let create () = { counters = Counters.create () }
+let of_counters counters = { counters }
+let to_counters t = t.counters
+
+let add t k v = Counters.add t.counters (name k) v
+let add64 t k v = Counters.add64 t.counters (name k) v
+let incr t k = Counters.incr t.counters (name k)
+let get t k = Counters.get t.counters (name k)
+let get_int t k = Counters.get_int t.counters (name k)
+
+let pp ppf t = Counters.pp ppf t.counters

@@ -1,0 +1,87 @@
+(** Typed metric registry — the telemetry spine of the recorder.
+
+    Every statistic the engine layers account (link exchanges, register
+    traffic, commit pipeline, speculation, polling offload, memory sync,
+    recovery, the client-side shim) has a variant key here, so a typo in a
+    counter name is a compile error and the set of metrics is enumerable.
+
+    A [t] is a thin write-through wrapper over a legacy {!Counters.t}: every
+    typed [add]/[incr] lands on the counter named {!name}[ key], which keeps
+    [Counters.pp] dumps, test assertions on counter strings, and merged
+    counter sets byte-identical to the stringly-typed era. Use
+    {!to_counters} to hand the underlying set to code that still speaks
+    strings. *)
+
+type key =
+  | Net_msgs
+  | Net_bytes_tx
+  | Net_bytes_rx
+  | Net_blocking_rtts
+  | Net_async_sends
+  | Net_stall_waits
+  | Net_retransmits
+  | Net_drops
+  | Net_corrupt_drops
+  | Net_dups
+  | Net_link_downs
+  | Net_degraded_entries
+  | Net_degraded_exits
+  | Reg_reads
+  | Reg_writes
+  | Commits_total
+  | Commits_speculated
+  | Commits_sync
+  | Commits_accesses
+  | Spec_mispredicts
+  | Spec_rejected_nondet
+  | Spec_epoch_stalls
+  | Spec_dep_stalls
+  | Spec_degraded_suppressed
+  | Poll_instances
+  | Poll_offloaded
+  | Poll_iters
+  | Irq_waits
+  | Sync_down_events
+  | Sync_down_wire_bytes
+  | Sync_down_raw_bytes
+  | Sync_up_events
+  | Sync_up_wire_bytes
+  | Sync_up_raw_bytes
+  | Fault_injected
+  | Recovery_entries
+  | Recovery_pages
+  | Recovery_link_downs
+  | Client_reg_reads
+  | Client_reg_writes
+  | Client_polls
+  | Client_irq_waits
+  | Client_uploads
+  | Client_downloads
+
+val name : key -> string
+(** Legacy counter name of a key (e.g. [Net_blocking_rtts] ->
+    ["net.blocking_rtts"]). *)
+
+val all : key list
+(** Every key, in declaration order. *)
+
+val of_name : string -> key option
+(** Inverse of {!name}; [None] for counters outside the typed set. *)
+
+type t
+
+val create : unit -> t
+(** Fresh registry over a private counter set. *)
+
+val of_counters : Counters.t -> t
+(** Typed view over an existing counter set; writes land in [counters]. *)
+
+val to_counters : t -> Counters.t
+(** The underlying counter set (the legacy-name bridge). *)
+
+val add : t -> key -> int -> unit
+val add64 : t -> key -> int64 -> unit
+val incr : t -> key -> unit
+val get : t -> key -> int64
+val get_int : t -> key -> int
+val pp : Format.formatter -> t -> unit

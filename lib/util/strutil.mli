@@ -1,0 +1,12 @@
+(** Tiny string predicates shared across the tree (the stdlib grew
+    [String.starts_with] only in 4.13; these also read better at call
+    sites that classify driver function names). *)
+
+val has_prefix : string -> string -> bool
+(** [has_prefix p s] is true iff [s] starts with [p]. *)
+
+val has_suffix : string -> string -> bool
+(** [has_suffix suf s] is true iff [s] ends with [suf]. *)
+
+val contains_sub : string -> string -> bool
+(** [contains_sub sub s] is true iff [sub] occurs somewhere in [s]. *)

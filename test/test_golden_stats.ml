@@ -1,0 +1,102 @@
+(* Golden-stats differential test (behaviour-preservation harness).
+
+   Records MNIST at fixed seeds in every recorder mode and asserts the full
+   [Orchestrate.record_outcome] stat tuple — blob hash, entry count, blocking
+   RTTs, sync bytes, commit/speculation counts by category, polling, rollback
+   and retransmission counters — against checked-in expected values captured
+   before the engine-module refactor. Any behavioural drift in the recorder
+   (deferral, speculation, polling offload, memsync, link accounting) shows
+   up as a one-line diff here. *)
+
+module O = Grt.Orchestrate
+module Mode = Grt.Mode
+module Recording = Grt.Recording
+
+let check = Alcotest.check
+
+let tuple_of (o : O.record_outcome) =
+  Printf.sprintf
+    "blob=%016Lx entries=%d rtts=%d sync_wire=%d sync_raw=%d commits=%d spec=%d cats=[%s] \
+     nondet=%d accesses=%d polls=%d/%d rollbacks=%d retransmits=%d linkdowns=%d"
+    (Grt_util.Hashing.fnv1a_bytes o.O.blob)
+    (Array.length o.O.recording.Recording.entries)
+    o.O.blocking_rtts o.O.sync_wire_bytes o.O.sync_raw_bytes o.O.commits_total
+    o.O.commits_speculated
+    (String.concat ","
+       (List.map
+          (fun (c, n) -> Printf.sprintf "%s:%d" (Grt.Drivershim.category_name c) n)
+          o.O.speculated_by_category))
+    o.O.spec_rejected_nondet o.O.accesses_total o.O.poll_instances o.O.poll_offloaded
+    o.O.rollbacks o.O.retransmits o.O.link_downs
+
+let record ?history mode =
+  O.record ?history ~profile:Grt_net.Profile.wifi ~mode ~sku:Grt_gpu.Sku.g71_mp8
+    ~net:Grt_mlfw.Zoo.mnist ~seed:42L ()
+
+(* Expected tuples captured at the pre-refactor commit (seed 42, WiFi,
+   MNIST). The speculative mode is pinned both cold (empty history) and warm
+   (fourth run sharing one history), because the two exercise different
+   commit paths. *)
+let expected =
+  [
+    ( "OursM",
+      "blob=8392e577bd156170 entries=1024 rtts=980 sync_wire=10103 sync_raw=507904 commits=978 \
+       spec=0 cats=[Init:0,Interrupt:0,Power state:0,Polling:0,Other:0] nondet=0 accesses=978 \
+       polls=170/0 rollbacks=0 retransmits=0 linkdowns=0" );
+    ( "OursMD",
+      "blob=1015eb67e882c346 entries=1024 rtts=593 sync_wire=10103 sync_raw=507904 commits=591 \
+       spec=0 cats=[Init:0,Interrupt:0,Power state:0,Polling:0,Other:0] nondet=0 accesses=978 \
+       polls=170/0 rollbacks=0 retransmits=0 linkdowns=0" );
+    ( "OursMDS-cold",
+      "blob=1015eb67e882c346 entries=1024 rtts=62 sync_wire=10103 sync_raw=507904 commits=591 \
+       spec=531 cats=[Init:1,Interrupt:40,Power state:46,Polling:319,Other:125] nondet=23 \
+       accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
+    ( "OursMDS-warm",
+      "blob=1015eb67e882c346 entries=1024 rtts=25 sync_wire=10103 sync_raw=507904 commits=591 \
+       spec=568 cats=[Init:7,Interrupt:46,Power state:46,Polling:339,Other:130] nondet=23 \
+       accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
+  ]
+
+let actuals () =
+  let m = record Mode.Ours_m in
+  let md = record Mode.Ours_md in
+  let history = Grt.Drivershim.fresh_history () in
+  let cold = record ~history Mode.Ours_mds in
+  ignore (record ~history Mode.Ours_mds);
+  ignore (record ~history Mode.Ours_mds);
+  let warm = record ~history Mode.Ours_mds in
+  [
+    ("OursM", tuple_of m);
+    ("OursMD", tuple_of md);
+    ("OursMDS-cold", tuple_of cold);
+    ("OursMDS-warm", tuple_of warm);
+  ]
+
+let golden () =
+  let got = actuals () in
+  List.iter
+    (fun (name, want) -> check Alcotest.string name want (List.assoc name got))
+    expected
+
+(* The signed blob must also be stable run-to-run within one process (the
+   recorder may not depend on hidden global state). *)
+let rerun_stable () =
+  let a = record Mode.Ours_md in
+  let b = record Mode.Ours_md in
+  check Alcotest.string "re-record is identical" (tuple_of a) (tuple_of b)
+
+let () =
+  (* Capture mode: GOLDEN_CAPTURE=1 prints the actual tuples instead of
+     asserting, for refreshing the expected table after an intentional
+     behaviour change. *)
+  if Sys.getenv_opt "GOLDEN_CAPTURE" <> None then
+    List.iter (fun (name, t) -> Printf.printf "    (%S, %S);\n" name t) (actuals ())
+  else
+    Alcotest.run "grt_golden_stats"
+      [
+        ( "golden",
+          [
+            Alcotest.test_case "fixed-seed outcome stats" `Quick golden;
+            Alcotest.test_case "re-record stability" `Quick rerun_stable;
+          ] );
+      ]

@@ -89,6 +89,36 @@ let counters_reset () =
   Counters.reset t;
   check Alcotest.int64 "reset" 0L (Counters.get t "a")
 
+(* ---- Metrics (typed registry over Counters) ---- *)
+
+let metrics_write_through () =
+  let c = Counters.create () in
+  let m = Grt_sim.Metrics.of_counters c in
+  Grt_sim.Metrics.incr m Grt_sim.Metrics.Net_blocking_rtts;
+  Grt_sim.Metrics.add m Grt_sim.Metrics.Net_blocking_rtts 2;
+  Grt_sim.Metrics.add64 m Grt_sim.Metrics.Sync_down_wire_bytes 40L;
+  (* Typed writes land on the legacy counter names... *)
+  check Alcotest.int64 "legacy name sees typed writes" 3L (Counters.get c "net.blocking_rtts");
+  check Alcotest.int64 "bytes" 40L (Counters.get c "sync.down_wire_bytes");
+  (* ...and typed reads see stringly writes, because it is the same set. *)
+  Counters.add c "net.blocking_rtts" 1;
+  check Alcotest.int "typed read" 4 (Grt_sim.Metrics.get_int m Grt_sim.Metrics.Net_blocking_rtts);
+  check Alcotest.bool "same underlying set" true (Grt_sim.Metrics.to_counters m == c)
+
+let metrics_names_roundtrip () =
+  List.iter
+    (fun key ->
+      match Grt_sim.Metrics.of_name (Grt_sim.Metrics.name key) with
+      | Some k -> check Alcotest.bool "roundtrip" true (k = key)
+      | None -> Alcotest.failf "of_name failed for %s" (Grt_sim.Metrics.name key))
+    Grt_sim.Metrics.all;
+  check (Alcotest.option Alcotest.reject) "unknown name" None
+    (Grt_sim.Metrics.of_name "no.such.counter");
+  (* Legacy names must stay unique or two keys would alias one counter. *)
+  let names = List.map Grt_sim.Metrics.name Grt_sim.Metrics.all in
+  check Alcotest.int "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
 (* ---- Energy ---- *)
 
 let energy_base_rail_integrates () =
@@ -196,6 +226,11 @@ let () =
           Alcotest.test_case "alist sorted" `Quick counters_alist_sorted;
           Alcotest.test_case "merge" `Quick counters_merge;
           Alcotest.test_case "reset" `Quick counters_reset;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "write-through bridge" `Quick metrics_write_through;
+          Alcotest.test_case "name roundtrip" `Quick metrics_names_roundtrip;
         ] );
       ( "energy",
         [

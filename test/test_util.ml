@@ -324,10 +324,21 @@ let hexdump_sizes () =
   check Alcotest.string "mb" "2.00 MB" (Grt_util.Hexdump.size_to_string (2 * 1024 * 1024));
   check Alcotest.string "gb" "1.00 GB" (Grt_util.Hexdump.size_to_string (1024 * 1024 * 1024))
 
-let contains_substring hay needle =
-  let n = String.length hay and m = String.length needle in
-  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
-  go 0
+let contains_substring hay needle = Grt_util.Strutil.contains_sub needle hay
+
+(* ---- Strutil ---- *)
+
+let strutil_basics () =
+  let module S = Grt_util.Strutil in
+  check Alcotest.bool "prefix yes" true (S.has_prefix "kbase_pm_" "kbase_pm_init_hw");
+  check Alcotest.bool "prefix whole" true (S.has_prefix "abc" "abc");
+  check Alcotest.bool "prefix no" false (S.has_prefix "kbase_pm_" "kbase_gpuprops");
+  check Alcotest.bool "prefix longer than s" false (S.has_prefix "abcd" "abc");
+  check Alcotest.bool "suffix yes" true (S.has_suffix "_irq" "kbase_job_irq");
+  check Alcotest.bool "suffix no" false (S.has_suffix "_irq" "kbase_job_irqs");
+  check Alcotest.bool "sub middle" true (S.contains_sub "irq" "kbase_job_irq_handler");
+  check Alcotest.bool "sub absent" false (S.contains_sub "mmu" "kbase_job_irq_handler");
+  check Alcotest.bool "sub empty" true (S.contains_sub "" "anything")
 
 let hexdump_renders () =
   let out = Format.asprintf "%a" Grt_util.Hexdump.pp_bytes (Bytes.of_string "hello\x00world!") in
@@ -400,4 +411,5 @@ let () =
           Alcotest.test_case "sizes" `Quick hexdump_sizes;
           Alcotest.test_case "renders" `Quick hexdump_renders;
         ] );
+      ("strutil", [ Alcotest.test_case "basics" `Quick strutil_basics ]);
     ]
