@@ -110,14 +110,14 @@ let rollback () =
     (E.rollback ctx ~profile:Profile.wifi ~nets:[ Grt_mlfw.Zoo.mnist; Grt_mlfw.Zoo.vgg16 ])
 
 let faults () =
-  hr "Lossy-link campaign (MNIST, OursMDS): drop sweep x {wifi, cellular}";
-  Printf.printf "%-10s %8s %10s %12s %10s %10s %10s %10s\n" "profile" "drop" "delay(s)"
-    "retransmits" "degraded" "rollbacks" "linkdowns" "bitexact";
+  hr "Lossy-link campaign (MNIST, OursMDS): window x drop sweep x {wifi, cellular}";
+  Printf.printf "%-10s %6s %8s %10s %12s %10s %10s %10s %10s\n" "profile" "window" "drop"
+    "delay(s)" "retransmits" "degraded" "rollbacks" "linkdowns" "bitexact";
   List.iter
     (fun (r : E.fault_row) ->
-      Printf.printf "%-10s %7.0f%% %10.1f %12d %10d %10d %10d %10s\n" r.E.profile_name
-        (100. *. r.E.drop_prob) r.E.total_s r.E.retransmits r.E.degraded_entries r.E.rollbacks
-        r.E.link_downs
+      Printf.printf "%-10s %6d %7.0f%% %10.1f %12d %10d %10d %10d %10s\n" r.E.profile_name
+        r.E.window (100. *. r.E.drop_prob) r.E.total_s r.E.retransmits r.E.degraded_entries
+        r.E.rollbacks r.E.link_downs
         (if r.E.blob_identical then "yes" else "NO"))
     (E.fault_campaign ctx ~net:Grt_mlfw.Zoo.mnist ())
 

@@ -34,6 +34,21 @@ let drop_prob_arg =
   in
   Arg.(value & opt float 0.0 & info [ "drop-prob" ] ~docv:"P" ~doc)
 
+let window_arg =
+  let doc =
+    "Link sliding-window size: up to $(docv) exchanges in flight with go-back-N \
+     retransmission. 1 (the default) is stop-and-wait. The recording stays bit-identical, \
+     only the delay and energy change."
+  in
+  Arg.(value & opt int 1 & info [ "w"; "window" ] ~docv:"N" ~doc)
+
+let max_inflight_arg =
+  let doc =
+    "Cap on speculative commits outstanding at once; dispatching past the cap validates the \
+     oldest first. 0 (the default) means unbounded."
+  in
+  Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
+
 let out_arg =
   let doc = "Write the signed recording to $(docv)." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -52,7 +67,8 @@ let profile_of_name = function
   | "lan" -> Some Grt_net.Profile.lan
   | _ -> None
 
-let run net_name mode_name profile_name sku_name seed drop_prob out list_skus stats =
+let run net_name mode_name profile_name sku_name seed drop_prob window max_inflight out
+    list_skus stats =
   if list_skus then begin
     List.iter
       (fun s -> Format.printf "%a@." Grt_gpu.Sku.pp s)
@@ -72,14 +88,22 @@ let run net_name mode_name profile_name sku_name seed drop_prob out list_skus st
     | _, _, _, None -> `Error (false, "unknown SKU " ^ sku_name ^ " (try --list-skus)")
     | Some net, Some mode, Some profile, Some sku ->
       if drop_prob < 0. || drop_prob >= 1. then `Error (false, "--drop-prob must be in [0,1)")
+      else if window < 1 then `Error (false, "--window must be >= 1")
+      else if max_inflight < 0 then `Error (false, "--max-inflight must be >= 0")
       else begin
       let profile =
         if drop_prob > 0. then Grt_net.Profile.degrade ~drop_prob profile else profile
       in
       Printf.printf "recording %s (%d GPU jobs) on %s, %s over %s...\n%!" net_name
         (Grt_mlfw.Network.job_count net) sku_name (Grt.Mode.name mode) profile.Grt_net.Profile.name;
+      let config =
+        if max_inflight > 0 then
+          Some { (Grt.Mode.default_config mode) with Grt.Mode.max_inflight }
+        else None
+      in
       let o =
-        Grt.Orchestrate.record ~profile ~mode ~sku ~net ~seed:(Int64.of_int seed) ()
+        Grt.Orchestrate.record ?config ~window ~profile ~mode ~sku ~net
+          ~seed:(Int64.of_int seed) ()
       in
       Printf.printf
         "done.\n\
@@ -99,6 +123,10 @@ let run net_name mode_name profile_name sku_name seed drop_prob out list_skus st
       if drop_prob > 0. then
         Printf.printf "  lossy link:      %d retransmits, %d link-down recoveries\n"
           o.Grt.Orchestrate.retransmits o.Grt.Orchestrate.link_downs;
+      if window > 1 then
+        Printf.printf "  window:          %d (%d window stalls, %d go-back-N resends)\n" window
+          (Grt_sim.Counters.get_int o.Grt.Orchestrate.counters "net.window_stalls")
+          (Grt_sim.Counters.get_int o.Grt.Orchestrate.counters "net.gbn_retransmits");
       (match out with
       | Some path ->
         let oc = open_out_bin path in
@@ -117,6 +145,6 @@ let cmd =
     Term.(
       ret
         (const run $ net_arg $ mode_arg $ profile_arg $ sku_arg $ seed_arg $ drop_prob_arg
-       $ out_arg $ list_skus_arg $ stats_arg))
+       $ window_arg $ max_inflight_arg $ out_arg $ list_skus_arg $ stats_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -321,6 +321,7 @@ let ablation ctx ~profile ~net =
 
 type fault_row = {
   profile_name : string;
+  window : int;
   drop_prob : float;
   total_s : float;
   retransmits : int;
@@ -330,28 +331,47 @@ type fault_row = {
   blob_identical : bool;
 }
 
-let fault_campaign ctx ?(drops = [ 0.0; 0.01; 0.05; 0.1 ]) ~net () =
+let fault_campaign ctx ?(drops = [ 0.0; 0.01; 0.05; 0.1 ]) ?(windows = [ 1; 4 ]) ~net () =
   List.concat_map
     (fun base ->
       (* Each run gets a fresh history so speculation warms up identically;
-         the cache is bypassed for the same reason. *)
-      let run profile =
-        Orchestrate.record ~history:(Drivershim.fresh_history ()) ~profile ~mode:Mode.Ours_mds
-          ~sku:ctx.sku ~net ~seed:ctx.seed ()
+         the cache is bypassed for the same reason. A windowed run also
+         pipelines speculative commits ([max_inflight] = window) so the wire
+         window is actually exercised. *)
+      let run ~window profile =
+        let config =
+          { (Mode.default_config Mode.Ours_mds) with
+            Mode.max_inflight = (if window > 1 then window else 0)
+          }
+        in
+        Orchestrate.record ~history:(Drivershim.fresh_history ()) ~config ~window ~profile
+          ~mode:Mode.Ours_mds ~sku:ctx.sku ~net ~seed:ctx.seed ()
       in
-      let reference = run base in
-      List.map
-        (fun drop ->
-          let o = if drop = 0. then reference else run (Profile.degrade ~drop_prob:drop base) in
-          {
-            profile_name = base.Profile.name;
-            drop_prob = drop;
-            total_s = o.Orchestrate.total_s;
-            retransmits = o.Orchestrate.retransmits;
-            degraded_entries = Grt_sim.Counters.get_int o.Orchestrate.counters "net.degraded_entries";
-            rollbacks = o.Orchestrate.rollbacks;
-            link_downs = o.Orchestrate.link_downs;
-            blob_identical = Bytes.equal o.Orchestrate.blob reference.Orchestrate.blob;
-          })
-        drops)
+      (* One reference per base profile: the stop-and-wait zero-fault
+         recording. Every windowed and lossy variant must reproduce its
+         signed blob bit-for-bit. *)
+      let reference = run ~window:1 base in
+      List.concat_map
+        (fun window ->
+          List.map
+            (fun drop ->
+              let o =
+                if drop = 0. && window = 1 then reference
+                else
+                  run ~window (if drop = 0. then base else Profile.degrade ~drop_prob:drop base)
+              in
+              {
+                profile_name = base.Profile.name;
+                window;
+                drop_prob = drop;
+                total_s = o.Orchestrate.total_s;
+                retransmits = o.Orchestrate.retransmits;
+                degraded_entries =
+                  Grt_sim.Counters.get_int o.Orchestrate.counters "net.degraded_entries";
+                rollbacks = o.Orchestrate.rollbacks;
+                link_downs = o.Orchestrate.link_downs;
+                blob_identical = Bytes.equal o.Orchestrate.blob reference.Orchestrate.blob;
+              })
+            drops)
+        windows)
     [ Profile.wifi; Profile.cellular ]

@@ -102,21 +102,25 @@ type ablation_row = { label : string; delay_s : float; rtts : int; sync_mb : flo
 
 val ablation : ctx -> profile:Grt_net.Profile.t -> net:Grt_mlfw.Network.t -> ablation_row list
 
-(** Lossy-link campaign: sweep drop probability over the wifi and cellular
-    profiles and check each run's signed blob against the zero-fault
-    recording (they must be bit-identical — faults may move the clock and
-    the counters, never the recorded interactions). *)
+(** Lossy-link campaign: sweep window size × drop probability over the wifi
+    and cellular profiles and check each run's signed blob against the
+    stop-and-wait zero-fault recording (they must be bit-identical — window
+    size and faults may move the clock and the counters, never the recorded
+    interactions). *)
 type fault_row = {
   profile_name : string;  (** base profile swept (wifi, cellular) *)
+  window : int;  (** link sliding-window size (1 = stop-and-wait) *)
   drop_prob : float;
   total_s : float;
   retransmits : int;
   degraded_entries : int;  (** times the link tripped into degraded mode *)
   rollbacks : int;
   link_downs : int;
-  blob_identical : bool;  (** blob matches the zero-fault recording *)
+  blob_identical : bool;
+      (** blob matches the window=1 zero-fault recording *)
 }
 
 val fault_campaign :
-  ctx -> ?drops:float list -> net:Grt_mlfw.Network.t -> unit -> fault_row list
-(** [drops] defaults to [0; 0.01; 0.05; 0.1]. *)
+  ctx -> ?drops:float list -> ?windows:int list -> net:Grt_mlfw.Network.t -> unit -> fault_row list
+(** [drops] defaults to [0; 0.01; 0.05; 0.1]; [windows] to [[1; 4]]
+    (windowed runs also set [Mode.max_inflight] to the window size). *)

@@ -29,6 +29,7 @@ type config = {
   hot_function_scope : bool;
   continuous_validation : bool;
   degraded_mode : bool;
+  max_inflight : int;
 }
 
 let default_config mode =
@@ -42,4 +43,5 @@ let default_config mode =
     hot_function_scope = true;
     continuous_validation = true;
     degraded_mode = true;
+    max_inflight = 0;
   }

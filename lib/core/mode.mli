@@ -35,6 +35,15 @@ type config = {
   degraded_mode : bool;
       (** when the link reports a persistently lossy channel, suspend
           speculation and commit synchronously until it recovers *)
+  max_inflight : int;
+      (** cap on speculative commits outstanding at once. 0 (the default)
+          means unbounded — the historical behaviour, where only epoch and
+          dependency stalls drain the queue. With [n > 0], dispatching the
+          (n+1)-th speculative commit first validates the oldest outstanding
+          one in FIFO order; pair with a [Link] window of the same size to
+          pipeline the wire ([net.window_stalls] then backpressures the
+          shim). Validation order, [validated_prefix] and degraded-mode
+          suppression are unaffected. *)
 }
 
 val default_config : t -> config

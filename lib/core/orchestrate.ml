@@ -267,10 +267,10 @@ let dump_recent_trace (ctx : Ctx.t) =
   end
 
 let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granularity = `Monolithic)
-    ~profile ~mode ~sku ~net ~seed () =
+    ?window ~profile ~mode ~sku ~net ~seed () =
   let cfg = match config with Some c -> c | None -> Mode.default_config mode in
   let ctx =
-    Ctx.create ?history ?inject_fault_after ~cfg ~profile ~sku ~net ~seed ~granularity ()
+    Ctx.create ?history ?inject_fault_after ?window ~cfg ~profile ~sku ~net ~seed ~granularity ()
   in
   (match inject_outage_after with Some k -> Link.inject_outage_after ctx.link k | None -> ());
   try

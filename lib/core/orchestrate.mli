@@ -43,6 +43,7 @@ val record :
   ?inject_outage_after:int ->
   ?config:Mode.config ->
   ?granularity:[ `Monolithic | `Per_layer ] ->
+  ?window:int ->
   profile:Grt_net.Profile.t ->
   mode:Mode.t ->
   sku:Grt_gpu.Sku.t ->
@@ -56,7 +57,10 @@ val record :
     attempt, forcing one rollback. [inject_outage_after k] makes the link's
     [k]-th exchange deterministically time out all retransmission attempts,
     forcing a [Link_down] recovery. [config] overrides the default knobs
-    for [mode] (ablations). *)
+    for [mode] (ablations). [window] (default 1 = stop-and-wait) sets the
+    link's sliding-window size; pair with [config.max_inflight] to pipeline
+    speculative commits over it. Window size and fault draws may move the
+    clock, energy and counters — never the signed recording bytes. *)
 
 type replay_outcome = {
   r : Replayer.result;

@@ -19,7 +19,8 @@ type t = {
   mutable rollback_s : float;
 }
 
-let create ?history ?inject_fault_after ~cfg ~profile ~sku ~net ~seed ~granularity () =
+let create ?history ?inject_fault_after ?(window = 1) ~cfg ~profile ~sku ~net ~seed
+    ~granularity () =
   let clock = Grt_sim.Clock.create () in
   let energy = Grt_sim.Energy.create clock in
   let counters = Grt_sim.Counters.create () in
@@ -29,7 +30,7 @@ let create ?history ?inject_fault_after ~cfg ~profile ~sku ~net ~seed ~granulari
   let link =
     Link.create ~clock ~energy ~counters ~trace
       ~seed:(Grt_util.Hashing.combine seed 0x6C696E6BL)
-      profile
+      ~window profile
   in
   {
     cfg;

@@ -31,6 +31,7 @@ type t = {
 val create :
   ?history:Spec_history.t ->
   ?inject_fault_after:int ->
+  ?window:int ->
   cfg:Mode.config ->
   profile:Grt_net.Profile.t ->
   sku:Grt_gpu.Sku.t ->
@@ -40,7 +41,8 @@ val create :
   unit ->
   t
 (** Build the session infrastructure: clock, energy, counters/metrics,
-    trace ring, and the link (fault-seeded from [seed]). *)
+    trace ring, and the link (fault-seeded from [seed]; [window], default 1,
+    is the link's sliding-window size). *)
 
 val session_salt : t -> int64
 (** The GPU's nondeterministic-state salt: a property of the physical

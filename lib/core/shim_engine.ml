@@ -228,37 +228,72 @@ let log_applied t queue actuals =
 
 (* ---- draining / validation ---- *)
 
+(* Validate one outstanding speculative commit: wait until its response has
+   landed, compare every prediction against the actual register value,
+   confirm its symbols. Raises [Mispredict] — carrying the validated log
+   prefix both sides replay locally (§4.2) — on the first wrong
+   prediction. *)
+let validate_one t o =
+  Link.wait_until t.link o.o_completion;
+  List.iter
+    (fun (reg, predicted, actual) ->
+      if not (Int64.equal predicted actual) then begin
+        count t Metrics.Spec_mispredicts 1;
+        trace t ~topic:"shim" "rollback site=%s reg=%s predicted=%Lx actual=%Lx" o.o_site
+          (Regs.name reg) predicted actual;
+        (* Everything logged before this commit is validated truth; the
+           recovery replays it locally on both sides. *)
+        let all = List.rev !(t.log) in
+        let rec take n = function
+          | [] -> []
+          | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+        in
+        raise
+          (Mispredict
+             { site = o.o_site; reg; predicted; actual; valid_log = take o.o_log_mark all })
+      end)
+    o.o_checks;
+  List.iter Sexpr.confirm o.o_syms
+
 let drain t =
   let pending = t.outstanding in
   t.outstanding <- [];
-  List.iter
-    (fun o ->
-      Link.wait_until t.link o.o_completion;
-      List.iter
-        (fun (reg, predicted, actual) ->
-          if not (Int64.equal predicted actual) then begin
-            count t Metrics.Spec_mispredicts 1;
-            trace t ~topic:"shim" "rollback site=%s reg=%s predicted=%Lx actual=%Lx" o.o_site
-              (Regs.name reg) predicted actual;
-            (* Everything logged before this commit is validated truth; the
-               recovery replays it locally on both sides. *)
-            let all = List.rev !(t.log) in
-            let rec take n = function
-              | [] -> []
-              | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
-            in
-            raise
-              (Mispredict
-                 { site = o.o_site; reg; predicted; actual; valid_log = take o.o_log_mark all })
-          end)
-        o.o_checks;
-      List.iter Sexpr.confirm o.o_syms)
-    pending;
+  List.iter (validate_one t) pending;
   t.epoch_tainted <- false
 
+(* Partial drain for the pipelining cap: validate the oldest outstanding
+   commit only, in FIFO order. Unlike [drain] this leaves [epoch_tainted]
+   alone — the epoch still holds unvalidated speculation. *)
+let drain_oldest t =
+  match t.outstanding with
+  | [] -> ()
+  | o :: rest ->
+    t.outstanding <- rest;
+    validate_one t o
+
+(* High-water mark of speculative commits outstanding at once. Only tracked
+   when pipelining is configured, so default (stop-and-wait, unbounded)
+   runs keep byte-identical counter dumps. *)
+let note_inflight_depth t =
+  if t.cfg.Mode.max_inflight > 0 || Link.window t.link > 1 then
+    match t.metrics with
+    | Some m ->
+      let depth = List.length t.outstanding in
+      let hw = Metrics.get_int m Metrics.Spec_inflight_hw in
+      if depth > hw then Metrics.add m Metrics.Spec_inflight_hw (depth - hw)
+    | None -> ()
+
 (* Ship a speculated commit asynchronously and queue it for validation when
-   the response lands (shared by batch commits and offloaded polls). *)
+   the response lands (shared by batch commits and offloaded polls). With
+   [Mode.max_inflight > 0], first make room by validating the oldest
+   outstanding commits — a misprediction surfacing here aborts the current
+   commit exactly like one caught at a full drain. *)
 let dispatch_speculative t ~site ~send ~recv ~checks ~syms ~log_mark ~bind =
+  let cap = t.cfg.Mode.max_inflight in
+  if cap > 0 then
+    while List.length t.outstanding >= cap do
+      drain_oldest t
+    done;
   let completion = Link.async_send t.link ~send_bytes:send ~recv_bytes:recv in
   bind ();
   t.outstanding <-
@@ -272,6 +307,7 @@ let dispatch_speculative t ~site ~send ~recv ~checks ~syms ~log_mark ~bind =
           o_log_mark = log_mark;
         };
       ];
+  note_inflight_depth t;
   t.commits_speculated <- t.commits_speculated + 1;
   count t Metrics.Commits_speculated 1;
   trace t ~topic:"shim" "speculate site=%s checks=%d" site (List.length checks)

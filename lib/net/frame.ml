@@ -9,6 +9,7 @@ type kind =
   | Recording_download
   | Control
   | Ack
+  | Nak
 
 let kind_to_int = function
   | Commit_request -> 1
@@ -21,6 +22,7 @@ let kind_to_int = function
   | Recording_download -> 8
   | Control -> 9
   | Ack -> 10
+  | Nak -> 11
 
 let kind_of_int = function
   | 1 -> Some Commit_request
@@ -33,6 +35,7 @@ let kind_of_int = function
   | 8 -> Some Recording_download
   | 9 -> Some Control
   | 10 -> Some Ack
+  | 11 -> Some Nak
   | _ -> None
 
 let magic = 0x47525446 (* "GRTF" *)

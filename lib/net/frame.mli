@@ -13,7 +13,10 @@ type kind =
   | Irq_notify
   | Recording_download
   | Control
-  | Ack  (** link-level acknowledgement of a sequence number *)
+  | Ack  (** link-level cumulative acknowledgement of a sequence number *)
+  | Nak
+      (** go-back-N negative acknowledgement: the receiver saw a sequence
+          hole at [seq]; the sender resends from there (windowed links) *)
 
 val kind_to_int : kind -> int
 val kind_of_int : int -> kind option

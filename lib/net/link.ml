@@ -5,12 +5,23 @@ type health = Healthy | Degraded
 
 exception Link_down of { attempts : int; op : string }
 
-(* Sliding window over recent exchanges used to detect a persistently lossy
-   channel (degraded mode, hysteresis: trip high, clear low). *)
-let window_size = 64
+(* Ring over recent exchanges used to detect a persistently lossy channel
+   (degraded mode, hysteresis: trip high, clear low). Distinct from the
+   transmission [window] below, which bounds exchanges in flight. *)
+let health_ring_size = 64
 
 let degraded_trip = 0.20
 let degraded_clear = degraded_trip /. 4.
+
+(* One windowed exchange in flight: its byte cost (needed to re-charge the
+   whole unacked span on a go-back-N retransmission) and the virtual time at
+   which its response lands. Completions are clamped monotonic by
+   [deliver_at], so the pipe is ordered oldest-first by completion. *)
+type inflight = {
+  if_send_bytes : int;
+  if_recv_bytes : int;
+  if_completion : int64;
+}
 
 type t = {
   mutable profile : Profile.t;
@@ -19,16 +30,19 @@ type t = {
   metrics : Metrics.t option;
   trace : Grt_sim.Trace.t option;
   rng : Grt_util.Rng.t;
+  window : int;
+  mutable pipe : inflight list; (* oldest first; always [] when window = 1 *)
   mutable last_delivery : int64;
-  window : Bytes.t;
-  mutable window_fill : int;
-  mutable window_pos : int;
-  mutable window_sum : int;
+  health_ring : Bytes.t;
+  mutable ring_fill : int;
+  mutable ring_pos : int;
+  mutable ring_sum : int;
   mutable health : health;
   mutable outage_countdown : int option;
 }
 
-let create ~clock ?energy ?counters ?trace ?(seed = 0x4C494E4BL) profile =
+let create ~clock ?energy ?counters ?trace ?(seed = 0x4C494E4BL) ?(window = 1) profile =
+  if window < 1 then invalid_arg "Link.create: window must be >= 1";
   {
     profile;
     clock;
@@ -36,17 +50,19 @@ let create ~clock ?energy ?counters ?trace ?(seed = 0x4C494E4BL) profile =
     metrics = Option.map Metrics.of_counters counters;
     trace;
     rng = Grt_util.Rng.create ~seed;
+    window;
+    pipe = [];
     last_delivery = 0L;
-    window = Bytes.make window_size '\000';
-    window_fill = 0;
-    window_pos = 0;
-    window_sum = 0;
+    health_ring = Bytes.make health_ring_size '\000';
+    ring_fill = 0;
+    ring_pos = 0;
+    ring_sum = 0;
     health = Healthy;
     outage_countdown = None;
   }
 
 let profile t = t.profile
-let set_profile t p = t.profile <- p
+let window t = t.window
 let clock t = t.clock
 let health t = t.health
 let inject_outage_after t n = t.outage_countdown <- Some n
@@ -57,6 +73,21 @@ let trace t ~topic fmt =
   match t.trace with
   | Some tr -> Grt_sim.Trace.emitf tr ~topic fmt
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let set_profile t p =
+  (* Windowed sends still in flight were priced under the old profile; drain
+     them before the swap so they cannot complete against the new profile's
+     costs. The newest pipe entry has the latest completion (monotonic
+     clamp), so one clock advance retires the whole span. The degraded-health
+     ring deliberately carries over: channel history survives a handover. *)
+  (match List.rev t.pipe with
+  | [] -> ()
+  | newest :: _ ->
+    trace t ~topic:"link" "profile swap: draining %d in-flight send(s)"
+      (List.length t.pipe);
+    Grt_sim.Clock.advance_to t.clock newest.if_completion;
+    t.pipe <- []);
+  t.profile <- p
 
 let charge_radio t ~tx_bytes ~rx_bytes =
   (* The client radio is active while bytes are on the air in either
@@ -85,15 +116,15 @@ let account t ~send_bytes ~recv_bytes =
 
 let note_transfer t ~retransmitted =
   let v = if retransmitted then 1 else 0 in
-  if t.window_fill = window_size then
-    t.window_sum <- t.window_sum - Char.code (Bytes.get t.window t.window_pos)
-  else t.window_fill <- t.window_fill + 1;
-  Bytes.set t.window t.window_pos (Char.chr v);
-  t.window_sum <- t.window_sum + v;
-  t.window_pos <- (t.window_pos + 1) mod window_size;
-  let rate = float_of_int t.window_sum /. float_of_int (max 1 t.window_fill) in
+  if t.ring_fill = health_ring_size then
+    t.ring_sum <- t.ring_sum - Char.code (Bytes.get t.health_ring t.ring_pos)
+  else t.ring_fill <- t.ring_fill + 1;
+  Bytes.set t.health_ring t.ring_pos (Char.chr v);
+  t.ring_sum <- t.ring_sum + v;
+  t.ring_pos <- (t.ring_pos + 1) mod health_ring_size;
+  let rate = float_of_int t.ring_sum /. float_of_int (max 1 t.ring_fill) in
   match t.health with
-  | Healthy when t.window_fill >= window_size / 2 && rate >= degraded_trip ->
+  | Healthy when t.ring_fill >= health_ring_size / 2 && rate >= degraded_trip ->
     t.health <- Degraded;
     count t Metrics.Net_degraded_entries 1;
     trace t ~topic:"link" "degraded (retransmit rate %.0f%%)" (100. *. rate)
@@ -108,6 +139,51 @@ let rto t attempt =
     Float.max Costs.link_rto_min_s (Costs.link_rto_rtt_multiplier *. t.profile.Profile.rtt_s)
   in
   Float.min Costs.link_rto_max_s (base *. (Costs.link_rto_backoff ** float_of_int (attempt - 1)))
+
+(* Go-back-N loss detection. With a window the sender keeps frames (and their
+   cumulative acks) flowing behind a loss, so the receiver spots the sequence
+   hole as soon as the next frame lands and NAKs it ([Frame.Nak]): the sender
+   learns of the loss after about one round trip plus a few per-message
+   overheads, instead of sitting out a conservatively backed-off RTO.
+   Stop-and-wait has no later traffic to reveal the gap and must rely on the
+   timer. The RTO still caps the wait (min) so a dead link degrades
+   identically, and late attempts still back off toward [Link_down]. *)
+let gbn_detect t attempt =
+  Float.min (rto t attempt)
+    (Float.max Costs.link_rto_min_s
+       (t.profile.Profile.rtt_s +. (4. *. t.profile.Profile.per_message_s)))
+
+let reap t =
+  let now = Grt_sim.Clock.now_ns t.clock in
+  t.pipe <- List.filter (fun e -> Int64.compare e.if_completion now > 0) t.pipe
+
+(* Block until the transmission window has a free slot: advance the virtual
+   clock to the oldest in-flight completion and retire it. Only meaningful
+   when window > 1 (the pipe is never populated otherwise). *)
+let rec stall_for_slot t =
+  reap t;
+  if List.length t.pipe >= t.window then begin
+    match t.pipe with
+    | [] -> ()
+    | oldest :: rest ->
+      count t Metrics.Net_window_stalls 1;
+      trace t ~topic:"link" "window stall (%d in flight)" (List.length t.pipe);
+      Grt_sim.Clock.advance_to t.clock oldest.if_completion;
+      t.pipe <- rest;
+      stall_for_slot t
+  end
+
+(* Go-back-N: a retransmission resends the oldest unacked frame *and*
+   everything sent after it. Re-charge bytes and radio energy for the whole
+   unacked span and record the span length. *)
+let resend_span t =
+  match t.pipe with
+  | [] -> ()
+  | pipe ->
+    count t Metrics.Net_gbn_retransmits (List.length pipe);
+    List.iter
+      (fun e -> account t ~send_bytes:e.if_send_bytes ~recv_bytes:e.if_recv_bytes)
+      pipe
 
 (* One leg of an exchange: lost, damaged (receiver drops it on CRC), or
    delivered. *)
@@ -125,14 +201,17 @@ let leg_outcome t =
     `Ok
   end
 
-(* Stop-and-wait ARQ over one exchange of [legs] messages. Draws fault
-   outcomes per leg; a lost or damaged leg times out the whole attempt, the
-   sender backs off and retransmits ([charge_attempt] re-charges the resent
-   bytes and energy). Returns the extra delay (timeouts + jitter) in
-   seconds; the caller folds it into the exchange latency. Raises
-   [Link_down] — after advancing the clock past the final timeout — once
-   [Costs.link_max_attempts] attempts have failed. *)
-let run_arq t ~op ~legs ~charge_attempt =
+(* ARQ attempt loop shared by both transmission disciplines. Draws fault
+   outcomes per leg; a lost or damaged leg fails the whole attempt, the
+   sender waits [detect attempt] seconds (stop-and-wait: the exponentially
+   backed-off RTO; windowed: go-back-N NAK detection) and retransmits
+   ([on_retransmit] re-charges the resent bytes and energy). Returns the
+   extra delay (detection waits + jitter) in seconds; the caller folds it
+   into the exchange latency. Raises [Link_down] — after advancing the clock
+   past the final timeout — once [Costs.link_max_attempts] attempts have
+   failed. Both disciplines draw from the RNG in the same order, so exchange
+   outcomes are window-invariant; only the charged delay differs. *)
+let run_arq t ~op ~legs ~detect ~on_retransmit =
   let fail_down ~extra ~retransmitted =
     count t Metrics.Net_link_downs 1;
     trace t ~topic:"link" "link_down op=%s after %d attempts (+%.3fs)" op
@@ -147,11 +226,11 @@ let run_arq t ~op ~legs ~charge_attempt =
     t.outage_countdown <- None;
     let extra = ref 0. in
     for a = 1 to Costs.link_max_attempts do
-      extra := !extra +. rto t a;
+      extra := !extra +. detect a;
       if a > 1 then begin
         count t Metrics.Net_retransmits 1;
         trace t ~topic:"link" "retransmit op=%s attempt=%d (outage)" op a;
-        charge_attempt ()
+        on_retransmit ()
       end
     done;
     fail_down ~extra:!extra ~retransmitted:true
@@ -172,7 +251,7 @@ let run_arq t ~op ~legs ~charge_attempt =
         if a > 1 then begin
           count t Metrics.Net_retransmits 1;
           trace t ~topic:"link" "retransmit op=%s attempt=%d" op a;
-          charge_attempt ()
+          on_retransmit ()
         end;
         let ok = ref true in
         for _ = 1 to legs do
@@ -193,12 +272,23 @@ let run_arq t ~op ~legs ~charge_attempt =
           !extra
         end
         else begin
-          extra := !extra +. rto t a;
+          extra := !extra +. detect a;
           attempt (a + 1)
         end
       in
       attempt 1
     end
+
+(* Dispatch on the transmission discipline. The window=1 path is exactly the
+   historical stop-and-wait code; the windowed path swaps the RTO ladder for
+   go-back-N detection and re-charges the unacked span per retransmission. *)
+let arq t ~op ~legs ~charge_attempt =
+  if t.window = 1 then run_arq t ~op ~legs ~detect:(rto t) ~on_retransmit:charge_attempt
+  else
+    run_arq t ~op ~legs ~detect:(gbn_detect t)
+      ~on_retransmit:(fun () ->
+        charge_attempt ();
+        resend_span t)
 
 (* Jitter and retransmission must not reorder deliveries: the channel is
    FIFO (sequence numbers), so completion times are clamped monotonic. *)
@@ -210,10 +300,11 @@ let deliver_at t completion =
   completion
 
 let round_trip t ~send_bytes ~recv_bytes =
+  if t.window > 1 then stall_for_slot t;
   account t ~send_bytes ~recv_bytes;
   count t Metrics.Net_blocking_rtts 1;
   let extra =
-    run_arq t ~op:"round_trip" ~legs:2 ~charge_attempt:(fun () ->
+    arq t ~op:"round_trip" ~legs:2 ~charge_attempt:(fun () ->
         account t ~send_bytes ~recv_bytes)
   in
   Grt_sim.Clock.advance_s t.clock
@@ -221,14 +312,21 @@ let round_trip t ~send_bytes ~recv_bytes =
   ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
 
 let async_send t ~send_bytes ~recv_bytes =
+  if t.window > 1 then stall_for_slot t;
   account t ~send_bytes ~recv_bytes;
   count t Metrics.Net_async_sends 1;
   let extra =
-    run_arq t ~op:"async_send" ~legs:2 ~charge_attempt:(fun () ->
+    arq t ~op:"async_send" ~legs:2 ~charge_attempt:(fun () ->
         account t ~send_bytes ~recv_bytes)
   in
   let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
-  deliver_at t (Int64.add (Grt_sim.Clock.now_ns t.clock) (Int64.of_float (latency *. 1e9)))
+  let completion =
+    deliver_at t (Int64.add (Grt_sim.Clock.now_ns t.clock) (Int64.of_float (latency *. 1e9)))
+  in
+  if t.window > 1 then
+    t.pipe <-
+      t.pipe @ [ { if_send_bytes = send_bytes; if_recv_bytes = recv_bytes; if_completion = completion } ];
+  completion
 
 let wait_until t deadline =
   if Int64.compare deadline (Grt_sim.Clock.now_ns t.clock) > 0 then begin
@@ -239,11 +337,12 @@ let wait_until t deadline =
 (* One-way pushes retransmit on payload loss only; the tiny reverse ack is
    assumed reliable (its loss would be repaired by the next exchange). *)
 let one_way_to_client t ~bytes =
+  if t.window > 1 then stall_for_slot t;
   count t Metrics.Net_msgs 1;
   count t Metrics.Net_bytes_tx bytes;
   charge_radio t ~tx_bytes:0 ~rx_bytes:bytes;
   let extra =
-    run_arq t ~op:"one_way_to_client" ~legs:1 ~charge_attempt:(fun () ->
+    arq t ~op:"one_way_to_client" ~legs:1 ~charge_attempt:(fun () ->
         count t Metrics.Net_msgs 1;
         count t Metrics.Net_bytes_tx bytes;
         charge_radio t ~tx_bytes:0 ~rx_bytes:bytes)
@@ -252,11 +351,12 @@ let one_way_to_client t ~bytes =
   ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
 
 let one_way_from_client t ~bytes =
+  if t.window > 1 then stall_for_slot t;
   count t Metrics.Net_msgs 1;
   count t Metrics.Net_bytes_rx bytes;
   charge_radio t ~tx_bytes:bytes ~rx_bytes:0;
   let extra =
-    run_arq t ~op:"one_way_from_client" ~legs:1 ~charge_attempt:(fun () ->
+    arq t ~op:"one_way_from_client" ~legs:1 ~charge_attempt:(fun () ->
         count t Metrics.Net_msgs 1;
         count t Metrics.Net_bytes_rx bytes;
         charge_radio t ~tx_bytes:bytes ~rx_bytes:0)
@@ -269,6 +369,8 @@ let counter_int t key = match t.metrics with Some m -> Metrics.get_int m key | N
 let blocking_rtts t = counter_int t Metrics.Net_blocking_rtts
 let stall_waits t = counter_int t Metrics.Net_stall_waits
 let retransmits t = counter_int t Metrics.Net_retransmits
+let window_stalls t = counter_int t Metrics.Net_window_stalls
+let inflight t = List.length t.pipe
 
 let bytes_tx t = match t.metrics with Some m -> Metrics.get m Metrics.Net_bytes_tx | None -> 0L
 

@@ -13,6 +13,8 @@ type key =
   | Net_link_downs
   | Net_degraded_entries
   | Net_degraded_exits
+  | Net_window_stalls
+  | Net_gbn_retransmits
   (* recorder-side register traffic *)
   | Reg_reads
   | Reg_writes
@@ -27,6 +29,7 @@ type key =
   | Spec_epoch_stalls
   | Spec_dep_stalls
   | Spec_degraded_suppressed
+  | Spec_inflight_hw
   (* polling *)
   | Poll_instances
   | Poll_offloaded
@@ -66,6 +69,8 @@ let name = function
   | Net_link_downs -> "net.link_downs"
   | Net_degraded_entries -> "net.degraded_entries"
   | Net_degraded_exits -> "net.degraded_exits"
+  | Net_window_stalls -> "net.window_stalls"
+  | Net_gbn_retransmits -> "net.gbn_retransmits"
   | Reg_reads -> "reg.reads"
   | Reg_writes -> "reg.writes"
   | Commits_total -> "commits.total"
@@ -77,6 +82,7 @@ let name = function
   | Spec_epoch_stalls -> "spec.epoch_stalls"
   | Spec_dep_stalls -> "spec.dep_stalls"
   | Spec_degraded_suppressed -> "spec.degraded_suppressed"
+  | Spec_inflight_hw -> "spec.inflight_hw"
   | Poll_instances -> "poll.instances"
   | Poll_offloaded -> "poll.offloaded"
   | Poll_iters -> "poll.iters"
@@ -102,9 +108,11 @@ let all =
   [
     Net_msgs; Net_bytes_tx; Net_bytes_rx; Net_blocking_rtts; Net_async_sends; Net_stall_waits;
     Net_retransmits; Net_drops; Net_corrupt_drops; Net_dups; Net_link_downs;
-    Net_degraded_entries; Net_degraded_exits; Reg_reads; Reg_writes; Commits_total;
+    Net_degraded_entries; Net_degraded_exits; Net_window_stalls; Net_gbn_retransmits;
+    Reg_reads; Reg_writes; Commits_total;
     Commits_speculated; Commits_sync; Commits_accesses; Spec_mispredicts; Spec_rejected_nondet;
-    Spec_epoch_stalls; Spec_dep_stalls; Spec_degraded_suppressed; Poll_instances;
+    Spec_epoch_stalls; Spec_dep_stalls; Spec_degraded_suppressed; Spec_inflight_hw;
+    Poll_instances;
     Poll_offloaded; Poll_iters; Irq_waits; Sync_down_events; Sync_down_wire_bytes;
     Sync_down_raw_bytes; Sync_up_events; Sync_up_wire_bytes; Sync_up_raw_bytes; Fault_injected;
     Recovery_entries; Recovery_pages; Recovery_link_downs; Client_reg_reads; Client_reg_writes;

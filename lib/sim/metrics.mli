@@ -26,6 +26,9 @@ type key =
   | Net_link_downs
   | Net_degraded_entries
   | Net_degraded_exits
+  | Net_window_stalls  (** sends that stalled waiting for a free window slot *)
+  | Net_gbn_retransmits
+      (** frames re-sent as part of a go-back-N span (span sizes summed) *)
   | Reg_reads
   | Reg_writes
   | Commits_total
@@ -37,6 +40,9 @@ type key =
   | Spec_epoch_stalls
   | Spec_dep_stalls
   | Spec_degraded_suppressed
+  | Spec_inflight_hw
+      (** high-water mark of speculative commits outstanding at once (only
+          tracked when pipelining is configured) *)
   | Poll_instances
   | Poll_offloaded
   | Poll_iters

@@ -29,8 +29,8 @@ let tuple_of (o : O.record_outcome) =
     o.O.spec_rejected_nondet o.O.accesses_total o.O.poll_instances o.O.poll_offloaded
     o.O.rollbacks o.O.retransmits o.O.link_downs
 
-let record ?history mode =
-  O.record ?history ~profile:Grt_net.Profile.wifi ~mode ~sku:Grt_gpu.Sku.g71_mp8
+let record ?history ?window ?config mode =
+  O.record ?history ?window ?config ~profile:Grt_net.Profile.wifi ~mode ~sku:Grt_gpu.Sku.g71_mp8
     ~net:Grt_mlfw.Zoo.mnist ~seed:42L ()
 
 (* Expected tuples captured at the pre-refactor commit (seed 42, WiFi,
@@ -55,6 +55,14 @@ let expected =
       "blob=1015eb67e882c346 entries=1024 rtts=25 sync_wire=10103 sync_raw=507904 commits=591 \
        spec=568 cats=[Init:7,Interrupt:46,Power state:46,Polling:339,Other:130] nondet=23 \
        accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
+    (* window=4 + max_inflight=4 pipeline: every outcome stat — above all
+       the blob hash — must match the stop-and-wait cold run; window size
+       moves only the clock/energy/timing counters, which this tuple
+       deliberately excludes. *)
+    ( "OursMDS-w4",
+      "blob=1015eb67e882c346 entries=1024 rtts=62 sync_wire=10103 sync_raw=507904 commits=591 \
+       spec=531 cats=[Init:1,Interrupt:40,Power state:46,Polling:319,Other:125] nondet=23 \
+       accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
   ]
 
 let actuals () =
@@ -65,11 +73,21 @@ let actuals () =
   ignore (record ~history Mode.Ours_mds);
   ignore (record ~history Mode.Ours_mds);
   let warm = record ~history Mode.Ours_mds in
+  (* Sliding-window pipeline (window=4, max_inflight=4): timing-side
+     counters move, the blob must not. *)
+  let w4 =
+    record
+      ~history:(Grt.Drivershim.fresh_history ())
+      ~window:4
+      ~config:{ (Mode.default_config Mode.Ours_mds) with Mode.max_inflight = 4 }
+      Mode.Ours_mds
+  in
   [
     ("OursM", tuple_of m);
     ("OursMD", tuple_of md);
     ("OursMDS-cold", tuple_of cold);
     ("OursMDS-warm", tuple_of warm);
+    ("OursMDS-w4", tuple_of w4);
   ]
 
 let golden () =

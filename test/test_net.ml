@@ -246,6 +246,7 @@ let frame_all_kinds () =
       Frame.Recording_download;
       Frame.Control;
       Frame.Ack;
+      Frame.Nak;
     ]
 
 let frame_seq_roundtrip () =

@@ -195,6 +195,31 @@ let rc_qcheck_sparse =
       List.iter (fun (i, v) -> Bytes.set b i (Char.chr v)) edits;
       Bytes.equal b (Range_coder.decode (Range_coder.encode b)))
 
+(* Shaped buffers for codec fuzzing: the degenerate inputs memsync traffic
+   rarely produces — empty, single-byte, all-equal runs, seeded
+   incompressible noise — alongside arbitrary strings. *)
+let gen_shaped_bytes =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Bytes.empty;
+        map (fun c -> Bytes.make 1 c) char;
+        map2 (fun n c -> Bytes.make n c) (int_range 1 8192) char;
+        map2
+          (fun seed n -> Rng.bytes (Rng.create ~seed:(Int64.of_int seed)) n)
+          int (int_range 1 8192);
+        map Bytes.of_string (string_size (int_bound 4096));
+      ])
+
+let rc_qcheck_shaped =
+  qtest ~count:300 "range coder roundtrips shaped buffers"
+    gen_shaped_bytes
+    (fun b ->
+      let enc = Range_coder.encode b in
+      Bytes.equal b (Range_coder.decode enc)
+      (* Incompressible input must not blow up the wire either. *)
+      && Bytes.length enc <= Bytes.length b + 256)
+
 (* ---- Delta ---- *)
 
 let delta_identity () =
@@ -238,6 +263,21 @@ let delta_qcheck =
       let fresh = Bytes.copy old_ in
       List.iter (fun (i, c) -> Bytes.set fresh i c) edits;
       Bytes.equal fresh (Delta.apply ~old_ ~delta:(Delta.diff ~old_ ~fresh)))
+
+let delta_qcheck_shaped =
+  qtest ~count:300 "delta diff/apply handles shaped buffer pairs"
+    QCheck2.Gen.(pair gen_shaped_bytes (pair (int_bound 2) int))
+    (fun (old_, (variant, seed)) ->
+      let n = Bytes.length old_ in
+      let fresh =
+        match variant with
+        | 0 -> Bytes.copy old_ (* identity, incl. the empty/empty pair *)
+        | 1 -> Bytes.make n 'x' (* all-equal overwrite *)
+        | _ -> Rng.bytes (Rng.create ~seed:(Int64.of_int seed)) n (* incompressible *)
+      in
+      let d = Delta.diff ~old_ ~fresh in
+      Bytes.equal fresh (Delta.apply ~old_ ~delta:d)
+      && (not (Bytes.equal old_ fresh) || Delta.is_identity d))
 
 (* ---- Sexpr ---- *)
 
@@ -384,6 +424,7 @@ let () =
           Alcotest.test_case "no explosion" `Quick rc_random_data_no_explosion;
           rc_qcheck_roundtrip;
           rc_qcheck_sparse;
+          rc_qcheck_shaped;
         ] );
       ( "delta",
         [
@@ -393,6 +434,7 @@ let () =
           Alcotest.test_case "length mismatch" `Quick delta_length_mismatch;
           Alcotest.test_case "wrong base" `Quick delta_wrong_base;
           delta_qcheck;
+          delta_qcheck_shaped;
         ] );
       ( "sexpr",
         [
