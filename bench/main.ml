@@ -6,16 +6,25 @@
      bench/main.exe                 print every table and figure
      bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults
      bench/main.exe bechamel        run the Bechamel micro-suite only
+     bench/main.exe --json FILE [CMD]   additionally write the rows as JSON
 *)
 
 module E = Grt.Experiments
 module Mode = Grt.Mode
 module Profile = Grt_net.Profile
+module Json = Grt_util.Json
 
 let ctx = E.create_ctx ()
 
 let hr title =
   Printf.printf "\n==== %s ====\n" title
+
+(* --json FILE accumulator: every table registers the rows it just printed,
+   converted with the Experiments row_json functions, so the JSON file
+   carries exactly the printed values. *)
+let json_rows : (string * Json.t) list ref = ref []
+
+let add_json key to_json rows = json_rows := !json_rows @ [ (key, Json.Arr (List.map to_json rows)) ]
 
 let fig7 profile label =
   hr
@@ -24,33 +33,39 @@ let fig7 profile label =
        (profile.Profile.bandwidth_bps /. 1e6));
   Printf.printf "%-12s %10s %10s %10s %10s  %s\n" "NN" "Naive(s)" "OursM(s)" "OursMD(s)"
     "OursMDS(s)" "MDS vs Naive";
+  let rows = E.fig7 ctx ~profile in
   List.iter
     (fun (r : E.fig7_row) ->
       let d m = List.assoc m r.E.delays in
       Printf.printf "%-12s %10.1f %10.1f %10.1f %10.1f  -%2.0f%%\n" r.E.workload (d Mode.Naive)
         (d Mode.Ours_m) (d Mode.Ours_md) (d Mode.Ours_mds)
         (100. *. (1. -. (d Mode.Ours_mds /. d Mode.Naive))))
-    (E.fig7 ctx ~profile)
+    rows;
+  add_json ("fig7" ^ label) E.fig7_row_json rows
 
 let table1 () =
   hr "Table 1: record-run statistics (WiFi)";
   Printf.printf "%-12s %6s | %8s %8s %8s | %12s %10s\n" "NN" "jobs" "OursM" "OursMD" "OursMDS"
     "Naive(MB)" "OursM(MB)";
+  let rows = E.table1 ctx ~profile:Profile.wifi in
   List.iter
     (fun (r : E.table1_row) ->
       Printf.printf "%-12s %6d | %8d %8d %8d | %12.2f %10.2f\n" r.E.workload r.E.gpu_jobs
         r.E.rtts_m r.E.rtts_md r.E.rtts_mds r.E.memsync_naive_mb r.E.memsync_ours_mb)
-    (E.table1 ctx ~profile:Profile.wifi)
+    rows;
+  add_json "table1" E.table1_row_json rows
 
 let table2 () =
   hr "Table 2: replay vs native delays";
   Printf.printf "%-12s %12s %12s %10s %8s\n" "NN" "Native(ms)" "Replay(ms)" "diff" "bitexact";
+  let rows = E.table2 ctx in
   List.iter
     (fun (r : E.table2_row) ->
       Printf.printf "%-12s %12.1f %12.1f %+9.0f%% %8s\n" r.E.workload r.E.native_ms r.E.replay_ms
         (100. *. ((r.E.replay_ms /. r.E.native_ms) -. 1.))
         (if r.E.outputs_match then "yes" else "NO"))
-    (E.table2 ctx)
+    rows;
+  add_json "table2" E.table2_row_json rows
 
 let fig8 () =
   hr "Figure 8: breakdown of speculative commits (normalized; counts in parens)";
@@ -59,75 +74,89 @@ let fig8 () =
     (fun c -> Printf.printf " %11s" (Grt.Drivershim.category_name c))
     Grt.Drivershim.all_categories;
   print_newline ();
+  let rows = E.fig8 ctx ~profile:Profile.wifi in
   List.iter
     (fun (r : E.fig8_row) ->
       Printf.printf "%-12s %8s" r.E.workload (Printf.sprintf "(%d)" r.E.total_speculated);
       List.iter (fun (_, share) -> Printf.printf " %10.1f%%" (100. *. share)) r.E.shares;
       print_newline ())
-    (E.fig8 ctx ~profile:Profile.wifi)
+    rows;
+  add_json "fig8" E.fig8_row_json rows
 
 let fig9 () =
   hr "Figure 9: client energy for record and replay (J)";
   Printf.printf "%-12s %14s %14s %10s %10s\n" "NN" "Record/Naive" "Record/GR-T" "saving" "Replay";
+  let rows = E.fig9 ctx ~profile:Profile.wifi in
   List.iter
     (fun (r : E.fig9_row) ->
       Printf.printf "%-12s %14.1f %14.1f %9.0f%% %10.3f\n" r.E.workload r.E.record_naive_j
         r.E.record_mds_j
         (100. *. (1. -. (r.E.record_mds_j /. r.E.record_naive_j)))
         r.E.replay_j)
-    (E.fig9 ctx ~profile:Profile.wifi)
+    rows;
+  add_json "fig9" E.fig9_row_json rows
 
 let stats () =
   hr "§7.3 deferral & speculation statistics (OursMDS, WiFi)";
   Printf.printf "%-12s %9s %9s %10s %10s %9s\n" "NN" "accesses" "commits" "acc/commit"
     "spec %" "nondet";
+  let rows = E.deferral_stats ctx ~profile:Profile.wifi in
   List.iter
     (fun (r : E.stats_row) ->
       Printf.printf "%-12s %9d %9d %10.1f %9.0f%% %9d\n" r.E.workload r.E.accesses r.E.commits
         r.E.accesses_per_commit r.E.speculated_pct r.E.rejected_nondet)
-    (E.deferral_stats ctx ~profile:Profile.wifi)
+    rows;
+  add_json "stats" E.stats_row_json rows
 
 let polling () =
   hr "§7.3 polling-loop offload (OursMDS, WiFi)";
   Printf.printf "%-12s %10s %10s %14s %12s %10s\n" "NN" "instances" "offloaded" "RTTs w/o off"
     "RTTs w/ off" "saved";
+  let rows = E.polling ctx ~profile:Profile.wifi in
   List.iter
     (fun (r : E.polling_row) ->
       Printf.printf "%-12s %10d %10d %14d %12d %10d\n" r.E.workload r.E.instances r.E.offloaded
         r.E.rtts_without_offload r.E.rtts_with_offload
         (r.E.rtts_without_offload - r.E.rtts_with_offload))
-    (E.polling ctx ~profile:Profile.wifi)
+    rows;
+  add_json "polling" E.polling_row_json rows
 
 let rollback () =
   hr "§7.3 misprediction injection & rollback (MNIST, VGG16)";
   Printf.printf "%-12s %9s %10s %13s %10s\n" "NN" "detected" "rollbacks" "recovery(s)" "completed";
+  let rows = E.rollback ctx ~profile:Profile.wifi ~nets:[ Grt_mlfw.Zoo.mnist; Grt_mlfw.Zoo.vgg16 ] in
   List.iter
     (fun (r : E.rollback_row) ->
       Printf.printf "%-12s %9s %10d %13.2f %10s\n" r.E.workload
         (if r.E.detected then "yes" else "NO")
         r.E.rollbacks r.E.rollback_s
         (if r.E.completed then "yes" else "NO"))
-    (E.rollback ctx ~profile:Profile.wifi ~nets:[ Grt_mlfw.Zoo.mnist; Grt_mlfw.Zoo.vgg16 ])
+    rows;
+  add_json "rollback" E.rollback_row_json rows
 
 let faults () =
   hr "Lossy-link campaign (MNIST, OursMDS): window x drop sweep x {wifi, cellular}";
   Printf.printf "%-10s %6s %8s %10s %12s %10s %10s %10s %10s\n" "profile" "window" "drop"
     "delay(s)" "retransmits" "degraded" "rollbacks" "linkdowns" "bitexact";
+  let rows = E.fault_campaign ctx ~net:Grt_mlfw.Zoo.mnist () in
   List.iter
     (fun (r : E.fault_row) ->
       Printf.printf "%-10s %6d %7.0f%% %10.1f %12d %10d %10d %10d %10s\n" r.E.profile_name
         r.E.window (100. *. r.E.drop_prob) r.E.total_s r.E.retransmits r.E.degraded_entries
         r.E.rollbacks r.E.link_downs
         (if r.E.blob_identical then "yes" else "NO"))
-    (E.fault_campaign ctx ~net:Grt_mlfw.Zoo.mnist ())
+    rows;
+  add_json "faults" E.fault_row_json rows
 
 let ablation () =
   hr "Ablation of design knobs (MobileNet, WiFi)";
   Printf.printf "%-38s %10s %8s %10s\n" "variant" "delay(s)" "RTTs" "sync(MB)";
+  let rows = E.ablation ctx ~profile:Profile.wifi ~net:Grt_mlfw.Zoo.mobilenet in
   List.iter
     (fun (r : E.ablation_row) ->
       Printf.printf "%-38s %10.1f %8d %10.2f\n" r.E.label r.E.delay_s r.E.rtts r.E.sync_mb)
-    (E.ablation ctx ~profile:Profile.wifi ~net:Grt_mlfw.Zoo.mobilenet)
+    rows;
+  add_json "ablation" E.ablation_row_json rows
 
 (* ---- Bechamel micro-suite: host-side cost of regenerating each artifact
    (MNIST-scale so samples stay short). ---- *)
@@ -212,7 +241,18 @@ let all () =
   run_bechamel ()
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  (* Strip --json FILE anywhere on the command line; the first remaining
+     argument (if any) selects the command. *)
+  let rec split json cmds = function
+    | [] -> (json, List.rev cmds)
+    | "--json" :: file :: rest -> split (Some file) cmds rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json needs a FILE argument\n";
+      exit 2
+    | a :: rest -> split json (a :: cmds) rest
+  in
+  let json_file, cmds = split None [] (List.tl (Array.to_list Sys.argv)) in
+  (match match cmds with [] -> "all" | c :: _ -> c with
   | "fig7a" -> fig7 Profile.wifi "a"
   | "fig7b" -> fig7 Profile.cellular "b"
   | "table1" -> table1 ()
@@ -231,4 +271,12 @@ let () =
       "unknown command %s (expected \
        fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|bechamel|all)\n"
       other;
-    exit 2
+    exit 2);
+  match json_file with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Json.to_string (Json.Obj !json_rows));
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "\nwrote %s (%d tables)\n" path (List.length !json_rows)

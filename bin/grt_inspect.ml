@@ -1,19 +1,28 @@
 (* grt-inspect: examine a saved recording — identity, slots, interaction
-   histogram — or diff two recordings for remote debugging (§3.2).
+   histogram — diff two recordings for remote debugging (§3.2), or render
+   the phase timeline of a session report.
 
      dune exec bin/grt_inspect.exe -- mnist.grt
      dune exec bin/grt_inspect.exe -- --diff healthy.grt suspect.grt
+     dune exec bin/grt_inspect.exe -- --timeline mnist-report.json
 *)
 
 open Cmdliner
 
 let file_arg =
   let doc = "Recording file to inspect." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
 let diff_arg =
   let doc = "Compare $(docv) (the subject) against FILE (the reference)." in
   Arg.(value & opt (some string) None & info [ "d"; "diff" ] ~docv:"SUBJECT" ~doc)
+
+let timeline_arg =
+  let doc =
+    "Render the session report $(docv) (written by grt-record --report): per-phase time \
+     attribution and latency-histogram quantiles."
+  in
+  Arg.(value & opt (some string) None & info [ "t"; "timeline" ] ~docv:"REPORT" ~doc)
 
 let entries_arg =
   let doc = "Dump the first $(docv) entries." in
@@ -81,10 +90,22 @@ let inspect path dump_n =
     end;
     `Ok ()
 
-let run path diff dump_n =
-  match diff with
-  | None -> inspect path dump_n
-  | Some subject_path -> (
+let timeline path =
+  match Grt_util.Json.parse (Bytes.to_string (read_file path)) with
+  | Error e -> `Error (false, path ^ ": " ^ e)
+  | Ok json -> (
+    match Grt.Report.validate json with
+    | Error e -> `Error (false, path ^ ": " ^ e)
+    | Ok () ->
+      Format.printf "%a" Grt.Report.pp_timeline json;
+      `Ok ())
+
+let run path diff timeline_path dump_n =
+  match (timeline_path, path, diff) with
+  | Some report, _, _ -> timeline report
+  | None, None, _ -> `Error (true, "a recording FILE (or --timeline REPORT) is required")
+  | None, Some path, None -> inspect path dump_n
+  | None, Some path, Some subject_path -> (
     match (load path, load subject_path) with
     | Error e, _ | _, Error e -> `Error (false, e)
     | Ok reference, Ok subject ->
@@ -93,8 +114,8 @@ let run path diff dump_n =
       if Grt.Debugcheck.healthy report then `Ok () else `Error (false, "logs diverge"))
 
 let cmd =
-  let doc = "inspect or diff GR-T recordings" in
+  let doc = "inspect or diff GR-T recordings, or render a session-report timeline" in
   let info = Cmd.info "grt-inspect" ~version:"1.0" ~doc in
-  Cmd.v info Term.(ret (const run $ file_arg $ diff_arg $ entries_arg))
+  Cmd.v info Term.(ret (const run $ file_arg $ diff_arg $ timeline_arg $ entries_arg))
 
 let () = exit (Cmd.eval cmd)

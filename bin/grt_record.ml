@@ -53,6 +53,28 @@ let out_arg =
   let doc = "Write the signed recording to $(docv)." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Record with span tracing on and write Chrome trace-event JSON to $(docv) (load it in \
+     Perfetto or chrome://tracing). Tracing observes the virtual clock without moving it, so \
+     the recording, counters and energy are identical to an untraced run."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let report_arg =
+  let doc =
+    "Write a JSON session report (summary, counters, latency histograms, per-phase time \
+     attribution) to $(docv). Implies the same zero-cost observation as --trace-out."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let trace_capacity_arg =
+  let doc =
+    "Capacity of the diagnostic event ring dumped on failure (and exported to the report); \
+     older events are evicted past it."
+  in
+  Arg.(value & opt int 4096 & info [ "trace-capacity" ] ~docv:"N" ~doc)
+
 let list_skus_arg =
   let doc = "List known GPU SKUs and exit." in
   Arg.(value & flag & info [ "list-skus" ] ~doc)
@@ -67,8 +89,13 @@ let profile_of_name = function
   | "lan" -> Some Grt_net.Profile.lan
   | _ -> None
 
+let write_text path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
 let run net_name mode_name profile_name sku_name seed drop_prob window max_inflight out
-    list_skus stats =
+    trace_out report_out trace_capacity list_skus stats =
   if list_skus then begin
     List.iter
       (fun s -> Format.printf "%a@." Grt_gpu.Sku.pp s)
@@ -90,6 +117,7 @@ let run net_name mode_name profile_name sku_name seed drop_prob window max_infli
       if drop_prob < 0. || drop_prob >= 1. then `Error (false, "--drop-prob must be in [0,1)")
       else if window < 1 then `Error (false, "--window must be >= 1")
       else if max_inflight < 0 then `Error (false, "--max-inflight must be >= 0")
+      else if trace_capacity < 1 then `Error (false, "--trace-capacity must be >= 1")
       else begin
       let profile =
         if drop_prob > 0. then Grt_net.Profile.degrade ~drop_prob profile else profile
@@ -101,8 +129,9 @@ let run net_name mode_name profile_name sku_name seed drop_prob window max_infli
           Some { (Grt.Mode.default_config mode) with Grt.Mode.max_inflight }
         else None
       in
+      let observe = trace_out <> None || report_out <> None in
       let o =
-        Grt.Orchestrate.record ?config ~window ~profile ~mode ~sku ~net
+        Grt.Orchestrate.record ?config ~window ~trace_capacity ~observe ~profile ~mode ~sku ~net
           ~seed:(Int64.of_int seed) ()
       in
       Printf.printf
@@ -134,6 +163,20 @@ let run net_name mode_name profile_name sku_name seed drop_prob window max_infli
         close_out oc;
         Printf.printf "  wrote %s\n" path
       | None -> ());
+      (match (trace_out, o.Grt.Orchestrate.tracer) with
+      | Some path, Some tracer ->
+        write_text path (Grt_sim.Tracer.to_chrome_json tracer);
+        Printf.printf "  wrote trace %s (%d spans)\n" path (Grt_sim.Tracer.span_count tracer)
+      | _ -> ());
+      (match report_out with
+      | Some path ->
+        let report =
+          Grt.Report.of_outcome ~workload:net_name ~mode:(Grt.Mode.name mode)
+            ~profile:profile.Grt_net.Profile.name ~seed:(Int64.of_int seed) o
+        in
+        write_text path (Grt_util.Json.to_string report ^ "\n");
+        Printf.printf "  wrote report %s\n" path
+      | None -> ());
       if stats then Format.printf "%a" Grt_sim.Counters.pp o.Grt.Orchestrate.counters;
       `Ok ()
       end
@@ -145,6 +188,7 @@ let cmd =
     Term.(
       ret
         (const run $ net_arg $ mode_arg $ profile_arg $ sku_arg $ seed_arg $ drop_prob_arg
-       $ window_arg $ max_inflight_arg $ out_arg $ list_skus_arg $ stats_arg))
+       $ window_arg $ max_inflight_arg $ out_arg $ trace_out_arg $ report_arg
+       $ trace_capacity_arg $ list_skus_arg $ stats_arg))
 
 let () = exit (Cmd.eval cmd)

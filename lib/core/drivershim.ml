@@ -30,9 +30,15 @@ let commit t ~trigger =
   let queue = List.rev !qr in
   qr := [];
   if queue <> [] then begin
+    let site = site_key t ~trigger queue in
+    Tracer.span_opt t.tracer ~cat:Tracer.Commit
+      ~args:[ ("site", site); ("trigger", trigger) ]
+      ~name:"commit"
+    @@ fun () ->
     t.commits_total <- t.commits_total + 1;
     count t Metrics.Commits_total 1;
     count t Metrics.Commits_accesses (List.length queue);
+    Hist.record_opt t.hists Hist.Commit_accesses (List.length queue);
     if t.epoch_tainted && t.outstanding <> [] then begin
       count t Metrics.Spec_epoch_stalls 1;
       drain t
@@ -44,7 +50,6 @@ let commit t ~trigger =
         drain t;
         Wire.to_wire queue
     in
-    let site = site_key t ~trigger queue in
     let reads = Wire.read_syms queue in
     let n_reads = List.length reads in
     let nondet = List.exists (fun (reg, _) -> Regs.is_nondeterministic reg) reads in
@@ -89,7 +94,7 @@ let commit t ~trigger =
       List.iteri (fun i (_, sym) -> Sexpr.bind sym (List.nth actuals i) ~speculative:false) reads;
       if n_reads > 0 then history_update t site (Array.of_list actuals);
       count t Metrics.Commits_sync 1;
-      trace t ~topic:"shim" "commit site=%s accesses=%d" site (List.length queue);
+      Trace.event_opt t.trace (Trace.Commit { site; accesses = List.length queue });
       log_applied t queue actuals
   end
 
@@ -174,6 +179,8 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
       Printf.sprintf "poll:%s:%Lx:%s" (Regs.name reg) mask
         (match cond with Backend.Bits_set -> "set" | Backend.Bits_clear -> "clear")
     in
+    Tracer.span_opt t.tracer ~cat:Tracer.Poll_offload ~args:[ ("site", site) ] ~name:"poll"
+    @@ fun () ->
     let send = request_bytes t 2 and recv = response_bytes t 2 in
     let run () = Gpushim.run_poll t.gpushim ~reg ~mask ~cond ~max_iters ~spin_ns in
     let speculate =
@@ -193,6 +200,7 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
       let checked = match maybe_inject t [ observed ] with v :: _ -> v | [] -> observed in
       t.commits_total <- t.commits_total + 1;
       count t Metrics.Commits_total 1;
+      Hist.record_opt t.hists Hist.Commit_accesses 2;
       dispatch_speculative t ~site ~send ~recv
         ~checks:[ (reg, predicted.(0), checked) ]
         ~syms:[] ~log_mark:(max 0 log_mark) ~bind:(fun () -> ());
@@ -216,7 +224,8 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
       t.commits_total <- t.commits_total + 1;
       count t Metrics.Commits_total 1;
       count t Metrics.Commits_sync 1;
-      trace t ~topic:"shim" "commit site=%s accesses=2" site;
+      Hist.record_opt t.hists Hist.Commit_accesses 2;
+      Trace.event_opt t.trace (Trace.Commit { site; accesses = 2 });
       (match run () with
       | Some (iters, value) ->
         history_update t site [| value |];

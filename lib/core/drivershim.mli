@@ -60,6 +60,8 @@ val create :
   cloud_mem:Grt_gpu.Mem.t ->
   ?counters:Grt_sim.Counters.t ->
   ?trace:Grt_sim.Trace.t ->
+  ?tracer:Grt_sim.Tracer.t ->
+  ?hists:Grt_sim.Hist.set ->
   ?history:history ->
   ?wire_overhead:int ->
   ?replay_prefix:Recording.entry list ->
@@ -71,7 +73,9 @@ val create :
     feeds the recorded responses to the driver, with no network traffic
     (§4.2's rollback). Once the prefix runs dry the shim goes live.
     [trace] receives commit / speculate / rollback events under topic
-    ["shim"]. *)
+    ["shim"]. [tracer] gets nested spans per commit / validation /
+    offloaded poll; [hists] gets commit batch sizes and speculation
+    validation latencies. All observers default to off. *)
 
 val backend : t -> Grt_driver.Backend.t
 (** The instrumented-driver interface. *)

@@ -375,3 +375,113 @@ let fault_campaign ctx ?(drops = [ 0.0; 0.01; 0.05; 0.1 ]) ?(windows = [ 1; 4 ])
             drops)
         windows)
     [ Profile.wifi; Profile.cellular ]
+
+(* ---- JSON row export (bench --json, CI artifacts) ----
+
+   One function per row type, mirroring the printed tables field for field
+   so a test can assert the JSON rows carry exactly the table's values. *)
+
+module Json = Grt_util.Json
+
+let fig7_row_json (r : fig7_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.workload);
+      ("delays_s", Json.Obj (List.map (fun (m, d) -> (Mode.name m, Json.float d)) r.delays));
+    ]
+
+let table1_row_json (r : table1_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.workload);
+      ("gpu_jobs", Json.int r.gpu_jobs);
+      ("rtts_m", Json.int r.rtts_m);
+      ("rtts_md", Json.int r.rtts_md);
+      ("rtts_mds", Json.int r.rtts_mds);
+      ("memsync_naive_mb", Json.float r.memsync_naive_mb);
+      ("memsync_ours_mb", Json.float r.memsync_ours_mb);
+    ]
+
+let table2_row_json (r : table2_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.workload);
+      ("native_ms", Json.float r.native_ms);
+      ("replay_ms", Json.float r.replay_ms);
+      ("outputs_match", Json.Bool r.outputs_match);
+    ]
+
+let fig8_row_json (r : fig8_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.workload);
+      ("total_speculated", Json.int r.total_speculated);
+      ( "shares",
+        Json.Obj
+          (List.map
+             (fun (c, s) -> (Drivershim.category_name c, Json.float s))
+             r.shares) );
+    ]
+
+let fig9_row_json (r : fig9_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.workload);
+      ("record_naive_j", Json.float r.record_naive_j);
+      ("record_mds_j", Json.float r.record_mds_j);
+      ("replay_j", Json.float r.replay_j);
+    ]
+
+let stats_row_json (r : stats_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.workload);
+      ("accesses", Json.int r.accesses);
+      ("commits", Json.int r.commits);
+      ("accesses_per_commit", Json.float r.accesses_per_commit);
+      ("speculated_pct", Json.float r.speculated_pct);
+      ("rejected_nondet", Json.int r.rejected_nondet);
+    ]
+
+let polling_row_json (r : polling_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.workload);
+      ("instances", Json.int r.instances);
+      ("offloaded", Json.int r.offloaded);
+      ("rtts_without_offload", Json.int r.rtts_without_offload);
+      ("rtts_with_offload", Json.int r.rtts_with_offload);
+    ]
+
+let rollback_row_json (r : rollback_row) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.workload);
+      ("detected", Json.Bool r.detected);
+      ("rollbacks", Json.int r.rollbacks);
+      ("rollback_s", Json.float r.rollback_s);
+      ("completed", Json.Bool r.completed);
+    ]
+
+let ablation_row_json (r : ablation_row) =
+  Json.Obj
+    [
+      ("label", Json.Str r.label);
+      ("delay_s", Json.float r.delay_s);
+      ("rtts", Json.int r.rtts);
+      ("sync_mb", Json.float r.sync_mb);
+    ]
+
+let fault_row_json (r : fault_row) =
+  Json.Obj
+    [
+      ("profile", Json.Str r.profile_name);
+      ("window", Json.int r.window);
+      ("drop_prob", Json.float r.drop_prob);
+      ("total_s", Json.float r.total_s);
+      ("retransmits", Json.int r.retransmits);
+      ("degraded_entries", Json.int r.degraded_entries);
+      ("rollbacks", Json.int r.rollbacks);
+      ("link_downs", Json.int r.link_downs);
+      ("blob_identical", Json.Bool r.blob_identical);
+    ]

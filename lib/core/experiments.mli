@@ -124,3 +124,20 @@ val fault_campaign :
   ctx -> ?drops:float list -> ?windows:int list -> net:Grt_mlfw.Network.t -> unit -> fault_row list
 (** [drops] defaults to [0; 0.01; 0.05; 0.1]; [windows] to [[1; 4]]
     (windowed runs also set [Mode.max_inflight] to the window size). *)
+
+(** {2 JSON row export}
+
+    One function per row type, mirroring the printed table field for field,
+    so [bench/main.exe --json] can emit machine-readable copies of exactly
+    what it prints (asserted by the test suite). *)
+
+val fig7_row_json : fig7_row -> Grt_util.Json.t
+val table1_row_json : table1_row -> Grt_util.Json.t
+val table2_row_json : table2_row -> Grt_util.Json.t
+val fig8_row_json : fig8_row -> Grt_util.Json.t
+val fig9_row_json : fig9_row -> Grt_util.Json.t
+val stats_row_json : stats_row -> Grt_util.Json.t
+val polling_row_json : polling_row -> Grt_util.Json.t
+val rollback_row_json : rollback_row -> Grt_util.Json.t
+val ablation_row_json : ablation_row -> Grt_util.Json.t
+val fault_row_json : fault_row -> Grt_util.Json.t

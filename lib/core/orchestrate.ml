@@ -2,6 +2,8 @@ module Link = Grt_net.Link
 module Sku = Grt_gpu.Sku
 module Network = Grt_mlfw.Network
 module Metrics = Grt_sim.Metrics
+module Tracer = Grt_sim.Tracer
+module Hist = Grt_sim.Hist
 module Ctx = Session_ctx
 
 let cloud_signing_key : Grt_tee.Crypto.key = "grt-cloud-recording-service-v1"
@@ -31,6 +33,8 @@ type record_outcome = {
   segments : bytes list;
       (* per-layer recording segments when recorded with [`Per_layer]
          granularity (Figure 2); empty otherwise *)
+  tracer : Grt_sim.Tracer.t option;
+  hists : Grt_sim.Hist.set option;
 }
 
 (* Misprediction recovery (§4.2): both parties restart and replay the
@@ -62,6 +66,7 @@ let rec is_link_down = function
 
 (* Attested channel establishment (§7.1): one-time handshake cost. *)
 let establish (ctx : Ctx.t) =
+  Tracer.span_opt ctx.tracer ~cat:Tracer.Establish ~name:"establish" @@ fun () ->
   let channel =
     match
       Grt_tee.Channel.establish ~link:ctx.link ~verification_key:cloud_signing_key
@@ -77,6 +82,7 @@ let establish (ctx : Ctx.t) =
 (* Boot the recording VM: the image picks the device tree (and thus the
    driver binding) matching the client's attested GPU (§6). *)
 let boot (ctx : Ctx.t) =
+  Tracer.span_opt ctx.tracer ~cat:Tracer.Boot ~name:"boot" @@ fun () ->
   let vm =
     match Cloudvm.boot Cloudvm.default_image ~client_gpu_id:ctx.sku.Sku.gpu_id with
     | Ok vm -> vm
@@ -101,8 +107,8 @@ let attempt_loop (ctx : Ctx.t) ~devicetree =
     let cloud_mem = Grt_gpu.Mem.create () in
     let shim =
       Drivershim.create ~cfg:ctx.cfg ~link:ctx.link ~gpushim ~cloud_mem ~counters:ctx.counters
-        ~trace:ctx.trace ~history:ctx.history ~wire_overhead:Grt_tee.Channel.wire_overhead
-        ~replay_prefix:prefix ()
+        ~trace:ctx.trace ?tracer:ctx.tracer ?hists:ctx.hists ~history:ctx.history
+        ~wire_overhead:Grt_tee.Channel.wire_overhead ~replay_prefix:prefix ()
     in
     (match ctx.inject_fault_after with
     | Some k ->
@@ -141,7 +147,11 @@ let attempt_loop (ctx : Ctx.t) ~devicetree =
          locally (§4.2). The dominant cost — driver reload and GPU job
          re-preparation on the cloud — is charged here; the log replay
          itself advances the clock as it runs in the next attempt. *)
-      Ctx.charge_rollback ctx (rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10);
+      Tracer.span_opt ctx.tracer ~cat:Tracer.Rollback_recovery
+        ~args:[ ("cause", "mispredict") ] ~name:"rollback" (fun () ->
+          Hist.record_opt ctx.hists Hist.Rollback_depth (List.length valid_log);
+          Ctx.charge_rollback ctx
+            (rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10));
       Gpushim.release gpushim;
       attempt (n + 1) valid_log
     | e when is_link_down e ->
@@ -151,7 +161,11 @@ let attempt_loop (ctx : Ctx.t) ~devicetree =
          still in flight were never validated, so they are replayed live. *)
       let valid_log = Drivershim.validated_prefix shim in
       Metrics.add ctx.metrics Metrics.Recovery_link_downs 1;
-      Ctx.charge_rollback ctx (rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10);
+      Tracer.span_opt ctx.tracer ~cat:Tracer.Rollback_recovery
+        ~args:[ ("cause", "link_down") ] ~name:"rollback" (fun () ->
+          Hist.record_opt ctx.hists Hist.Rollback_depth (List.length valid_log);
+          Ctx.charge_rollback ctx
+            (rollback_cost_s ~entries_so_far:(List.length valid_log) ~jit_kernels:10));
       Gpushim.release gpushim;
       attempt (n + 1) valid_log
   in
@@ -254,23 +268,40 @@ let finalize_and_sign (ctx : Ctx.t) ~vm ~gpushim ~shim ~runner =
     link_downs = get Metrics.Recovery_link_downs;
     counters = ctx.counters;
     segments;
+    tracer = ctx.tracer;
+    hists = ctx.hists;
   }
 
-let trace_dump_n = 32
-
-let dump_recent_trace (ctx : Ctx.t) =
-  let events = Grt_sim.Trace.recent ctx.trace trace_dump_n in
-  if events <> [] then begin
-    Format.eprintf "--- recording failed; last %d recorder events ---@." (List.length events);
-    List.iter (fun e -> Format.eprintf "  %a@." Grt_sim.Trace.pp_event e) events;
+(* Failure post-mortem: the whole retained event ring, grouped by topic and
+   oldest-first within each, so the sequence that led to the failure reads
+   top to bottom. (The old dump printed a newest-first slice of 32, which
+   interleaved topics and cut off exactly the establishment-era events that
+   explain mispredict storms.) *)
+let dump_trace (ctx : Ctx.t) =
+  let tr = ctx.trace in
+  let retained = Grt_sim.Trace.retained tr in
+  if retained > 0 then begin
+    let evicted = Grt_sim.Trace.count tr - retained in
+    Format.eprintf "--- recording failed; %d recorder event(s)%s ---@." retained
+      (if evicted > 0 then
+         Printf.sprintf " (%d older evicted; raise --trace-capacity)" evicted
+       else "");
+    List.iter
+      (fun topic ->
+        Format.eprintf "[%s]@." topic;
+        List.iter
+          (fun e -> Format.eprintf "  %a@." Grt_sim.Trace.pp_event e)
+          (Grt_sim.Trace.all ~topic tr))
+      (Grt_sim.Trace.topics tr);
     Format.eprintf "--- end of trace ---@."
   end
 
 let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granularity = `Monolithic)
-    ?window ~profile ~mode ~sku ~net ~seed () =
+    ?window ?trace_capacity ?observe ~profile ~mode ~sku ~net ~seed () =
   let cfg = match config with Some c -> c | None -> Mode.default_config mode in
   let ctx =
-    Ctx.create ?history ?inject_fault_after ?window ~cfg ~profile ~sku ~net ~seed ~granularity ()
+    Ctx.create ?history ?inject_fault_after ?window ?trace_capacity ?observe ~cfg ~profile ~sku
+      ~net ~seed ~granularity ()
   in
   (match inject_outage_after with Some k -> Link.inject_outage_after ctx.link k | None -> ());
   try
@@ -280,9 +311,9 @@ let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granulari
     finalize_and_sign ctx ~vm ~gpushim ~shim ~runner
   with e ->
     (* Session post-mortem (mispredict storms, Recovery_diverged, link
-       collapse): surface the tail of the link/shim event ring. *)
+       collapse): surface the link/shim event ring. *)
     let bt = Printexc.get_raw_backtrace () in
-    dump_recent_trace ctx;
+    dump_trace ctx;
     Printexc.raise_with_backtrace e bt
 
 type replay_outcome = { r : Replayer.result; setup_s : float }

@@ -35,6 +35,10 @@ type record_outcome = {
   segments : bytes list;
       (** per-layer recording segments when recorded with [`Per_layer]
           granularity (Figure 2); empty otherwise *)
+  tracer : Grt_sim.Tracer.t option;
+      (** the session's span tracer, when recorded with [observe] — export
+          with {!Grt_sim.Tracer.to_chrome_json} / summarize in a report *)
+  hists : Grt_sim.Hist.set option;  (** latency/size histograms, iff [observe] *)
 }
 
 val record :
@@ -44,6 +48,8 @@ val record :
   ?config:Mode.config ->
   ?granularity:[ `Monolithic | `Per_layer ] ->
   ?window:int ->
+  ?trace_capacity:int ->
+  ?observe:bool ->
   profile:Grt_net.Profile.t ->
   mode:Mode.t ->
   sku:Grt_gpu.Sku.t ->
@@ -59,8 +65,12 @@ val record :
     forcing a [Link_down] recovery. [config] overrides the default knobs
     for [mode] (ablations). [window] (default 1 = stop-and-wait) sets the
     link's sliding-window size; pair with [config.max_inflight] to pipeline
-    speculative commits over it. Window size and fault draws may move the
-    clock, energy and counters — never the signed recording bytes. *)
+    speculative commits over it. [trace_capacity] sizes the diagnostic event
+    ring dumped on failure. [observe] (default false) turns on the span
+    tracer and histograms, surfaced in the outcome; observation never moves
+    the virtual clock, so observed and default runs produce identical
+    recordings, counters and energy. Window size and fault draws may move
+    the clock, energy and counters — never the signed recording bytes. *)
 
 type replay_outcome = {
   r : Replayer.result;

@@ -12,19 +12,27 @@ type t = {
   downlink : Memsync.t;
   clock : Grt_sim.Clock.t;
   metrics : Metrics.t option;
+  trace : Grt_sim.Trace.t option;
   log : Recording.entry list ref; (* shared with the shim; newest first *)
   sniff : int -> int64 -> unit; (* root/head sniffing on replayed writes *)
   mutable prefix : Recording.entry list; (* oldest first; empty once live *)
+  mutable replayed : int;
 }
 
-let create ~cfg ~gpushim ~cloud_mem ~downlink ~clock ?metrics ~log ~sniff prefix =
-  { cfg; gpushim; cloud_mem; downlink; clock; metrics; log; sniff; prefix }
+let create ~cfg ~gpushim ~cloud_mem ~downlink ~clock ?metrics ?trace ~log ~sniff prefix =
+  { cfg; gpushim; cloud_mem; downlink; clock; metrics; trace; log; sniff; prefix; replayed = 0 }
 
 let count t key v = match t.metrics with Some m -> Metrics.add m key v | None -> ()
 
 let step_cost t = Grt_sim.Clock.advance_ns t.clock Grt_sim.Costs.replayer_step_ns
 
 let active t = t.prefix <> []
+
+(* One entry left the prefix; on the last one, note the transition to live. *)
+let note_pop t =
+  t.replayed <- t.replayed + 1;
+  if t.prefix = [] then
+    Grt_sim.Trace.event_opt t.trace (Grt_sim.Trace.Replay_live { replayed = t.replayed })
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Recovery_diverged m)) fmt
 
@@ -33,6 +41,7 @@ let rec pop_memloads t =
   match t.prefix with
   | Recording.Mem_load { pages } :: rest ->
     t.prefix <- rest;
+    note_pop t;
     step_cost t;
     count t Metrics.Recovery_pages (List.length pages);
     Gpushim.load_pages t.gpushim { Memsync.pages; wire_bytes = 0; raw_bytes = 0 };
@@ -47,6 +56,7 @@ let prefix_pop t =
   | [] -> None
   | e :: rest ->
     t.prefix <- rest;
+    note_pop t;
     step_cost t;
     count t Metrics.Recovery_entries 1;
     Some e

@@ -28,13 +28,15 @@ val create :
   downlink:Memsync.t ->
   clock:Grt_sim.Clock.t ->
   ?metrics:Grt_sim.Metrics.t ->
+  ?trace:Grt_sim.Trace.t ->
   log:Recording.entry list ref ->
   sniff:(int -> int64 -> unit) ->
   Recording.entry list ->
   t
 (** The trailing argument is the validated prefix to replay, oldest first.
     Each replayed entry charges [Grt_sim.Costs.replayer_step_ns] to
-    [clock] and bumps [recovery.entries] / [recovery.pages]. *)
+    [clock] and bumps [recovery.entries] / [recovery.pages]. [trace]
+    receives a [Replay_live] event when the prefix runs dry. *)
 
 val active : t -> bool
 (** Entries remain to replay; the shim must route accesses here. *)

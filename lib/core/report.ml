@@ -1,0 +1,204 @@
+module Json = Grt_util.Json
+
+let schema = "grt-session-report"
+let version = 1
+
+let of_outcome ~workload ~mode ~profile ~seed (o : Orchestrate.record_outcome) =
+  let session =
+    Json.Obj
+      [
+        ("workload", Json.Str workload);
+        ("mode", Json.Str mode);
+        ("profile", Json.Str profile);
+        ("seed", Json.int64 seed);
+      ]
+  in
+  let summary =
+    Json.Obj
+      [
+        ("total_s", Json.float o.total_s);
+        ("client_energy_j", Json.float o.client_energy_j);
+        ("blocking_rtts", Json.int o.blocking_rtts);
+        ("sync_wire_bytes", Json.int o.sync_wire_bytes);
+        ("sync_raw_bytes", Json.int o.sync_raw_bytes);
+        ("commits_total", Json.int o.commits_total);
+        ("commits_speculated", Json.int o.commits_speculated);
+        ("accesses_total", Json.int o.accesses_total);
+        ("poll_instances", Json.int o.poll_instances);
+        ("poll_offloaded", Json.int o.poll_offloaded);
+        ("rollbacks", Json.int o.rollbacks);
+        ("rollback_s", Json.float o.rollback_s);
+        ("retransmits", Json.int o.retransmits);
+        ("link_downs", Json.int o.link_downs);
+        ("recording_bytes", Json.int (Bytes.length o.blob));
+        ("entries", Json.int (Array.length o.recording.Recording.entries));
+      ]
+  in
+  let metrics =
+    Json.Obj
+      (List.map (fun (k, v) -> (k, Json.int64 v)) (Grt_sim.Counters.to_alist o.counters))
+  in
+  let base =
+    [
+      ("schema", Json.Str schema);
+      ("version", Json.int version);
+      ("session", session);
+      ("summary", summary);
+      ("metrics", metrics);
+    ]
+  in
+  let base =
+    match o.hists with
+    | Some hs -> base @ [ ("histograms", Grt_sim.Hist.set_json hs) ]
+    | None -> base
+  in
+  let base =
+    match o.tracer with
+    | Some tr -> base @ [ ("phases", Grt_sim.Tracer.summary_json tr) ]
+    | None -> base
+  in
+  Json.Obj base
+
+(* ---- schema validation ---- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let need_obj ctx = function
+  | Json.Obj fields -> Ok fields
+  | _ -> Error (ctx ^ ": expected an object")
+
+let need_field ctx fields name =
+  match List.assoc_opt name fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing %S" ctx name)
+
+let need_num ctx fields name =
+  let* v = need_field ctx fields name in
+  match v with
+  | Json.Num n -> Ok n
+  | _ -> Error (Printf.sprintf "%s: %S must be a number" ctx name)
+
+let need_str ctx fields name =
+  let* v = need_field ctx fields name in
+  match v with
+  | Json.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "%s: %S must be a string" ctx name)
+
+let all_ok ctx f entries =
+  List.fold_left (fun acc (k, v) -> match acc with Error _ -> acc | Ok () -> f (ctx ^ "." ^ k) v) (Ok ()) entries
+
+let validate_hist ctx v =
+  let* fields = need_obj ctx v in
+  let rec need = function
+    | [] -> Ok ()
+    | name :: rest ->
+      let* _ = need_num ctx fields name in
+      need rest
+  in
+  need [ "count"; "sum"; "min"; "max"; "p50"; "p90"; "p99" ]
+
+let validate_phase ctx v =
+  let* fields = need_obj ctx v in
+  let rec need = function
+    | [] -> Ok ()
+    | name :: rest ->
+      let* _ = need_num ctx fields name in
+      need rest
+  in
+  need [ "total_s"; "self_s"; "spans" ]
+
+let validate json =
+  let* top = need_obj "report" json in
+  let* s = need_str "report" top "schema" in
+  if s <> schema then Error (Printf.sprintf "schema mismatch: %S" s)
+  else
+    let* v = need_num "report" top "version" in
+    if int_of_float v <> version then
+      Error (Printf.sprintf "version mismatch: %g (tool understands %d)" v version)
+    else
+      let* session = need_field "report" top "session" in
+      let* sf = need_obj "session" session in
+      let* _ = need_str "session" sf "workload" in
+      let* _ = need_str "session" sf "mode" in
+      let* _ = need_str "session" sf "profile" in
+      let* _ = need_num "session" sf "seed" in
+      let* summary = need_field "report" top "summary" in
+      let* sm = need_obj "summary" summary in
+      let rec need = function
+        | [] -> Ok ()
+        | name :: rest ->
+          let* _ = need_num "summary" sm name in
+          need rest
+      in
+      let* () =
+        need
+          [
+            "total_s"; "client_energy_j"; "blocking_rtts"; "commits_total"; "commits_speculated";
+            "rollbacks"; "rollback_s"; "recording_bytes"; "entries";
+          ]
+      in
+      let* metrics = need_field "report" top "metrics" in
+      let* mf = need_obj "metrics" metrics in
+      let* () =
+        all_ok "metrics"
+          (fun ctx v -> match v with Json.Num _ -> Ok () | _ -> Error (ctx ^ ": not a number"))
+          mf
+      in
+      let* () =
+        match List.assoc_opt "histograms" top with
+        | None -> Ok ()
+        | Some h ->
+          let* hf = need_obj "histograms" h in
+          all_ok "histograms" validate_hist hf
+      in
+      (match List.assoc_opt "phases" top with
+      | None -> Ok ()
+      | Some p ->
+        let* pf = need_obj "phases" p in
+        all_ok "phases" validate_phase pf)
+
+(* ---- human-readable timeline ---- *)
+
+let num fields name = match List.assoc_opt name fields with Some (Json.Num n) -> n | _ -> 0.
+
+let str fields name = match List.assoc_opt name fields with Some (Json.Str s) -> s | _ -> "?"
+
+let pp_timeline ppf json =
+  match json with
+  | Json.Obj top ->
+    (match List.assoc_opt "session" top with
+    | Some (Json.Obj s) ->
+      Format.fprintf ppf "session: %s / %s over %s (seed %.0f)@." (str s "workload")
+        (str s "mode") (str s "profile") (num s "seed")
+    | _ -> ());
+    (match List.assoc_opt "summary" top with
+    | Some (Json.Obj s) ->
+      Format.fprintf ppf "  %.2f s end to end, %.1f J, %.0f blocking RTTs, %.0f rollbacks@."
+        (num s "total_s") (num s "client_energy_j") (num s "blocking_rtts") (num s "rollbacks")
+    | _ -> ());
+    (match List.assoc_opt "phases" top with
+    | Some (Json.Obj phases) ->
+      Format.fprintf ppf "phases (virtual time, self / total):@.";
+      List.iter
+        (fun (cat, v) ->
+          match v with
+          | Json.Obj f when num f "spans" > 0. ->
+            Format.fprintf ppf "  %-21s %9.3f s / %9.3f s  (%.0f span%s)@." cat (num f "self_s")
+              (num f "total_s") (num f "spans")
+              (if num f "spans" = 1. then "" else "s")
+          | _ -> ())
+        phases
+    | _ -> Format.fprintf ppf "phases: absent (record with --trace-out or --report)@.");
+    (match List.assoc_opt "histograms" top with
+    | Some (Json.Obj hists) ->
+      Format.fprintf ppf "distributions (p50 / p90 / p99):@.";
+      List.iter
+        (fun (key, v) ->
+          match v with
+          | Json.Obj f when num f "count" > 0. ->
+            Format.fprintf ppf "  %-21s %12.0f / %12.0f / %12.0f  (n=%.0f)@." key (num f "p50")
+              (num f "p90") (num f "p99") (num f "count")
+          | _ -> ())
+        hists
+    | _ -> ())
+  | _ -> Format.fprintf ppf "not a report object@."

@@ -1,0 +1,36 @@
+(** Exportable session reports.
+
+    One JSON document per recording session, assembled from an
+    {!Orchestrate.record_outcome}: identity (workload / mode / profile /
+    seed), headline summary numbers, the full counter set, and — when the
+    session was recorded with [observe] — the latency/size histograms and
+    the per-phase span attribution. The schema is versioned and checked by
+    {!validate} so downstream tooling can fail fast on drift. *)
+
+val schema : string
+(** ["grt-session-report"]. *)
+
+val version : int
+(** Current schema version ([1]). *)
+
+val of_outcome :
+  workload:string ->
+  mode:string ->
+  profile:string ->
+  seed:int64 ->
+  Orchestrate.record_outcome ->
+  Grt_util.Json.t
+(** Build the report document. [histograms] and [phases] members are
+    present iff the outcome carries a {!Grt_sim.Hist.set} /
+    {!Grt_sim.Tracer.t} (i.e. the session ran with [observe]). *)
+
+val validate : Grt_util.Json.t -> (unit, string) result
+(** Structural schema check: schema/version match, the session and summary
+    members carry the required typed fields, metrics is an object of
+    numbers, and histograms/phases (when present) have well-formed
+    entries. *)
+
+val pp_timeline : Format.formatter -> Grt_util.Json.t -> unit
+(** Human-readable view of a report: the session line, the per-phase
+    self/total attribution (when [phases] is present) and histogram
+    quantiles (when [histograms] is present). *)

@@ -12,6 +12,8 @@ type t = {
   counters : Grt_sim.Counters.t;
   metrics : Grt_sim.Metrics.t;
   trace : Grt_sim.Trace.t;
+  tracer : Grt_sim.Tracer.t option;
+  hists : Grt_sim.Hist.set option;
   link : Link.t;
   history : Spec_history.t;
   mutable inject_fault_after : int option;
@@ -19,16 +21,18 @@ type t = {
   mutable rollback_s : float;
 }
 
-let create ?history ?inject_fault_after ?(window = 1) ~cfg ~profile ~sku ~net ~seed
-    ~granularity () =
+let create ?history ?inject_fault_after ?(window = 1) ?trace_capacity ?(observe = false) ~cfg
+    ~profile ~sku ~net ~seed ~granularity () =
   let clock = Grt_sim.Clock.create () in
   let energy = Grt_sim.Energy.create clock in
   let counters = Grt_sim.Counters.create () in
-  let trace = Grt_sim.Trace.create clock in
+  let trace = Grt_sim.Trace.create ?capacity:trace_capacity clock in
+  let tracer = if observe then Some (Grt_sim.Tracer.create clock) else None in
+  let hists = if observe then Some (Grt_sim.Hist.create_set ()) else None in
   (* The link's fault draws derive from the session seed so a lossy run is
      exactly reproducible. *)
   let link =
-    Link.create ~clock ~energy ~counters ~trace
+    Link.create ~clock ~energy ~counters ~trace ?tracer ?hists
       ~seed:(Grt_util.Hashing.combine seed 0x6C696E6BL)
       ~window profile
   in
@@ -44,6 +48,8 @@ let create ?history ?inject_fault_after ?(window = 1) ~cfg ~profile ~sku ~net ~s
     counters;
     metrics = Grt_sim.Metrics.of_counters counters;
     trace;
+    tracer;
+    hists;
     link;
     history = (match history with Some h -> h | None -> Spec_history.create ());
     inject_fault_after;

@@ -20,6 +20,8 @@ type t = {
   counters : Grt_sim.Counters.t;
   metrics : Grt_sim.Metrics.t;  (** typed view over [counters] *)
   trace : Grt_sim.Trace.t;  (** link + shim event ring, dumped on failure *)
+  tracer : Grt_sim.Tracer.t option;  (** span tracer; present iff [observe] *)
+  hists : Grt_sim.Hist.set option;  (** latency/size histograms; iff [observe] *)
   link : Grt_net.Link.t;
   history : Spec_history.t;  (** shared across attempts (and sessions, §7.3) *)
   mutable inject_fault_after : int option;
@@ -32,6 +34,8 @@ val create :
   ?history:Spec_history.t ->
   ?inject_fault_after:int ->
   ?window:int ->
+  ?trace_capacity:int ->
+  ?observe:bool ->
   cfg:Mode.config ->
   profile:Grt_net.Profile.t ->
   sku:Grt_gpu.Sku.t ->
@@ -42,7 +46,10 @@ val create :
   t
 (** Build the session infrastructure: clock, energy, counters/metrics,
     trace ring, and the link (fault-seeded from [seed]; [window], default 1,
-    is the link's sliding-window size). *)
+    is the link's sliding-window size). [trace_capacity] sizes the event
+    ring. [observe] (default false) additionally creates the span
+    {!Grt_sim.Tracer} and the {!Grt_sim.Hist} registry; the default path
+    carries [None]s and stays byte-identical to an unobserved build. *)
 
 val session_salt : t -> int64
 (** The GPU's nondeterministic-state salt: a property of the physical

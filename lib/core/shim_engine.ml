@@ -13,6 +13,9 @@ module Sexpr = Grt_util.Sexpr
 module Strutil = Grt_util.Strutil
 module Link = Grt_net.Link
 module Metrics = Grt_sim.Metrics
+module Trace = Grt_sim.Trace
+module Tracer = Grt_sim.Tracer
+module Hist = Grt_sim.Hist
 
 exception
   Mispredict of {
@@ -38,6 +41,7 @@ let all_categories = [ Init; Interrupt; Power; Polling; Other ]
 
 type outstanding = {
   o_completion : int64;
+  o_dispatched : int64; (* virtual time of the async dispatch *)
   o_site : string;
   o_checks : (int * int64 * int64) list; (* reg, predicted, actual *)
   o_syms : Sexpr.sym list;
@@ -57,6 +61,8 @@ type t = {
   cloud_mem : Grt_gpu.Mem.t;
   metrics : Metrics.t option;
   trace : Grt_sim.Trace.t option;
+  tracer : Tracer.t option;
+  hists : Hist.set option;
   history : Spec_history.t;
   wire_overhead : int;
   downlink : Memsync.t;
@@ -101,16 +107,16 @@ let sniff_root_and_head ~gpushim ~downlink ~head reg v =
   if reg = Regs.js_head_lo 0 || reg = Regs.js_head_next_lo 0 then head.lo <- v;
   if reg = Regs.js_head_hi 0 || reg = Regs.js_head_next_hi 0 then head.hi <- v
 
-let create ~cfg ~link ~gpushim ~cloud_mem ?counters ?trace ?history ?(wire_overhead = 0)
-    ?(replay_prefix = []) () =
+let create ~cfg ~link ~gpushim ~cloud_mem ?counters ?trace ?tracer ?hists ?history
+    ?(wire_overhead = 0) ?(replay_prefix = []) () =
   let metrics = Option.map Metrics.of_counters counters in
   let downlink = Memsync.create cfg in
   let head = { lo = 0L; hi = 0L } in
   let log = ref [] in
   let sniff = sniff_root_and_head ~gpushim ~downlink ~head in
   let recovery =
-    Recovery.create ~cfg ~gpushim ~cloud_mem ~downlink ~clock:(Link.clock link) ?metrics ~log
-      ~sniff replay_prefix
+    Recovery.create ~cfg ~gpushim ~cloud_mem ~downlink ~clock:(Link.clock link) ?metrics ?trace
+      ~log ~sniff replay_prefix
   in
   {
     cfg;
@@ -119,6 +125,8 @@ let create ~cfg ~link ~gpushim ~cloud_mem ?counters ?trace ?history ?(wire_overh
     cloud_mem;
     metrics;
     trace;
+    tracer;
+    hists;
     history = (match history with Some h -> h | None -> Spec_history.create ());
     wire_overhead;
     downlink;
@@ -145,11 +153,6 @@ let create ~cfg ~link ~gpushim ~cloud_mem ?counters ?trace ?history ?(wire_overh
   }
 
 let count t key v = match t.metrics with Some m -> Metrics.add m key v | None -> ()
-
-let trace t ~topic fmt =
-  match t.trace with
-  | Some tr -> Grt_sim.Trace.emitf tr ~topic fmt
-  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let queue_ref t = match t.cur_thread with Main -> t.main_queue | Irq -> t.irq_queue
 
@@ -234,26 +237,32 @@ let log_applied t queue actuals =
    prefix both sides replay locally (§4.2) — on the first wrong
    prediction. *)
 let validate_one t o =
-  Link.wait_until t.link o.o_completion;
-  List.iter
-    (fun (reg, predicted, actual) ->
-      if not (Int64.equal predicted actual) then begin
-        count t Metrics.Spec_mispredicts 1;
-        trace t ~topic:"shim" "rollback site=%s reg=%s predicted=%Lx actual=%Lx" o.o_site
-          (Regs.name reg) predicted actual;
-        (* Everything logged before this commit is validated truth; the
-           recovery replays it locally on both sides. *)
-        let all = List.rev !(t.log) in
-        let rec take n = function
-          | [] -> []
-          | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
-        in
-        raise
-          (Mispredict
-             { site = o.o_site; reg; predicted; actual; valid_log = take o.o_log_mark all })
-      end)
-    o.o_checks;
-  List.iter Sexpr.confirm o.o_syms
+  Tracer.span_opt t.tracer ~cat:Tracer.Validate_speculation
+    ~args:[ ("site", o.o_site) ]
+    ~name:"validate" (fun () ->
+      Link.wait_until t.link o.o_completion;
+      Hist.record_opt t.hists Hist.Spec_validate_ns
+        (Int64.to_int
+           (Int64.sub (Grt_sim.Clock.now_ns (Link.clock t.link)) o.o_dispatched));
+      List.iter
+        (fun (reg, predicted, actual) ->
+          if not (Int64.equal predicted actual) then begin
+            count t Metrics.Spec_mispredicts 1;
+            Trace.event_opt t.trace
+              (Trace.Rollback { site = o.o_site; reg = Regs.name reg; predicted; actual });
+            (* Everything logged before this commit is validated truth; the
+               recovery replays it locally on both sides. *)
+            let all = List.rev !(t.log) in
+            let rec take n = function
+              | [] -> []
+              | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+            in
+            raise
+              (Mispredict
+                 { site = o.o_site; reg; predicted; actual; valid_log = take o.o_log_mark all })
+          end)
+        o.o_checks;
+      List.iter Sexpr.confirm o.o_syms)
 
 let drain t =
   let pending = t.outstanding in
@@ -294,6 +303,7 @@ let dispatch_speculative t ~site ~send ~recv ~checks ~syms ~log_mark ~bind =
     while List.length t.outstanding >= cap do
       drain_oldest t
     done;
+  let dispatched = Grt_sim.Clock.now_ns (Link.clock t.link) in
   let completion = Link.async_send t.link ~send_bytes:send ~recv_bytes:recv in
   bind ();
   t.outstanding <-
@@ -301,6 +311,7 @@ let dispatch_speculative t ~site ~send ~recv ~checks ~syms ~log_mark ~bind =
     @ [
         {
           o_completion = completion;
+          o_dispatched = dispatched;
           o_site = site;
           o_checks = checks;
           o_syms = syms;
@@ -310,4 +321,4 @@ let dispatch_speculative t ~site ~send ~recv ~checks ~syms ~log_mark ~bind =
   note_inflight_depth t;
   t.commits_speculated <- t.commits_speculated + 1;
   count t Metrics.Commits_speculated 1;
-  trace t ~topic:"shim" "speculate site=%s checks=%d" site (List.length checks)
+  Trace.event_opt t.trace (Trace.Speculate { site; checks = List.length checks })

@@ -5,6 +5,7 @@ module Metrics = Grt_sim.Metrics
 let chain_va t = Int64.logor t.head.lo (Int64.shift_left t.head.hi 32)
 
 let down t =
+  Tracer.span_opt t.tracer ~cat:Tracer.Memsync_down ~name:"sync_down" @@ fun () ->
   let payload = Memsync.sync_meta t.downlink t.cloud_mem in
   let meta_wire =
     if t.cfg.Mode.compress_dumps then payload.Memsync.wire_bytes
@@ -18,6 +19,7 @@ let down t =
   count t Metrics.Sync_down_events 1;
   count t Metrics.Sync_down_wire_bytes wire;
   count t Metrics.Sync_down_raw_bytes (payload.Memsync.raw_bytes + data_bytes);
+  Hist.record_opt t.hists Hist.Sync_down_wire wire;
   Link.one_way_to_client t.link ~bytes:wire;
   Gpushim.load_pages t.gpushim payload;
   if payload.Memsync.pages <> [] then
@@ -28,6 +30,7 @@ let down t =
     Grt_gpu.Mem.protect_pages t.cloud_mem (Memsync.meta_pfns t.downlink t.cloud_mem)
 
 let up t =
+  Tracer.span_opt t.tracer ~cat:Tracer.Memsync_up ~name:"sync_up" @@ fun () ->
   if t.cfg.Mode.continuous_validation then Grt_gpu.Mem.unprotect_all t.cloud_mem;
   let payload = Gpushim.upload_meta t.gpushim in
   let meta_wire =
@@ -42,6 +45,7 @@ let up t =
   count t Metrics.Sync_up_events 1;
   count t Metrics.Sync_up_wire_bytes wire;
   count t Metrics.Sync_up_raw_bytes (payload.Memsync.raw_bytes + data_bytes);
+  Hist.record_opt t.hists Hist.Sync_up_wire wire;
   Link.one_way_from_client t.link ~bytes:wire;
   (* Install the client's changes (job status words) and teach the downlink
      baseline so they are not shipped back. *)

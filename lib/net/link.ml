@@ -1,5 +1,8 @@
 module Costs = Grt_sim.Costs
 module Metrics = Grt_sim.Metrics
+module Trace = Grt_sim.Trace
+module Tracer = Grt_sim.Tracer
+module Hist = Grt_sim.Hist
 
 type health = Healthy | Degraded
 
@@ -28,7 +31,9 @@ type t = {
   clock : Grt_sim.Clock.t;
   energy : Grt_sim.Energy.t option;
   metrics : Metrics.t option;
-  trace : Grt_sim.Trace.t option;
+  trace : Trace.t option;
+  tracer : Tracer.t option;
+  hists : Hist.set option;
   rng : Grt_util.Rng.t;
   window : int;
   mutable pipe : inflight list; (* oldest first; always [] when window = 1 *)
@@ -41,7 +46,8 @@ type t = {
   mutable outage_countdown : int option;
 }
 
-let create ~clock ?energy ?counters ?trace ?(seed = 0x4C494E4BL) ?(window = 1) profile =
+let create ~clock ?energy ?counters ?trace ?tracer ?hists ?(seed = 0x4C494E4BL) ?(window = 1)
+    profile =
   if window < 1 then invalid_arg "Link.create: window must be >= 1";
   {
     profile;
@@ -49,6 +55,8 @@ let create ~clock ?energy ?counters ?trace ?(seed = 0x4C494E4BL) ?(window = 1) p
     energy;
     metrics = Option.map Metrics.of_counters counters;
     trace;
+    tracer;
+    hists;
     rng = Grt_util.Rng.create ~seed;
     window;
     pipe = [];
@@ -69,11 +77,6 @@ let inject_outage_after t n = t.outage_countdown <- Some n
 
 let count t key v = match t.metrics with Some m -> Metrics.add m key v | None -> ()
 
-let trace t ~topic fmt =
-  match t.trace with
-  | Some tr -> Grt_sim.Trace.emitf tr ~topic fmt
-  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
-
 let set_profile t p =
   (* Windowed sends still in flight were priced under the old profile; drain
      them before the swap so they cannot complete against the new profile's
@@ -83,8 +86,7 @@ let set_profile t p =
   (match List.rev t.pipe with
   | [] -> ()
   | newest :: _ ->
-    trace t ~topic:"link" "profile swap: draining %d in-flight send(s)"
-      (List.length t.pipe);
+    Trace.event_opt t.trace (Trace.Profile_swap { draining = List.length t.pipe });
     Grt_sim.Clock.advance_to t.clock newest.if_completion;
     t.pipe <- []);
   t.profile <- p
@@ -127,11 +129,11 @@ let note_transfer t ~retransmitted =
   | Healthy when t.ring_fill >= health_ring_size / 2 && rate >= degraded_trip ->
     t.health <- Degraded;
     count t Metrics.Net_degraded_entries 1;
-    trace t ~topic:"link" "degraded (retransmit rate %.0f%%)" (100. *. rate)
+    Trace.event_opt t.trace (Trace.Degraded { rate })
   | Degraded when rate <= degraded_clear ->
     t.health <- Healthy;
     count t Metrics.Net_degraded_exits 1;
-    trace t ~topic:"link" "healthy (retransmit rate %.0f%%)" (100. *. rate)
+    Trace.event_opt t.trace (Trace.Healthy { rate })
   | _ -> ()
 
 let rto t attempt =
@@ -167,7 +169,7 @@ let rec stall_for_slot t =
     | [] -> ()
     | oldest :: rest ->
       count t Metrics.Net_window_stalls 1;
-      trace t ~topic:"link" "window stall (%d in flight)" (List.length t.pipe);
+      Trace.event_opt t.trace (Trace.Window_stall { inflight = List.length t.pipe });
       Grt_sim.Clock.advance_to t.clock oldest.if_completion;
       t.pipe <- rest;
       stall_for_slot t
@@ -181,6 +183,7 @@ let resend_span t =
   | [] -> ()
   | pipe ->
     count t Metrics.Net_gbn_retransmits (List.length pipe);
+    Hist.record_opt t.hists Hist.Gbn_span (List.length pipe);
     List.iter
       (fun e -> account t ~send_bytes:e.if_send_bytes ~recv_bytes:e.if_recv_bytes)
       pipe
@@ -214,8 +217,8 @@ let leg_outcome t =
 let run_arq t ~op ~legs ~detect ~on_retransmit =
   let fail_down ~extra ~retransmitted =
     count t Metrics.Net_link_downs 1;
-    trace t ~topic:"link" "link_down op=%s after %d attempts (+%.3fs)" op
-      Costs.link_max_attempts extra;
+    Trace.event_opt t.trace
+      (Trace.Link_down { op; attempts = Costs.link_max_attempts; extra_s = extra });
     Grt_sim.Clock.advance_s t.clock extra;
     note_transfer t ~retransmitted;
     raise (Link_down { attempts = Costs.link_max_attempts; op })
@@ -229,7 +232,7 @@ let run_arq t ~op ~legs ~detect ~on_retransmit =
       extra := !extra +. detect a;
       if a > 1 then begin
         count t Metrics.Net_retransmits 1;
-        trace t ~topic:"link" "retransmit op=%s attempt=%d (outage)" op a;
+        Trace.event_opt t.trace (Trace.Retransmit { op; attempt = a; outage = true });
         on_retransmit ()
       end
     done;
@@ -250,7 +253,7 @@ let run_arq t ~op ~legs ~detect ~on_retransmit =
         if a > Costs.link_max_attempts then fail_down ~extra:!extra ~retransmitted:true;
         if a > 1 then begin
           count t Metrics.Net_retransmits 1;
-          trace t ~topic:"link" "retransmit op=%s attempt=%d" op a;
+          Trace.event_opt t.trace (Trace.Retransmit { op; attempt = a; outage = false });
           on_retransmit ()
         end;
         let ok = ref true in
@@ -300,33 +303,38 @@ let deliver_at t completion =
   completion
 
 let round_trip t ~send_bytes ~recv_bytes =
-  if t.window > 1 then stall_for_slot t;
-  account t ~send_bytes ~recv_bytes;
-  count t Metrics.Net_blocking_rtts 1;
-  let extra =
-    arq t ~op:"round_trip" ~legs:2 ~charge_attempt:(fun () ->
-        account t ~send_bytes ~recv_bytes)
-  in
-  Grt_sim.Clock.advance_s t.clock
-    (Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra);
-  ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
+  Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"round_trip" (fun () ->
+      if t.window > 1 then stall_for_slot t;
+      account t ~send_bytes ~recv_bytes;
+      count t Metrics.Net_blocking_rtts 1;
+      let extra =
+        arq t ~op:"round_trip" ~legs:2 ~charge_attempt:(fun () ->
+            account t ~send_bytes ~recv_bytes)
+      in
+      let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
+      Hist.record_opt t.hists Hist.Rtt_ns (int_of_float (latency *. 1e9));
+      Grt_sim.Clock.advance_s t.clock latency;
+      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)))
 
 let async_send t ~send_bytes ~recv_bytes =
-  if t.window > 1 then stall_for_slot t;
-  account t ~send_bytes ~recv_bytes;
-  count t Metrics.Net_async_sends 1;
-  let extra =
-    arq t ~op:"async_send" ~legs:2 ~charge_attempt:(fun () ->
-        account t ~send_bytes ~recv_bytes)
-  in
-  let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
-  let completion =
-    deliver_at t (Int64.add (Grt_sim.Clock.now_ns t.clock) (Int64.of_float (latency *. 1e9)))
-  in
-  if t.window > 1 then
-    t.pipe <-
-      t.pipe @ [ { if_send_bytes = send_bytes; if_recv_bytes = recv_bytes; if_completion = completion } ];
-  completion
+  Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"async_send" (fun () ->
+      if t.window > 1 then stall_for_slot t;
+      account t ~send_bytes ~recv_bytes;
+      count t Metrics.Net_async_sends 1;
+      let extra =
+        arq t ~op:"async_send" ~legs:2 ~charge_attempt:(fun () ->
+            account t ~send_bytes ~recv_bytes)
+      in
+      let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
+      Hist.record_opt t.hists Hist.Rtt_ns (int_of_float (latency *. 1e9));
+      let completion =
+        deliver_at t (Int64.add (Grt_sim.Clock.now_ns t.clock) (Int64.of_float (latency *. 1e9)))
+      in
+      if t.window > 1 then
+        t.pipe <-
+          t.pipe
+          @ [ { if_send_bytes = send_bytes; if_recv_bytes = recv_bytes; if_completion = completion } ];
+      completion)
 
 let wait_until t deadline =
   if Int64.compare deadline (Grt_sim.Clock.now_ns t.clock) > 0 then begin
@@ -337,32 +345,34 @@ let wait_until t deadline =
 (* One-way pushes retransmit on payload loss only; the tiny reverse ack is
    assumed reliable (its loss would be repaired by the next exchange). *)
 let one_way_to_client t ~bytes =
-  if t.window > 1 then stall_for_slot t;
-  count t Metrics.Net_msgs 1;
-  count t Metrics.Net_bytes_tx bytes;
-  charge_radio t ~tx_bytes:0 ~rx_bytes:bytes;
-  let extra =
-    arq t ~op:"one_way_to_client" ~legs:1 ~charge_attempt:(fun () ->
-        count t Metrics.Net_msgs 1;
-        count t Metrics.Net_bytes_tx bytes;
-        charge_radio t ~tx_bytes:0 ~rx_bytes:bytes)
-  in
-  Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
-  ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
+  Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"one_way_to_client" (fun () ->
+      if t.window > 1 then stall_for_slot t;
+      count t Metrics.Net_msgs 1;
+      count t Metrics.Net_bytes_tx bytes;
+      charge_radio t ~tx_bytes:0 ~rx_bytes:bytes;
+      let extra =
+        arq t ~op:"one_way_to_client" ~legs:1 ~charge_attempt:(fun () ->
+            count t Metrics.Net_msgs 1;
+            count t Metrics.Net_bytes_tx bytes;
+            charge_radio t ~tx_bytes:0 ~rx_bytes:bytes)
+      in
+      Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
+      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)))
 
 let one_way_from_client t ~bytes =
-  if t.window > 1 then stall_for_slot t;
-  count t Metrics.Net_msgs 1;
-  count t Metrics.Net_bytes_rx bytes;
-  charge_radio t ~tx_bytes:bytes ~rx_bytes:0;
-  let extra =
-    arq t ~op:"one_way_from_client" ~legs:1 ~charge_attempt:(fun () ->
-        count t Metrics.Net_msgs 1;
-        count t Metrics.Net_bytes_rx bytes;
-        charge_radio t ~tx_bytes:bytes ~rx_bytes:0)
-  in
-  Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
-  ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock))
+  Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"one_way_from_client" (fun () ->
+      if t.window > 1 then stall_for_slot t;
+      count t Metrics.Net_msgs 1;
+      count t Metrics.Net_bytes_rx bytes;
+      charge_radio t ~tx_bytes:bytes ~rx_bytes:0;
+      let extra =
+        arq t ~op:"one_way_from_client" ~legs:1 ~charge_attempt:(fun () ->
+            count t Metrics.Net_msgs 1;
+            count t Metrics.Net_bytes_rx bytes;
+            charge_radio t ~tx_bytes:bytes ~rx_bytes:0)
+      in
+      Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
+      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)))
 
 let counter_int t key = match t.metrics with Some m -> Metrics.get_int m key | None -> 0
 

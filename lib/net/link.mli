@@ -39,6 +39,8 @@ val create :
   ?energy:Grt_sim.Energy.t ->
   ?counters:Grt_sim.Counters.t ->
   ?trace:Grt_sim.Trace.t ->
+  ?tracer:Grt_sim.Tracer.t ->
+  ?hists:Grt_sim.Hist.set ->
   ?seed:int64 ->
   ?window:int ->
   Profile.t ->
@@ -48,7 +50,9 @@ val create :
     stop-and-wait) is the sliding-window size: how many exchanges may be in
     flight before a send stalls; raises [Invalid_argument] if < 1. [trace]
     receives retransmit / link-down / degraded-transition / window events
-    under topic ["link"]. *)
+    under topic ["link"]. [tracer] gets a [Link_exchange] span per exchange;
+    [hists] gets the charged latency ([Rtt_ns]) and go-back-N span sizes
+    ([Gbn_span]). All three observers default to off and cost nothing. *)
 
 val profile : t -> Profile.t
 

@@ -1,4 +1,47 @@
-type event = { at_ns : int64; topic : string; detail : string }
+module Json = Grt_util.Json
+
+type payload =
+  | Degraded of { rate : float }
+  | Healthy of { rate : float }
+  | Link_down of { op : string; attempts : int; extra_s : float }
+  | Retransmit of { op : string; attempt : int; outage : bool }
+  | Window_stall of { inflight : int }
+  | Profile_swap of { draining : int }
+  | Commit of { site : string; accesses : int }
+  | Speculate of { site : string; checks : int }
+  | Rollback of { site : string; reg : string; predicted : int64; actual : int64 }
+  | Replay_live of { replayed : int }
+  | Message of { topic : string; text : string }
+
+let payload_topic = function
+  | Degraded _ | Healthy _ | Link_down _ | Retransmit _ | Window_stall _ | Profile_swap _ ->
+    "link"
+  | Commit _ | Speculate _ | Rollback _ | Replay_live _ -> "shim"
+  | Message { topic; _ } -> topic
+
+(* Render the historical detail strings byte-for-byte: the stderr post-
+   mortem dump (and any test asserting on it) predates the typed payloads. *)
+let render = function
+  | Degraded { rate } -> Printf.sprintf "degraded (retransmit rate %.0f%%)" (100. *. rate)
+  | Healthy { rate } -> Printf.sprintf "healthy (retransmit rate %.0f%%)" (100. *. rate)
+  | Link_down { op; attempts; extra_s } ->
+    Printf.sprintf "link_down op=%s after %d attempts (+%.3fs)" op attempts extra_s
+  | Retransmit { op; attempt; outage } ->
+    Printf.sprintf "retransmit op=%s attempt=%d%s" op attempt (if outage then " (outage)" else "")
+  | Window_stall { inflight } -> Printf.sprintf "window stall (%d in flight)" inflight
+  | Profile_swap { draining } ->
+    Printf.sprintf "profile swap: draining %d in-flight send(s)" draining
+  | Commit { site; accesses } -> Printf.sprintf "commit site=%s accesses=%d" site accesses
+  | Speculate { site; checks } -> Printf.sprintf "speculate site=%s checks=%d" site checks
+  | Rollback { site; reg; predicted; actual } ->
+    Printf.sprintf "rollback site=%s reg=%s predicted=%Lx actual=%Lx" site reg predicted actual
+  | Replay_live { replayed } -> Printf.sprintf "replay complete (%d entries); going live" replayed
+  | Message { text; _ } -> text
+
+type event = { at_ns : int64; payload : payload }
+
+let topic e = payload_topic e.payload
+let detail e = render e.payload
 
 type t = {
   clock : Clock.t;
@@ -10,17 +53,21 @@ type t = {
 let create ?(capacity = 4096) clock =
   { clock; ring = Array.make (max 1 capacity) None; next = 0; total = 0 }
 
-let emit t ~topic detail =
-  let e = { at_ns = Clock.now_ns t.clock; topic; detail } in
+let event t payload =
+  let e = { at_ns = Clock.now_ns t.clock; payload } in
   t.ring.(t.next) <- Some e;
   t.next <- (t.next + 1) mod Array.length t.ring;
   t.total <- t.total + 1
 
+let event_opt t payload = match t with Some t -> event t payload | None -> ()
+
+let emit t ~topic text = event t (Message { topic; text })
+
 let emitf t ~topic fmt = Format.kasprintf (fun s -> emit t ~topic s) fmt
 
-let recent ?topic t n =
+let recent ?topic:want t n =
   let cap = Array.length t.ring in
-  let matches e = match topic with None -> true | Some want -> String.equal e.topic want in
+  let matches e = match want with None -> true | Some w -> String.equal (topic e) w in
   let rec go i collected acc =
     if collected >= n || i >= cap then List.rev acc
     else
@@ -32,7 +79,59 @@ let recent ?topic t n =
   in
   go 0 0 []
 
+let all ?topic t = List.rev (recent ?topic t (Array.length t.ring))
+
+let topics t =
+  List.fold_left
+    (fun acc e ->
+      let tp = topic e in
+      if List.mem tp acc then acc else acc @ [ tp ])
+    [] (all t)
+
 let count t = t.total
+let retained t = min t.total (Array.length t.ring)
+let capacity t = Array.length t.ring
 
 let pp_event ppf e =
-  Format.fprintf ppf "[%8.3f ms] %-12s %s" (Int64.to_float e.at_ns *. 1e-6) e.topic e.detail
+  Format.fprintf ppf "[%8.3f ms] %-12s %s" (Int64.to_float e.at_ns *. 1e-6) (topic e) (detail e)
+
+let event_json e =
+  let base kind fields =
+    Json.Obj
+      ((("ts_ns", Json.int64 e.at_ns) :: ("topic", Json.Str (topic e))
+       :: ("kind", Json.Str kind) :: fields))
+  in
+  match e.payload with
+  | Degraded { rate } -> base "degraded" [ ("rate", Json.float rate) ]
+  | Healthy { rate } -> base "healthy" [ ("rate", Json.float rate) ]
+  | Link_down { op; attempts; extra_s } ->
+    base "link_down"
+      [ ("op", Json.Str op); ("attempts", Json.int attempts); ("extra_s", Json.float extra_s) ]
+  | Retransmit { op; attempt; outage } ->
+    base "retransmit"
+      [ ("op", Json.Str op); ("attempt", Json.int attempt); ("outage", Json.Bool outage) ]
+  | Window_stall { inflight } -> base "window_stall" [ ("inflight", Json.int inflight) ]
+  | Profile_swap { draining } -> base "profile_swap" [ ("draining", Json.int draining) ]
+  | Commit { site; accesses } ->
+    base "commit" [ ("site", Json.Str site); ("accesses", Json.int accesses) ]
+  | Speculate { site; checks } ->
+    base "speculate" [ ("site", Json.Str site); ("checks", Json.int checks) ]
+  | Rollback { site; reg; predicted; actual } ->
+    base "rollback"
+      [
+        ("site", Json.Str site);
+        ("reg", Json.Str reg);
+        ("predicted", Json.int64 predicted);
+        ("actual", Json.int64 actual);
+      ]
+  | Replay_live { replayed } -> base "replay_live" [ ("replayed", Json.int replayed) ]
+  | Message { text; _ } -> base "message" [ ("text", Json.Str text) ]
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Json.to_buffer b (event_json e);
+      Buffer.add_char b '\n')
+    (all t);
+  Buffer.contents b

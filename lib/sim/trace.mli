@@ -1,20 +1,78 @@
-(** Bounded in-memory event trace.
+(** Bounded in-memory event trace with typed payloads.
 
-    Components append timestamped events; tests and the debugging CLI can
-    inspect the most recent ones. Keeping the trace bounded makes it safe to
-    leave enabled during long benchmark sweeps. *)
+    Components append timestamped events; tests, the failure post-mortem
+    dump and the JSONL export can inspect them. Keeping the trace bounded
+    (a ring of [capacity] events) makes it safe to leave enabled during
+    long benchmark sweeps.
 
-type event = { at_ns : int64; topic : string; detail : string }
+    Payloads are a typed variant — a typo'd field is a compile error and the
+    event stream is machine-readable ({!to_jsonl}) — while {!render} and
+    {!pp_event} reproduce the historical one-line strings byte-for-byte for
+    the stderr dump. *)
+
+type payload =
+  | Degraded of { rate : float }  (** link tripped to degraded health *)
+  | Healthy of { rate : float }  (** link healed *)
+  | Link_down of { op : string; attempts : int; extra_s : float }
+  | Retransmit of { op : string; attempt : int; outage : bool }
+  | Window_stall of { inflight : int }
+  | Profile_swap of { draining : int }
+  | Commit of { site : string; accesses : int }
+  | Speculate of { site : string; checks : int }
+  | Rollback of { site : string; reg : string; predicted : int64; actual : int64 }
+  | Replay_live of { replayed : int }
+      (** recovery prefix exhausted; the shim went live again *)
+  | Message of { topic : string; text : string }  (** free-form escape hatch *)
+
+val payload_topic : payload -> string
+(** The grouping topic: ["link"] for link events, ["shim"] for recorder
+    events, the embedded topic for [Message]. *)
+
+val render : payload -> string
+(** The historical detail string (e.g.
+    ["retransmit op=round_trip attempt=2"]). *)
+
+type event = { at_ns : int64; payload : payload }
+
+val topic : event -> string
+val detail : event -> string
 
 type t
 
 val create : ?capacity:int -> Clock.t -> t
+
+val event : t -> payload -> unit
+val event_opt : t option -> payload -> unit
+(** The shared optional-trace helper (formerly duplicated in [Link] and
+    [Shim_engine]); no-op on [None]. *)
+
 val emit : t -> topic:string -> string -> unit
+(** [Message] convenience. *)
+
 val emitf : t -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
 val recent : ?topic:string -> t -> int -> event list
 (** Most recent events first; optionally filtered by topic. *)
+
+val all : ?topic:string -> t -> event list
+(** Every retained event, oldest first; optionally filtered by topic. *)
+
+val topics : t -> string list
+(** Topics present among retained events, in first-appearance order. *)
 
 val count : t -> int
 (** Total events emitted (including evicted ones). *)
 
+val retained : t -> int
+(** Events still in the ring ([min count capacity]). *)
+
+val capacity : t -> int
+
 val pp_event : Format.formatter -> event -> unit
+
+val event_json : event -> Grt_util.Json.t
+(** [{"ts_ns":..,"topic":..,"kind":..,<payload fields>}] *)
+
+val to_jsonl : t -> string
+(** Retained events oldest-first, one JSON object per line (trailing
+    newline included when non-empty). *)

@@ -1,0 +1,49 @@
+(** Minimal JSON tree: enough to write the observability artifacts (Chrome
+    trace events, session reports, the bench trajectory) and to parse them
+    back in tests — no external dependency.
+
+    Numbers are floats, as in JSON itself; [int] / [int64] constructors are
+    provided for convenience and serialize without a fractional part when
+    the value is integral. Serialization of floats picks the shortest
+    decimal form that round-trips through [float_of_string], so
+    [parse (to_string v)] reproduces [v] exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+val int64 : int64 -> t
+val float : float -> t
+val str : string -> t
+
+val escape : string -> string
+(** [escape s] is the quoted JSON string literal for [s] (including the
+    surrounding double quotes), with control characters, quotes and
+    backslashes escaped. *)
+
+val number_to_string : float -> string
+(** Shortest decimal form that round-trips; integral values print without a
+    fractional part. *)
+
+val to_string : t -> string
+(** Compact single-line serialization. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset above (no trailing garbage). Object member
+    order is preserved. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up key [k]; [None] on missing key or
+    non-object. *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_arr : t -> t list option
+val to_obj : t -> (string * t) list option

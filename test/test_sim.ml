@@ -119,6 +119,18 @@ let metrics_names_roundtrip () =
   check Alcotest.int "names unique" (List.length names)
     (List.length (List.sort_uniq compare names))
 
+let metrics_pp_matches_counters () =
+  (* The typed registry is a write-through view, so its dump must be the
+     counter dump, byte for byte. *)
+  let c = Counters.create () in
+  let m = Grt_sim.Metrics.of_counters c in
+  Grt_sim.Metrics.add m Grt_sim.Metrics.Net_blocking_rtts 7;
+  Grt_sim.Metrics.add64 m Grt_sim.Metrics.Sync_up_wire_bytes 1234L;
+  Counters.add c "custom.outside_typed_set" 5;
+  check Alcotest.string "pp byte-identical"
+    (Format.asprintf "%a" Counters.pp c)
+    (Format.asprintf "%a" Grt_sim.Metrics.pp m)
+
 (* ---- Energy ---- *)
 
 let energy_base_rail_integrates () =
@@ -172,8 +184,8 @@ let trace_recent_order () =
   Trace.emit t ~topic:"b" "second";
   match Trace.recent t 2 with
   | [ e2; e1 ] ->
-    check Alcotest.string "most recent first" "second" e2.Trace.detail;
-    check Alcotest.string "older second" "first" e1.Trace.detail;
+    check Alcotest.string "most recent first" "second" (Trace.detail e2);
+    check Alcotest.string "older second" "first" (Trace.detail e1);
     check Alcotest.int64 "timestamped" 5L e2.Trace.at_ns
   | _ -> Alcotest.fail "expected two events"
 
@@ -194,7 +206,7 @@ let trace_ring_eviction () =
   check Alcotest.int "total counts all" 10 (Trace.count t);
   let recents = Trace.recent t 10 in
   check Alcotest.int "bounded by capacity" 4 (List.length recents);
-  check Alcotest.string "newest survives" "10" (List.hd recents).Trace.detail
+  check Alcotest.string "newest survives" "10" (Trace.detail (List.hd recents))
 
 (* ---- Costs ---- *)
 
@@ -231,6 +243,7 @@ let () =
         [
           Alcotest.test_case "write-through bridge" `Quick metrics_write_through;
           Alcotest.test_case "name roundtrip" `Quick metrics_names_roundtrip;
+          Alcotest.test_case "pp matches Counters.pp" `Quick metrics_pp_matches_counters;
         ] );
       ( "energy",
         [
