@@ -4,7 +4,7 @@
 
    Usage:
      bench/main.exe                 print every table and figure
-     bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults
+     bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync
      bench/main.exe bechamel        run the Bechamel micro-suite only
      bench/main.exe --json FILE [CMD]   additionally write the rows as JSON
 *)
@@ -148,6 +148,35 @@ let faults () =
     rows;
   add_json "faults" E.fault_row_json rows
 
+let memsync () =
+  hr "Memsync fast-path sweep (synthetic 64-page Cmd region, 8 rounds)";
+  Printf.printf "%-22s %8s %6s %12s %10s %10s %10s %6s\n" "variant" "dirtied" "dup" "wire(B)"
+    "raw(B)" "visited" "hash-hits" "repro";
+  let rows = E.memsync_sweep () in
+  List.iter
+    (fun (r : E.memsync_sweep_row) ->
+      Printf.printf "%-22s %8d %5.0f%% %12d %10d %10d %10d %6s\n" r.E.variant
+        r.E.dirtied_per_round (100. *. r.E.dup_rate) r.E.sweep_wire_bytes r.E.sweep_raw_bytes
+        r.E.pages_visited r.E.hash_hits
+        (if r.E.reproduced then "yes" else "NO"))
+    rows;
+  add_json "memsync_sweep" E.memsync_sweep_row_json rows;
+  hr "Memsync fast path on MNIST (OursMDS, WiFi): baseline vs dedup+adaptive";
+  Printf.printf "%-10s %12s %10s %10s %10s %8s %7s  %s\n" "config" "down(B)" "up(B)" "blob(KB)"
+    "visited" "meta" "replay" "encodings";
+  let wrows = E.memsync_workload ctx ~net:Grt_mlfw.Zoo.mnist in
+  List.iter
+    (fun (r : E.memsync_workload_row) ->
+      Printf.printf "%-10s %12d %10d %10.1f %10d %8d %7s  %s\n" r.E.config_label
+        r.E.down_wire_bytes r.E.up_wire_bytes
+        (float_of_int r.E.blob_bytes /. 1024.)
+        r.E.mpages_visited r.E.mpages_meta
+        (if r.E.replay_matches then "yes" else "NO")
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) r.E.workload_enc_mix)))
+    wrows;
+  add_json "memsync_workload" E.memsync_workload_row_json wrows
+
 let ablation () =
   hr "Ablation of design knobs (MobileNet, WiFi)";
   Printf.printf "%-38s %10s %8s %10s\n" "variant" "delay(s)" "RTTs" "sync(MB)";
@@ -238,6 +267,7 @@ let all () =
   rollback ();
   ablation ();
   faults ();
+  memsync ();
   run_bechamel ()
 
 let () =
@@ -264,12 +294,13 @@ let () =
   | "rollback" -> rollback ()
   | "ablation" -> ablation ()
   | "faults" -> faults ()
+  | "memsync" -> memsync ()
   | "bechamel" -> run_bechamel ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown command %s (expected \
-       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|bechamel|all)\n"
+       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|bechamel|all)\n"
       other;
     exit 2);
   match json_file with

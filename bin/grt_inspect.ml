@@ -54,6 +54,16 @@ let pp_entry ppf = function
   | Grt.Recording.Mem_load { pages } ->
     Format.fprintf ppf "mem-load %d pages (%s)" (List.length pages)
       (Grt_util.Hexdump.size_to_string (List.length pages * Grt_gpu.Mem.page_size))
+  | Grt.Recording.Mem_load_enc { records } ->
+    let body_bytes =
+      List.fold_left (fun acc (_, _, body) -> acc + Bytes.length body) 0 records
+    in
+    Format.fprintf ppf "mem-load %d tagged pages (%s encoded: %s)" (List.length records)
+      (Grt_util.Hexdump.size_to_string body_bytes)
+      (String.concat ","
+         (List.map
+            (fun (_, enc, _) -> Grt.Memsync.encoding_name enc)
+            records))
 
 let inspect path dump_n =
   match load path with

@@ -49,6 +49,22 @@ let max_inflight_arg =
   in
   Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
 
+let memsync_dedup_arg =
+  let doc =
+    "Content-addressed memsync dedup: pages whose body the peer already holds ship as an \
+     8-byte hash reference. Changes the recording's page-record format (still replayable on \
+     this build); off by default to keep recordings byte-identical with older builds."
+  in
+  Arg.(value & flag & info [ "memsync-dedup" ] ~doc)
+
+let memsync_adaptive_arg =
+  let doc =
+    "Per-page adaptive memsync encoding: each shipped page uses the cheapest of raw, \
+     range-coded raw, delta, range-coded delta or (with --memsync-dedup) a hash reference, \
+     instead of unconditional delta+range-coding."
+  in
+  Arg.(value & flag & info [ "memsync-adaptive" ] ~doc)
+
 let out_arg =
   let doc = "Write the signed recording to $(docv)." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -94,8 +110,8 @@ let write_text path s =
   output_string oc s;
   close_out oc
 
-let run net_name mode_name profile_name sku_name seed drop_prob window max_inflight out
-    trace_out report_out trace_capacity list_skus stats =
+let run net_name mode_name profile_name sku_name seed drop_prob window max_inflight
+    memsync_dedup memsync_adaptive out trace_out report_out trace_capacity list_skus stats =
   if list_skus then begin
     List.iter
       (fun s -> Format.printf "%a@." Grt_gpu.Sku.pp s)
@@ -125,9 +141,16 @@ let run net_name mode_name profile_name sku_name seed drop_prob window max_infli
       Printf.printf "recording %s (%d GPU jobs) on %s, %s over %s...\n%!" net_name
         (Grt_mlfw.Network.job_count net) sku_name (Grt.Mode.name mode) profile.Grt_net.Profile.name;
       let config =
-        if max_inflight > 0 then
-          Some { (Grt.Mode.default_config mode) with Grt.Mode.max_inflight }
-        else None
+        let default = Grt.Mode.default_config mode in
+        let cfg =
+          {
+            default with
+            Grt.Mode.max_inflight = (if max_inflight > 0 then max_inflight else 0);
+            memsync_dedup;
+            memsync_adaptive;
+          }
+        in
+        if cfg = default then None else Some cfg
       in
       let observe = trace_out <> None || report_out <> None in
       let o =
@@ -188,7 +211,7 @@ let cmd =
     Term.(
       ret
         (const run $ net_arg $ mode_arg $ profile_arg $ sku_arg $ seed_arg $ drop_prob_arg
-       $ window_arg $ max_inflight_arg $ out_arg $ trace_out_arg $ report_arg
-       $ trace_capacity_arg $ list_skus_arg $ stats_arg))
+       $ window_arg $ max_inflight_arg $ memsync_dedup_arg $ memsync_adaptive_arg $ out_arg
+       $ trace_out_arg $ report_arg $ trace_capacity_arg $ list_skus_arg $ stats_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -376,6 +376,214 @@ let fault_campaign ctx ?(drops = [ 0.0; 0.01; 0.05; 0.1 ]) ?(windows = [ 1; 4 ])
         windows)
     [ Profile.wifi; Profile.cellular ]
 
+(* ---- memsync fast-path sweep ----
+
+   A synthetic two-endpoint rig: one sender memory with a Cmd region of
+   [pages] pages, one receiver memory, and a Memsync pair between them.
+   Each round dirties [dirtied] pages — bodies drawn from a deterministic
+   mix of sparse (range coding wins), dense random (raw wins) and
+   small-perturbation (delta wins) content, with [dup_rate] of the writes
+   reusing a body written before (dedup's habitat) — then syncs and applies.
+   The receiver must end bit-identical to the sender under every variant. *)
+
+type memsync_sweep_row = {
+  variant : string;
+  dirtied_per_round : int;
+  dup_rate : float;
+  sweep_rounds : int;
+  sweep_pages : int;
+  sweep_wire_bytes : int;
+  sweep_raw_bytes : int;
+  pages_visited : int;
+  hash_hits : int;
+  enc_mix : (string * int) list;
+  sync_us : float;  (* host-side microseconds per sync_meta call *)
+  reproduced : bool;
+}
+
+let memsync_variants =
+  [
+    ("legacy", fun c -> { c with Mode.memsync_dirty = false });
+    ("dirty", fun (c : Mode.config) -> c);
+    ("dirty+dedup", fun c -> { c with Mode.memsync_dedup = true });
+    ( "dirty+dedup+adaptive",
+      fun c -> { c with Mode.memsync_dedup = true; memsync_adaptive = true } );
+  ]
+
+let memsync_sweep_one ~variant ~tweak ~pages ~rounds ~dirtied ~dup_rate =
+  let module Mem = Grt_gpu.Mem in
+  let cfg = tweak (Mode.default_config Mode.Ours_mds) in
+  let mem_s = Mem.create () and mem_r = Mem.create () in
+  let pa = Mem.alloc_pages mem_s pages in
+  let first = Mem.page_of_addr pa in
+  let sender = Memsync.create cfg and receiver = Memsync.create cfg in
+  Memsync.register_region sender
+    {
+      Memsync.name = "sweep-cmd";
+      usage = Grt_runtime.Session.Cmd;
+      va = 0x1000_0000L;
+      pa;
+      model_bytes = pages * Mem.page_size;
+      actual_bytes = pages * Mem.page_size;
+    };
+  let rng = Grt_util.Rng.create ~seed:0x5eed_5eedL in
+  let pool = ref [||] in
+  let fresh_body pfn =
+    let b =
+      match Grt_util.Rng.int rng 3 with
+      | 0 ->
+        (* sparse: almost all zeroes *)
+        let b = Bytes.make Mem.page_size '\000' in
+        for _ = 0 to 31 do
+          Bytes.set b (Grt_util.Rng.int rng Mem.page_size) '\x42'
+        done;
+        b
+      | 1 -> Grt_util.Rng.bytes rng Mem.page_size (* dense: incompressible *)
+      | _ ->
+        (* perturbation of the page's current contents *)
+        let b = Mem.get_page mem_s pfn in
+        for _ = 0 to 7 do
+          Bytes.set b (Grt_util.Rng.int rng Mem.page_size)
+            (Char.chr (Grt_util.Rng.int rng 256))
+        done;
+        b
+    in
+    pool := Array.append !pool [| b |];
+    b
+  in
+  let wire = ref 0 and raw = ref 0 and visited = ref 0 and hash_hits = ref 0 in
+  let enc_counts = Hashtbl.create 8 in
+  let t0 = Sys.time () in
+  for _round = 1 to rounds do
+    for _i = 1 to dirtied do
+      let pfn = Int64.add first (Int64.of_int (Grt_util.Rng.int rng pages)) in
+      let body =
+        if Array.length !pool > 0 && Grt_util.Rng.float rng 1.0 < dup_rate then
+          !pool.(Grt_util.Rng.int rng (Array.length !pool))
+        else fresh_body pfn
+      in
+      Mem.set_page mem_s pfn body
+    done;
+    let p = Memsync.sync_meta sender mem_s in
+    wire := !wire + p.Memsync.wire_bytes;
+    raw := !raw + p.Memsync.raw_bytes;
+    visited := !visited + p.Memsync.visited;
+    List.iter
+      (fun (r : Memsync.page_record) ->
+        let n = Memsync.encoding_name r.Memsync.enc in
+        Hashtbl.replace enc_counts n
+          (1 + Option.value ~default:0 (Hashtbl.find_opt enc_counts n));
+        if r.Memsync.enc = Memsync.Enc_hash_ref then incr hash_hits)
+      p.Memsync.records;
+    Memsync.apply receiver mem_r p
+  done;
+  let elapsed = Sys.time () -. t0 in
+  let reproduced =
+    List.for_all
+      (fun i ->
+        let pfn = Int64.add first (Int64.of_int i) in
+        Bytes.equal (Mem.get_page mem_s pfn) (Mem.get_page mem_r pfn))
+      (List.init pages (fun i -> i))
+  in
+  {
+    variant;
+    dirtied_per_round = dirtied;
+    dup_rate;
+    sweep_rounds = rounds;
+    sweep_pages = pages;
+    sweep_wire_bytes = !wire;
+    sweep_raw_bytes = !raw;
+    pages_visited = !visited;
+    hash_hits = !hash_hits;
+    enc_mix =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) enc_counts []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    sync_us = elapsed /. float_of_int rounds *. 1e6;
+    reproduced;
+  }
+
+let memsync_sweep ?(pages = 64) ?(rounds = 8) ?(dirtied = [ 4; 16; 64 ])
+    ?(dup_rates = [ 0.0; 0.5; 0.9 ]) () =
+  List.concat_map
+    (fun (variant, tweak) ->
+      List.concat_map
+        (fun d ->
+          List.map
+            (fun dup -> memsync_sweep_one ~variant ~tweak ~pages ~rounds ~dirtied:d ~dup_rate:dup)
+            dup_rates)
+        dirtied)
+    memsync_variants
+
+(* ---- memsync fast path on a real workload ----
+
+   The same recording, baseline config vs. the full fast path (dirty
+   tracking is on by default in both; the fast path adds dedup + adaptive
+   encoding). Each run replays its own blob against the native output, so
+   the row proves the tagged record format round-trips end to end. *)
+
+type memsync_workload_row = {
+  config_label : string;
+  net_name : string;
+  down_wire_bytes : int;
+  up_wire_bytes : int;
+  blob_bytes : int;
+  mpages_visited : int;
+  mpages_meta : int;
+  workload_enc_mix : (string * int) list;
+  replay_matches : bool;
+}
+
+let memsync_workload ctx ~net =
+  let base = Mode.default_config Mode.Ours_mds in
+  let fast = { base with Mode.memsync_dedup = true; memsync_adaptive = true } in
+  let nat = native ctx net in
+  let plan = Network.expand net in
+  let input = Grt_mlfw.Runner.input_values plan ~seed:ctx.seed in
+  let params = Grt_mlfw.Runner.weight_values plan ~seed:ctx.seed in
+  List.map
+    (fun (config_label, cfg) ->
+      let o =
+        Orchestrate.record ~history:(Drivershim.fresh_history ()) ~config:cfg
+          ~profile:Profile.wifi ~mode:Mode.Ours_mds ~sku:ctx.sku ~net ~seed:ctx.seed ()
+      in
+      let ro =
+        Orchestrate.replay_recording ~sku:ctx.sku ~blob:o.Orchestrate.blob ~input ~params
+          ~seed:ctx.seed ()
+      in
+      let matches =
+        Array.length ro.Orchestrate.r.Replayer.output = Array.length nat.Native.output
+        && Array.for_all2
+             (fun a b -> Int32.equal (Int32.bits_of_float a) (Int32.bits_of_float b))
+             ro.Orchestrate.r.Replayer.output nat.Native.output
+      in
+      let c k = Grt_sim.Counters.get_int o.Orchestrate.counters k in
+      {
+        config_label;
+        net_name = net.Network.name;
+        down_wire_bytes = c "sync.down_wire_bytes";
+        up_wire_bytes = c "sync.up_wire_bytes";
+        blob_bytes = Bytes.length o.Orchestrate.blob;
+        mpages_visited = c "sync.pages_visited";
+        mpages_meta = c "sync.pages_meta";
+        workload_enc_mix =
+          List.filter_map
+            (fun e ->
+              let n = Memsync.encoding_name e in
+              let v =
+                c ("sync.enc_" ^ String.map (function '+' | '-' -> '_' | ch -> ch) n)
+              in
+              if v > 0 then Some (n, v) else None)
+            [
+              Memsync.Enc_raw;
+              Memsync.Enc_raw_rc;
+              Memsync.Enc_delta;
+              Memsync.Enc_delta_rc;
+              Memsync.Enc_hash_ref;
+            ];
+        replay_matches = matches;
+      })
+    [ ("baseline", base); ("fastpath", fast) ]
+
 (* ---- JSON row export (bench --json, CI artifacts) ----
 
    One function per row type, mirroring the printed tables field for field
@@ -470,6 +678,38 @@ let ablation_row_json (r : ablation_row) =
       ("delay_s", Json.float r.delay_s);
       ("rtts", Json.int r.rtts);
       ("sync_mb", Json.float r.sync_mb);
+    ]
+
+let memsync_sweep_row_json (r : memsync_sweep_row) =
+  Json.Obj
+    [
+      ("variant", Json.Str r.variant);
+      ("dirtied_per_round", Json.int r.dirtied_per_round);
+      ("dup_rate", Json.float r.dup_rate);
+      ("rounds", Json.int r.sweep_rounds);
+      ("pages", Json.int r.sweep_pages);
+      ("wire_bytes", Json.int r.sweep_wire_bytes);
+      ("raw_bytes", Json.int r.sweep_raw_bytes);
+      ("pages_visited", Json.int r.pages_visited);
+      ("hash_hits", Json.int r.hash_hits);
+      ("enc_mix", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) r.enc_mix));
+      ("sync_us", Json.float r.sync_us);
+      ("reproduced", Json.Bool r.reproduced);
+    ]
+
+let memsync_workload_row_json (r : memsync_workload_row) =
+  Json.Obj
+    [
+      ("config", Json.Str r.config_label);
+      ("workload", Json.Str r.net_name);
+      ("down_wire_bytes", Json.int r.down_wire_bytes);
+      ("up_wire_bytes", Json.int r.up_wire_bytes);
+      ("blob_bytes", Json.int r.blob_bytes);
+      ("pages_visited", Json.int r.mpages_visited);
+      ("pages_meta", Json.int r.mpages_meta);
+      ( "enc_mix",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) r.workload_enc_mix) );
+      ("replay_matches", Json.Bool r.replay_matches);
     ]
 
 let fault_row_json (r : fault_row) =

@@ -125,6 +125,48 @@ val fault_campaign :
 (** [drops] defaults to [0; 0.01; 0.05; 0.1]; [windows] to [[1; 4]]
     (windowed runs also set [Mode.max_inflight] to the window size). *)
 
+(** Memsync fast-path sweep on a synthetic sender/receiver pair: pages
+    dirtied per round × duplicate-content rate × feature variant (legacy,
+    dirty tracking, +dedup, +adaptive encoding). [reproduced] asserts the
+    receiver memory ended bit-identical to the sender's. *)
+type memsync_sweep_row = {
+  variant : string;
+  dirtied_per_round : int;
+  dup_rate : float;
+  sweep_rounds : int;
+  sweep_pages : int;
+  sweep_wire_bytes : int;
+  sweep_raw_bytes : int;
+  pages_visited : int;  (** total meta pages examined across all rounds *)
+  hash_hits : int;  (** pages shipped as 8-byte hash references *)
+  enc_mix : (string * int) list;  (** chosen encoding name -> record count *)
+  sync_us : float;  (** host-side microseconds per [sync_meta] call *)
+  reproduced : bool;
+}
+
+val memsync_sweep :
+  ?pages:int -> ?rounds:int -> ?dirtied:int list -> ?dup_rates:float list -> unit ->
+  memsync_sweep_row list
+(** Defaults: 64 pages, 8 rounds, dirtied [[4; 16; 64]], dup rates
+    [[0; 0.5; 0.9]]. *)
+
+(** Memsync fast path on a real workload: baseline config vs. dedup +
+    adaptive encoding, same seed — wire bytes, blob size, visit counts and
+    a replay-vs-native output check per row. *)
+type memsync_workload_row = {
+  config_label : string;  (** "baseline" or "fastpath" *)
+  net_name : string;
+  down_wire_bytes : int;
+  up_wire_bytes : int;
+  blob_bytes : int;
+  mpages_visited : int;
+  mpages_meta : int;
+  workload_enc_mix : (string * int) list;  (** nonzero encoding counters *)
+  replay_matches : bool;
+}
+
+val memsync_workload : ctx -> net:Grt_mlfw.Network.t -> memsync_workload_row list
+
 (** {2 JSON row export}
 
     One function per row type, mirroring the printed table field for field,
@@ -141,3 +183,5 @@ val polling_row_json : polling_row -> Grt_util.Json.t
 val rollback_row_json : rollback_row -> Grt_util.Json.t
 val ablation_row_json : ablation_row -> Grt_util.Json.t
 val fault_row_json : fault_row -> Grt_util.Json.t
+val memsync_sweep_row_json : memsync_sweep_row -> Grt_util.Json.t
+val memsync_workload_row_json : memsync_workload_row -> Grt_util.Json.t

@@ -71,7 +71,13 @@ val upload_meta : t -> Memsync.sync_payload
     (e.g. job statuses the GPU wrote). *)
 
 val load_pages : t -> Memsync.sync_payload -> unit
-(** Install a cloud→client dump into client memory. *)
+(** Install a cloud→client dump into client memory (tagged payloads are
+    decoded through the uplink's receiver store). *)
+
+val load_records : t -> (int64 * Memsync.encoding * bytes) list -> (int64 * bytes) list
+(** Install a logged [Mem_load_enc] entry (validated-prefix replay):
+    decode against client memory and the receiver store, returning the
+    full installed contents. *)
 
 val reset_gpu : t -> unit
 (** Soft-reset and quiesce the GPU (used before replay-based recovery and

@@ -21,11 +21,59 @@ let region_of_session (r : Session.region) =
     actual_bytes = r.Session.actual_bytes;
   }
 
+type encoding = Enc_raw | Enc_raw_rc | Enc_delta | Enc_delta_rc | Enc_hash_ref
+
+let encoding_to_int = function
+  | Enc_raw -> 0
+  | Enc_raw_rc -> 1
+  | Enc_delta -> 2
+  | Enc_delta_rc -> 3
+  | Enc_hash_ref -> 4
+
+let encoding_of_int = function
+  | 0 -> Some Enc_raw
+  | 1 -> Some Enc_raw_rc
+  | 2 -> Some Enc_delta
+  | 3 -> Some Enc_delta_rc
+  | 4 -> Some Enc_hash_ref
+  | _ -> None
+
+let encoding_name = function
+  | Enc_raw -> "raw"
+  | Enc_raw_rc -> "raw+rc"
+  | Enc_delta -> "delta"
+  | Enc_delta_rc -> "delta+rc"
+  | Enc_hash_ref -> "hash-ref"
+
+let hash_page b = Grt_util.Hashing.fnv1a_bytes b
+
+(* Content-addressed page store: hash of a full page body -> the body.
+   Collisions are guarded at the lookup sites with [Bytes.equal]. *)
+module Store = struct
+  type s = (int64, bytes) Hashtbl.t
+
+  let create () : s = Hashtbl.create 64
+  let learn (s : s) data = Hashtbl.replace s (hash_page data) (Bytes.copy data)
+  let find (s : s) h = Hashtbl.find_opt s h
+end
+
 type t = {
   cfg : Mode.config;
   mutable regions : region list;
   mutable pt_roots : (Grt_gpu.Sku.pt_format * int64) list;
   baseline : (int64, bytes) Hashtbl.t;
+  baseline_gen : (int64, int64) Hashtbl.t;
+      (* page generation when the page was last examined by [sync_meta] *)
+  sent_store : Store.s;
+      (* bodies this endpoint shipped (sender role): the peer decoded each
+         of them, so a later identical page can go out as a hash reference *)
+  recv_store : Store.s;
+      (* bodies received from the peer (receiver role for the opposite
+         direction): resolves inbound hash references *)
+  mutable region_pfn_cache : int64 list option;
+  mutable pt_cache : ((int64 * int64) list * (Grt_gpu.Sku.pt_format * int64) list) option;
+      (* walked pt pages with their generation stamps + the roots walked *)
+  mutable meta_cache : int64 list option;
   shipped_data : (string, unit) Hashtbl.t; (* data regions the peer holds (Naive) *)
 }
 
@@ -35,10 +83,21 @@ let create cfg =
     regions = [];
     pt_roots = [];
     baseline = Hashtbl.create 256;
+    baseline_gen = Hashtbl.create 256;
+    sent_store = Store.create ();
+    recv_store = Store.create ();
+    region_pfn_cache = None;
+    pt_cache = None;
+    meta_cache = None;
     shipped_data = Hashtbl.create 64;
   }
 
-let register_region t r = t.regions <- r :: t.regions
+let tagged_wire cfg = cfg.Mode.memsync_dedup || cfg.Mode.memsync_adaptive
+
+let register_region t r =
+  t.regions <- r :: t.regions;
+  t.region_pfn_cache <- None;
+  t.meta_cache <- None
 
 let regions t = List.rev t.regions
 
@@ -50,64 +109,249 @@ let region_containing t ~va =
     t.regions
 
 let register_pt_root t ~fmt ~root_pa =
-  if not (List.exists (fun (_, r) -> Int64.equal r root_pa) t.pt_roots) then
-    t.pt_roots <- (fmt, root_pa) :: t.pt_roots
+  if not (List.exists (fun (_, r) -> Int64.equal r root_pa) t.pt_roots) then begin
+    t.pt_roots <- (fmt, root_pa) :: t.pt_roots;
+    t.pt_cache <- None;
+    t.meta_cache <- None
+  end
 
-let region_pfns mem r =
+let region_pfns r =
   (* Materialized pages of a region: its allocation is PA-contiguous. *)
   let first = Mem.page_of_addr r.pa in
   let n_pages = (r.actual_bytes + Mem.page_size - 1) / Mem.page_size in
-  ignore mem;
   List.init (max 1 n_pages) (fun i -> Int64.add first (Int64.of_int i))
 
-let meta_pfns t mem =
-  let pt =
-    List.concat_map
-      (fun (fmt, root) -> Mmu.table_pages (Mmu.of_root mem ~fmt ~root))
-      t.pt_roots
-  in
-  let meta_regions =
-    List.filter (fun r -> Session.usage_is_metastate r.usage) t.regions
-    |> List.concat_map (region_pfns mem)
-  in
-  List.sort_uniq Int64.compare (pt @ meta_regions)
+(* Meta-region pfns, memoized: the set only changes when a region is
+   registered, which drops the cache. *)
+let meta_region_pfns t =
+  match t.region_pfn_cache with
+  | Some pfns -> pfns
+  | None ->
+    let pfns =
+      List.filter (fun r -> Session.usage_is_metastate r.usage) t.regions
+      |> List.concat_map region_pfns
+      |> List.sort_uniq Int64.compare
+    in
+    t.region_pfn_cache <- Some pfns;
+    pfns
 
-type sync_payload = {
-  pages : (int64 * bytes) list;
-  wire_bytes : int;
-  raw_bytes : int;
+(* Page-table pages, cached with per-page generation stamps. Growing a table
+   writes the parent table's entry, which restamps the parent page — so any
+   structural change invalidates the cache and forces a rewalk. Returns the
+   pfns plus whether the walk was redone (the merged cache keys off it). *)
+let pt_pages t mem =
+  let valid =
+    match t.pt_cache with
+    | Some (stamped, roots) when roots == t.pt_roots || roots = t.pt_roots ->
+      List.for_all (fun (pfn, g) -> Int64.equal (Mem.page_gen mem pfn) g) stamped
+    | _ -> false
+  in
+  match t.pt_cache with
+  | Some (stamped, _) when valid -> (List.map fst stamped, false)
+  | _ ->
+    let pages =
+      List.concat_map
+        (fun (fmt, root) -> Mmu.table_pages (Mmu.of_root mem ~fmt ~root))
+        t.pt_roots
+      |> List.sort_uniq Int64.compare
+    in
+    t.pt_cache <- Some (List.map (fun pfn -> (pfn, Mem.page_gen mem pfn)) pages, t.pt_roots);
+    (pages, true)
+
+let meta_pfns t mem =
+  let pt, pt_fresh = pt_pages t mem in
+  match t.meta_cache with
+  | Some merged when not pt_fresh -> merged
+  | _ ->
+    let merged = List.sort_uniq Int64.compare (pt @ meta_region_pfns t) in
+    t.meta_cache <- Some merged;
+    merged
+
+type page_record = {
+  pfn : int64;
+  data : bytes;  (* full page contents *)
+  enc : encoding;
+  body : bytes;  (* wire form of the contents under [enc] *)
+  wire : int;  (* bytes charged to the link for this record, header included *)
 }
 
-let per_page_header = 12 (* pfn + length on the wire *)
+type sync_payload = {
+  records : page_record list;
+  tagged : bool;
+  wire_bytes : int;
+  raw_bytes : int;
+  visited : int;
+  total : int;
+}
+
+let pages p = List.map (fun r -> (r.pfn, r.data)) p.records
+let wire_records p = List.map (fun r -> (r.pfn, r.enc, r.body)) p.records
+
+let payload_of_pages pgs =
+  {
+    records =
+      List.map (fun (pfn, data) -> { pfn; data; enc = Enc_raw; body = data; wire = 0 }) pgs;
+    tagged = false;
+    wire_bytes = 0;
+    raw_bytes = 0;
+    visited = 0;
+    total = 0;
+  }
+
+let per_page_header = 12 (* untagged wire: fixed pfn + length per page *)
+
+let varint_size n =
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go (max n 0) 1
+
+(* Tagged wire accounting mirrors the record's serialized form exactly:
+   varint pfn + one encoding-tag byte + varint body length + body. *)
+let tagged_record_wire ~pfn ~body =
+  varint_size (Int64.to_int pfn) + 1 + varint_size (Bytes.length body) + Bytes.length body
+
+(* The historical pipeline: delta against the baseline when enabled, then
+   range coding when enabled. The body doubles as the wire-accounting form;
+   it is never decoded (untagged payloads carry the full contents). *)
+let encode_legacy t ~previous ~pfn ~current =
+  let enc, body =
+    match (t.cfg.Mode.delta_dumps, previous) with
+    | true, Some prev ->
+      let d = Grt_util.Delta.diff ~old_:prev ~fresh:current in
+      if t.cfg.Mode.compress_dumps then (Enc_delta_rc, Grt_util.Range_coder.encode d)
+      else (Enc_delta, d)
+    | _ ->
+      if t.cfg.Mode.compress_dumps then (Enc_raw_rc, Grt_util.Range_coder.encode current)
+      else (Enc_raw, current)
+  in
+  { pfn; data = current; enc; body; wire = Bytes.length body + per_page_header }
+
+(* Tagged encoding: bodies are decoded on the receiving side. The encoding
+   tag itself says whether a body is range-coded, so no in-band container
+   byte is needed — the adaptive min-selection below is the expansion guard
+   at this layer (the codec-level [encode_guarded] serves callers without a
+   side channel). A hash reference ships only when the sender itself put
+   that exact body on the wire before — which the receiver, by
+   construction, has decoded and stored. *)
+let encode_tagged t ~previous ~pfn ~current =
+  let mk enc body = { pfn; data = current; enc; body; wire = tagged_record_wire ~pfn ~body } in
+  let h = hash_page current in
+  let hash_hit =
+    t.cfg.Mode.memsync_dedup
+    &&
+    match Store.find t.sent_store h with
+    | Some body -> Bytes.equal body current
+    | None -> false
+  in
+  let r =
+    if hash_hit then begin
+      let body = Bytes.create 8 in
+      Bytes.set_int64_le body 0 h;
+      mk Enc_hash_ref body
+    end
+    else if t.cfg.Mode.memsync_adaptive then begin
+      let candidates =
+        (Enc_raw, current)
+        :: (Enc_raw_rc, Grt_util.Range_coder.encode current)
+        ::
+        (match previous with
+        | Some prev ->
+          let d = Grt_util.Delta.diff ~old_:prev ~fresh:current in
+          [ (Enc_delta, d); (Enc_delta_rc, Grt_util.Range_coder.encode d) ]
+        | None -> [])
+      in
+      let enc, body =
+        List.fold_left
+          (fun (e0, b0) (e, b) ->
+            if Bytes.length b < Bytes.length b0 then (e, b) else (e0, b0))
+          (List.hd candidates) (List.tl candidates)
+      in
+      mk enc body
+    end
+    else begin
+      (* dedup without adaptive selection: a store miss falls back to the
+         historical delta/compression chain, byte-identical to the untagged
+         wire format *)
+      match (t.cfg.Mode.delta_dumps, previous) with
+      | true, Some prev ->
+        let d = Grt_util.Delta.diff ~old_:prev ~fresh:current in
+        if t.cfg.Mode.compress_dumps then mk Enc_delta_rc (Grt_util.Range_coder.encode d)
+        else mk Enc_delta d
+      | _ ->
+        if t.cfg.Mode.compress_dumps then mk Enc_raw_rc (Grt_util.Range_coder.encode current)
+        else mk Enc_raw current
+    end
+  in
+  Store.learn t.sent_store current;
+  r
 
 let sync_meta t mem =
   let pfns = meta_pfns t mem in
-  let changed = ref [] and wire = ref 0 and raw = ref 0 in
+  let total = List.length pfns in
+  let tagged = tagged_wire t.cfg in
+  let records = ref [] and wire = ref 0 and raw = ref 0 and visited = ref 0 in
   List.iter
     (fun pfn ->
-      let current = Mem.get_page mem pfn in
-      let previous = Hashtbl.find_opt t.baseline pfn in
-      let same = match previous with Some p -> Bytes.equal p current | None -> false in
-      if not same then begin
-        changed := (pfn, current) :: !changed;
-        raw := !raw + Mem.page_size;
-        let payload =
-          match (t.cfg.Mode.delta_dumps, previous) with
-          | true, Some prev -> Grt_util.Delta.diff ~old_:prev ~fresh:current
-          | _ -> current
-        in
-        let payload =
-          if t.cfg.Mode.compress_dumps then Grt_util.Range_coder.encode payload else payload
-        in
-        wire := !wire + Bytes.length payload + per_page_header;
-        Hashtbl.replace t.baseline pfn (Bytes.copy current)
+      let gen = Mem.page_gen mem pfn in
+      let unchanged =
+        t.cfg.Mode.memsync_dirty
+        &&
+        match Hashtbl.find_opt t.baseline_gen pfn with
+        | Some g -> Int64.compare gen g <= 0
+        | None -> false
+      in
+      if not unchanged then begin
+        incr visited;
+        Hashtbl.replace t.baseline_gen pfn gen;
+        let current = Mem.get_page mem pfn in
+        let previous = Hashtbl.find_opt t.baseline pfn in
+        let same = match previous with Some p -> Bytes.equal p current | None -> false in
+        if not same then begin
+          raw := !raw + Mem.page_size;
+          let r =
+            if tagged then encode_tagged t ~previous ~pfn ~current
+            else encode_legacy t ~previous ~pfn ~current
+          in
+          records := r :: !records;
+          wire := !wire + r.wire;
+          Hashtbl.replace t.baseline pfn (Bytes.copy current)
+        end
       end)
     pfns;
-  { pages = List.rev !changed; wire_bytes = !wire; raw_bytes = !raw }
+  { records = List.rev !records; tagged; wire_bytes = !wire; raw_bytes = !raw; visited = !visited; total }
 
-let apply mem payload = List.iter (fun (pfn, data) -> Mem.set_page mem pfn data) payload.pages
+let decode_records store mem records =
+  List.map
+    (fun (pfn, enc, body) ->
+      let data =
+        match enc with
+        | Enc_raw -> body
+        | Enc_raw_rc -> Grt_util.Range_coder.decode body
+        | Enc_delta -> Grt_util.Delta.apply ~old_:(Mem.get_page mem pfn) ~delta:body
+        | Enc_delta_rc ->
+          Grt_util.Delta.apply ~old_:(Mem.get_page mem pfn)
+            ~delta:(Grt_util.Range_coder.decode body)
+        | Enc_hash_ref -> (
+          if Bytes.length body <> 8 then failwith "Memsync: malformed hash reference";
+          match Store.find store (Bytes.get_int64_le body 0) with
+          | Some d -> d
+          | None -> failwith "Memsync: hash reference to unknown page content")
+      in
+      Mem.set_page mem pfn data;
+      Store.learn store data;
+      (pfn, data))
+    records
+
+let apply_records t mem records = decode_records t.recv_store mem records
+
+let apply t mem payload =
+  if payload.tagged then ignore (apply_records t mem (wire_records payload))
+  else List.iter (fun r -> Mem.set_page mem r.pfn r.data) payload.records
 
 let note_peer_page t pfn contents = Hashtbl.replace t.baseline pfn (Bytes.copy contents)
+
+let note_shipped t pfn contents =
+  Hashtbl.replace t.baseline pfn (Bytes.copy contents);
+  if tagged_wire t.cfg then Store.learn t.sent_store contents
 
 (* Walk the descriptor chain in local memory and apply [f] to every data
    region it references, tagged with its role. *)

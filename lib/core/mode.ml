@@ -30,6 +30,9 @@ type config = {
   continuous_validation : bool;
   degraded_mode : bool;
   max_inflight : int;
+  memsync_dirty : bool;
+  memsync_dedup : bool;
+  memsync_adaptive : bool;
 }
 
 let default_config mode =
@@ -44,4 +47,7 @@ let default_config mode =
     continuous_validation = true;
     degraded_mode = true;
     max_inflight = 0;
+    memsync_dirty = true;
+    memsync_dedup = false;
+    memsync_adaptive = false;
   }

@@ -8,6 +8,7 @@ type entry =
   | Poll of { reg : int; mask : int64; cond : poll_cond; max_iters : int; spin_ns : int64 }
   | Wait_irq of { line : int }
   | Mem_load of { pages : (int64 * bytes) list }
+  | Mem_load_enc of { records : (int64 * Memsync.encoding * bytes) list }
 
 let irq_line_to_int = function
   | Grt_gpu.Device.Job_irq -> 0
@@ -76,6 +77,17 @@ let add_entry buf = function
         Byte_buf.add_varint buf (Bytes.length data);
         Byte_buf.add_bytes buf data)
       pages
+  | Mem_load_enc { records } ->
+    Byte_buf.add_u8 buf 6;
+    Byte_buf.add_varint buf (List.length records);
+    List.iter
+      (fun (pfn, enc, body) ->
+        (* pfns are page frame numbers, well within varint range *)
+        Byte_buf.add_varint buf (Int64.to_int pfn);
+        Byte_buf.add_u8 buf (Memsync.encoding_to_int enc);
+        Byte_buf.add_varint buf (Bytes.length body);
+        Byte_buf.add_bytes buf body)
+      records
 
 let read_entry r =
   match Byte_buf.Reader.u8 r with
@@ -105,6 +117,20 @@ let read_entry r =
           (pfn, Byte_buf.Reader.bytes r len))
     in
     Mem_load { pages }
+  | 6 ->
+    let n = Byte_buf.Reader.varint r in
+    let records =
+      List.init n (fun _ ->
+          let pfn = Int64.of_int (Byte_buf.Reader.varint r) in
+          let enc =
+            match Memsync.encoding_of_int (Byte_buf.Reader.u8 r) with
+            | Some e -> e
+            | None -> failwith "recording: bad page encoding tag"
+          in
+          let len = Byte_buf.Reader.varint r in
+          (pfn, enc, Byte_buf.Reader.bytes r len))
+    in
+    Mem_load_enc { records }
   | tag -> failwith (Printf.sprintf "recording: unknown entry tag %d" tag)
 
 let serialize t =
@@ -185,5 +211,6 @@ let count_entries t what =
       | `Polls, Poll _ -> acc + 1
       | `Irqs, Wait_irq _ -> acc + 1
       | `Mem_pages, Mem_load { pages } -> acc + List.length pages
+      | `Mem_pages, Mem_load_enc { records } -> acc + List.length records
       | _ -> acc)
     0 t.entries

@@ -23,6 +23,11 @@ type entry =
   | Poll of { reg : int; mask : int64; cond : poll_cond; max_iters : int; spin_ns : int64 }
   | Wait_irq of { line : int }  (** 0 = job, 1 = gpu, 2 = mmu *)
   | Mem_load of { pages : (int64 * bytes) list }  (** (pfn, contents) *)
+  | Mem_load_enc of { records : (int64 * Memsync.encoding * bytes) list }
+      (** tagged page records under the memsync dedup/adaptive wire format:
+          [(pfn, encoding, wire body)]. Decoded in log order against the
+          replayer's content store — a hash reference always resolves to a
+          body carried in full by an earlier record. *)
 
 val irq_line_to_int : Grt_gpu.Device.irq_line -> int
 val irq_line_of_int : int -> Grt_gpu.Device.irq_line option

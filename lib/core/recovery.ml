@@ -44,9 +44,21 @@ let rec pop_memloads t =
     note_pop t;
     step_cost t;
     count t Metrics.Recovery_pages (List.length pages);
-    Gpushim.load_pages t.gpushim { Memsync.pages; wire_bytes = 0; raw_bytes = 0 };
-    List.iter (fun (pfn, data) -> Memsync.note_peer_page t.downlink pfn data) pages;
+    Gpushim.load_pages t.gpushim (Memsync.payload_of_pages pages);
+    List.iter (fun (pfn, data) -> Memsync.note_shipped t.downlink pfn data) pages;
     t.log := Recording.Mem_load { pages } :: !(t.log);
+    pop_memloads t
+  | Recording.Mem_load_enc { records } :: rest ->
+    t.prefix <- rest;
+    note_pop t;
+    step_cost t;
+    count t Metrics.Recovery_pages (List.length records);
+    (* Decode on the client, then re-teach this attempt's fresh downlink
+       sender state so later live syncs delta/dedup against the same view
+       the recording's replayer will hold. *)
+    let pages = Gpushim.load_records t.gpushim records in
+    List.iter (fun (pfn, data) -> Memsync.note_shipped t.downlink pfn data) pages;
+    t.log := Recording.Mem_load_enc { records } :: !(t.log);
     pop_memloads t
   | _ -> ()
 
@@ -77,7 +89,7 @@ let read t reg =
       | Recording.Reg_read { reg; _ } -> "read " ^ Regs.name reg
       | Recording.Poll { reg; _ } -> "poll " ^ Regs.name reg
       | Recording.Wait_irq _ -> "wait_irq"
-      | Recording.Mem_load _ -> "mem_load")
+      | Recording.Mem_load _ | Recording.Mem_load_enc _ -> "mem_load")
   | None -> fail "prefix exhausted mid-access (read %s)" (Regs.name reg)
 
 let write t reg =
@@ -121,10 +133,10 @@ let wait_irq t ~timeout_us =
          GPU-written words directly. *)
       if t.cfg.Mode.continuous_validation then Grt_gpu.Mem.unprotect_all t.cloud_mem;
       let payload = Gpushim.upload_meta t.gpushim in
-      Memsync.apply t.cloud_mem payload;
+      Memsync.apply t.downlink t.cloud_mem payload;
       List.iter
         (fun (pfn, data) -> Memsync.note_peer_page t.downlink pfn data)
-        payload.Memsync.pages;
+        (Memsync.pages payload);
       ignore line;
       Some got
     | None -> fail "no interrupt while replaying the log")

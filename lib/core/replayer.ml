@@ -32,7 +32,7 @@ let read_slot_floats mem (slot : Recording.slot) =
   Array.init (slot.Recording.actual_bytes / 4) (fun i ->
       Mem.read_f32 mem (Int64.add slot.Recording.pa (Int64.of_int (4 * i))))
 
-let apply_entries ~gpushim ~clock ~mem ~dev ~reads_verified ~skipped ~applied entries =
+let apply_entries ~gpushim ~clock ~mem ~dev ~store ~reads_verified ~skipped ~applied entries =
   Array.iteri
     (fun index entry ->
       incr applied;
@@ -41,6 +41,10 @@ let apply_entries ~gpushim ~clock ~mem ~dev ~reads_verified ~skipped ~applied en
       | Recording.Mem_load { pages } ->
         (* The metastate snapshot for the upcoming interactions. *)
         List.iter (fun (pfn, data) -> Mem.set_page mem pfn data) pages
+      | Recording.Mem_load_enc { records } ->
+        (* Tagged snapshot: decode in log order; hash references resolve
+           against bodies earlier entries carried in full. *)
+        ignore (Memsync.decode_records store mem records)
       | Recording.Reg_write { reg; value } -> Device.write_reg dev reg value
       | Recording.Reg_read { reg; value; verify } ->
         let got = Device.read_reg dev reg in
@@ -121,7 +125,8 @@ let replay ~gpushim ~signing_key ~blob ~input ~params ?energy () =
       | None -> raise (Rejected (Printf.sprintf "unknown parameter slot %s" name)))
     params;
   let reads_verified = ref 0 and skipped = ref 0 and applied = ref 0 in
-  apply_entries ~gpushim ~clock ~mem ~dev ~reads_verified ~skipped ~applied
+  let store = Memsync.Store.create () in
+  apply_entries ~gpushim ~clock ~mem ~dev ~store ~reads_verified ~skipped ~applied
     rec_t.Recording.entries;
   let output =
     match Recording.output_slot rec_t with
@@ -183,9 +188,10 @@ let replay_segments ~gpushim ~signing_key ~blobs ~input ~params ?energy () =
       | None -> raise (Rejected (Printf.sprintf "unknown parameter slot %s" name)))
     params;
   let reads_verified = ref 0 and skipped = ref 0 and applied = ref 0 in
+  let store = Memsync.Store.create () in
   List.iter
     (fun seg ->
-      apply_entries ~gpushim ~clock ~mem ~dev ~reads_verified ~skipped ~applied
+      apply_entries ~gpushim ~clock ~mem ~dev ~store ~reads_verified ~skipped ~applied
         seg.Recording.entries)
     segments;
   let last = List.nth segments (List.length segments - 1) in

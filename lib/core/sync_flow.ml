@@ -4,26 +4,51 @@ module Metrics = Grt_sim.Metrics
 
 let chain_va t = Int64.logor t.head.lo (Int64.shift_left t.head.hi 32)
 
+(* Wire cost of the metastate payload. Tagged payloads carry their own
+   accounting; the historical uncompressed path charges full pages plus a
+   header per page. *)
+let meta_wire t (payload : Memsync.sync_payload) =
+  if payload.Memsync.tagged || t.cfg.Mode.compress_dumps then payload.Memsync.wire_bytes
+  else
+    payload.Memsync.raw_bytes + (Memsync.per_page_header * List.length payload.Memsync.records)
+
+let enc_key = function
+  | Memsync.Enc_raw -> Metrics.Sync_enc_raw
+  | Memsync.Enc_raw_rc -> Metrics.Sync_enc_raw_rc
+  | Memsync.Enc_delta -> Metrics.Sync_enc_delta
+  | Memsync.Enc_delta_rc -> Metrics.Sync_enc_delta_rc
+  | Memsync.Enc_hash_ref -> Metrics.Sync_enc_hash_ref
+
+let payload_metrics t (payload : Memsync.sync_payload) =
+  count t Metrics.Sync_pages_visited payload.Memsync.visited;
+  count t Metrics.Sync_pages_meta payload.Memsync.total;
+  List.iter
+    (fun (r : Memsync.page_record) ->
+      count t (enc_key r.Memsync.enc) 1;
+      Hist.record_opt t.hists Hist.Sync_page_wire r.Memsync.wire)
+    payload.Memsync.records
+
 let down t =
   Tracer.span_opt t.tracer ~cat:Tracer.Memsync_down ~name:"sync_down" @@ fun () ->
   let payload = Memsync.sync_meta t.downlink t.cloud_mem in
-  let meta_wire =
-    if t.cfg.Mode.compress_dumps then payload.Memsync.wire_bytes
-    else payload.Memsync.raw_bytes + (12 * List.length payload.Memsync.pages)
-  in
   let data_bytes =
     if Mode.meta_only_sync t.cfg.Mode.mode then 0
     else Memsync.naive_down_bytes t.downlink t.cloud_mem ~chain_va:(chain_va t)
   in
-  let wire = meta_wire + data_bytes + t.wire_overhead in
+  let wire = meta_wire t payload + data_bytes + t.wire_overhead in
   count t Metrics.Sync_down_events 1;
   count t Metrics.Sync_down_wire_bytes wire;
   count t Metrics.Sync_down_raw_bytes (payload.Memsync.raw_bytes + data_bytes);
+  payload_metrics t payload;
   Hist.record_opt t.hists Hist.Sync_down_wire wire;
   Link.one_way_to_client t.link ~bytes:wire;
   Gpushim.load_pages t.gpushim payload;
-  if payload.Memsync.pages <> [] then
-    t.log := Recording.Mem_load { pages = payload.Memsync.pages } :: !(t.log);
+  if payload.Memsync.records <> [] then
+    t.log :=
+      (if payload.Memsync.tagged then
+         Recording.Mem_load_enc { records = Memsync.wire_records payload }
+       else Recording.Mem_load { pages = Memsync.pages payload })
+      :: !(t.log);
   (* Continuous validation (§5): the dumped metastate now belongs to the
      GPU; unmap it from the CPU until the job interrupt returns it. *)
   if t.cfg.Mode.continuous_validation then
@@ -33,23 +58,20 @@ let up t =
   Tracer.span_opt t.tracer ~cat:Tracer.Memsync_up ~name:"sync_up" @@ fun () ->
   if t.cfg.Mode.continuous_validation then Grt_gpu.Mem.unprotect_all t.cloud_mem;
   let payload = Gpushim.upload_meta t.gpushim in
-  let meta_wire =
-    if t.cfg.Mode.compress_dumps then payload.Memsync.wire_bytes
-    else payload.Memsync.raw_bytes + (12 * List.length payload.Memsync.pages)
-  in
   let data_bytes =
     if Mode.meta_only_sync t.cfg.Mode.mode then 0
     else Memsync.naive_up_bytes t.downlink t.cloud_mem ~chain_va:(chain_va t)
   in
-  let wire = meta_wire + data_bytes + t.wire_overhead in
+  let wire = meta_wire t payload + data_bytes + t.wire_overhead in
   count t Metrics.Sync_up_events 1;
   count t Metrics.Sync_up_wire_bytes wire;
   count t Metrics.Sync_up_raw_bytes (payload.Memsync.raw_bytes + data_bytes);
+  payload_metrics t payload;
   Hist.record_opt t.hists Hist.Sync_up_wire wire;
   Link.one_way_from_client t.link ~bytes:wire;
   (* Install the client's changes (job status words) and teach the downlink
      baseline so they are not shipped back. *)
-  Memsync.apply t.cloud_mem payload;
+  Memsync.apply t.downlink t.cloud_mem payload;
   List.iter
     (fun (pfn, data) -> Memsync.note_peer_page t.downlink pfn data)
-    payload.Memsync.pages
+    (Memsync.pages payload)

@@ -8,6 +8,8 @@ type t = {
   mutable next_pfn : int64;
   mutable dirty : (int64, unit) Hashtbl.t;
   protected_ : (int64, unit) Hashtbl.t;
+  mutable gen : int64;
+  page_gens : (int64, int64) Hashtbl.t;
 }
 
 let create () =
@@ -16,7 +18,21 @@ let create () =
     next_pfn = 0x100L;
     dirty = Hashtbl.create 256;
     protected_ = Hashtbl.create 8;
+    gen = 0L;
+    page_gens = Hashtbl.create 256;
   }
+
+(* Every write path stamps the page with a fresh generation; readers can
+   compare stamps to skip pages untouched since their last visit. Unlike
+   [dirty], generations are never reset, so independent observers (e.g. the
+   two memsync directions) cannot clobber each other's view. *)
+let touch_gen t pfn =
+  t.gen <- Int64.add t.gen 1L;
+  Hashtbl.replace t.page_gens pfn t.gen
+
+let write_gen t = t.gen
+
+let page_gen t pfn = match Hashtbl.find_opt t.page_gens pfn with Some g -> g | None -> 0L
 
 let protect_pages t pfns = List.iter (fun pfn -> Hashtbl.replace t.protected_ pfn ()) pfns
 
@@ -37,13 +53,17 @@ let page_for t pfn ~write =
   if write && Hashtbl.mem t.protected_ pfn then raise (Protected_page_write pfn);
   match Hashtbl.find_opt t.pages pfn with
   | Some p ->
-    if write then Hashtbl.replace t.dirty pfn ();
+    if write then begin
+      Hashtbl.replace t.dirty pfn ();
+      touch_gen t pfn
+    end;
     Some p
   | None ->
     if write then begin
       let p = Bytes.make page_size '\000' in
       Hashtbl.replace t.pages pfn p;
       Hashtbl.replace t.dirty pfn ();
+      touch_gen t pfn;
       Some p
     end
     else None
@@ -128,7 +148,8 @@ let set_page t pfn b =
   if Bytes.length b <> page_size then invalid_arg "Mem.set_page: wrong size";
   if Hashtbl.mem t.protected_ pfn then raise (Protected_page_write pfn);
   Hashtbl.replace t.pages pfn (Bytes.copy b);
-  Hashtbl.replace t.dirty pfn ()
+  Hashtbl.replace t.dirty pfn ();
+  touch_gen t pfn
 
 let sorted_keys h =
   Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort Int64.compare
@@ -151,8 +172,14 @@ let snapshot t =
   }
 
 let restore t s =
+  let stale = Hashtbl.fold (fun k _ acc -> k :: acc) t.pages [] in
   Hashtbl.reset t.pages;
   List.iter (fun (k, v) -> Hashtbl.replace t.pages k (Bytes.copy v)) s.snap_pages;
   t.next_pfn <- s.snap_next;
   Hashtbl.reset t.dirty;
-  List.iter (fun k -> Hashtbl.replace t.dirty k ()) s.snap_dirty
+  List.iter (fun k -> Hashtbl.replace t.dirty k ()) s.snap_dirty;
+  (* Rollback may have changed any page that existed before or after the
+     restore; restamp them all so generation-based observers re-examine
+     them rather than trusting a pre-rollback stamp. *)
+  List.iter (touch_gen t) stale;
+  List.iter (fun (k, _) -> touch_gen t k) s.snap_pages

@@ -46,6 +46,17 @@ val dirty_pages : t -> int64 list
 val clear_dirty : t -> unit
 val dirty_bytes : t -> int
 
+val write_gen : t -> int64
+(** Monotonic write-generation counter: bumped on every page write. Never
+    reset, unlike the dirty set, so multiple observers can each remember
+    the stamp they last examined. *)
+
+val page_gen : t -> int64 -> int64
+(** Generation stamp of the last write touching the page ([0L] if it was
+    never written). A page whose stamp has not advanced since an observer
+    last looked is guaranteed to hold identical bytes; rollback via
+    {!restore} restamps every affected page. *)
+
 exception Protected_page_write of int64
 (** Raised on a write to a protected page — GR-T's continuous validation
     (§5): after a memory dump is shipped, the dumped region is unmapped

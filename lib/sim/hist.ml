@@ -116,6 +116,7 @@ type key =
   | Gbn_span
   | Sync_down_wire
   | Sync_up_wire
+  | Sync_page_wire
 
 let key_name = function
   | Rtt_ns -> "link.rtt_ns"
@@ -125,9 +126,13 @@ let key_name = function
   | Gbn_span -> "gbn.span"
   | Sync_down_wire -> "sync.down_wire_bytes"
   | Sync_up_wire -> "sync.up_wire_bytes"
+  | Sync_page_wire -> "sync.page_wire_bytes"
 
 let all_keys =
-  [ Rtt_ns; Commit_accesses; Spec_validate_ns; Rollback_depth; Gbn_span; Sync_down_wire; Sync_up_wire ]
+  [
+    Rtt_ns; Commit_accesses; Spec_validate_ns; Rollback_depth; Gbn_span; Sync_down_wire;
+    Sync_up_wire; Sync_page_wire;
+  ]
 
 let key_index = function
   | Rtt_ns -> 0
@@ -137,6 +142,7 @@ let key_index = function
   | Gbn_span -> 4
   | Sync_down_wire -> 5
   | Sync_up_wire -> 6
+  | Sync_page_wire -> 7
 
 type set = t array
 

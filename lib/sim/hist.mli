@@ -62,6 +62,7 @@ type key =
   | Gbn_span  (** frames resent per go-back-N retransmission *)
   | Sync_down_wire  (** cloud→client memsync wire bytes per event (§5) *)
   | Sync_up_wire  (** client→cloud memsync wire bytes per event (§5) *)
+  | Sync_page_wire  (** wire bytes per shipped page record, header included *)
 
 val key_name : key -> string
 val all_keys : key list

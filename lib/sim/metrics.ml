@@ -42,6 +42,13 @@ type key =
   | Sync_up_events
   | Sync_up_wire_bytes
   | Sync_up_raw_bytes
+  | Sync_pages_visited
+  | Sync_pages_meta
+  | Sync_enc_raw
+  | Sync_enc_raw_rc
+  | Sync_enc_delta
+  | Sync_enc_delta_rc
+  | Sync_enc_hash_ref
   (* fault injection + recovery *)
   | Fault_injected
   | Recovery_entries
@@ -93,6 +100,13 @@ let name = function
   | Sync_up_events -> "sync.up_events"
   | Sync_up_wire_bytes -> "sync.up_wire_bytes"
   | Sync_up_raw_bytes -> "sync.up_raw_bytes"
+  | Sync_pages_visited -> "sync.pages_visited"
+  | Sync_pages_meta -> "sync.pages_meta"
+  | Sync_enc_raw -> "sync.enc_raw"
+  | Sync_enc_raw_rc -> "sync.enc_raw_rc"
+  | Sync_enc_delta -> "sync.enc_delta"
+  | Sync_enc_delta_rc -> "sync.enc_delta_rc"
+  | Sync_enc_hash_ref -> "sync.enc_hash_ref"
   | Fault_injected -> "fault.injected"
   | Recovery_entries -> "recovery.entries"
   | Recovery_pages -> "recovery.pages"
@@ -114,7 +128,9 @@ let all =
     Spec_epoch_stalls; Spec_dep_stalls; Spec_degraded_suppressed; Spec_inflight_hw;
     Poll_instances;
     Poll_offloaded; Poll_iters; Irq_waits; Sync_down_events; Sync_down_wire_bytes;
-    Sync_down_raw_bytes; Sync_up_events; Sync_up_wire_bytes; Sync_up_raw_bytes; Fault_injected;
+    Sync_down_raw_bytes; Sync_up_events; Sync_up_wire_bytes; Sync_up_raw_bytes;
+    Sync_pages_visited; Sync_pages_meta; Sync_enc_raw; Sync_enc_raw_rc; Sync_enc_delta;
+    Sync_enc_delta_rc; Sync_enc_hash_ref; Fault_injected;
     Recovery_entries; Recovery_pages; Recovery_link_downs; Client_reg_reads; Client_reg_writes;
     Client_polls; Client_irq_waits; Client_uploads; Client_downloads;
   ]

@@ -53,6 +53,15 @@ type key =
   | Sync_up_events
   | Sync_up_wire_bytes
   | Sync_up_raw_bytes
+  | Sync_pages_visited
+      (** meta pages actually examined by [sync_meta] (dirty tracking skips
+          the rest) *)
+  | Sync_pages_meta  (** meta pages in scope per sync, before skipping *)
+  | Sync_enc_raw
+  | Sync_enc_raw_rc
+  | Sync_enc_delta
+  | Sync_enc_delta_rc
+  | Sync_enc_hash_ref  (** shipped pages by chosen wire encoding *)
   | Fault_injected
   | Recovery_entries
   | Recovery_pages

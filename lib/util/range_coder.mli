@@ -15,3 +15,11 @@ val decode : bytes -> bytes
 val ratio : bytes -> float
 (** [ratio data] is [compressed_size /. original_size] (1.0 for empty
     input). Convenience for traffic accounting. *)
+
+val encode_guarded : bytes -> bytes
+(** Like {!encode} but prefixed with a 1-byte tag and falling back to
+    storing the input raw whenever coding would expand it: the output is
+    never more than one byte larger than the input. *)
+
+val decode_guarded : bytes -> bytes
+(** Inverts {!encode_guarded}. Raises [Failure] on corrupt input. *)

@@ -230,12 +230,12 @@ let memsync_sync_and_baseline () =
   Mem.write_u32 mem code_pa 0xAAL;
   Memsync.register_region ms (mk_region ~name:"cmd" ~usage:Session.Cmd ~pa:code_pa ~bytes:64);
   let p1 = Memsync.sync_meta ms mem in
-  check Alcotest.int "first sync ships page" 1 (List.length p1.Memsync.pages);
+  check Alcotest.int "first sync ships page" 1 (List.length p1.Memsync.records);
   let p2 = Memsync.sync_meta ms mem in
-  check Alcotest.int "unchanged page not re-shipped" 0 (List.length p2.Memsync.pages);
+  check Alcotest.int "unchanged page not re-shipped" 0 (List.length p2.Memsync.records);
   Mem.write_u32 mem code_pa 0xBBL;
   let p3 = Memsync.sync_meta ms mem in
-  check Alcotest.int "changed page ships again" 1 (List.length p3.Memsync.pages);
+  check Alcotest.int "changed page ships again" 1 (List.length p3.Memsync.records);
   check Alcotest.bool "delta+compressed smaller than raw" true
     (p3.Memsync.wire_bytes < p3.Memsync.raw_bytes)
 
@@ -246,14 +246,14 @@ let memsync_apply_and_note () =
   Mem.write_u32 src pa 0x1234L;
   Memsync.register_region ms (mk_region ~name:"cmd" ~usage:Session.Cmd ~pa ~bytes:64);
   let p = Memsync.sync_meta ms src in
-  Memsync.apply dst p;
+  Memsync.apply (Memsync.create (Mode.default_config Mode.Ours_m)) dst p;
   check Alcotest.int64 "applied" 0x1234L (Mem.read_u32 dst pa);
   (* note_peer_page prevents echo *)
   let ms2 = Memsync.create (Mode.default_config Mode.Ours_m) in
   Memsync.register_region ms2 (mk_region ~name:"cmd" ~usage:Session.Cmd ~pa ~bytes:64);
-  List.iter (fun (pfn, data) -> Memsync.note_peer_page ms2 pfn data) p.Memsync.pages;
+  List.iter (fun (pfn, data) -> Memsync.note_peer_page ms2 pfn data) (Memsync.pages p);
   let echo = Memsync.sync_meta ms2 src in
-  check Alcotest.int "no echo" 0 (List.length echo.Memsync.pages)
+  check Alcotest.int "no echo" 0 (List.length echo.Memsync.records)
 
 let memsync_naive_ship_once () =
   let mem = Mem.create () in

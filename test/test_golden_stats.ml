@@ -63,6 +63,13 @@ let expected =
       "blob=1015eb67e882c346 entries=1024 rtts=62 sync_wire=10103 sync_raw=507904 commits=591 \
        spec=531 cats=[Init:1,Interrupt:40,Power state:46,Polling:319,Other:125] nondet=23 \
        accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
+    (* memsync fast path (dedup + adaptive encoding): the tagged wire format
+       changes the blob and the sync wire accounting, and is pinned as its
+       own row — the rows above must stay byte-identical to the seed. *)
+    ( "OursMDS-dedup",
+      "blob=b018113df3d55fd9 entries=1024 rtts=62 sync_wire=9070 sync_raw=507904 commits=591 \
+       spec=531 cats=[Init:1,Interrupt:40,Power state:46,Polling:319,Other:125] nondet=23 \
+       accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
   ]
 
 let actuals () =
@@ -82,12 +89,24 @@ let actuals () =
       ~config:{ (Mode.default_config Mode.Ours_mds) with Mode.max_inflight = 4 }
       Mode.Ours_mds
   in
+  let dedup =
+    record
+      ~history:(Grt.Drivershim.fresh_history ())
+      ~config:
+        {
+          (Mode.default_config Mode.Ours_mds) with
+          Mode.memsync_dedup = true;
+          memsync_adaptive = true;
+        }
+      Mode.Ours_mds
+  in
   [
     ("OursM", tuple_of m);
     ("OursMD", tuple_of md);
     ("OursMDS-cold", tuple_of cold);
     ("OursMDS-warm", tuple_of warm);
     ("OursMDS-w4", tuple_of w4);
+    ("OursMDS-dedup", tuple_of dedup);
   ]
 
 let golden () =

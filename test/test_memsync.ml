@@ -1,0 +1,275 @@
+(* Memsync fast-path tests: dirty-page tracking (generation stamps),
+   content-addressed dedup, per-page adaptive encoding and the tagged wire
+   format — exercised standalone over a sender/receiver memory pair and
+   end-to-end on a recorded MNIST session. *)
+
+module Mem = Grt_gpu.Mem
+module Mode = Grt.Mode
+module Memsync = Grt.Memsync
+module Recording = Grt.Recording
+module Session = Grt_runtime.Session
+module Rng = Grt_util.Rng
+module E = Grt.Experiments
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let region_pages = 16
+
+let mk_pair cfg ~pages =
+  let mem_s = Mem.create () and mem_r = Mem.create () in
+  let pa = Mem.alloc_pages mem_s pages in
+  let sender = Memsync.create cfg and receiver = Memsync.create cfg in
+  Memsync.register_region sender
+    {
+      Memsync.name = "cmd";
+      usage = Session.Cmd;
+      va = 0x4000_0000L;
+      pa;
+      model_bytes = pages * Mem.page_size;
+      actual_bytes = pages * Mem.page_size;
+    };
+  (mem_s, mem_r, sender, receiver, Mem.page_of_addr pa)
+
+(* ---- the property: any mutation script, any flag combination ----
+
+   Mutate the sender's region, sync, push the payload across the "wire"
+   (the same record list a recording would carry), apply on the receiver —
+   repeatedly — and the receiver must end bit-identical. Along the way
+   every hash reference must resolve to content the receiver already
+   holds (from an earlier full-bodied record, in or before this payload),
+   and the payload's wire accounting must equal the sum of its records. *)
+
+let all_flag_combos =
+  List.concat_map
+    (fun dirty ->
+      List.concat_map
+        (fun dedup ->
+          List.concat_map
+            (fun adaptive ->
+              List.concat_map
+                (fun delta ->
+                  List.map
+                    (fun compress -> (dirty, dedup, adaptive, delta, compress))
+                    [ true; false ])
+                [ true; false ])
+            [ true; false ])
+        [ true; false ])
+    [ true; false ]
+
+let cfg_of_combo (dirty, dedup, adaptive, delta, compress) =
+  {
+    (Mode.default_config Mode.Ours_mds) with
+    Mode.memsync_dirty = dirty;
+    memsync_dedup = dedup;
+    memsync_adaptive = adaptive;
+    delta_dumps = delta;
+    compress_dumps = compress;
+  }
+
+type body_spec = Sparse of (int * int) list | Dense of int | Dup of int
+
+let gen_script =
+  let open QCheck2.Gen in
+  let body =
+    frequency
+      [
+        (3, map (fun e -> Sparse e) (list_size (int_bound 12) (pair (int_bound 4095) (int_bound 255))));
+        (2, map (fun s -> Dense s) small_nat);
+        (2, map (fun i -> Dup i) small_nat);
+      ]
+  in
+  list_size (int_range 1 4) (list_size (int_bound 6) (pair (int_bound (region_pages - 1)) body))
+
+let run_script combo script =
+  let cfg = cfg_of_combo combo in
+  let mem_s, mem_r, sender, receiver, first = mk_pair cfg ~pages:region_pages in
+  let pool = ref [] in
+  let body_of = function
+    | Sparse edits ->
+      let b = Bytes.make Mem.page_size '\000' in
+      List.iter (fun (i, v) -> Bytes.set b i (Char.chr v)) edits;
+      b
+    | Dense seed -> Rng.bytes (Rng.create ~seed:(Int64.of_int (seed + 7))) Mem.page_size
+    | Dup i -> (
+      match !pool with
+      | [] -> Bytes.make Mem.page_size 'd'
+      | l -> List.nth l (i mod List.length l))
+  in
+  let recv_hashes = Hashtbl.create 64 in
+  let ok = ref true in
+  List.iter
+    (fun round ->
+      List.iter
+        (fun (idx, spec) ->
+          let b = body_of spec in
+          pool := b :: !pool;
+          Mem.set_page mem_s (Int64.add first (Int64.of_int idx)) b)
+        round;
+      let p = Memsync.sync_meta sender mem_s in
+      let sum = List.fold_left (fun a (r : Memsync.page_record) -> a + r.Memsync.wire) 0 p.Memsync.records in
+      if p.Memsync.wire_bytes <> sum then ok := false;
+      List.iter
+        (fun (r : Memsync.page_record) ->
+          (match r.Memsync.enc with
+          | Memsync.Enc_hash_ref ->
+            (* reference must resolve from records the receiver decoded
+               earlier (previous payloads or earlier in this one) *)
+            if not (Hashtbl.mem recv_hashes (Memsync.hash_page r.Memsync.data)) then ok := false
+          | _ -> ());
+          Hashtbl.replace recv_hashes (Memsync.hash_page r.Memsync.data) ())
+        p.Memsync.records;
+      Memsync.apply receiver mem_r p)
+    script;
+  for i = 0 to region_pages - 1 do
+    let pfn = Int64.add first (Int64.of_int i) in
+    if not (Bytes.equal (Mem.get_page mem_s pfn) (Mem.get_page mem_r pfn)) then ok := false
+  done;
+  !ok
+
+let memsync_qcheck_reproduces =
+  qtest ~count:15 "any mutation script reproduces exactly under every flag combination"
+    gen_script
+    (fun script -> List.for_all (fun combo -> run_script combo script) all_flag_combos)
+
+(* ---- dirty tracking ---- *)
+
+let addr_of first i = Int64.shift_left (Int64.add first (Int64.of_int i)) Mem.page_shift
+
+let visited_scales_with_dirty () =
+  let cfg = Mode.default_config Mode.Ours_mds in
+  let mem_s, _mem_r, sender, _receiver, first = mk_pair cfg ~pages:64 in
+  let p0 = Memsync.sync_meta sender mem_s in
+  check Alcotest.int "first sync examines the whole region" 64 p0.Memsync.visited;
+  check Alcotest.int "region size" 64 p0.Memsync.total;
+  List.iter (fun i -> Mem.write_u8 mem_s (addr_of first i) 0xAB) [ 1; 7; 42 ];
+  let p1 = Memsync.sync_meta sender mem_s in
+  check Alcotest.int "revisits only the dirtied pages" 3 p1.Memsync.visited;
+  check Alcotest.int "ships the dirtied pages" 3 (List.length p1.Memsync.records);
+  check Alcotest.int "scope unchanged" 64 p1.Memsync.total;
+  let p2 = Memsync.sync_meta sender mem_s in
+  check Alcotest.int "idle sync visits nothing" 0 p2.Memsync.visited
+
+let visited_full_rescan_when_disabled () =
+  let cfg = { (Mode.default_config Mode.Ours_mds) with Mode.memsync_dirty = false } in
+  let mem_s, _mem_r, sender, _receiver, first = mk_pair cfg ~pages:64 in
+  ignore (Memsync.sync_meta sender mem_s);
+  List.iter (fun i -> Mem.write_u8 mem_s (addr_of first i) 0xAB) [ 1; 7; 42 ];
+  let p = Memsync.sync_meta sender mem_s in
+  check Alcotest.int "flag off rescans every meta page" 64 p.Memsync.visited;
+  check Alcotest.int "but still ships only the changes" 3 (List.length p.Memsync.records)
+
+(* ---- dedup ---- *)
+
+let dedup_fires_on_reshipped_content () =
+  let cfg = { (Mode.default_config Mode.Ours_mds) with Mode.memsync_dedup = true } in
+  let mem_s, mem_r, sender, receiver, first = mk_pair cfg ~pages:4 in
+  let ship () =
+    let p = Memsync.sync_meta sender mem_s in
+    Memsync.apply receiver mem_r p;
+    p
+  in
+  ignore (ship ());
+  let x = Rng.bytes (Rng.create ~seed:3L) Mem.page_size in
+  let y = Rng.bytes (Rng.create ~seed:4L) Mem.page_size in
+  Mem.set_page mem_s first x;
+  (match (ship ()).Memsync.records with
+  | [ r ] when r.Memsync.enc <> Memsync.Enc_hash_ref -> ()
+  | _ -> Alcotest.fail "fresh content must ship full-bodied");
+  Mem.set_page mem_s first y;
+  ignore (ship ());
+  Mem.set_page mem_s first x;
+  (match (ship ()).Memsync.records with
+  | [ r ] ->
+    check Alcotest.bool "re-shipped content goes out as a hash reference" true
+      (r.Memsync.enc = Memsync.Enc_hash_ref);
+    check Alcotest.int "reference body is 8 bytes" 8 (Bytes.length r.Memsync.body);
+    if r.Memsync.wire > 16 then Alcotest.failf "reference too expensive: %d" r.Memsync.wire
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs));
+  check Alcotest.bytes "receiver resolved the reference" x (Mem.get_page mem_r first)
+
+let hash_ref_unknown_rejected () =
+  let store = Memsync.Store.create () in
+  let mem = Mem.create () in
+  let body = Bytes.create 8 in
+  Bytes.set_int64_le body 0 0xDEAD_BEEFL;
+  Alcotest.check_raises "unknown reference fails"
+    (Failure "Memsync: hash reference to unknown page content") (fun () ->
+      ignore (Memsync.decode_records store mem [ (4L, Memsync.Enc_hash_ref, body) ]))
+
+(* ---- tagged records in recordings ---- *)
+
+let recording_roundtrips_tagged_records () =
+  let page = Rng.bytes (Rng.create ~seed:9L) Mem.page_size in
+  let href = Bytes.create 8 in
+  Bytes.set_int64_le href 0 (Memsync.hash_page page);
+  let records =
+    [
+      (0x80001L, Memsync.Enc_raw, page);
+      (0x80002L, Memsync.Enc_raw_rc, Grt_util.Range_coder.encode page);
+      (0x80003L, Memsync.Enc_delta, Grt_util.Delta.diff ~old_:(Bytes.make Mem.page_size '\000') ~fresh:page);
+      (0x80004L, Memsync.Enc_delta_rc, Bytes.of_string "rc-delta-body");
+      (0x80005L, Memsync.Enc_hash_ref, href);
+    ]
+  in
+  let r =
+    {
+      Recording.workload = "t";
+      gpu_id = 0x1L;
+      entries = [| Recording.Mem_load_enc { records } |];
+      slots = [];
+    }
+  in
+  match Recording.deserialize (Recording.serialize r) with
+  | Ok r' ->
+    check Alcotest.bool "entries survive the round trip" true
+      (r'.Recording.entries = r.Recording.entries);
+    check Alcotest.int "page count includes tagged records" 5
+      (Recording.count_entries r' `Mem_pages)
+  | Error e -> Alcotest.fail e
+
+(* ---- end to end on MNIST ---- *)
+
+let mnist_fastpath_wins_and_replays () =
+  let ctx = E.create_ctx () in
+  match E.memsync_workload ctx ~net:Grt_mlfw.Zoo.mnist with
+  | [ base; fast ] ->
+    check Alcotest.bool "baseline recording replays to the native output" true
+      base.E.replay_matches;
+    check Alcotest.bool "fast-path recording replays to the native output" true
+      fast.E.replay_matches;
+    if fast.E.down_wire_bytes >= base.E.down_wire_bytes then
+      Alcotest.failf "fast path should shrink down wire: %d vs %d" fast.E.down_wire_bytes
+        base.E.down_wire_bytes;
+    if fast.E.up_wire_bytes > base.E.up_wire_bytes then
+      Alcotest.failf "fast path should not grow up wire: %d vs %d" fast.E.up_wire_bytes
+        base.E.up_wire_bytes;
+    if fast.E.blob_bytes >= base.E.blob_bytes then
+      Alcotest.failf "fast path should shrink the recording: %d vs %d" fast.E.blob_bytes
+        base.E.blob_bytes;
+    (* dirty tracking: the visit count tracks touched pages, not the
+       (much larger) total metastate page count *)
+    if fast.E.mpages_visited * 2 >= fast.E.mpages_meta then
+      Alcotest.failf "visits should scale with dirtied pages: %d of %d" fast.E.mpages_visited
+        fast.E.mpages_meta
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let () =
+  Alcotest.run "memsync"
+    [
+      ( "fastpath",
+        [
+          memsync_qcheck_reproduces;
+          Alcotest.test_case "visited scales with dirtied pages" `Quick visited_scales_with_dirty;
+          Alcotest.test_case "full rescan when disabled" `Quick visited_full_rescan_when_disabled;
+          Alcotest.test_case "dedup re-ships as hash reference" `Quick
+            dedup_fires_on_reshipped_content;
+          Alcotest.test_case "unknown hash reference rejected" `Quick hash_ref_unknown_rejected;
+          Alcotest.test_case "tagged records roundtrip recordings" `Quick
+            recording_roundtrips_tagged_records;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "MNIST fast path wins and replays" `Quick mnist_fastpath_wins_and_replays ] );
+    ]

@@ -195,6 +195,32 @@ let rc_qcheck_sparse =
       List.iter (fun (i, v) -> Bytes.set b i (Char.chr v)) edits;
       Bytes.equal b (Range_coder.decode (Range_coder.encode b)))
 
+let rc_guarded_random_bounded () =
+  (* The guarded container stores raw whenever coding would expand, so its
+     output is never more than one tag byte over the input — even on
+     incompressible random bytes, where plain [encode] may expand. *)
+  let r = Rng.create ~seed:23L in
+  for _ = 1 to 32 do
+    let b = Rng.bytes r (Rng.int r 5000) in
+    let enc = Range_coder.encode_guarded b in
+    if Bytes.length enc > Bytes.length b + 1 then
+      Alcotest.failf "guarded output expanded: %d -> %d" (Bytes.length b) (Bytes.length enc);
+    check Alcotest.bytes "guarded roundtrip (random)" b (Range_coder.decode_guarded enc)
+  done
+
+let rc_guarded_compressible () =
+  let b = Bytes.make 4096 '\000' in
+  let enc = Range_coder.encode_guarded b in
+  if Bytes.length enc >= 4096 then
+    Alcotest.failf "guarded output should still compress sparse pages: %d" (Bytes.length enc);
+  check Alcotest.bytes "guarded roundtrip (sparse)" b (Range_coder.decode_guarded enc)
+
+let rc_guarded_rejects_garbage () =
+  Alcotest.check_raises "empty input" (Failure "Range_coder.decode_guarded: empty input")
+    (fun () -> ignore (Range_coder.decode_guarded Bytes.empty));
+  Alcotest.check_raises "bad tag" (Failure "Range_coder.decode_guarded: bad tag 7") (fun () ->
+      ignore (Range_coder.decode_guarded (Bytes.of_string "\007abc")))
+
 (* Shaped buffers for codec fuzzing: the degenerate inputs memsync traffic
    rarely produces — empty, single-byte, all-equal runs, seeded
    incompressible noise — alongside arbitrary strings. *)
@@ -219,6 +245,12 @@ let rc_qcheck_shaped =
       Bytes.equal b (Range_coder.decode enc)
       (* Incompressible input must not blow up the wire either. *)
       && Bytes.length enc <= Bytes.length b + 256)
+
+let rc_qcheck_guarded =
+  qtest ~count:300 "guarded range coder bounded and roundtrips shaped buffers" gen_shaped_bytes
+    (fun b ->
+      let enc = Range_coder.encode_guarded b in
+      Bytes.length enc <= Bytes.length b + 1 && Bytes.equal b (Range_coder.decode_guarded enc))
 
 (* ---- Delta ---- *)
 
@@ -422,9 +454,13 @@ let () =
           Alcotest.test_case "roundtrip cases" `Quick rc_roundtrip_cases;
           Alcotest.test_case "sparse compresses" `Quick rc_compresses_sparse;
           Alcotest.test_case "no explosion" `Quick rc_random_data_no_explosion;
+          Alcotest.test_case "guarded bounded on random" `Quick rc_guarded_random_bounded;
+          Alcotest.test_case "guarded still compresses" `Quick rc_guarded_compressible;
+          Alcotest.test_case "guarded rejects garbage" `Quick rc_guarded_rejects_garbage;
           rc_qcheck_roundtrip;
           rc_qcheck_sparse;
           rc_qcheck_shaped;
+          rc_qcheck_guarded;
         ] );
       ( "delta",
         [
