@@ -4,7 +4,7 @@
 
    Usage:
      bench/main.exe                 print every table and figure
-     bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync
+     bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|replay
      bench/main.exe bechamel        run the Bechamel micro-suite only
      bench/main.exe --json FILE [CMD]   additionally write the rows as JSON
 *)
@@ -148,6 +148,20 @@ let faults () =
     rows;
   add_json "faults" E.fault_row_json rows
 
+let replay () =
+  hr "Replay throughput: interpreted vs compiled (host replays/sec)";
+  Printf.printf "%-12s %8s %12s %12s %12s %9s %8s %8s %8s %8s\n" "NN" "entries" "interp(r/s)"
+    "cold(r/s)" "warm(r/s)" "speedup" "fused" "static" "dynamic" "bitexact";
+  let rows = E.replay_bench ctx in
+  List.iter
+    (fun (r : E.replay_bench_row) ->
+      Printf.printf "%-12s %8d %12.1f %12.1f %12.1f %8.1fx %8d %8d %8d %8s\n" r.E.workload
+        r.E.entries r.E.interpreted_rps r.E.compiled_cold_rps r.E.compiled_warm_rps
+        r.E.warm_speedup r.E.fused_writes r.E.static_pages r.E.dynamic_loads
+        (if r.E.bit_identical then "yes" else "NO"))
+    rows;
+  add_json "replay" E.replay_bench_row_json rows
+
 let memsync () =
   hr "Memsync fast-path sweep (synthetic 64-page Cmd region, 8 rounds)";
   Printf.printf "%-22s %8s %6s %12s %10s %10s %10s %6s\n" "variant" "dirtied" "dup" "wire(B)"
@@ -268,6 +282,7 @@ let all () =
   ablation ();
   faults ();
   memsync ();
+  replay ();
   run_bechamel ()
 
 let () =
@@ -295,12 +310,13 @@ let () =
   | "ablation" -> ablation ()
   | "faults" -> faults ()
   | "memsync" -> memsync ()
+  | "replay" -> replay ()
   | "bechamel" -> run_bechamel ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown command %s (expected \
-       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|bechamel|all)\n"
+       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|replay|bechamel|all)\n"
       other;
     exit 2);
   match json_file with

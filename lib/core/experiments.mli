@@ -173,6 +173,23 @@ val memsync_workload : ctx -> net:Grt_mlfw.Network.t -> memsync_workload_row lis
     so [bench/main.exe --json] can emit machine-readable copies of exactly
     what it prints (asserted by the test suite). *)
 
+type replay_bench_row = {
+  workload : string;
+  entries : int;
+  interpreted_rps : float;  (** replays/sec, interpreted path, fresh session each *)
+  compiled_cold_rps : float;  (** compile + execute per replay *)
+  compiled_warm_rps : float;  (** compile once, session reused across the batch *)
+  warm_speedup : float;  (** compiled_warm_rps / interpreted_rps *)
+  fused_writes : int;
+  static_pages : int;
+  dynamic_loads : int;
+  bit_identical : bool;  (** compiled output == interpreted, several seeds *)
+}
+
+val replay_bench : ?nets:Grt_mlfw.Network.t list -> ?iters:int -> ctx -> replay_bench_row list
+(** Host-side replay throughput, interpreted vs compiled (cold and warm),
+    plus the compiled-path correctness check (ROADMAP item 2). *)
+
 val fig7_row_json : fig7_row -> Grt_util.Json.t
 val table1_row_json : table1_row -> Grt_util.Json.t
 val table2_row_json : table2_row -> Grt_util.Json.t
@@ -183,5 +200,6 @@ val polling_row_json : polling_row -> Grt_util.Json.t
 val rollback_row_json : rollback_row -> Grt_util.Json.t
 val ablation_row_json : ablation_row -> Grt_util.Json.t
 val fault_row_json : fault_row -> Grt_util.Json.t
+val replay_bench_row_json : replay_bench_row -> Grt_util.Json.t
 val memsync_sweep_row_json : memsync_sweep_row -> Grt_util.Json.t
 val memsync_workload_row_json : memsync_workload_row -> Grt_util.Json.t

@@ -190,6 +190,16 @@ let load_records t records =
   List.iter (fun (pfn, data) -> Memsync.note_peer_page t.uplink pfn data) pages;
   pages
 
+(* Cold power cycle between replay sessions that share one shim: pristine
+   registers plus a clean dirty-page ledger, so the next session's cache
+   flushes cost what the recording's did. Memory contents survive — every
+   page the replay depends on is re-installed by the recording's own
+   Mem_load entries or the fresh slot injection. *)
+let power_cycle t =
+  require_isolation t;
+  Device.power_cycle t.device;
+  Grt_gpu.Mem.clear_dirty (Device.mem t.device)
+
 let reset_gpu t =
   require_isolation t;
   Device.write_reg t.device Regs.gpu_command Regs.cmd_soft_reset;

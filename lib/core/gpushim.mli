@@ -79,6 +79,12 @@ val load_records : t -> (int64 * Memsync.encoding * bytes) list -> (int64 * byte
     decode against client memory and the receiver store, returning the
     full installed contents. *)
 
+val power_cycle : t -> unit
+(** Cold power cycle (pristine register file, clean dirty ledger), for
+    batch replay sessions that reuse one shim. Raises {!Not_isolated} when
+    the GPU is not locked to the TEE. Costs no virtual time — a no-op on a
+    fresh shim, so single replays are unaffected. *)
+
 val reset_gpu : t -> unit
 (** Soft-reset and quiesce the GPU (used before replay-based recovery and
     around replay sessions). *)

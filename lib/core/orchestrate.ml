@@ -318,6 +318,32 @@ let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granulari
 
 type replay_outcome = { r : Replayer.result; setup_s : float }
 
+(* The client TEE's own signing identity for replay-attestation tokens
+   (distinct from the cloud's recording-service key). *)
+let client_attestation_key : Grt_tee.Crypto.key = "grt-client-tee-attestation-v1"
+
+let compile_recording ?tracer ~blob () =
+  match Replay_prog.of_blob ?tracer ~key:cloud_signing_key blob with
+  | Ok prog -> prog
+  | Error e -> raise (Replayer.Rejected e)
+
+let replay_gpushim ~sku ~seed () =
+  let clock = Grt_sim.Clock.create () in
+  let energy = Grt_sim.Energy.create clock in
+  let cfg = Mode.default_config Mode.Ours_mds in
+  let gpushim =
+    Gpushim.create ~clock ~sku ~energy
+      ~session_salt:(Grt_util.Hashing.combine seed 0x7265706CL)
+      ~cfg ()
+  in
+  (gpushim, clock, energy)
+
+let replay_compiled ~sku ~prog ~input ~params ~seed () =
+  let gpushim, clock, energy = replay_gpushim ~sku ~seed () in
+  let t0 = Grt_sim.Clock.now_s clock in
+  let r = Replayer.replay_compiled ~gpushim ~prog ~input ~params ~energy () in
+  { r; setup_s = Grt_sim.Clock.now_s clock -. t0 -. r.Replayer.delay_s }
+
 let replay_recording ~sku ~blob ~input ~params ~seed () =
   let clock = Grt_sim.Clock.create () in
   let energy = Grt_sim.Energy.create clock in

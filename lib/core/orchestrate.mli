@@ -97,3 +97,28 @@ val replay_recording :
   replay_outcome
 (** Replay on a fresh client (own clock and energy meter), as an app inside
     the TEE would. Raises {!Replayer.Rejected} / {!Replayer.Divergence}. *)
+
+val client_attestation_key : Grt_tee.Crypto.key
+(** The client TEE's signing identity for replay-attestation tokens. *)
+
+val compile_recording : ?tracer:Grt_sim.Tracer.t -> blob:bytes -> unit -> Replay_prog.t
+(** Header-verify and lower a signed blob once (see {!Replay_prog}); chunk
+    hashes are checked streamingly at execution. Raises {!Replayer.Rejected}
+    on a bad blob. *)
+
+val replay_gpushim :
+  sku:Grt_gpu.Sku.t -> seed:int64 -> unit -> Gpushim.t * Grt_sim.Clock.t * Grt_sim.Energy.t
+(** A fresh client session (own clock and energy meter) configured exactly
+    as {!replay_recording} would build it — for batch replays that reuse
+    one session across many {!Replayer.replay_compiled} calls. *)
+
+val replay_compiled :
+  sku:Grt_gpu.Sku.t ->
+  prog:Replay_prog.t ->
+  input:float array ->
+  params:(string * float array) list ->
+  seed:int64 ->
+  unit ->
+  replay_outcome
+(** {!replay_recording}'s fast path: same fresh-client construction, but
+    executing an already-compiled program. *)

@@ -43,6 +43,9 @@ let param_slots t = List.filter (fun s -> s.kind = `Param) t.slots
 
 let magic = 0x47525452 (* "GRTR" *)
 let version = 1
+let version_chunked = 2
+
+let default_chunk_entries = 64
 
 let kind_to_int = function `Input -> 0 | `Output -> 1 | `Param -> 2
 
@@ -107,7 +110,14 @@ let read_entry r =
     let max_iters = Byte_buf.Reader.varint r in
     let spin_ns = Byte_buf.Reader.i64 r in
     Poll { reg; mask; cond; max_iters; spin_ns }
-  | 4 -> Wait_irq { line = Byte_buf.Reader.u8 r }
+  | 4 ->
+    let line = Byte_buf.Reader.u8 r in
+    (* Reject unmapped IRQ lines here, where the blob is being validated —
+       not at replay time, where they would surface as a confusing
+       [Irq_mismatch] divergence against a line that cannot exist. *)
+    if irq_line_of_int line = None then
+      failwith (Printf.sprintf "recording: invalid IRQ line %d" line);
+    Wait_irq { line }
   | 5 ->
     let n = Byte_buf.Reader.varint r in
     let pages =
@@ -133,6 +143,27 @@ let read_entry r =
     Mem_load_enc { records }
   | tag -> failwith (Printf.sprintf "recording: unknown entry tag %d" tag)
 
+let add_slot buf s =
+  Byte_buf.add_string buf s.slot_name;
+  Byte_buf.add_u8 buf (kind_to_int s.kind);
+  Byte_buf.add_i64 buf s.va;
+  Byte_buf.add_i64 buf s.pa;
+  Byte_buf.add_varint buf s.actual_bytes;
+  Byte_buf.add_varint buf s.model_bytes
+
+let read_slot r =
+  let slot_name = Byte_buf.Reader.string r in
+  let kind =
+    match kind_of_int (Byte_buf.Reader.u8 r) with
+    | Some k -> k
+    | None -> failwith "recording: bad slot kind"
+  in
+  let va = Byte_buf.Reader.i64 r in
+  let pa = Byte_buf.Reader.i64 r in
+  let actual_bytes = Byte_buf.Reader.varint r in
+  let model_bytes = Byte_buf.Reader.varint r in
+  { slot_name; kind; va; pa; actual_bytes; model_bytes }
+
 let serialize t =
   let buf = Byte_buf.create ~capacity:4096 () in
   Byte_buf.add_u32 buf magic;
@@ -140,15 +171,7 @@ let serialize t =
   Byte_buf.add_string buf t.workload;
   Byte_buf.add_i64 buf t.gpu_id;
   Byte_buf.add_varint buf (List.length t.slots);
-  List.iter
-    (fun s ->
-      Byte_buf.add_string buf s.slot_name;
-      Byte_buf.add_u8 buf (kind_to_int s.kind);
-      Byte_buf.add_i64 buf s.va;
-      Byte_buf.add_i64 buf s.pa;
-      Byte_buf.add_varint buf s.actual_bytes;
-      Byte_buf.add_varint buf s.model_bytes)
-    t.slots;
+  List.iter (add_slot buf) t.slots;
   Byte_buf.add_varint buf (Array.length t.entries);
   Array.iter (add_entry buf) t.entries;
   Byte_buf.contents buf
@@ -162,43 +185,205 @@ let deserialize data =
       let workload = Byte_buf.Reader.string r in
       let gpu_id = Byte_buf.Reader.i64 r in
       let n_slots = Byte_buf.Reader.varint r in
-      let slots =
-        List.init n_slots (fun _ ->
-            let slot_name = Byte_buf.Reader.string r in
-            let kind =
-              match kind_of_int (Byte_buf.Reader.u8 r) with
-              | Some k -> k
-              | None -> failwith "recording: bad slot kind"
-            in
-            let va = Byte_buf.Reader.i64 r in
-            let pa = Byte_buf.Reader.i64 r in
-            let actual_bytes = Byte_buf.Reader.varint r in
-            let model_bytes = Byte_buf.Reader.varint r in
-            { slot_name; kind; va; pa; actual_bytes; model_bytes })
-      in
+      let slots = List.init n_slots (fun _ -> read_slot r) in
       let n_entries = Byte_buf.Reader.varint r in
       let entries = Array.init n_entries (fun _ -> read_entry r) in
       Ok { workload; gpu_id; entries; slots }
     end
   with Failure msg -> Error msg
 
-let sign ~key t =
+(* ---- chunked format (version 2) ----
+
+   The v2 blob splits the entry log into chunks so verification can stream:
+
+     header  := magic ∥ u16 2 ∥ workload ∥ gpu_id ∥ slots
+                ∥ varint total_entries ∥ varint n_chunks
+                ∥ n_chunks × (varint entry_count ∥ varint byte_len ∥ i64 hash)
+                ∥ i64 merkle_root
+     blob    := header ∥ i64 mac(header) ∥ chunk bodies
+
+   Only the header is MACed; each chunk body is covered by its signed FNV
+   hash, and the Merkle root over the chunk hashes names the whole entry
+   log for attestation. A replayer may therefore verify the header once and
+   check each chunk hash just before executing that chunk (streaming), while
+   [verify_and_parse] keeps the eager everything-up-front contract. *)
+
+type chunk = {
+  chunk_first : int;
+  chunk_count : int;
+  chunk_hash : int64;
+  chunk_raw : bytes;
+}
+
+type verified = {
+  vrec : t;
+  vversion : int;
+  vchunks : chunk array;
+  vroot : int64;
+}
+
+let entries_bytes entries =
+  let buf = Byte_buf.create ~capacity:4096 () in
+  Array.iter (add_entry buf) entries;
+  Byte_buf.contents buf
+
+(* Merkle fold over the leaf hashes: pairwise [Hashing.combine], odd leaf
+   promoted; a single leaf is its own root; zero leaves hash the empty
+   string (an empty entry log still has a well-defined identity). *)
+let merkle_root hashes =
+  let rec up = function
+    | [] -> Grt_util.Hashing.fnv1a_bytes Bytes.empty
+    | [ h ] -> h
+    | hs ->
+      let rec pair = function
+        | a :: b :: rest -> Grt_util.Hashing.combine a b :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      up (pair hs)
+  in
+  up hashes
+
+let chunks_of_entries ~chunk_entries entries =
+  let n = Array.length entries in
+  let n_chunks = (n + chunk_entries - 1) / chunk_entries in
+  Array.init n_chunks (fun i ->
+      let first = i * chunk_entries in
+      let count = min chunk_entries (n - first) in
+      let raw = entries_bytes (Array.sub entries first count) in
+      { chunk_first = first; chunk_count = count; chunk_hash = Grt_util.Hashing.fnv1a_bytes raw;
+        chunk_raw = raw })
+
+let sign_v1 ~key t =
   let body = serialize t in
   let buf = Byte_buf.create ~capacity:(Bytes.length body + 8) () in
   Byte_buf.add_bytes buf body;
   Byte_buf.add_i64 buf (Grt_tee.Crypto.mac ~key body);
   Byte_buf.contents buf
 
+let sign ?(chunk_entries = default_chunk_entries) ~key t =
+  if chunk_entries <= 0 then invalid_arg "Recording.sign: chunk_entries must be positive";
+  let chunks = chunks_of_entries ~chunk_entries t.entries in
+  let header = Byte_buf.create ~capacity:4096 () in
+  Byte_buf.add_u32 header magic;
+  Byte_buf.add_u16 header version_chunked;
+  Byte_buf.add_string header t.workload;
+  Byte_buf.add_i64 header t.gpu_id;
+  Byte_buf.add_varint header (List.length t.slots);
+  List.iter (add_slot header) t.slots;
+  Byte_buf.add_varint header (Array.length t.entries);
+  Byte_buf.add_varint header (Array.length chunks);
+  Array.iter
+    (fun c ->
+      Byte_buf.add_varint header c.chunk_count;
+      Byte_buf.add_varint header (Bytes.length c.chunk_raw);
+      Byte_buf.add_i64 header c.chunk_hash)
+    chunks;
+  Byte_buf.add_i64 header (merkle_root (Array.to_list (Array.map (fun c -> c.chunk_hash) chunks)));
+  let hdr = Byte_buf.contents header in
+  let blob = Byte_buf.create ~capacity:(Bytes.length hdr + 8 + 4096) () in
+  Byte_buf.add_bytes blob hdr;
+  Byte_buf.add_i64 blob (Grt_tee.Crypto.mac ~key hdr);
+  Array.iter (fun c -> Byte_buf.add_bytes blob c.chunk_raw) chunks;
+  Byte_buf.contents blob
+
+let parse_chunk_entries chunk =
+  let r = Byte_buf.Reader.of_bytes chunk.chunk_raw in
+  let entries = Array.init chunk.chunk_count (fun _ -> read_entry r) in
+  if Byte_buf.Reader.remaining r <> 0 then failwith "recording: trailing bytes in chunk";
+  entries
+
+(* Parse + verify the MACed part of either blob format. For v1 that is the
+   whole blob (entry bodies included); for v2 only the header — chunk
+   bodies are parsed, and their lengths checked, but their hashes are the
+   caller's to verify (eagerly in [verify_and_parse], streamingly in the
+   replay compiler). *)
+let parse_signed ~key blob =
+  try
+    let n = Bytes.length blob in
+    if n < 14 then Error "recording: truncated"
+    else begin
+      let r = Byte_buf.Reader.of_bytes blob in
+      if Byte_buf.Reader.u32 r <> magic then Error "recording: bad magic"
+      else begin
+        match Byte_buf.Reader.u16 r with
+        | 1 ->
+          if n < 8 then Error "recording: truncated"
+          else begin
+            let body = Bytes.sub blob 0 (n - 8) in
+            let tag = Bytes.get_int64_le blob (n - 8) in
+            if not (Grt_tee.Crypto.verify ~key body tag) then
+              Error "recording: signature verification failed"
+            else
+              match deserialize body with
+              | Error e -> Error e
+              | Ok rec_t ->
+                Ok
+                  {
+                    vrec = rec_t;
+                    vversion = 1;
+                    vchunks = [||];
+                    vroot = Grt_util.Hashing.fnv1a_bytes (entries_bytes rec_t.entries);
+                  }
+          end
+        | 2 ->
+          let workload = Byte_buf.Reader.string r in
+          let gpu_id = Byte_buf.Reader.i64 r in
+          let n_slots = Byte_buf.Reader.varint r in
+          let slots = List.init n_slots (fun _ -> read_slot r) in
+          let total_entries = Byte_buf.Reader.varint r in
+          let n_chunks = Byte_buf.Reader.varint r in
+          let metas =
+            Array.init n_chunks (fun _ ->
+                let count = Byte_buf.Reader.varint r in
+                let len = Byte_buf.Reader.varint r in
+                let hash = Byte_buf.Reader.i64 r in
+                (count, len, hash))
+          in
+          let root = Byte_buf.Reader.i64 r in
+          let header_len = Byte_buf.Reader.pos r in
+          let tag = Byte_buf.Reader.i64 r in
+          if not (Grt_tee.Crypto.verify ~key (Bytes.sub blob 0 header_len) tag) then
+            Error "recording: signature verification failed"
+          else if
+            not (Int64.equal root (merkle_root (Array.to_list (Array.map (fun (_, _, h) -> h) metas))))
+          then Error "recording: Merkle root does not cover the chunk hashes"
+          else begin
+            let first = ref 0 in
+            let chunks =
+              Array.map
+                (fun (count, len, hash) ->
+                  let raw = Byte_buf.Reader.bytes r len in
+                  let c = { chunk_first = !first; chunk_count = count; chunk_hash = hash; chunk_raw = raw } in
+                  first := !first + count;
+                  c)
+                metas
+            in
+            if Byte_buf.Reader.remaining r <> 0 then Error "recording: trailing bytes after chunks"
+            else if !first <> total_entries then Error "recording: chunk entry counts disagree with header"
+            else
+              let entries = Array.concat (Array.to_list (Array.map parse_chunk_entries chunks)) in
+              Ok { vrec = { workload; gpu_id; entries; slots }; vversion = 2; vchunks = chunks; vroot = root }
+          end
+        | v -> Error (Printf.sprintf "recording: unsupported version %d" v)
+      end
+    end
+  with Failure msg -> Error msg
+
+let verify_chunk c =
+  Int64.equal (Grt_util.Hashing.fnv1a_bytes c.chunk_raw) c.chunk_hash
+
 let verify_and_parse ~key blob =
-  let n = Bytes.length blob in
-  if n < 8 then Error "recording: truncated"
-  else begin
-    let body = Bytes.sub blob 0 (n - 8) in
-    let tag = Bytes.get_int64_le blob (n - 8) in
-    if not (Grt_tee.Crypto.verify ~key body tag) then
-      Error "recording: signature verification failed"
-    else deserialize body
-  end
+  match parse_signed ~key blob with
+  | Error e -> Error e
+  | Ok v ->
+    let bad = ref None in
+    Array.iter
+      (fun c -> if !bad = None && not (verify_chunk c) then bad := Some c.chunk_first)
+      v.vchunks;
+    (match !bad with
+    | Some first -> Error (Printf.sprintf "recording: chunk at entry %d failed verification" first)
+    | None -> Ok v.vrec)
 
 let size_bytes t = Bytes.length (serialize t)
 

@@ -53,13 +53,58 @@ val output_slot : t -> slot option
 val param_slots : t -> slot list
 
 val serialize : t -> bytes
+(** Version-1 flat body (no signature): the legacy on-wire entry log. *)
+
 val deserialize : bytes -> (t, string) result
 
-val sign : key:Grt_tee.Crypto.key -> t -> bytes
-(** Serialized recording with an appended signature — the artifact the
-    client downloads. *)
+val default_chunk_entries : int
+(** Entries per chunk used by [sign] unless overridden (64). *)
+
+val sign : ?chunk_entries:int -> key:Grt_tee.Crypto.key -> t -> bytes
+(** Signed version-2 chunked blob — the artifact the client downloads.
+    The entry log is split into chunks of [chunk_entries]; the signed
+    header carries each chunk's FNV hash and their Merkle root, so a
+    replayer can verify chunks as it streams them. *)
+
+val sign_v1 : key:Grt_tee.Crypto.key -> t -> bytes
+(** Legacy version-1 blob: flat body with an appended MAC. Still produced
+    by old cloud services; [verify_and_parse] accepts both formats. *)
 
 val verify_and_parse : key:Grt_tee.Crypto.key -> bytes -> (t, string) result
+(** Full eager verification: signature, and for v2 blobs every chunk hash
+    and the Merkle root. Accepts v1 and v2 blobs. *)
+
+(** {2 Streaming access}
+
+    The replay compiler parses the signed header once and defers each
+    chunk's hash check to just before that chunk executes. *)
+
+type chunk = {
+  chunk_first : int;  (** index of the chunk's first entry in the log *)
+  chunk_count : int;
+  chunk_hash : int64;  (** signed FNV-1a hash of [chunk_raw] *)
+  chunk_raw : bytes;
+}
+
+type verified = {
+  vrec : t;
+  vversion : int;  (** wire version the blob used: 1 or 2 *)
+  vchunks : chunk array;  (** empty for v1 blobs (verified up front) *)
+  vroot : int64;  (** Merkle root over chunk hashes — the recording's identity *)
+}
+
+val parse_signed : key:Grt_tee.Crypto.key -> bytes -> (verified, string) result
+(** Verify the MACed portion (whole blob for v1, header for v2) and parse.
+    v2 chunk bodies are {e not} hash-checked here — callers stream-verify
+    them with [verify_chunk], or use [verify_and_parse] for the eager
+    contract. *)
+
+val verify_chunk : chunk -> bool
+(** [verify_chunk c] recomputes [c.chunk_raw]'s hash against the signed
+    [c.chunk_hash]. *)
+
+val merkle_root : int64 list -> int64
+(** Pairwise [Hashing.combine] fold; the identity attested for a replay. *)
 
 val size_bytes : t -> int
 val count_entries : t -> [ `Writes | `Reads | `Polls | `Irqs | `Mem_pages ] -> int

@@ -1,0 +1,229 @@
+(* Replay programs: a recording lowered once into a flat preprocessed form
+   so batch replays skip parse/decode entirely (ROADMAP item 2).
+
+   The interpreter in [Replayer.apply_entries] re-walks the raw entry log —
+   re-matching constructors, re-decoding memsync wire records, re-spinning
+   polls from iteration zero — on every replay. This pass runs once per
+   recording and produces:
+
+   - fused runs of consecutive register writes (one op, k stimuli);
+   - polls carrying the first-success iteration learned on the first
+     execution, so later replays charge the skipped spin time in one clock
+     advance and read the register once (falling back to a live spin, and
+     re-learning the hint, when the GPU is not ready at the hinted
+     iteration);
+   - memory images decoded at compile time wherever the wire records are
+     position-independent (raw, compressed-raw, and hash references that
+     resolve against content an earlier record carried); delta-encoded
+     records depend on the live memory and stay dynamic, decoded on the
+     first execution and memoized — sound because the metastate they
+     patch is input-independent (§2.3).
+
+   Verification is streaming for version-2 blobs: [of_blob] checks only
+   the signed header; each chunk's hash is checked by the executor just
+   before that chunk's ops run (and never again for the same program). *)
+
+module Device = Grt_gpu.Device
+
+type op =
+  | Write_run of { regs : int array; values : int64 array }
+  | Read of { reg : int; value : int64; verify : bool; index : int }
+  | Poll of {
+      reg : int;
+      mask : int64;
+      cond : Recording.poll_cond;
+      max_iters : int;
+      spin_ns : int64;
+      index : int;
+      mutable hint : int;  (** first-success iteration of the last execution; -1 = unknown *)
+    }
+  | Wait_irq of { want : Device.irq_line; line : int; index : int }
+  | Load_static of {
+      pages : (int64 * bytes) array;
+      learn : bool;
+      mutable stamps : (Grt_gpu.Mem.t * int64 array) option;
+    }
+      (** memory image precomputed at compile; [learn] feeds the bodies to
+          the execution store (tagged records do, plain [Mem_load]s do not) *)
+  | Load_dynamic of {
+      records : (int64 * Memsync.encoding * bytes) list;
+      index : int;
+      mutable cached : (int64 * bytes) array option;
+    }
+
+type group = {
+  ops : op array;
+  chunk : Recording.chunk option;  (** [None]: covered by the v1 whole-blob MAC *)
+  mutable checked : bool;
+}
+
+type stats = {
+  entries : int;
+  ops : int;
+  fused_writes : int;  (** register writes absorbed into multi-write runs *)
+  static_pages : int;  (** memory-image pages decoded at compile time *)
+  dynamic_loads : int;  (** Mem_load_enc entries that must decode live once *)
+  polls : int;
+}
+
+type t = {
+  source : Recording.t;
+  root : int64;
+  wire_version : int;
+  groups : group array;
+  stats : stats;
+}
+
+let source t = t.source
+let root t = t.root
+let wire_version t = t.wire_version
+let stats t = t.stats
+
+(* Decode one tagged record without touching live memory, when its encoding
+   permits: raw bodies and hash references to content already in [store].
+   Delta records patch whatever the page holds at that point of the replay,
+   so they are never static. *)
+let static_body store (_pfn, enc, body) =
+  match enc with
+  | Memsync.Enc_raw -> Some body
+  | Memsync.Enc_raw_rc -> Some (Grt_util.Range_coder.decode body)
+  | Memsync.Enc_hash_ref ->
+    if Bytes.length body <> 8 then failwith "Memsync: malformed hash reference"
+    else Memsync.Store.find store (Bytes.get_int64_le body 0)
+  | Memsync.Enc_delta | Memsync.Enc_delta_rc -> None
+
+(* The compile-time store mirrors what the executor's store will have
+   learned: every statically decodable body. It can only ever hold a subset
+   of the execution store (delta results are unknown here), so a hash
+   reference it resolves is guaranteed to resolve identically at run time,
+   and one it cannot resolve is conservatively classified dynamic. *)
+let lower_mem_enc store ~index records =
+  let decoded = List.map (fun r -> (r, static_body store r)) records in
+  List.iter (function _, Some b -> Memsync.Store.learn store b | _, None -> ()) decoded;
+  if List.for_all (fun (_, d) -> d <> None) decoded then
+    Load_static
+      {
+        pages = Array.of_list (List.map (fun ((pfn, _, _), d) -> (pfn, Option.get d)) decoded);
+        learn = true;
+        stamps = None;
+      }
+  else Load_dynamic { records; index; cached = None }
+
+let lower_range store entries ~first ~count =
+  let ops = ref [] in
+  let stop = first + count in
+  let i = ref first in
+  while !i < stop do
+    (match entries.(!i) with
+    | Recording.Reg_write _ ->
+      let j = ref !i in
+      while
+        !j < stop && match entries.(!j) with Recording.Reg_write _ -> true | _ -> false
+      do
+        incr j
+      done;
+      let n = !j - !i in
+      let regs = Array.make n 0 and values = Array.make n 0L in
+      for k = 0 to n - 1 do
+        match entries.(!i + k) with
+        | Recording.Reg_write { reg; value } ->
+          regs.(k) <- reg;
+          values.(k) <- value
+        | _ -> assert false
+      done;
+      ops := Write_run { regs; values } :: !ops;
+      i := !j - 1
+    | Recording.Reg_read { reg; value; verify } -> ops := Read { reg; value; verify; index = !i } :: !ops
+    | Recording.Poll { reg; mask; cond; max_iters; spin_ns } ->
+      ops := Poll { reg; mask; cond; max_iters; spin_ns; index = !i; hint = -1 } :: !ops
+    | Recording.Wait_irq { line } -> (
+      match Recording.irq_line_of_int line with
+      | Some want -> ops := Wait_irq { want; line; index = !i } :: !ops
+      | None ->
+        (* [Recording.deserialize] rejects these; belt and braces. *)
+        failwith (Printf.sprintf "replay_prog: invalid IRQ line %d" line))
+    | Recording.Mem_load { pages } ->
+      ops := Load_static { pages = Array.of_list pages; learn = false; stamps = None } :: !ops
+    | Recording.Mem_load_enc { records } -> ops := lower_mem_enc store ~index:!i records :: !ops);
+    incr i
+  done;
+  Array.of_list (List.rev !ops)
+
+let stats_of groups ~entries =
+  let ops = ref 0 and fused = ref 0 and static_pages = ref 0 and dyn = ref 0 and polls = ref 0 in
+  Array.iter
+    (fun (g : group) ->
+      ops := !ops + Array.length g.ops;
+      Array.iter
+        (function
+          | Write_run { regs; _ } -> if Array.length regs > 1 then fused := !fused + Array.length regs - 1
+          | Load_static { pages; _ } -> static_pages := !static_pages + Array.length pages
+          | Load_dynamic _ -> incr dyn
+          | Poll _ -> incr polls
+          | Read _ | Wait_irq _ -> ())
+        g.ops)
+    groups;
+  { entries; ops = !ops; fused_writes = !fused; static_pages = !static_pages; dynamic_loads = !dyn; polls = !polls }
+
+(* Rebuild every op with freshly allocated boxes and arrays, in execution
+   order. Lowering interleaves op allocation with the recording's 4 KiB page
+   payloads, so the boxed registers/values the executor dereferences per
+   entry end up scattered across the heap; copying them last packs the hot
+   data contiguously and measurably cuts cache misses in the warm loop. The
+   page payload bytes themselves are shared, not copied — they are cold
+   until a (re)install. *)
+let compact_groups groups =
+  let box v = Int64.logor v 0L in
+  let compact_op = function
+    | Write_run { regs; values } ->
+      Write_run { regs = Array.copy regs; values = Array.map box values }
+    | Read { reg; value; verify; index } -> Read { reg; value = box value; verify; index }
+    | Poll { reg; mask; cond; max_iters; spin_ns; index; hint } ->
+      Poll { reg; mask = box mask; cond; max_iters; spin_ns = box spin_ns; index; hint }
+    | Wait_irq _ as op -> op
+    | Load_static { pages; learn; stamps } ->
+      Load_static { pages = Array.map (fun (pfn, data) -> (box pfn, data)) pages; learn; stamps }
+    | Load_dynamic _ as op -> op
+  in
+  Array.map (fun (g : group) -> { g with ops = Array.map compact_op g.ops }) groups
+
+let compile ?tracer (v : Recording.verified) =
+  Grt_sim.Tracer.span_opt tracer ~cat:Grt_sim.Tracer.Replay_compile ~name:"compile"
+    ~args:
+      [
+        ("entries", string_of_int (Array.length v.Recording.vrec.Recording.entries));
+        ("chunks", string_of_int (Array.length v.Recording.vchunks));
+      ]
+  @@ fun () ->
+  let rec_t = v.Recording.vrec in
+  let entries = rec_t.Recording.entries in
+  let store = Memsync.Store.create () in
+  let groups =
+    if Array.length v.Recording.vchunks = 0 then
+      (* v1 blob: the whole-body MAC already covered every entry. *)
+      [|
+        { ops = lower_range store entries ~first:0 ~count:(Array.length entries); chunk = None; checked = true };
+      |]
+    else
+      Array.map
+        (fun c ->
+          {
+            ops =
+              lower_range store entries ~first:c.Recording.chunk_first
+                ~count:c.Recording.chunk_count;
+            chunk = Some c;
+            checked = false;
+          })
+        v.Recording.vchunks
+  in
+  let groups = compact_groups groups in
+  {
+    source = rec_t;
+    root = v.Recording.vroot;
+    wire_version = v.Recording.vversion;
+    groups;
+    stats = stats_of groups ~entries:(Array.length entries);
+  }
+
+let of_blob ?tracer ~key blob =
+  Result.map (compile ?tracer) (Recording.parse_signed ~key blob)

@@ -66,3 +66,24 @@ val replay_segments :
     intermediate activations flow through GPU memory, and the output comes
     from the last segment. The GPU is reset once before and once after the
     whole sequence. *)
+
+val replay_compiled :
+  gpushim:Gpushim.t ->
+  prog:Replay_prog.t ->
+  input:float array ->
+  params:(string * float array) list ->
+  ?energy:Grt_sim.Energy.t ->
+  ?tracer:Grt_sim.Tracer.t ->
+  ?hists:Grt_sim.Hist.set ->
+  unit ->
+  result
+(** The fast path: execute a compiled replay program (see {!Replay_prog}).
+    Compile once, call this per replay — parse, wire-record decode and (for
+    v2 blobs) chunk-hash verification are not repeated; each chunk's hash
+    is checked just before its first execution (streaming), polls reuse the
+    first-success iteration learned by the previous execution, and decoded
+    memory images are reused. Semantics — outputs, verification, divergence
+    detection, virtual-clock cost per applied entry — match {!replay}
+    exactly; the savings are host-side. The GPU is reset and released even
+    when a {!Divergence} (or any other exception) aborts the session, as
+    with {!replay}. *)

@@ -26,7 +26,7 @@ type address_space = {
   mutable faultaddress : int64;
 }
 
-type event = { deadline : int64; action : unit -> unit }
+type event = { deadline : int; action : unit -> unit }  (* deadline: unboxed ns *)
 
 type t = {
   sku : Sku.t;
@@ -116,22 +116,72 @@ let create ?energy ~clock ~mem ~sku ~session_salt () =
   }
 
 let schedule t ~after_ns action =
-  let deadline = Int64.add (Grt_sim.Clock.now_ns t.clock) after_ns in
+  let deadline = Grt_sim.Clock.now_int t.clock + Int64.to_int after_ns in
   t.events <- { deadline; action } :: t.events
 
-(* Apply all events whose deadline has passed, in deadline order. *)
+(* Apply all events whose deadline has passed, in deadline order. Called on
+   every register access, so the nothing-due case (including the common
+   one-pending-job-completion case) must not allocate. *)
+let rec none_due now = function
+  | [] -> true
+  | e :: tl -> e.deadline > now && none_due now tl
+
 let refresh t =
-  let now = Grt_sim.Clock.now_ns t.clock in
-  let due, later = List.partition (fun e -> Int64.compare e.deadline now <= 0) t.events in
-  t.events <- later;
-  List.iter (fun e -> e.action ()) (List.sort (fun a b -> Int64.compare a.deadline b.deadline) due)
+  match t.events with
+  | [] -> ()
+  | [ e ] ->
+    (* Dominant case: one pending event (a job completion, a flush). Fire
+       it without the partition/sort allocation of the general path. *)
+    if e.deadline <= Grt_sim.Clock.now_int t.clock then begin
+      t.events <- [];
+      e.action ()
+    end
+  | evs ->
+    let now = Grt_sim.Clock.now_int t.clock in
+    if none_due now evs then ()
+    else begin
+      let due, later = List.partition (fun e -> e.deadline <= now) evs in
+      t.events <- later;
+      List.iter (fun e -> e.action ()) (List.sort (fun a b -> compare a.deadline b.deadline) due)
+    end
 
 let next_event_ns t =
   match t.events with
   | [] -> None
-  | es -> Some (List.fold_left (fun acc e -> min acc e.deadline) Int64.max_int es)
+  | es -> Some (Int64.of_int (List.fold_left (fun acc e -> min acc e.deadline) max_int es))
 
 let raise_gpu_irq t bits = t.gpu_rawstat <- Int64.logor t.gpu_rawstat bits
+
+(* Restore the pristine register file, as after a cold power cycle: every
+   block back to its create-time value, pending timed events discarded. The
+   clock is untouched (time does not rewind) and [jobs_executed] keeps
+   counting across cycles. Replay sessions that reuse one device depend on
+   this: recordings are made against a fresh device, so every register a
+   recording reads before first writing it must hold its reset value. *)
+let power_cycle t =
+  t.gpu_rawstat <- 0L;
+  t.gpu_mask <- 0L;
+  t.job_rawstat <- 0L;
+  t.job_mask <- 0L;
+  t.mmu_rawstat <- 0L;
+  t.mmu_mask <- 0L;
+  t.shader_config <- t.sku.Sku.quirk_shader_config;
+  t.tiler_config <- 0L;
+  t.l2_mmu_config <- 0L;
+  t.mmu_config <- t.sku.Sku.quirk_mmu_config;
+  List.iter
+    (fun d ->
+      d.ready <- 0L;
+      d.pending_on <- 0L;
+      d.pending_off <- 0L)
+    [ t.shader_dom; t.tiler_dom; t.l2_dom ];
+  Array.iteri (fun i _ -> t.slots.(i) <- fresh_slot ()) t.slots;
+  Array.iteri (fun i _ -> t.spaces.(i) <- fresh_as ()) t.spaces;
+  t.flush_count <- 0L;
+  Hashtbl.reset t.misc;
+  t.events <- [];
+  t.last_fault <- None;
+  t.resetting <- false
 
 (* ---- power domains ---- *)
 
@@ -226,26 +276,64 @@ let translate_or_fault t mmu ~as_idx ~va ~access =
     record_mmu_fault t ~as_idx ~va reason;
     raise (Gpu_fault reason)
 
-(* A one-entry micro-TLB per buffer stream keeps kernel accesses cheap. *)
+(* Kernel streams: each operand gets a one-entry TLB over the live page
+   buffers (see Kernels), backed here by a per-chain direct-mapped software
+   TLB so a stream switching pages (a conv walking input channels) does not
+   redo the MMU walk for a page translated moments ago. Reads of pages never
+   materialized see a shared zero page without materializing them — that
+   would perturb the memsync working set. A write miss that materializes a
+   page displaces any read-side cache of the same VA so reads cannot keep
+   serving the stale zero page. *)
+let zero_page = Bytes.make Mem.page_size '\000'
+let tlb_size = 256
+
 let kernel_ctx t mmu ~as_idx =
-  let cached_page = ref Int64.minus_one and cached_pa = ref 0L in
-  let resolve va access =
-    let page = Int64.logand va (Int64.lognot 0xFFFL) in
-    if Int64.equal page !cached_page && access = `Read then
-      Int64.logor !cached_pa (Int64.logand va 0xFFFL)
+  let rtag = Array.make tlb_size (-1)
+  and rpage = Array.make tlb_size Bytes.empty
+  and wtag = Array.make tlb_size (-1)
+  and wpage = Array.make tlb_size Bytes.empty in
+  let fill (s : Kernels.stream) va p =
+    s.Kernels.sbase <- va land lnot 0xFFF;
+    s.Kernels.spage <- p;
+    p
+  in
+  let rmiss (s : Kernels.stream) va =
+    let page = va land lnot 0xFFF in
+    let idx = (va lsr 12) land (tlb_size - 1) in
+    if Array.unsafe_get rtag idx = page then fill s va (Array.unsafe_get rpage idx)
     else begin
-      let pa = translate_or_fault t mmu ~as_idx ~va ~access in
-      if access = `Read then begin
-        cached_page := page;
-        cached_pa := Int64.logand pa (Int64.lognot 0xFFFL)
-      end;
-      pa
+      let pa = translate_or_fault t mmu ~as_idx ~va:(Int64.of_int va) ~access:`Read in
+      let p =
+        match Mem.page_ro t.mem (Mem.page_of_addr pa) with Some p -> p | None -> zero_page
+      in
+      rtag.(idx) <- page;
+      rpage.(idx) <- p;
+      fill s va p
     end
   in
-  {
-    Kernels.getf = (fun va -> Mem.read_f32 t.mem (resolve va `Read));
-    Kernels.setf = (fun va f -> Mem.write_f32 t.mem (resolve va `Write) f);
-  }
+  let c_in = Kernels.new_stream rmiss
+  and c_in2 = Kernels.new_stream rmiss
+  and c_bias = Kernels.new_stream rmiss in
+  let wmiss (s : Kernels.stream) va =
+    let page = va land lnot 0xFFF in
+    let idx = (va lsr 12) land (tlb_size - 1) in
+    if Array.unsafe_get wtag idx = page then fill s va (Array.unsafe_get wpage idx)
+    else begin
+      let pa = translate_or_fault t mmu ~as_idx ~va:(Int64.of_int va) ~access:`Write in
+      let p = Mem.page_rw t.mem (Mem.page_of_addr pa) in
+      wtag.(idx) <- page;
+      wpage.(idx) <- p;
+      if rtag.(idx) = page && rpage.(idx) != p then rtag.(idx) <- -1;
+      let inval (r : Kernels.stream) =
+        if r.Kernels.sbase = page && r.Kernels.spage != p then r.Kernels.sbase <- -1
+      in
+      inval c_in;
+      inval c_in2;
+      inval c_bias;
+      fill s va p
+    end
+  in
+  { Kernels.c_in; c_in2; c_bias; c_out = Kernels.new_stream wmiss }
 
 let validate_shader t mmu ~as_idx ~va ~op =
   let pa = translate_or_fault t mmu ~as_idx ~va ~access:`Exec in
@@ -263,12 +351,25 @@ let validate_shader t mmu ~as_idx ~va ~op =
 let powered_up t =
   Int64.compare t.shader_dom.ready 0L > 0 && Int64.compare t.l2_dom.ready 0L > 0
 
+(* Host (wall-clock) seconds this process has spent doing the GPU's side of
+   job execution, across every device: descriptor-chain walk, MMU
+   translation, shader validation and the kernel math. All of it stands in
+   for silicon — on real hardware the GPU fetches and runs the chain itself
+   and the host pays only the doorbell MMIO write — so benchmarks of the
+   replayer subtract this from their wall-clock samples. *)
+let gpu_host_acc = ref 0.
+
+let gpu_host_seconds () = !gpu_host_acc
+
 let job_duration_ns t (d : Job_desc.t) =
   let f = Int64.to_float d.params.Job_desc.flops_hint in
   let compute_s = f /. Sku.flops_per_s t.sku in
   Int64.add Grt_sim.Costs.gpu_job_fixed_ns (Int64.of_float (compute_s *. 1e9))
 
 let start_job_chain t ~slot_idx =
+  let host_t0 = Sys.time () in
+  Fun.protect ~finally:(fun () -> gpu_host_acc := !gpu_host_acc +. Sys.time () -. host_t0)
+  @@ fun () ->
   let slot = t.slots.(slot_idx) in
   let as_idx = Int64.to_int (Int64.logand slot.config 0x7L) in
   slot.status <- Regs.js_status_active;
@@ -478,18 +579,18 @@ let irq_pending t =
   !lines
 
 let wait_for_irq t ~timeout_ns =
-  let deadline = Int64.add (Grt_sim.Clock.now_ns t.clock) timeout_ns in
+  let deadline = Grt_sim.Clock.now_int t.clock + Int64.to_int timeout_ns in
   let rec loop () =
     match irq_pending t with
     | line :: _ -> Some line
     | [] -> (
       match next_event_ns t with
-      | Some ev when Int64.compare ev deadline <= 0 ->
+      | Some ev when Int64.to_int ev <= deadline ->
         Grt_sim.Clock.advance_to t.clock ev;
         loop ()
       | _ ->
-        if Int64.compare (Grt_sim.Clock.now_ns t.clock) deadline < 0 then begin
-          Grt_sim.Clock.advance_to t.clock deadline;
+        if Grt_sim.Clock.now_int t.clock < deadline then begin
+          Grt_sim.Clock.advance_to_int t.clock deadline;
           loop ()
         end
         else None)

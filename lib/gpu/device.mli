@@ -34,6 +34,15 @@ val clock : t -> Grt_sim.Clock.t
 val read_reg : t -> Regs.t -> int64
 val write_reg : t -> Regs.t -> int64 -> unit
 
+val power_cycle : t -> unit
+(** Restore the pristine register file, as after a cold power cycle: every
+    register block back to its create-time value, pending timed events
+    discarded. The clock is untouched (time does not rewind) and
+    [jobs_executed] keeps counting. Lets one device host many replay
+    sessions: recordings are made against a fresh device, so a reused one
+    must present reset values to every register the recording reads before
+    writing. *)
+
 val irq_pending : t -> irq_line list
 (** Asserted (unmasked, uncleared) interrupt lines right now. *)
 
@@ -46,6 +55,15 @@ val wait_for_irq : t -> timeout_ns:int64 -> irq_line option
 
 val jobs_executed : t -> int
 (** Total jobs completed since creation (test/bench introspection). *)
+
+val gpu_host_seconds : unit -> float
+(** Cumulative host (wall-clock) seconds this process has spent doing the
+    GPU's side of job execution (descriptor-chain walk, MMU translation,
+    shader validation, kernel math), across all devices. That work stands
+    in for silicon — on real hardware the GPU fetches and runs the chain
+    itself and the host pays only the doorbell write — so benchmarks of
+    replayer machinery subtract the delta of this counter from their
+    wall-clock samples. *)
 
 val last_fault : t -> string option
 (** Description of the most recent job/MMU fault, for diagnostics. *)

@@ -1,20 +1,59 @@
 (** Compute kernels — the numerics the shader cores perform.
 
     Tensors are FP32 in CHW layout at GPU virtual addresses. Kernels see
-    memory only through the access callbacks the device provides (which
-    perform MMU translation), exactly as real shader cores do. Output-channel
+    memory as 4 KiB pages of bytes through per-operand {!stream}s — one-entry
+    TLBs the memory provider refills on miss (performing MMU translation on
+    the device), exactly as real shader cores fetch through their own TLBs.
+    Distinct streams per operand keep alternating input/weight accesses from
+    thrashing a shared cache, and the stream hit path is free of [int64] and
+    float boxing, which keeps simulated job execution cheap. Output-channel
     partitioning ([part_idx]/[part_count]) lets the runtime split one logical
     operator across several GPU jobs. *)
 
 exception Kernel_fault of string
 
-type ctx = {
-  getf : int64 -> float;  (** read an FP32 at a GPU VA *)
-  setf : int64 -> float -> unit;  (** write an FP32 at a GPU VA *)
+type stream = {
+  mutable sbase : int;  (** page-aligned VA of the cached page; -1 = empty *)
+  mutable spage : bytes;  (** backing bytes of that page (4 KiB) *)
+  smiss : stream -> int -> bytes;
+      (** refill: resolve the page holding [va], cache it in the stream
+          ([sbase]/[spage]), and return it. May raise (e.g. a translation
+          fault). *)
 }
 
+type ctx = {
+  c_in : stream;  (** first input tensor *)
+  c_in2 : stream;  (** second input / weights *)
+  c_bias : stream;  (** bias vector *)
+  c_out : stream;  (** output tensor (write stream) *)
+}
+
+val new_stream : (stream -> int -> bytes) -> stream
+(** Fresh empty stream with the given miss handler. *)
+
+val getf : stream -> int -> float
+(** Read the FP32 at a (4-aligned) GPU VA through the stream's page cache. *)
+
+val setf : stream -> int -> float -> unit
+(** Write the FP32 at a (4-aligned) GPU VA through the stream's page cache. *)
+
+(** A self-contained paged address space for [ctx]s not backed by a simulated
+    device: the CPU reference executor and kernel unit tests. Pages
+    materialize on first touch (untouched memory reads as zeros) and are
+    shared across all four streams, so reads observe prior writes. *)
+module Flat : sig
+  type t
+
+  val create : unit -> t
+  val ctx : t -> ctx
+
+  val read_f32 : t -> int64 -> float
+  val write_f32 : t -> int64 -> float -> unit
+end
+
 val execute : ctx -> Job_desc.t -> unit
-(** Run the job's operator. Raises {!Kernel_fault} on inconsistent shapes. *)
+(** Run the job's operator. Raises {!Kernel_fault} on inconsistent shapes or
+    unaligned tensor VAs. *)
 
 val partition_range : total:int -> part_idx:int -> part_count:int -> int * int
 (** [(first, count)] of the slice a partition covers; partitions differ by at

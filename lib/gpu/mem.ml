@@ -68,6 +68,19 @@ let page_for t pfn ~write =
     end
     else None
 
+(* Borrowed page buffers for the kernel streams. The buffers are the live
+   backing store: a [page_rw] borrow marks the page dirty and stamps a fresh
+   generation once, standing in for the per-write bookkeeping the borrower
+   then skips — sound at page granularity because both are idempotent per
+   page and nothing observes them mid-job. Borrows must not be held across
+   [restore] (which rebinds buffers); [set_page] blits in place, so buffers
+   stay valid across image reinstalls. *)
+
+let page_ro t pfn = Hashtbl.find_opt t.pages pfn
+
+let page_rw t pfn =
+  match page_for t pfn ~write:true with Some p -> p | None -> assert false
+
 let read_u8 t addr =
   let pfn = page_of_addr addr in
   match page_for t pfn ~write:false with
@@ -127,6 +140,57 @@ let read_f32 t addr = Int32.float_of_bits (Int64.to_int32 (read_u32 t addr))
 
 let write_f32 t addr f = write_u32 t addr (Int64.logand (Int64.of_int32 (Int32.bits_of_float f)) 0xFFFFFFFFL)
 
+(* Bulk float-array transfer for the data slots. The per-element accessors
+   pay a page-table lookup (and, on writes, dirty/generation stamping) per
+   4-byte access; slots span whole runs of pages, so resolve each page once
+   and move the span with direct [Bytes] accesses. Page-straddling elements
+   cannot occur: spans are split on page boundaries and f32s are 4-aligned
+   within a span only if [addr] is — an unaligned start falls back to the
+   per-element path. *)
+
+let write_f32_array t addr values =
+  let n = Array.length values in
+  if not (Int64.equal (Int64.logand addr 3L) 0L) then
+    for i = 0 to n - 1 do
+      write_f32 t (Int64.add addr (Int64.of_int (4 * i))) values.(i)
+    done
+  else begin
+    let i = ref 0 in
+    while !i < n do
+      let a = Int64.add addr (Int64.of_int (4 * !i)) in
+      let off = Int64.to_int (Int64.logand a 0xFFFL) in
+      let here = min (n - !i) ((page_size - off) / 4) in
+      (match page_for t (page_of_addr a) ~write:true with
+      | None -> assert false
+      | Some p ->
+        for k = 0 to here - 1 do
+          Bytes.set_int32_le p (off + (4 * k)) (Int32.bits_of_float values.(!i + k))
+        done);
+      i := !i + here
+    done
+  end
+
+let read_f32_array t addr n =
+  if not (Int64.equal (Int64.logand addr 3L) 0L) then
+    Array.init n (fun i -> read_f32 t (Int64.add addr (Int64.of_int (4 * i))))
+  else begin
+    let out = Array.make n 0.0 in
+    let i = ref 0 in
+    while !i < n do
+      let a = Int64.add addr (Int64.of_int (4 * !i)) in
+      let off = Int64.to_int (Int64.logand a 0xFFFL) in
+      let here = min (n - !i) ((page_size - off) / 4) in
+      (match page_for t (page_of_addr a) ~write:false with
+      | None -> ()
+      | Some p ->
+        for k = 0 to here - 1 do
+          out.(!i + k) <- Int32.float_of_bits (Bytes.get_int32_le p (off + (4 * k)))
+        done);
+      i := !i + here
+    done;
+    out
+  end
+
 let read_bytes t addr n =
   let out = Bytes.create n in
   for i = 0 to n - 1 do
@@ -147,7 +211,12 @@ let get_page t pfn =
 let set_page t pfn b =
   if Bytes.length b <> page_size then invalid_arg "Mem.set_page: wrong size";
   if Hashtbl.mem t.protected_ pfn then raise (Protected_page_write pfn);
-  Hashtbl.replace t.pages pfn (Bytes.copy b);
+  (* Blit over an already-materialized page rather than rebinding a fresh
+     copy: page buffers never escape (readers get copies), and replayed
+     memory images rewrite the same pfns every session. *)
+  (match Hashtbl.find_opt t.pages pfn with
+  | Some p -> Bytes.blit b 0 p 0 page_size
+  | None -> Hashtbl.replace t.pages pfn (Bytes.copy b));
   Hashtbl.replace t.dirty pfn ();
   touch_gen t pfn
 

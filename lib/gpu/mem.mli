@@ -25,6 +25,14 @@ val read_u64 : t -> int64 -> int64
 val write_u64 : t -> int64 -> int64 -> unit
 val read_f32 : t -> int64 -> float
 val write_f32 : t -> int64 -> float -> unit
+val write_f32_array : t -> int64 -> float array -> unit
+(** Bulk f32 store: one page resolution (and one dirty/generation stamp)
+    per page touched instead of per element. Equivalent to a [write_f32]
+    loop. *)
+
+val read_f32_array : t -> int64 -> int -> float array
+(** Bulk f32 load, the read-side counterpart of [write_f32_array]. *)
+
 val read_bytes : t -> int64 -> int -> bytes
 val write_bytes : t -> int64 -> bytes -> unit
 
@@ -33,6 +41,18 @@ val page_of_addr : int64 -> int64
 
 val get_page : t -> int64 -> bytes
 (** [get_page t pfn] returns a copy of the page (zeroes if never written). *)
+
+val page_ro : t -> int64 -> bytes option
+(** Borrow the live backing buffer of a materialized page, for read-side
+    kernel streams. The buffer stays valid (and current) across [set_page],
+    which blits in place; it must not be held across {!restore}, and must
+    not be written through. *)
+
+val page_rw : t -> int64 -> bytes
+(** Borrow the live backing buffer for writing, materializing the page if
+    needed. Marks the page dirty and stamps a fresh generation once, in
+    place of the per-write bookkeeping the borrower skips — equivalent at
+    page granularity. Raises {!Protected_page_write} on protected pages. *)
 
 val set_page : t -> int64 -> bytes -> unit
 (** Install page contents (must be exactly [page_size] bytes). *)

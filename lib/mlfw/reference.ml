@@ -3,16 +3,14 @@ module Job_desc = Grt_gpu.Job_desc
 
 (* Buffers live in a synthetic flat address space: buffer [i] starts at
    [i * buf_stride] bytes, giving Kernels the same VA-based interface the GPU
-   provides, backed by float arrays. *)
+   provides, backed by a Kernels.Flat paged store. *)
 
 let buf_stride = 1 lsl 24
 
 let run (plan : Network.plan) ~weights ~input =
   let names = List.mapi (fun i (b : Network.buffer_spec) -> (b.Network.bname, i)) plan.Network.buffers in
-  let arrays =
-    List.map
-      (fun (b : Network.buffer_spec) -> Array.make (max 1 (b.Network.actual_bytes / 4)) 0.0)
-      plan.Network.buffers
+  let lengths =
+    List.map (fun (b : Network.buffer_spec) -> max 1 (b.Network.actual_bytes / 4)) plan.Network.buffers
     |> Array.of_list
   in
   let index name =
@@ -21,27 +19,15 @@ let run (plan : Network.plan) ~weights ~input =
     | None -> invalid_arg ("Reference.run: unknown buffer " ^ name)
   in
   let va name = Int64.of_int (index name * buf_stride) in
-  let locate a =
-    let addr = Int64.to_int a in
-    let buf = addr / buf_stride and off = (addr mod buf_stride) / 4 in
-    (arrays.(buf), off)
-  in
-  let ctx =
-    {
-      Kernels.getf =
-        (fun a ->
-          let arr, off = locate a in
-          if off < Array.length arr then arr.(off) else 0.0);
-      Kernels.setf =
-        (fun a v ->
-          let arr, off = locate a in
-          if off < Array.length arr then arr.(off) <- v);
-    }
-  in
+  let flat = Kernels.Flat.create () in
+  let ctx = Kernels.Flat.ctx flat in
   (* Load inputs and weights. *)
   let blit name values =
-    let arr = arrays.(index name) in
-    Array.iteri (fun i v -> if i < Array.length arr then arr.(i) <- v) values
+    let base = index name * buf_stride in
+    let len = lengths.(index name) in
+    Array.iteri
+      (fun i v -> if i < len then Kernels.Flat.write_f32 flat (Int64.of_int (base + (4 * i))) v)
+      values
   in
   blit plan.Network.input_buffer input;
   List.iter (fun (name, values) -> blit name values) weights;
@@ -61,4 +47,6 @@ let run (plan : Network.plan) ~weights ~input =
       in
       Kernels.execute ctx desc)
     plan.Network.jobs;
-  Array.copy (arrays.(index plan.Network.output_buffer))
+  let out = index plan.Network.output_buffer in
+  Array.init lengths.(out) (fun i ->
+      Kernels.Flat.read_f32 flat (Int64.of_int ((out * buf_stride) + (4 * i))))

@@ -12,6 +12,12 @@ val create : unit -> t
 val now_ns : t -> int64
 (** Current virtual time in nanoseconds since creation. *)
 
+val now_int : t -> int
+(** [now_ns] as an unboxed [int] (time is stored as one internally; 63 bits
+    of nanoseconds do not overflow). Hot paths that advance or compare
+    against the clock on every simulated register access use the [_int]
+    entry points to avoid boxing an [int64] per call. *)
+
 val now_s : t -> float
 (** Current virtual time in seconds. *)
 
@@ -25,9 +31,19 @@ val advance_to : t -> int64 -> unit
 (** [advance_to t deadline] moves time forward to [deadline] if it is in the
     future; no-op otherwise. *)
 
+val advance_int : t -> int -> unit
+(** [advance_ns] with an unboxed delta. *)
+
+val advance_to_int : t -> int -> unit
+(** [advance_to] with an unboxed deadline. *)
+
 val on_advance : t -> (int64 -> int64 -> unit) -> unit
 (** [on_advance t f] registers [f old_now new_now], called on every
     advance. *)
+
+val on_advance_int : t -> (int -> int -> unit) -> unit
+(** [on_advance] without the per-advance boxing; preferred for observers
+    that fire on every advance (the energy integrator). *)
 
 type span = { start_ns : int64; stop_ns : int64 }
 

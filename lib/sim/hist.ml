@@ -117,6 +117,8 @@ type key =
   | Sync_down_wire
   | Sync_up_wire
   | Sync_page_wire
+  | Replay_chunk_bytes
+  | Replay_exec_entries
 
 let key_name = function
   | Rtt_ns -> "link.rtt_ns"
@@ -127,11 +129,13 @@ let key_name = function
   | Sync_down_wire -> "sync.down_wire_bytes"
   | Sync_up_wire -> "sync.up_wire_bytes"
   | Sync_page_wire -> "sync.page_wire_bytes"
+  | Replay_chunk_bytes -> "replay.chunk_bytes"
+  | Replay_exec_entries -> "replay.exec_entries"
 
 let all_keys =
   [
     Rtt_ns; Commit_accesses; Spec_validate_ns; Rollback_depth; Gbn_span; Sync_down_wire;
-    Sync_up_wire; Sync_page_wire;
+    Sync_up_wire; Sync_page_wire; Replay_chunk_bytes; Replay_exec_entries;
   ]
 
 let key_index = function
@@ -143,6 +147,8 @@ let key_index = function
   | Sync_down_wire -> 5
   | Sync_up_wire -> 6
   | Sync_page_wire -> 7
+  | Replay_chunk_bytes -> 8
+  | Replay_exec_entries -> 9
 
 type set = t array
 

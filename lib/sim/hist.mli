@@ -63,6 +63,8 @@ type key =
   | Sync_down_wire  (** cloud→client memsync wire bytes per event (§5) *)
   | Sync_up_wire  (** client→cloud memsync wire bytes per event (§5) *)
   | Sync_page_wire  (** wire bytes per shipped page record, header included *)
+  | Replay_chunk_bytes  (** recording-chunk bytes hashed per streaming verify *)
+  | Replay_exec_entries  (** log entries applied per compiled replay *)
 
 val key_name : key -> string
 val all_keys : key list

@@ -10,6 +10,9 @@ type category =
   | Memsync_down
   | Memsync_up
   | Link_exchange
+  | Replay_compile
+  | Replay_verify
+  | Replay_execute
 
 let category_name = function
   | Establish -> "establish"
@@ -21,11 +24,14 @@ let category_name = function
   | Memsync_down -> "memsync-down"
   | Memsync_up -> "memsync-up"
   | Link_exchange -> "link-exchange"
+  | Replay_compile -> "replay-compile"
+  | Replay_verify -> "replay-verify"
+  | Replay_execute -> "replay-execute"
 
 let all_categories =
   [
     Establish; Boot; Commit; Validate_speculation; Rollback_recovery; Poll_offload;
-    Memsync_down; Memsync_up; Link_exchange;
+    Memsync_down; Memsync_up; Link_exchange; Replay_compile; Replay_verify; Replay_execute;
   ]
 
 type span = {

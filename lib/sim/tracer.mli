@@ -26,6 +26,9 @@ type category =
   | Memsync_down  (** cloud→client metastate dump (§5) *)
   | Memsync_up  (** client→cloud dump with a forwarded interrupt (§5) *)
   | Link_exchange  (** one wire exchange (round trip, async send, push) *)
+  | Replay_compile  (** lowering a recording into a replay program *)
+  | Replay_verify  (** streaming chunk-hash check before execution *)
+  | Replay_execute  (** feeding a compiled replay program to the GPU *)
 
 val category_name : category -> string
 (** Stable kebab-case name (e.g. ["validate-speculation"]); used as the

@@ -25,3 +25,33 @@ val verify :
 
 val tamper : quote -> quote
 (** Flip a bit in the signature — for negative tests. *)
+
+(** {2 Replay attestation}
+
+    After a compiled replay, the client TEE can emit a token binding the
+    recording's Merkle root (the identity of the exact entry log that
+    ran), the GPU SKU it ran on, and the number of entries applied — a
+    verifier holding the expected root learns {e which} GPU execution
+    happened, in the style of SAGE's attested execution (PAPERS.md). *)
+
+type replay_token = {
+  rt_root : int64;  (** Merkle root over the recording's chunk hashes *)
+  rt_gpu_id : int64;
+  rt_entries : int;  (** log entries applied by the replay *)
+  rt_nonce : int64;
+  rt_signature : int64;
+}
+
+val make_replay_token :
+  signing_key:Crypto.key -> root:int64 -> gpu_id:int64 -> entries:int -> nonce:int64 -> replay_token
+
+val verify_replay_token :
+  verification_key:Crypto.key ->
+  root:int64 ->
+  gpu_id:int64 ->
+  nonce:int64 ->
+  replay_token ->
+  (unit, string) result
+
+val tamper_replay_token : replay_token -> replay_token
+(** Flip a bit in the signature — for negative tests. *)

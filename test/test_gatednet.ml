@@ -19,13 +19,20 @@ let check = Alcotest.check
 
 (* ---- new kernels ---- *)
 
+(* A float-array view over a Kernels.Flat store: [exec] loads the array
+   (rounded to f32, as GPU memory stores it), runs the job, and reads the
+   whole space back so tests keep asserting on plain array cells. *)
 let flat_ctx n =
   let arr = Array.make n 0.0 in
-  ( arr,
-    {
-      Kernels.getf = (fun va -> arr.(Int64.to_int va / 4));
-      Kernels.setf = (fun va v -> arr.(Int64.to_int va / 4) <- v);
-    } )
+  let exec d =
+    let flat = Kernels.Flat.create () in
+    Array.iteri (fun i v -> Kernels.Flat.write_f32 flat (Int64.of_int (4 * i)) v) arr;
+    Kernels.execute (Kernels.Flat.ctx flat) d;
+    for i = 0 to n - 1 do
+      arr.(i) <- Kernels.Flat.read_f32 flat (Int64.of_int (4 * i))
+    done
+  in
+  (arr, exec)
 
 let elementwise_desc op =
   {
@@ -41,28 +48,28 @@ let elementwise_desc op =
   }
 
 let kernel_tanh () =
-  let arr, ctx = flat_ctx 64 in
+  let arr, exec = flat_ctx 64 in
   List.iteri (fun i v -> arr.(i) <- v) [ -100.0; 0.0; 0.5; 100.0 ];
-  Kernels.execute ctx (elementwise_desc Shader.Tanh);
+  exec (elementwise_desc Shader.Tanh);
   check (Alcotest.float 1e-6) "tanh(-inf)" (-1.0) arr.(32);
   check (Alcotest.float 1e-6) "tanh(0)" 0.0 arr.(33);
   check (Alcotest.float 1e-6) "tanh(0.5)" (tanh 0.5) arr.(34);
   check (Alcotest.float 1e-6) "tanh(+inf)" 1.0 arr.(35)
 
 let kernel_sigmoid () =
-  let arr, ctx = flat_ctx 64 in
+  let arr, exec = flat_ctx 64 in
   List.iteri (fun i v -> arr.(i) <- v) [ -100.0; 0.0; 1.0; 100.0 ];
-  Kernels.execute ctx (elementwise_desc Shader.Sigmoid);
+  exec (elementwise_desc Shader.Sigmoid);
   check (Alcotest.float 1e-6) "sigmoid(-inf)" 0.0 arr.(32);
   check (Alcotest.float 1e-6) "sigmoid(0)" 0.5 arr.(33);
   check (Alcotest.float 1e-6) "sigmoid(1)" (1.0 /. (1.0 +. exp (-1.0))) arr.(34);
   check (Alcotest.float 1e-6) "sigmoid(+inf)" 1.0 arr.(35)
 
 let kernel_mul () =
-  let arr, ctx = flat_ctx 64 in
+  let arr, exec = flat_ctx 64 in
   List.iteri (fun i v -> arr.(i) <- v) [ 1.0; -2.0; 3.0; 0.5 ];
   List.iteri (fun i v -> arr.(16 + i) <- v) [ 4.0; 5.0; -6.0; 0.0 ];
-  Kernels.execute ctx (elementwise_desc Shader.Mul);
+  exec (elementwise_desc Shader.Mul);
   check (Alcotest.float 1e-6) "1*4" 4.0 arr.(32);
   check (Alcotest.float 1e-6) "-2*5" (-10.0) arr.(33);
   check (Alcotest.float 1e-6) "3*-6" (-18.0) arr.(34);

@@ -33,26 +33,27 @@ let record ?history ?window ?config mode =
   O.record ?history ?window ?config ~profile:Grt_net.Profile.wifi ~mode ~sku:Grt_gpu.Sku.g71_mp8
     ~net:Grt_mlfw.Zoo.mnist ~seed:42L ()
 
-(* Expected tuples captured at the pre-refactor commit (seed 42, WiFi,
-   MNIST). The speculative mode is pinned both cold (empty history) and warm
+(* Expected tuples captured at the current recording format (v2 chunked
+   wire format with Merkle-chunked signed header; seed 42, WiFi, MNIST).
+   The speculative mode is pinned both cold (empty history) and warm
    (fourth run sharing one history), because the two exercise different
    commit paths. *)
 let expected =
   [
     ( "OursM",
-      "blob=8392e577bd156170 entries=1024 rtts=980 sync_wire=10103 sync_raw=507904 commits=978 \
+      "blob=8a88735bd31e9de5 entries=1024 rtts=980 sync_wire=10103 sync_raw=507904 commits=978 \
        spec=0 cats=[Init:0,Interrupt:0,Power state:0,Polling:0,Other:0] nondet=0 accesses=978 \
        polls=170/0 rollbacks=0 retransmits=0 linkdowns=0" );
     ( "OursMD",
-      "blob=1015eb67e882c346 entries=1024 rtts=593 sync_wire=10103 sync_raw=507904 commits=591 \
+      "blob=220629017c094fd7 entries=1024 rtts=593 sync_wire=10103 sync_raw=507904 commits=591 \
        spec=0 cats=[Init:0,Interrupt:0,Power state:0,Polling:0,Other:0] nondet=0 accesses=978 \
        polls=170/0 rollbacks=0 retransmits=0 linkdowns=0" );
     ( "OursMDS-cold",
-      "blob=1015eb67e882c346 entries=1024 rtts=62 sync_wire=10103 sync_raw=507904 commits=591 \
+      "blob=220629017c094fd7 entries=1024 rtts=62 sync_wire=10103 sync_raw=507904 commits=591 \
        spec=531 cats=[Init:1,Interrupt:40,Power state:46,Polling:319,Other:125] nondet=23 \
        accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
     ( "OursMDS-warm",
-      "blob=1015eb67e882c346 entries=1024 rtts=25 sync_wire=10103 sync_raw=507904 commits=591 \
+      "blob=220629017c094fd7 entries=1024 rtts=25 sync_wire=10103 sync_raw=507904 commits=591 \
        spec=568 cats=[Init:7,Interrupt:46,Power state:46,Polling:339,Other:130] nondet=23 \
        accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
     (* window=4 + max_inflight=4 pipeline: every outcome stat — above all
@@ -60,14 +61,14 @@ let expected =
        moves only the clock/energy/timing counters, which this tuple
        deliberately excludes. *)
     ( "OursMDS-w4",
-      "blob=1015eb67e882c346 entries=1024 rtts=62 sync_wire=10103 sync_raw=507904 commits=591 \
+      "blob=220629017c094fd7 entries=1024 rtts=62 sync_wire=10103 sync_raw=507904 commits=591 \
        spec=531 cats=[Init:1,Interrupt:40,Power state:46,Polling:319,Other:125] nondet=23 \
        accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
     (* memsync fast path (dedup + adaptive encoding): the tagged wire format
        changes the blob and the sync wire accounting, and is pinned as its
        own row — the rows above must stay byte-identical to the seed. *)
     ( "OursMDS-dedup",
-      "blob=b018113df3d55fd9 entries=1024 rtts=62 sync_wire=9070 sync_raw=507904 commits=591 \
+      "blob=09badd6a6ad764e3 entries=1024 rtts=62 sync_wire=9070 sync_raw=507904 commits=591 \
        spec=531 cats=[Init:1,Interrupt:40,Power state:46,Polling:319,Other:125] nondet=23 \
        accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
   ]

@@ -343,17 +343,24 @@ let job_desc_bad_magic () =
 
 (* ---- Kernels ---- *)
 
+(* A float-array view over a Kernels.Flat store: [exec] loads the array
+   (rounded to f32, as GPU memory stores it), runs the job, and reads the
+   whole space back so tests keep asserting on plain array cells. *)
 let flat_ctx n =
   let arr = Array.make n 0.0 in
-  ( arr,
-    {
-      Kernels.getf = (fun va -> arr.(Int64.to_int va / 4));
-      Kernels.setf = (fun va v -> arr.(Int64.to_int va / 4) <- v);
-    } )
+  let exec d =
+    let flat = Kernels.Flat.create () in
+    Array.iteri (fun i v -> Kernels.Flat.write_f32 flat (Int64.of_int (4 * i)) v) arr;
+    Kernels.execute (Kernels.Flat.ctx flat) d;
+    for i = 0 to n - 1 do
+      arr.(i) <- Kernels.Flat.read_f32 flat (Int64.of_int (4 * i))
+    done
+  in
+  (arr, exec)
 
 (* A hand-checked 1-channel 3x3 conv with a 2x2 kernel, stride 1, no pad. *)
 let kernels_conv_hand () =
-  let arr, ctx = flat_ctx 64 in
+  let arr, exec = flat_ctx 64 in
   (* input at 0: [[1;2;3];[4;5;6];[7;8;9]]  weights at 16: [[1;0];[0;1]] *)
   List.iteri (fun i v -> arr.(i) <- v) [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9. ];
   arr.(16) <- 1.0;
@@ -381,7 +388,7 @@ let kernels_conv_hand () =
       next_va = 0L;
     }
   in
-  Kernels.execute ctx d;
+  exec d;
   (* out[y][x] = in[y][x] + in[y+1][x+1] *)
   check (Alcotest.float 1e-6) "o00" 6.0 arr.(32);
   check (Alcotest.float 1e-6) "o01" 8.0 arr.(33);
@@ -389,7 +396,7 @@ let kernels_conv_hand () =
   check (Alcotest.float 1e-6) "o11" 14.0 arr.(35)
 
 let kernels_relu_and_bias () =
-  let arr, ctx = flat_ctx 64 in
+  let arr, exec = flat_ctx 64 in
   arr.(0) <- -5.0;
   arr.(1) <- 2.0;
   (* fc: 2 inputs -> 1 output, weights [1;1], bias -1, relu *)
@@ -418,12 +425,12 @@ let kernels_relu_and_bias () =
       next_va = 0L;
     }
   in
-  Kernels.execute ctx d;
+  exec d;
   (* -5 + 2 - 1 = -4, relu -> 0 *)
   check (Alcotest.float 1e-6) "relu clamps" 0.0 arr.(32)
 
 let kernels_maxpool_hand () =
-  let arr, ctx = flat_ctx 64 in
+  let arr, exec = flat_ctx 64 in
   List.iteri (fun i v -> arr.(i) <- v) [ 1.; 9.; 2.; 8.; 3.; 7.; 4.; 6.; 5. ];
   let d =
     {
@@ -448,12 +455,12 @@ let kernels_maxpool_hand () =
       next_va = 0L;
     }
   in
-  Kernels.execute ctx d;
+  exec d;
   check (Alcotest.float 1e-6) "max window" 9.0 arr.(32);
   check (Alcotest.float 1e-6) "max window 2" 9.0 arr.(33)
 
 let kernels_softmax_normalizes () =
-  let arr, ctx = flat_ctx 64 in
+  let arr, exec = flat_ctx 64 in
   List.iteri (fun i v -> arr.(i) <- v) [ 1.0; 2.0; 3.0; 4.0 ];
   let d =
     {
@@ -468,7 +475,7 @@ let kernels_softmax_normalizes () =
       next_va = 0L;
     }
   in
-  Kernels.execute ctx d;
+  exec d;
   let sum = arr.(16) +. arr.(17) +. arr.(18) +. arr.(19) in
   check (Alcotest.float 1e-6) "sums to 1" 1.0 sum;
   check Alcotest.bool "monotone" true (arr.(19) > arr.(18) && arr.(18) > arr.(17))
@@ -477,7 +484,7 @@ let kernels_partition_covers () =
   (* Partitioned conv jobs must produce exactly the same output as one
      unpartitioned job. *)
   let run parts =
-    let arr, ctx = flat_ctx 4096 in
+    let arr, exec = flat_ctx 4096 in
     let rng = Grt_util.Rng.create ~seed:17L in
     for i = 0 to 26 do
       arr.(i) <- Grt_util.Rng.float rng 1.0
@@ -512,7 +519,7 @@ let kernels_partition_covers () =
       }
     in
     for p = 0 to parts - 1 do
-      Kernels.execute ctx (base p parts)
+      exec (base p parts)
     done;
     Array.sub arr 512 24
   in
@@ -535,7 +542,7 @@ let kernels_partition_range_props =
       Array.for_all (fun c -> c = 1) covered)
 
 let kernels_shape_check () =
-  let _, ctx = flat_ctx 64 in
+  let _, exec = flat_ctx 64 in
   let d =
     {
       Job_desc.op = Shader.Conv2d;
@@ -559,7 +566,7 @@ let kernels_shape_check () =
       next_va = 0L;
     }
   in
-  match Kernels.execute ctx d with
+  match exec d with
   | () -> Alcotest.fail "bad geometry accepted"
   | exception Kernels.Kernel_fault _ -> ()
 
