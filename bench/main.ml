@@ -4,7 +4,7 @@
 
    Usage:
      bench/main.exe                 print every table and figure
-     bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|replay
+     bench/main.exe fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|replay|fleet
      bench/main.exe bechamel        run the Bechamel micro-suite only
      bench/main.exe --json FILE [CMD]   additionally write the rows as JSON
 *)
@@ -191,6 +191,35 @@ let memsync () =
     wrows;
   add_json "memsync_workload" E.memsync_workload_row_json wrows
 
+let fleet () =
+  hr
+    (Printf.sprintf
+       "Fleet: recording service, %d Zipf(%.1f) clients over %d NNs x %d SKUs"
+       Grt.Service.default_fleet.Grt.Service.clients Grt.Service.default_fleet.Grt.Service.zipf_s
+       (List.length Grt.Service.default_fleet.Grt.Service.nets)
+       (List.length Grt.Service.default_fleet.Grt.Service.skus));
+  Printf.printf "%-22s %7s %5s %5s %6s %5s %9s %9s %10s %8s %9s %9s\n" "mode"
+    "clients" "keys" "rec" "hits" "fail" "hitrate" "sess/s" "sync(MB)"
+    "RTTs" "crossS" "crossM";
+  let run ~label row =
+    Printf.printf "%-22s %7d %5d %5d %6d %5d %8.1f%% %9.0f %10.2f %8d %9d %9d\n%!"
+      label row.E.fleet_clients row.E.distinct_keys row.E.fleet_recordings
+      (row.E.fleet_cache_hits + row.E.fleet_coalesced)
+      row.E.fleet_failures
+      (100. *. row.E.fleet_hit_rate)
+      row.E.sessions_per_s row.E.fleet_sync_wire_mb row.E.fleet_blocking_rtts
+      row.E.spec_cross_hits row.E.sync_cross_hits;
+    row
+  in
+  let now = Unix.gettimeofday in
+  let mux, _ = E.fleet ~options:Grt.Service.default_fleet ~now () in
+  let mux = run ~label:mux.E.fleet_label mux in
+  let seq, _ = E.fleet ~options:Grt.Service.default_fleet ~sequential:true ~now () in
+  let seq = run ~label:seq.E.fleet_label seq in
+  Printf.printf "  virtual span %.1fs, p95 turnaround %.1fs, %d yields / %d switches\n"
+    mux.E.virtual_s mux.E.p95_turnaround_s mux.E.fleet_yields mux.E.fleet_switches;
+  add_json "fleet" E.fleet_row_json [ mux; seq ]
+
 let ablation () =
   hr "Ablation of design knobs (MobileNet, WiFi)";
   Printf.printf "%-38s %10s %8s %10s\n" "variant" "delay(s)" "RTTs" "sync(MB)";
@@ -283,6 +312,7 @@ let all () =
   faults ();
   memsync ();
   replay ();
+  fleet ();
   run_bechamel ()
 
 let () =
@@ -311,12 +341,13 @@ let () =
   | "faults" -> faults ()
   | "memsync" -> memsync ()
   | "replay" -> replay ()
+  | "fleet" -> fleet ()
   | "bechamel" -> run_bechamel ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown command %s (expected \
-       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|replay|bechamel|all)\n"
+       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|replay|fleet|bechamel|all)\n"
       other;
     exit 2);
   match json_file with

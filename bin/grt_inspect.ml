@@ -5,6 +5,7 @@
      dune exec bin/grt_inspect.exe -- mnist.grt
      dune exec bin/grt_inspect.exe -- --diff healthy.grt suspect.grt
      dune exec bin/grt_inspect.exe -- --timeline mnist-report.json
+     dune exec bin/grt_inspect.exe -- --cache fleet-cache.json
 *)
 
 open Cmdliner
@@ -28,13 +29,24 @@ let entries_arg =
   let doc = "Dump the first $(docv) entries." in
   Arg.(value & opt int 0 & info [ "e"; "entries" ] ~docv:"N" ~doc)
 
+let cache_arg =
+  let doc =
+    "Render the recording-cache listing $(docv) (written by grt-fleet --json \
+     or --cache-out)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"CACHE" ~doc)
+
+exception Unreadable of string
+
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let b = Bytes.create n in
-  really_input ic b 0 n;
-  close_in ic;
-  b
+  match open_in_bin path with
+  | exception Sys_error e -> raise (Unreadable e)
+  | ic ->
+    let n = in_channel_length ic in
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    close_in ic;
+    b
 
 let load path =
   match Grt.Recording.verify_and_parse ~key:Grt.Orchestrate.cloud_signing_key (read_file path) with
@@ -110,12 +122,71 @@ let timeline path =
       Format.printf "%a" Grt.Report.pp_timeline json;
       `Ok ())
 
-let run path diff timeline_path dump_n =
-  match (timeline_path, path, diff) with
-  | Some report, _, _ -> timeline report
-  | None, None, _ -> `Error (true, "a recording FILE (or --timeline REPORT) is required")
-  | None, Some path, None -> inspect path dump_n
-  | None, Some path, Some subject_path -> (
+(* Cache listings come from grt-fleet as {"fleet": ..., "cache": [rows]} or
+   {"cache": [rows]}; render the rows as the same table grt-fleet prints. *)
+let cache_listing path =
+  let module Json = Grt_util.Json in
+  match Json.parse (Bytes.to_string (read_file path)) with
+  | Error e -> `Error (false, path ^ ": " ^ e)
+  | Ok json -> (
+    let rows =
+      match json with
+      | Json.Obj fields -> (
+        match List.assoc_opt "cache" fields with
+        | Some (Json.Arr rows) -> Some rows
+        | _ -> None)
+      | Json.Arr rows -> Some rows
+      | _ -> None
+    in
+    match rows with
+    | None -> `Error (false, path ^ ": no \"cache\" array found")
+    | Some rows ->
+      let str field row =
+        match row with
+        | Json.Obj fields -> (
+          match List.assoc_opt field fields with Some (Json.Str s) -> s | _ -> "?")
+        | _ -> "?"
+      in
+      let num field row =
+        match row with
+        | Json.Obj fields -> (
+          match List.assoc_opt field fields with
+          | Some (Json.Num n) -> int_of_float n
+          | _ -> 0)
+        | _ -> 0
+      in
+      let resident row =
+        match row with
+        | Json.Obj fields -> (
+          match List.assoc_opt "resident" fields with
+          | Some (Json.Bool b) -> b
+          | _ -> false)
+        | _ -> false
+      in
+      Printf.printf "recording cache: %s (%d keys)\n" path (List.length rows);
+      Printf.printf "%-52s %8s %10s %6s %5s %6s\n" "key (net/SKU/runtime/mode)"
+        "resident" "blob(B)" "hits" "rec" "evict";
+      List.iter
+        (fun row ->
+          Printf.printf "%-52s %8s %10d %6d %5d %6d\n" (str "label" row)
+            (if resident row then "yes" else "-")
+            (num "blob_bytes" row) (num "hits" row) (num "recordings" row)
+            (num "evictions" row))
+        rows;
+      `Ok ())
+
+let rec run path diff timeline_path dump_n cache_path =
+  try run_inner path diff timeline_path dump_n cache_path
+  with Unreadable e -> `Error (false, e)
+
+and run_inner path diff timeline_path dump_n cache_path =
+  match (cache_path, timeline_path, path, diff) with
+  | Some cache, _, _, _ -> cache_listing cache
+  | None, Some report, _, _ -> timeline report
+  | None, None, None, _ ->
+    `Error (true, "a recording FILE (or --timeline REPORT, or --cache CACHE) is required")
+  | None, None, Some path, None -> inspect path dump_n
+  | None, None, Some path, Some subject_path -> (
     match (load path, load subject_path) with
     | Error e, _ | _, Error e -> `Error (false, e)
     | Ok reference, Ok subject ->
@@ -126,6 +197,7 @@ let run path diff timeline_path dump_n =
 let cmd =
   let doc = "inspect or diff GR-T recordings, or render a session-report timeline" in
   let info = Cmd.info "grt-inspect" ~version:"1.0" ~doc in
-  Cmd.v info Term.(ret (const run $ file_arg $ diff_arg $ timeline_arg $ entries_arg))
+  Cmd.v info
+    Term.(ret (const run $ file_arg $ diff_arg $ timeline_arg $ entries_arg $ cache_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -63,6 +63,7 @@ val create :
   ?tracer:Grt_sim.Tracer.t ->
   ?hists:Grt_sim.Hist.set ->
   ?history:history ->
+  ?sync_store:Memsync.Store.s ->
   ?wire_overhead:int ->
   ?replay_prefix:Recording.entry list ->
   unit ->

@@ -701,6 +701,109 @@ let replay_bench ?(nets = Zoo.all) ?(iters = 3) ctx =
       })
     nets
 
+(* ---- Fleet: the recording service under a Zipf client population ----
+
+   One row per execution mode of the same generated fleet, so the printed
+   table directly shows that multiplexed and sequential runs agree on every
+   semantic column (recordings, hit rate, wire traffic) and differ only in
+   host cost and scheduler stats. *)
+
+type fleet_row = {
+  fleet_label : string;  (* "sequential" or "multiplexed/<backend>" *)
+  fleet_clients : int;
+  distinct_keys : int;
+  fleet_recordings : int;
+  fleet_cache_hits : int;
+  fleet_coalesced : int;
+  fleet_failures : int;
+  fleet_evictions : int;
+  fleet_hit_rate : float;
+  host_s : float;
+  sessions_per_s : float;  (* clients / host_s *)
+  virtual_s : float;  (* fleet-wide virtual-time span *)
+  mean_turnaround_s : float;
+  p95_turnaround_s : float;
+  fleet_sync_wire_mb : float;  (* aggregate memsync traffic, both dirs *)
+  fleet_blocking_rtts : int;
+  spec_cross_hits : int;  (* §7.3 history hits across sessions *)
+  sync_cross_hits : int;  (* pages served from the shared content store *)
+  fleet_yields : int;  (* 0 for sequential *)
+  fleet_switches : int;
+}
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let fleet ?(options = Service.default_fleet) ?backend ?(sequential = false)
+    ?(cache_capacity = 0) ?(now = Sys.time) () =
+  let specs = Service.zipf_fleet options in
+  let svc = Service.create ~cache_capacity () in
+  let t0 = now () in
+  let reports, sched = Service.run ?backend ~sequential svc specs in
+  let host_s = Float.max (now () -. t0) 1e-9 in
+  let st = Service.stats svc in
+  let agg = Service.aggregate svc reports in
+  let g k = Grt_sim.Counters.get_int agg (Grt_sim.Metrics.name k) in
+  let turnarounds =
+    Array.of_list (List.map (fun r -> r.Service.turnaround_s) reports)
+  in
+  Array.sort compare turnarounds;
+  let mean_turnaround_s =
+    match Array.length turnarounds with
+    | 0 -> 0.
+    | n -> Array.fold_left ( +. ) 0. turnarounds /. float_of_int n
+  in
+  let virtual_s =
+    match sched with
+    | Some s -> Int64.to_float (Grt_sim.Sched.now_ns s) /. 1e9
+    | None ->
+        List.fold_left
+          (fun acc (r : Service.session_report) ->
+            Float.max acc
+              (Int64.to_float r.Service.spec.Service.arrival_ns /. 1e9
+              +. r.Service.turnaround_s))
+          0. reports
+  in
+  let row =
+    {
+      fleet_label =
+        (if sequential then "sequential"
+         else
+           "multiplexed/"
+           ^ Grt_sim.Sched.backend_name
+               (match sched with
+               | Some s -> Grt_sim.Sched.backend s
+               | None -> Grt_sim.Sched.default_backend));
+      fleet_clients = st.Service.sessions;
+      distinct_keys = List.length (Service.cache_listing svc);
+      fleet_recordings = st.Service.recordings;
+      fleet_cache_hits = st.Service.cache_hits;
+      fleet_coalesced = st.Service.coalesced;
+      fleet_failures = st.Service.failures;
+      fleet_evictions = st.Service.evictions;
+      fleet_hit_rate = Service.hit_rate st;
+      host_s;
+      sessions_per_s = float_of_int st.Service.sessions /. host_s;
+      virtual_s;
+      mean_turnaround_s;
+      p95_turnaround_s = percentile turnarounds 0.95;
+      fleet_sync_wire_mb =
+        float_of_int
+          (g Grt_sim.Metrics.Sync_down_wire_bytes
+          + g Grt_sim.Metrics.Sync_up_wire_bytes)
+        /. 1e6;
+      fleet_blocking_rtts = g Grt_sim.Metrics.Net_blocking_rtts;
+      spec_cross_hits = g Grt_sim.Metrics.Spec_cross_hits;
+      sync_cross_hits = g Grt_sim.Metrics.Sync_cross_hits;
+      fleet_yields = (match sched with Some s -> Grt_sim.Sched.yields s | None -> 0);
+      fleet_switches =
+        (match sched with Some s -> Grt_sim.Sched.switches s | None -> 0);
+    }
+  in
+  (row, svc)
+
 (* ---- JSON row export (bench --json, CI artifacts) ----
 
    One function per row type, mirroring the printed tables field for field
@@ -856,4 +959,29 @@ let fault_row_json (r : fault_row) =
       ("rollbacks", Json.int r.rollbacks);
       ("link_downs", Json.int r.link_downs);
       ("blob_identical", Json.Bool r.blob_identical);
+    ]
+
+let fleet_row_json (r : fleet_row) =
+  Json.Obj
+    [
+      ("label", Json.Str r.fleet_label);
+      ("clients", Json.int r.fleet_clients);
+      ("distinct_keys", Json.int r.distinct_keys);
+      ("recordings", Json.int r.fleet_recordings);
+      ("cache_hits", Json.int r.fleet_cache_hits);
+      ("coalesced", Json.int r.fleet_coalesced);
+      ("failures", Json.int r.fleet_failures);
+      ("evictions", Json.int r.fleet_evictions);
+      ("hit_rate", Json.float r.fleet_hit_rate);
+      ("host_s", Json.float r.host_s);
+      ("sessions_per_s", Json.float r.sessions_per_s);
+      ("virtual_s", Json.float r.virtual_s);
+      ("mean_turnaround_s", Json.float r.mean_turnaround_s);
+      ("p95_turnaround_s", Json.float r.p95_turnaround_s);
+      ("sync_wire_mb", Json.float r.fleet_sync_wire_mb);
+      ("blocking_rtts", Json.int r.fleet_blocking_rtts);
+      ("spec_cross_hits", Json.int r.spec_cross_hits);
+      ("sync_cross_hits", Json.int r.sync_cross_hits);
+      ("yields", Json.int r.fleet_yields);
+      ("switches", Json.int r.fleet_switches);
     ]

@@ -167,6 +167,46 @@ type memsync_workload_row = {
 
 val memsync_workload : ctx -> net:Grt_mlfw.Network.t -> memsync_workload_row list
 
+(** Fleet benchmark: the {!Service} under a Zipf client population. One row
+    per execution mode of the same generated fleet; multiplexed and
+    sequential rows agree on every semantic column (recordings, hit rate,
+    wire traffic) and differ only in host cost and scheduler stats. *)
+type fleet_row = {
+  fleet_label : string;  (** ["sequential"] or ["multiplexed/<backend>"] *)
+  fleet_clients : int;
+  distinct_keys : int;  (** distinct cache keys the population hit *)
+  fleet_recordings : int;
+  fleet_cache_hits : int;
+  fleet_coalesced : int;
+  fleet_failures : int;
+  fleet_evictions : int;
+  fleet_hit_rate : float;  (** (hits + coalesced) / sessions *)
+  host_s : float;
+  sessions_per_s : float;  (** clients / host_s *)
+  virtual_s : float;  (** fleet-wide virtual-time span *)
+  mean_turnaround_s : float;
+  p95_turnaround_s : float;
+  fleet_sync_wire_mb : float;  (** aggregate memsync traffic, both dirs *)
+  fleet_blocking_rtts : int;
+  spec_cross_hits : int;  (** §7.3 history hits across sessions *)
+  sync_cross_hits : int;  (** pages served from the shared content store *)
+  fleet_yields : int;  (** 0 for sequential *)
+  fleet_switches : int;
+}
+
+val fleet :
+  ?options:Service.fleet_options ->
+  ?backend:Grt_sim.Sched.backend ->
+  ?sequential:bool ->
+  ?cache_capacity:int ->
+  ?now:(unit -> float) ->
+  unit ->
+  fleet_row * Service.t
+(** Generate [options]'s fleet ({!Service.zipf_fleet}), run it through a
+    fresh service, and summarize. [now] (default [Sys.time]) supplies the
+    host clock for [sessions_per_s] — pass [Unix.gettimeofday] for
+    wall-clock. The service is returned for {!Service.cache_listing}. *)
+
 (** {2 JSON row export}
 
     One function per row type, mirroring the printed table field for field,
@@ -203,3 +243,4 @@ val fault_row_json : fault_row -> Grt_util.Json.t
 val replay_bench_row_json : replay_bench_row -> Grt_util.Json.t
 val memsync_sweep_row_json : memsync_sweep_row -> Grt_util.Json.t
 val memsync_workload_row_json : memsync_workload_row -> Grt_util.Json.t
+val fleet_row_json : fleet_row -> Grt_util.Json.t

@@ -75,9 +75,14 @@ type t = {
       (* walked pt pages with their generation stamps + the roots walked *)
   mutable meta_cache : int64 list option;
   shipped_data : (string, unit) Hashtbl.t; (* data regions the peer holds (Naive) *)
+  shared : Store.s option;
+      (* fleet-wide store shared by every session recorded under the same
+         cache key: content another session already pushed to this client
+         population travels as a hash reference (wire accounting only — the
+         logged record keeps its full self-contained encoding) *)
 }
 
-let create cfg =
+let create ?shared cfg =
   {
     cfg;
     regions = [];
@@ -90,6 +95,7 @@ let create cfg =
     pt_cache = None;
     meta_cache = None;
     shipped_data = Hashtbl.create 64;
+    shared;
   }
 
 let tagged_wire cfg = cfg.Mode.memsync_dedup || cfg.Mode.memsync_adaptive
@@ -173,6 +179,11 @@ type page_record = {
   enc : encoding;
   body : bytes;  (* wire form of the contents under [enc] *)
   wire : int;  (* bytes charged to the link for this record, header included *)
+  cross : bool;
+      (* a cross-session dedup hit: the shared store held this content, so
+         only a hash reference is charged to the wire. [enc]/[body] keep the
+         full encoding, which is what gets logged — recordings stay
+         self-contained and byte-identical with or without sharing. *)
 }
 
 type sync_payload = {
@@ -190,7 +201,9 @@ let wire_records p = List.map (fun r -> (r.pfn, r.enc, r.body)) p.records
 let payload_of_pages pgs =
   {
     records =
-      List.map (fun (pfn, data) -> { pfn; data; enc = Enc_raw; body = data; wire = 0 }) pgs;
+      List.map
+        (fun (pfn, data) -> { pfn; data; enc = Enc_raw; body = data; wire = 0; cross = false })
+        pgs;
     tagged = false;
     wire_bytes = 0;
     raw_bytes = 0;
@@ -223,7 +236,7 @@ let encode_legacy t ~previous ~pfn ~current =
       if t.cfg.Mode.compress_dumps then (Enc_raw_rc, Grt_util.Range_coder.encode current)
       else (Enc_raw, current)
   in
-  { pfn; data = current; enc; body; wire = Bytes.length body + per_page_header }
+  { pfn; data = current; enc; body; wire = Bytes.length body + per_page_header; cross = false }
 
 (* Tagged encoding: bodies are decoded on the receiving side. The encoding
    tag itself says whether a body is range-coded, so no in-band container
@@ -232,8 +245,12 @@ let encode_legacy t ~previous ~pfn ~current =
    side channel). A hash reference ships only when the sender itself put
    that exact body on the wire before — which the receiver, by
    construction, has decoded and stored. *)
+let hash_ref_wire ~pfn = varint_size (Int64.to_int pfn) + 1 + varint_size 8 + 8
+
 let encode_tagged t ~previous ~pfn ~current =
-  let mk enc body = { pfn; data = current; enc; body; wire = tagged_record_wire ~pfn ~body } in
+  let mk enc body =
+    { pfn; data = current; enc; body; wire = tagged_record_wire ~pfn ~body; cross = false }
+  in
   let h = hash_page current in
   let hash_hit =
     t.cfg.Mode.memsync_dedup
@@ -281,7 +298,21 @@ let encode_tagged t ~previous ~pfn ~current =
         else mk Enc_raw current
     end
   in
+  (* Cross-session dedup: content an earlier same-key session shipped to
+     this client population needs only a hash reference on the wire. The
+     record keeps its full encoding ([enc]/[body] untouched) so the logged
+     recording is identical with or without a shared store; only the wire
+     charge and the [cross] flag change. *)
+  let r =
+    match t.shared with
+    | Some sh when t.cfg.Mode.memsync_dedup && r.enc <> Enc_hash_ref -> (
+      match Store.find sh h with
+      | Some b when Bytes.equal b current -> { r with wire = hash_ref_wire ~pfn; cross = true }
+      | _ -> r)
+    | _ -> r
+  in
   Store.learn t.sent_store current;
+  (match t.shared with Some sh -> Store.learn sh current | None -> ());
   r
 
 let sync_meta t mem =
@@ -351,7 +382,10 @@ let note_peer_page t pfn contents = Hashtbl.replace t.baseline pfn (Bytes.copy c
 
 let note_shipped t pfn contents =
   Hashtbl.replace t.baseline pfn (Bytes.copy contents);
-  if tagged_wire t.cfg then Store.learn t.sent_store contents
+  if tagged_wire t.cfg then begin
+    Store.learn t.sent_store contents;
+    match t.shared with Some sh -> Store.learn sh contents | None -> ()
+  end
 
 (* Walk the descriptor chain in local memory and apply [f] to every data
    region it references, tagged with its role. *)

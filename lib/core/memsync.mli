@@ -54,7 +54,14 @@ end
 
 type t
 
-val create : Mode.config -> t
+val create : ?shared:Store.s -> Mode.config -> t
+(** [?shared] is a fleet-wide content store shared by all sessions recorded
+    under the same cache key (see {!Service}): a page body some earlier
+    same-key session already shipped is charged to the wire as an 8-byte
+    hash reference ([cross = true] on its record) instead of its full
+    encoding. Sharing affects wire accounting and metrics only — the logged
+    record keeps the full self-contained encoding, so recordings are
+    byte-identical with or without a shared store. *)
 
 val register_region : t -> region -> unit
 val regions : t -> region list
@@ -74,7 +81,20 @@ type page_record = {
   enc : encoding;
   body : bytes;  (** wire form of the contents under [enc] *)
   wire : int;  (** bytes charged to the link for this record, header included *)
+  cross : bool;
+      (** the shared cross-session store already held this content, so [wire]
+          is a hash reference's size; [enc]/[body] (and the logged record)
+          still carry the full encoding *)
 }
+
+val tagged_record_wire : pfn:int64 -> body:bytes -> int
+(** Wire-accounting bytes for one tagged page record — exactly its
+    serialized size: varint pfn + encoding-tag byte + varint length +
+    body. *)
+
+val hash_ref_wire : pfn:int64 -> int
+(** Wire-accounting bytes for a hash-reference record for [pfn] (8-byte
+    body) — what a cross-session dedup hit is charged. *)
 
 type sync_payload = {
   records : page_record list;
@@ -99,11 +119,6 @@ val payload_of_pages : (int64 * bytes) list -> sync_payload
 
 val per_page_header : int
 (** Wire-accounting bytes charged per page record (pfn + length). *)
-
-val tagged_record_wire : pfn:int64 -> body:bytes -> int
-(** Wire-accounting bytes for one tagged page record — exactly its
-    serialized size: varint pfn + encoding-tag byte + varint length +
-    body. *)
 
 val sync_meta : t -> Grt_gpu.Mem.t -> sync_payload
 (** Diff the metastate against the baseline, advance the baseline, and

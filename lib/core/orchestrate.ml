@@ -108,7 +108,8 @@ let attempt_loop (ctx : Ctx.t) ~devicetree =
     let shim =
       Drivershim.create ~cfg:ctx.cfg ~link:ctx.link ~gpushim ~cloud_mem ~counters:ctx.counters
         ~trace:ctx.trace ?tracer:ctx.tracer ?hists:ctx.hists ~history:ctx.history
-        ~wire_overhead:Grt_tee.Channel.wire_overhead ~replay_prefix:prefix ()
+        ?sync_store:ctx.sync_store ~wire_overhead:Grt_tee.Channel.wire_overhead
+        ~replay_prefix:prefix ()
     in
     (match ctx.inject_fault_after with
     | Some k ->
@@ -296,25 +297,101 @@ let dump_trace (ctx : Ctx.t) =
     Format.eprintf "--- end of trace ---@."
   end
 
+(* Re-entrant per-session pipeline state: the stage reached so far plus the
+   artifacts later stages need, so a session is a value that can be stepped
+   (and multiplexed by {!Grt_sim.Sched}) rather than a call stack. Stage
+   boundaries are yield points — free for a solo session. *)
+module Pipeline = struct
+  type stage =
+    | Created
+    | Established
+    | Booted of Cloudvm.t
+    | Attempted of {
+        vm : Cloudvm.t;
+        gpushim : Gpushim.t;
+        shim : Drivershim.t;
+        runner : Grt_mlfw.Runner.t;
+      }
+    | Finished of record_outcome
+
+  type t = { ctx : Ctx.t; mutable stage : stage }
+
+  let create ctx = { ctx; stage = Created }
+  let ctx t = t.ctx
+
+  let stage_name t =
+    match t.stage with
+    | Created -> "created"
+    | Established -> "established"
+    | Booted _ -> "booted"
+    | Attempted _ -> "attempted"
+    | Finished _ -> "finished"
+
+  let step t =
+    match t.stage with
+    | Created ->
+      establish t.ctx;
+      t.stage <- Established;
+      `More
+    | Established ->
+      let vm = boot t.ctx in
+      t.stage <- Booted vm;
+      `More
+    | Booted vm ->
+      let gpushim, shim, _session, runner =
+        attempt_loop t.ctx ~devicetree:(Cloudvm.selected_tree vm)
+      in
+      t.stage <- Attempted { vm; gpushim; shim; runner };
+      `More
+    | Attempted { vm; gpushim; shim; runner } ->
+      let outcome = finalize_and_sign t.ctx ~vm ~gpushim ~shim ~runner in
+      t.stage <- Finished outcome;
+      `Done outcome
+    | Finished outcome -> `Done outcome
+
+  let run t =
+    let rec go () =
+      match step t with
+      | `More ->
+        Grt_sim.Clock.yield t.ctx.Ctx.clock;
+        go ()
+      | `Done outcome -> outcome
+    in
+    try go ()
+    with e ->
+      (* Session post-mortem (mispredict storms, Recovery_diverged, link
+         collapse): surface the link/shim event ring. *)
+      let bt = Printexc.get_raw_backtrace () in
+      dump_trace t.ctx;
+      Printexc.raise_with_backtrace e bt
+end
+
+(* Serve an already-recorded blob to a fresh client: the attested channel
+   still has to be established and the download + verification still happen
+   — only the dry run is skipped (the service's cache-hit path). *)
+let serve_cached (ctx : Ctx.t) ~blob =
+  establish ctx;
+  Link.one_way_to_client ctx.link ~bytes:(Bytes.length blob);
+  match Recording.verify_and_parse ~key:cloud_signing_key blob with
+  | Ok _ -> ()
+  | Error e -> failwith ("client rejected recording: " ^ e)
+
 let record ?history ?inject_fault_after ?inject_outage_after ?config ?(granularity = `Monolithic)
     ?window ?trace_capacity ?observe ~profile ~mode ~sku ~net ~seed () =
   let cfg = match config with Some c -> c | None -> Mode.default_config mode in
-  let ctx =
-    Ctx.create ?history ?inject_fault_after ?window ?trace_capacity ?observe ~cfg ~profile ~sku
-      ~net ~seed ~granularity ()
+  let options =
+    {
+      Ctx.default_options with
+      Ctx.history;
+      inject_fault_after;
+      window = (match window with Some w -> w | None -> Ctx.default_options.Ctx.window);
+      trace_capacity;
+      observe = (match observe with Some o -> o | None -> false);
+    }
   in
+  let ctx = Ctx.create ~options ~cfg ~profile ~sku ~net ~seed ~granularity () in
   (match inject_outage_after with Some k -> Link.inject_outage_after ctx.link k | None -> ());
-  try
-    establish ctx;
-    let vm = boot ctx in
-    let gpushim, shim, _session, runner = attempt_loop ctx ~devicetree:(Cloudvm.selected_tree vm) in
-    finalize_and_sign ctx ~vm ~gpushim ~shim ~runner
-  with e ->
-    (* Session post-mortem (mispredict storms, Recovery_diverged, link
-       collapse): surface the link/shim event ring. *)
-    let bt = Printexc.get_raw_backtrace () in
-    dump_trace ctx;
-    Printexc.raise_with_backtrace e bt
+  Pipeline.run (Pipeline.create ctx)
 
 type replay_outcome = { r : Replayer.result; setup_s : float }
 

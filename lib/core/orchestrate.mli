@@ -41,6 +41,38 @@ type record_outcome = {
   hists : Grt_sim.Hist.set option;  (** latency/size histograms, iff [observe] *)
 }
 
+(** One recording session as a steppable value: establish → boot → attempt
+    loop → finalize/sign held as re-entrant per-session state instead of a
+    call stack, so the {!Service} can multiplex many sessions over one
+    {!Grt_sim.Sched}. Stage boundaries are yield points (free for a solo
+    session), and [run] under a scheduler produces byte-identical blobs,
+    counters and clock readings to a direct {!record} call. *)
+module Pipeline : sig
+  type t
+
+  val create : Session_ctx.t -> t
+
+  val step : t -> [ `More | `Done of record_outcome ]
+  (** Advance one stage. [`Done] is idempotent. Exceptions out of a stage
+      leave the pipeline at the failed stage (callers own the post-mortem —
+      {!run} dumps the trace ring). *)
+
+  val run : t -> record_outcome
+  (** Step to completion, yielding the session clock between stages; dumps
+      the diagnostic trace ring and re-raises if a stage fails. *)
+
+  val ctx : t -> Session_ctx.t
+
+  val stage_name : t -> string
+  (** ["created"], ["established"], ["booted"], ["attempted"] or
+      ["finished"] — for progress surfaces. *)
+end
+
+val serve_cached : Session_ctx.t -> blob:bytes -> unit
+(** The cache-hit path: establish the attested channel, download the
+    already-signed [blob] over the session's link, and verify it — no dry
+    run. Raises [Failure] if verification fails. *)
+
 val record :
   ?history:Drivershim.history ->
   ?inject_fault_after:int ->

@@ -1,0 +1,603 @@
+module Sched = Grt_sim.Sched
+module Counters = Grt_sim.Counters
+module Metrics = Grt_sim.Metrics
+module Sku = Grt_gpu.Sku
+module Network = Grt_mlfw.Network
+module Profile = Grt_net.Profile
+module Hashing = Grt_util.Hashing
+module Ctx = Session_ctx
+
+type key = int64
+
+let runtime_version = Cloudvm.default_image.Cloudvm.image_name
+
+(* ---- cache key derivation ----
+
+   A recording is reusable across clients exactly when it was produced by
+   the same GPU stack for the same workload on the same silicon with the
+   same wire format. The key folds each of those dimensions with FNV-1a;
+   only the recording-format-bearing mode flags participate (dirty tracking
+   is wire-invariant, so it is deliberately excluded). *)
+
+let flag b = if b then 1L else 0L
+
+let cache_key ~(cfg : Mode.config) ~(sku : Sku.t) ~(net : Network.t) =
+  let h = Hashing.fnv1a_string net.Network.name in
+  let h = Hashing.combine h (Hashing.fnv1a_string sku.Sku.name) in
+  let h = Hashing.combine h (Hashing.fnv1a_string runtime_version) in
+  let h = Hashing.combine h (Hashing.fnv1a_string (Mode.name cfg.Mode.mode)) in
+  let h = Hashing.combine h (flag cfg.Mode.memsync_dedup) in
+  Hashing.combine h (flag cfg.Mode.memsync_adaptive)
+
+let key_label ~(cfg : Mode.config) ~(sku : Sku.t) ~(net : Network.t) =
+  Printf.sprintf "%s/%s/%s/%s%s%s" net.Network.name sku.Sku.name runtime_version
+    (Mode.name cfg.Mode.mode)
+    (if cfg.Mode.memsync_dedup then "+dedup" else "")
+    (if cfg.Mode.memsync_adaptive then "+adaptive" else "")
+
+(* Recording sessions run under a key-derived seed, not a client-derived
+   one: the signed blob depends on the seed (device salts, dry-run data),
+   so deriving it from the key makes the cached artifact a deterministic
+   function of the key — whichever client happens to trigger the recording,
+   and however many times an evicted key is re-recorded. *)
+let recording_seed key = Hashing.combine key 0x7265636f7264L (* "record" *)
+
+let serve_seed key ~client_id = Hashing.combine (recording_seed key) (Int64.of_int client_id)
+
+(* ---- clients ---- *)
+
+type client_spec = {
+  client_id : int;
+  arrival_ns : int64;
+  net : Network.t;
+  sku : Sku.t;
+  profile : Profile.t;
+  cfg : Mode.config;
+  inject_fault_after : int option;
+}
+
+type outcome =
+  | Recorded of Orchestrate.record_outcome
+  | Cache_hit
+  | Coalesced
+  | Failed of string
+
+let outcome_name = function
+  | Recorded _ -> "recorded"
+  | Cache_hit -> "cache_hit"
+  | Coalesced -> "coalesced"
+  | Failed _ -> "failed"
+
+let served = function Cache_hit | Coalesced -> true | Recorded _ | Failed _ -> false
+
+type session_report = {
+  spec : client_spec;
+  key : key;
+  label : string;
+  outcome : outcome;
+  turnaround_s : float;
+  blob_bytes : int;
+  counters : Counters.t;
+}
+
+(* ---- service state ---- *)
+
+(* Per-key state that outlives cache residency: eviction drops the signed
+   blob, not the fleet's knowledge. The shared memsync store models what
+   the client population already holds, so a re-recording after eviction
+   ships mostly hash references; the stats feed the cache listing. *)
+type keyed = {
+  key : key;
+  label : string;
+  sync_store : Memsync.Store.s;
+  mutable hits : int;  (* cache hits + coalesced serves *)
+  mutable recordings : int;
+  mutable evictions : int;
+}
+
+type entry = {
+  uid : int;  (* identity for per-run condition variables *)
+  keyed : keyed;
+  mutable blob : bytes option;
+  mutable inflight : bool;
+  mutable last_touch : int;  (* decision sequence number (LRU order) *)
+}
+
+type t = {
+  capacity : int;  (* resident entries; 0 = unbounded *)
+  cache : (key, entry) Hashtbl.t;
+  keyed_tbl : (key, keyed) Hashtbl.t;
+  histories : (string, Spec_history.t) Hashtbl.t;
+      (* (net, sku) -> speculation history shared across all sessions of
+         that pair, whatever their mode flags (§7.3) *)
+  svc : Counters.t;
+  mutable touch_seq : int;
+  mutable uid_seq : int;
+}
+
+let create ?(cache_capacity = 0) () =
+  if cache_capacity < 0 then invalid_arg "Service.create: negative capacity";
+  {
+    capacity = cache_capacity;
+    cache = Hashtbl.create 64;
+    keyed_tbl = Hashtbl.create 64;
+    histories = Hashtbl.create 16;
+    svc = Counters.create ();
+    touch_seq = 0;
+    uid_seq = 0;
+  }
+
+let service_counters t = t.svc
+
+let share_group_of ~(net : Network.t) ~(sku : Sku.t) = net.Network.name ^ "|" ^ sku.Sku.name
+let share_group (spec : client_spec) = share_group_of ~net:spec.net ~sku:spec.sku
+
+let history_for t spec =
+  let g = share_group spec in
+  match Hashtbl.find_opt t.histories g with
+  | Some h -> h
+  | None ->
+    let h = Spec_history.create () in
+    Hashtbl.add t.histories g h;
+    h
+
+let keyed_for t key ~label =
+  match Hashtbl.find_opt t.keyed_tbl key with
+  | Some k -> k
+  | None ->
+    let k =
+      { key; label; sync_store = Memsync.Store.create (); hits = 0; recordings = 0; evictions = 0 }
+    in
+    Hashtbl.add t.keyed_tbl key k;
+    k
+
+(* ---- arrival-time decisions ----
+
+   The cache decision for every client is taken at its *arrival*, in
+   arrival order, before any session work runs. Decisions therefore form
+   the same sequence whether the sessions then run multiplexed or
+   sequentially — which makes eviction, recorder identity and the shared
+   stores deterministic across execution modes (the interleaving-
+   determinism property leans on this). *)
+
+type decision =
+  | D_serve of entry  (* blob resident *)
+  | D_wait of entry  (* recording in flight: coalesce onto it *)
+  | D_record of entry  (* this client triggers the recording *)
+
+let evict_if_full t =
+  if t.capacity > 0 && Hashtbl.length t.cache >= t.capacity then begin
+    let victim =
+      Hashtbl.fold
+        (fun _ e acc ->
+          match acc with
+          | Some b when b.last_touch <= e.last_touch -> acc
+          | _ -> Some e)
+        t.cache None
+    in
+    match victim with
+    | Some e ->
+      Hashtbl.remove t.cache e.keyed.key;
+      e.keyed.evictions <- e.keyed.evictions + 1;
+      Counters.incr t.svc "svc.evictions"
+    | None -> ()
+  end
+
+let decide t (spec : client_spec) =
+  let key = cache_key ~cfg:spec.cfg ~sku:spec.sku ~net:spec.net in
+  t.touch_seq <- t.touch_seq + 1;
+  let touch = t.touch_seq in
+  match Hashtbl.find_opt t.cache key with
+  | Some e when e.blob <> None ->
+    e.last_touch <- touch;
+    D_serve e
+  | Some e when e.inflight ->
+    e.last_touch <- touch;
+    D_wait e
+  | Some e ->
+    (* resident but its recording failed: this client retries *)
+    e.last_touch <- touch;
+    e.inflight <- true;
+    D_record e
+  | None ->
+    evict_if_full t;
+    let keyed = keyed_for t key ~label:(key_label ~cfg:spec.cfg ~sku:spec.sku ~net:spec.net) in
+    t.uid_seq <- t.uid_seq + 1;
+    let e = { uid = t.uid_seq; keyed; blob = None; inflight = true; last_touch = touch } in
+    Hashtbl.replace t.cache key e;
+    D_record e
+
+(* ---- session bodies ----
+
+   The session's context (and so its clock) is built at plan time: under
+   the scheduler the ctx clock is the task clock, so every blocking wait
+   inside the session is a scheduler yield point. *)
+
+let serve_ctx (spec : client_spec) ~seed =
+  Ctx.create ~cfg:spec.cfg ~profile:spec.profile ~sku:spec.sku ~net:spec.net ~seed
+    ~granularity:`Monolithic ()
+
+let record_ctx t (spec : client_spec) (e : entry) =
+  let options =
+    {
+      Ctx.default_options with
+      Ctx.history = Some (history_for t spec);
+      sync_store = Some e.keyed.sync_store;
+      inject_fault_after = spec.inject_fault_after;
+    }
+  in
+  Ctx.create ~options ~cfg:spec.cfg ~profile:spec.profile ~sku:spec.sku ~net:spec.net
+    ~seed:(recording_seed e.keyed.key) ~granularity:`Monolithic ()
+
+let report_of ctx (spec : client_spec) (e : entry) outcome ~blob_bytes =
+  {
+    spec;
+    key = e.keyed.key;
+    label = e.keyed.label;
+    outcome;
+    turnaround_s = Grt_sim.Clock.now_s ctx.Ctx.clock;
+    blob_bytes;
+    counters = ctx.Ctx.counters;
+  }
+
+(* Serve a resident blob over [ctx]: attested establishment + download +
+   verification — everything of a session except the dry run. *)
+let serve t spec (e : entry) ctx ~coalesced =
+  let blob = Option.get e.blob in
+  Orchestrate.serve_cached ctx ~blob;
+  e.keyed.hits <- e.keyed.hits + 1;
+  Counters.incr t.svc (if coalesced then "svc.coalesced" else "svc.cache_hits");
+  report_of ctx spec e
+    (if coalesced then Coalesced else Cache_hit)
+    ~blob_bytes:(Bytes.length blob)
+
+(* Record under the key-derived seed and publish the blob into the entry.
+   The caller owns turnstile ordering and completion signalling. *)
+let record_into t spec (e : entry) ctx =
+  let history = history_for t spec in
+  Spec_history.new_epoch history;
+  let cross0 = Spec_history.cross_hits history in
+  match Orchestrate.Pipeline.run (Orchestrate.Pipeline.create ctx) with
+  | outcome ->
+    let cross = Spec_history.cross_hits history - cross0 in
+    if cross > 0 then Metrics.add ctx.Ctx.metrics Metrics.Spec_cross_hits cross;
+    e.blob <- Some outcome.Orchestrate.blob;
+    e.inflight <- false;
+    e.keyed.recordings <- e.keyed.recordings + 1;
+    Counters.incr t.svc "svc.recordings";
+    report_of ctx spec e (Recorded outcome) ~blob_bytes:(Bytes.length outcome.Orchestrate.blob)
+  | exception exn ->
+    e.inflight <- false;
+    Counters.incr t.svc "svc.failures";
+    report_of ctx spec e (Failed (Printexc.to_string exn)) ~blob_bytes:0
+
+let fail_report t spec (e : entry) msg =
+  Counters.incr t.svc "svc.failures";
+  let ctx = serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id) in
+  report_of ctx spec e (Failed msg) ~blob_bytes:0
+
+(* A serve can fail live (ARQ collapse on a degraded channel, verification
+   failure): keep the fleet running and report the client as failed. *)
+let serve_safe t spec (e : entry) ctx ~coalesced =
+  try serve t spec e ctx ~coalesced
+  with exn ->
+    Counters.incr t.svc "svc.failures";
+    report_of ctx spec e (Failed (Printexc.to_string exn)) ~blob_bytes:0
+
+(* ---- sequential execution ----
+
+   Each session runs to completion at its decision point. [D_wait] is
+   unreachable: a recording always finishes (or fails) before the next
+   arrival is examined. *)
+
+let run_sequential t specs =
+  List.map
+    (fun spec ->
+      Counters.incr t.svc "svc.sessions";
+      match decide t spec with
+      | D_serve e ->
+        serve_safe t spec e
+          (serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id))
+          ~coalesced:false
+      | D_record e -> record_into t spec e (record_ctx t spec e)
+      | D_wait e -> (
+        match e.blob with
+        | Some _ ->
+          serve_safe t spec e
+            (serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id))
+            ~coalesced:true
+        | None -> fail_report t spec e "recording in flight with no scheduler"))
+    specs
+
+(* ---- multiplexed execution ----
+
+   Decisions are taken up front (arrival order), then every session becomes
+   a scheduler task entering the shared timeline at its arrival time.
+   Same-key sessions coalesce on the entry's condition; recordings of the
+   same share group are serialized through a FIFO turnstile (they mutate
+   the shared speculation history, and the ticket order — assigned at
+   decision time — keeps that mutation order identical to the sequential
+   mode's). *)
+
+type run_aux = {
+  sched : Sched.t;
+  entry_conds : (int, Sched.cond) Hashtbl.t;  (* entry uid -> completion *)
+  group_queues : (string, int list ref) Hashtbl.t;  (* group -> ticket FIFO *)
+  group_conds : (string, Sched.cond) Hashtbl.t;
+}
+
+let aux_cond tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some c -> c
+  | None ->
+    let c = Sched.new_cond () in
+    Hashtbl.add tbl k c;
+    c
+
+let group_queue aux g =
+  match Hashtbl.find_opt aux.group_queues g with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    Hashtbl.add aux.group_queues g q;
+    q
+
+let run_multiplexed ?backend t specs =
+  let sched = Sched.create ?backend () in
+  let aux =
+    {
+      sched;
+      entry_conds = Hashtbl.create 64;
+      group_queues = Hashtbl.create 16;
+      group_conds = Hashtbl.create 16;
+    }
+  in
+  let reports = Hashtbl.create 256 in
+  let put (spec : client_spec) r = Hashtbl.replace reports spec.client_id r in
+  (* Plan pass: decisions + session contexts, in arrival order. *)
+  let plans =
+    List.map
+      (fun spec ->
+        Counters.incr t.svc "svc.sessions";
+        let d = decide t spec in
+        let ctx =
+          match d with
+          | D_record e ->
+            let q = group_queue aux (share_group spec) in
+            q := !q @ [ spec.client_id ];
+            record_ctx t spec e
+          | D_serve e | D_wait e ->
+            serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id)
+        in
+        (spec, d, ctx))
+      specs
+  in
+  (* Spawn pass: one task per session, entering at its arrival time. *)
+  List.iter
+    (fun ((spec : client_spec), d, ctx) ->
+      let body () =
+        match d with
+        | D_serve e -> put spec (serve_safe t spec e ctx ~coalesced:false)
+        | D_wait e ->
+          let cond = aux_cond aux.entry_conds e.uid in
+          let rec wait () =
+            if e.blob = None && e.inflight then begin
+              Sched.await sched cond;
+              wait ()
+            end
+          in
+          wait ();
+          (match e.blob with
+          | Some _ -> put spec (serve_safe t spec e ctx ~coalesced:true)
+          | None -> put spec (fail_report t spec e "recording failed upstream"))
+        | D_record e ->
+          let g = share_group spec in
+          let q = group_queue aux g in
+          let gcond = aux_cond aux.group_conds g in
+          let rec turn () =
+            match !q with
+            | head :: _ when head = spec.client_id -> ()
+            | _ ->
+              Sched.await sched gcond;
+              turn ()
+          in
+          turn ();
+          let finish () =
+            q := List.filter (fun id -> id <> spec.client_id) !q;
+            Sched.signal_all sched gcond;
+            Sched.signal_all sched (aux_cond aux.entry_conds e.uid)
+          in
+          Fun.protect ~finally:finish (fun () -> put spec (record_into t spec e ctx))
+      in
+      ignore
+        (Sched.spawn sched ~arrival_ns:spec.arrival_ns
+           ~name:(Printf.sprintf "client-%d" spec.client_id)
+           ~clock:ctx.Ctx.clock body))
+    plans;
+  Sched.run sched;
+  ( List.map
+      (fun spec ->
+        match Hashtbl.find_opt reports spec.client_id with
+        | Some r -> r
+        | None -> failwith (Printf.sprintf "Service: client %d produced no report" spec.client_id))
+      specs,
+    sched )
+
+let run ?backend ?(sequential = false) t specs =
+  let specs =
+    List.stable_sort
+      (fun (a : client_spec) b ->
+        match Int64.compare a.arrival_ns b.arrival_ns with
+        | 0 -> compare a.client_id b.client_id
+        | c -> c)
+      specs
+  in
+  if sequential then (run_sequential t specs, None)
+  else
+    let reports, sched = run_multiplexed ?backend t specs in
+    (reports, Some sched)
+
+(* ---- aggregation, stats, cache listing ---- *)
+
+let aggregate t reports =
+  let dst = Counters.create () in
+  List.iter (fun r -> Counters.merge_into ~dst ~src:r.counters) reports;
+  Counters.merge_into ~dst ~src:t.svc;
+  dst
+
+type stats = {
+  sessions : int;
+  recordings : int;
+  cache_hits : int;
+  coalesced : int;
+  failures : int;
+  evictions : int;
+  resident : int;
+  resident_bytes : int;
+}
+
+let stats t =
+  let get k = Counters.get_int t.svc k in
+  let resident, resident_bytes =
+    Hashtbl.fold
+      (fun _ e (n, b) ->
+        (n + 1, b + (match e.blob with Some blob -> Bytes.length blob | None -> 0)))
+      t.cache (0, 0)
+  in
+  {
+    sessions = get "svc.sessions";
+    recordings = get "svc.recordings";
+    cache_hits = get "svc.cache_hits";
+    coalesced = get "svc.coalesced";
+    failures = get "svc.failures";
+    evictions = get "svc.evictions";
+    resident;
+    resident_bytes;
+  }
+
+let hit_rate s =
+  if s.sessions = 0 then 0. else float_of_int (s.cache_hits + s.coalesced) /. float_of_int s.sessions
+
+type listing_row = {
+  row_key : key;
+  row_label : string;
+  row_resident : bool;
+  row_blob_bytes : int;
+  row_hits : int;
+  row_recordings : int;
+  row_evictions : int;
+}
+
+let cache_listing t =
+  Hashtbl.fold
+    (fun key (k : keyed) acc ->
+      let resident, blob_bytes =
+        match Hashtbl.find_opt t.cache key with
+        | Some { blob = Some b; _ } -> (true, Bytes.length b)
+        | Some { blob = None; _ } -> (true, 0)
+        | None -> (false, 0)
+      in
+      {
+        row_key = key;
+        row_label = k.label;
+        row_resident = resident;
+        row_blob_bytes = blob_bytes;
+        row_hits = k.hits;
+        row_recordings = k.recordings;
+        row_evictions = k.evictions;
+      }
+      :: acc)
+    t.keyed_tbl []
+  |> List.sort (fun a b -> compare a.row_label b.row_label)
+
+(* ---- fleet generation ---- *)
+
+type fleet_options = {
+  clients : int;
+  zipf_s : float;  (* popularity skew over (net, sku) ranks *)
+  nets : Network.t list;
+  skus : Sku.t list;
+  fleet_cfg : Mode.config;
+  mean_interarrival_s : float;
+  fault_fraction : float;  (* clients that arm [inject_fault_after] *)
+  degraded_fraction : float;  (* clients behind a lossy channel *)
+  fleet_seed : int64;
+}
+
+(* The fast-path configuration: the small tagged wire keeps 10k+ downloads
+   and verifications cheap, and it is the configuration whose recordings
+   benefit from the shared dedup store. *)
+let fastpath_cfg =
+  { (Mode.default_config Mode.Ours_mds) with Mode.memsync_dedup = true; memsync_adaptive = true }
+
+let default_fleet =
+  {
+    clients = 10_000;
+    zipf_s = 1.1;
+    nets = Grt_mlfw.Zoo.all;
+    skus = Grt_gpu.Sku.all;
+    fleet_cfg = fastpath_cfg;
+    mean_interarrival_s = 0.005;
+    fault_fraction = 0.05;
+    degraded_fraction = 0.10;
+    fleet_seed = 0x666C656574L (* "fleet" *);
+  }
+
+let zipf_fleet (o : fleet_options) =
+  if o.clients <= 0 then invalid_arg "Service.zipf_fleet: clients must be positive";
+  if o.nets = [] || o.skus = [] then invalid_arg "Service.zipf_fleet: empty catalog";
+  let rng = Grt_util.Rng.create ~seed:o.fleet_seed in
+  let pairs =
+    Array.of_list (List.concat_map (fun n -> List.map (fun s -> (n, s)) o.skus) o.nets)
+  in
+  let n = Array.length pairs in
+  (* Zipf over popularity ranks: weight(rank r) = r^-s. *)
+  let cum = Array.make n 0. in
+  let total = ref 0. in
+  Array.iteri
+    (fun i _ ->
+      total := !total +. (1. /. (float_of_int (i + 1) ** o.zipf_s));
+      cum.(i) <- !total)
+    pairs;
+  let pick_pair u =
+    let target = u *. !total in
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) < target then bisect (mid + 1) hi else bisect lo mid
+    in
+    pairs.(bisect 0 (n - 1))
+  in
+  let arrival = ref 0. in
+  List.init o.clients (fun client_id ->
+      let net, sku = pick_pair (Grt_util.Rng.float rng 1.0) in
+      (* WiFi-heavy mix, echoing §7.2's evaluated conditions. *)
+      let base_profile =
+        let p = Grt_util.Rng.float rng 1.0 in
+        if p < 0.5 then Profile.wifi else if p < 0.85 then Profile.cellular else Profile.lan
+      in
+      let profile =
+        if Grt_util.Rng.float rng 1.0 < o.degraded_fraction then
+          Profile.degrade
+            ~drop_prob:(0.005 +. Grt_util.Rng.float rng 0.015)
+            ~jitter_s:(Grt_util.Rng.float rng 0.002) base_profile
+        else base_profile
+      in
+      let inject_fault_after =
+        if Grt_util.Rng.float rng 1.0 < o.fault_fraction then
+          Some (1 + Grt_util.Rng.int rng 4)
+        else None
+      in
+      (* Exponential interarrivals: a Poisson arrival process. *)
+      let u = Grt_util.Rng.float rng 1.0 in
+      arrival := !arrival +. (-.log (1. -. u) *. o.mean_interarrival_s);
+      {
+        client_id;
+        arrival_ns = Int64.of_float (!arrival *. 1e9);
+        net;
+        sku;
+        profile;
+        cfg = o.fleet_cfg;
+        inject_fault_after;
+      })

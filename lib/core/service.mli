@@ -1,0 +1,154 @@
+(** The multi-session recording service.
+
+    The cloud side of §3.1 at fleet scale: many clients request recordings;
+    the service multiplexes their sessions over one virtual timeline
+    ({!Grt_sim.Sched}) and answers repeat requests from a content-addressed
+    cache of already-signed blobs, so the expensive dry run happens once per
+    distinct (workload, GPU, stack, wire format) and every other client
+    pays only the attested download.
+
+    Cross-session state (§7.3): sessions of the same (network, SKU) share
+    one {!Spec_history} table — later recordings speculate confidently from
+    the first access — and same-key sessions share a {!Memsync.Store} so a
+    re-recording after eviction ships mostly hash references.
+
+    Determinism: cache decisions are taken at client *arrival*, in arrival
+    order, and recordings of a share group are serialized in ticket order
+    assigned at decision time. The multiplexed and sequential execution
+    modes therefore produce identical signed blobs and identical per-session
+    counters (only waiting time and outcome labelling — [Cache_hit] vs
+    [Coalesced] — differ), which the interleaving-determinism property test
+    checks. *)
+
+type key = int64
+
+val runtime_version : string
+(** The GPU-stack identity baked into every cache key (the image name of
+    {!Cloudvm.default_image}). *)
+
+val cache_key : cfg:Mode.config -> sku:Grt_gpu.Sku.t -> net:Grt_mlfw.Network.t -> key
+(** FNV-1a over (network, SKU, runtime version, recording-format mode
+    flags). Wire-invariant knobs (dirty tracking) are excluded. *)
+
+val key_label : cfg:Mode.config -> sku:Grt_gpu.Sku.t -> net:Grt_mlfw.Network.t -> string
+(** Human-readable form of the key's components. *)
+
+val recording_seed : key -> int64
+(** The seed recordings under [key] run with. Key-derived — not
+    client-derived — so the cached blob is a deterministic function of the
+    key, whichever client triggers the recording. *)
+
+type client_spec = {
+  client_id : int;  (** unique per fleet *)
+  arrival_ns : int64;  (** global virtual arrival time *)
+  net : Grt_mlfw.Network.t;
+  sku : Grt_gpu.Sku.t;
+  profile : Grt_net.Profile.t;
+  cfg : Mode.config;
+  inject_fault_after : int option;
+      (** armed only if this client ends up recording *)
+}
+
+type outcome =
+  | Recorded of Orchestrate.record_outcome  (** this client ran the dry run *)
+  | Cache_hit  (** served from a resident blob *)
+  | Coalesced  (** waited on an in-flight recording, then served *)
+  | Failed of string
+
+val outcome_name : outcome -> string
+
+val served : outcome -> bool
+(** [Cache_hit] or [Coalesced]. *)
+
+type session_report = {
+  spec : client_spec;
+  key : key;
+  label : string;
+  outcome : outcome;
+  turnaround_s : float;
+      (** session-clock time from arrival to served/recorded, including any
+          coalescing wait *)
+  blob_bytes : int;
+  counters : Grt_sim.Counters.t;  (** this session's counter set *)
+}
+
+type t
+
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] bounds resident entries (LRU by decision-time touch
+    order); 0 (default) = unbounded. Per-key shared stores and per-group
+    histories survive eviction — only the signed blob is dropped. *)
+
+val run :
+  ?backend:Grt_sim.Sched.backend ->
+  ?sequential:bool ->
+  t ->
+  client_spec list ->
+  session_report list * Grt_sim.Sched.t option
+(** Process a fleet. Clients are ordered by (arrival, id) first. With
+    [sequential] (default false) each session runs to completion at its
+    arrival — the reference semantics; otherwise sessions are multiplexed
+    over a fresh scheduler (returned for its yield/switch stats). Reports
+    come back in arrival order. The service may be reused across runs —
+    the cache and shared stores persist. *)
+
+val aggregate : t -> session_report list -> Grt_sim.Counters.t
+(** Fleet-wide counter set: every session's counters merged
+    ({!Grt_sim.Counters.merge_into}) plus the service's own [svc.*]
+    counters. *)
+
+val service_counters : t -> Grt_sim.Counters.t
+(** The service's own counters ([svc.sessions], [svc.cache_hits],
+    [svc.coalesced], [svc.recordings], [svc.evictions], [svc.failures]). *)
+
+type stats = {
+  sessions : int;
+  recordings : int;
+  cache_hits : int;
+  coalesced : int;
+  failures : int;
+  evictions : int;
+  resident : int;  (** entries currently in the cache *)
+  resident_bytes : int;  (** signed-blob bytes held *)
+}
+
+val stats : t -> stats
+val hit_rate : stats -> float
+
+type listing_row = {
+  row_key : key;
+  row_label : string;
+  row_resident : bool;
+  row_blob_bytes : int;
+  row_hits : int;
+  row_recordings : int;
+  row_evictions : int;
+}
+
+val cache_listing : t -> listing_row list
+(** Every key the service has ever recorded (resident or evicted), sorted
+    by label — the [grt_fleet]/[grt_inspect] cache-contents view. *)
+
+type fleet_options = {
+  clients : int;
+  zipf_s : float;  (** popularity skew over (net, sku) ranks *)
+  nets : Grt_mlfw.Network.t list;
+  skus : Grt_gpu.Sku.t list;
+  fleet_cfg : Mode.config;
+  mean_interarrival_s : float;
+  fault_fraction : float;  (** clients that arm [inject_fault_after] *)
+  degraded_fraction : float;  (** clients behind a lossy channel *)
+  fleet_seed : int64;
+}
+
+val fastpath_cfg : Mode.config
+(** [Ours_mds] + dedup + adaptive encoding — the fleet default. *)
+
+val default_fleet : fleet_options
+(** 10k clients, Zipf 1.1 over the full Zoo × SKU catalog, 5 ms mean
+    interarrival, 5% fault clients, 10% degraded channels. *)
+
+val zipf_fleet : fleet_options -> client_spec list
+(** Deterministic fleet generation from [fleet_seed]: Zipf-popular
+    (net, sku) picks, a WiFi-heavy profile mix with optional degradation,
+    exponential interarrivals. *)

@@ -1,5 +1,24 @@
 module Link = Grt_net.Link
 
+type options = {
+  history : Spec_history.t option;
+  sync_store : Memsync.Store.s option;
+  inject_fault_after : int option;
+  window : int;
+  trace_capacity : int option;
+  observe : bool;
+}
+
+let default_options =
+  {
+    history = None;
+    sync_store = None;
+    inject_fault_after = None;
+    window = 1;
+    trace_capacity = None;
+    observe = false;
+  }
+
 type t = {
   cfg : Mode.config;
   seed : int64;
@@ -16,25 +35,25 @@ type t = {
   hists : Grt_sim.Hist.set option;
   link : Link.t;
   history : Spec_history.t;
+  sync_store : Memsync.Store.s option;
   mutable inject_fault_after : int option;
   mutable rollbacks : int;
   mutable rollback_s : float;
 }
 
-let create ?history ?inject_fault_after ?(window = 1) ?trace_capacity ?(observe = false) ~cfg
-    ~profile ~sku ~net ~seed ~granularity () =
+let create ?(options = default_options) ~cfg ~profile ~sku ~net ~seed ~granularity () =
   let clock = Grt_sim.Clock.create () in
   let energy = Grt_sim.Energy.create clock in
   let counters = Grt_sim.Counters.create () in
-  let trace = Grt_sim.Trace.create ?capacity:trace_capacity clock in
-  let tracer = if observe then Some (Grt_sim.Tracer.create clock) else None in
-  let hists = if observe then Some (Grt_sim.Hist.create_set ()) else None in
+  let trace = Grt_sim.Trace.create ?capacity:options.trace_capacity clock in
+  let tracer = if options.observe then Some (Grt_sim.Tracer.create clock) else None in
+  let hists = if options.observe then Some (Grt_sim.Hist.create_set ()) else None in
   (* The link's fault draws derive from the session seed so a lossy run is
      exactly reproducible. *)
   let link =
     Link.create ~clock ~energy ~counters ~trace ?tracer ?hists
       ~seed:(Grt_util.Hashing.combine seed 0x6C696E6BL)
-      ~window profile
+      ~window:options.window profile
   in
   {
     cfg;
@@ -51,8 +70,9 @@ let create ?history ?inject_fault_after ?(window = 1) ?trace_capacity ?(observe 
     tracer;
     hists;
     link;
-    history = (match history with Some h -> h | None -> Spec_history.create ());
-    inject_fault_after;
+    history = (match options.history with Some h -> h | None -> Spec_history.create ());
+    sync_store = options.sync_store;
+    inject_fault_after = options.inject_fault_after;
     rollbacks = 0;
     rollback_s = 0.;
   }
@@ -62,6 +82,7 @@ let session_salt t = Grt_util.Hashing.combine t.seed 0x5a17L
 let charge_rollback t cost =
   t.rollbacks <- t.rollbacks + 1;
   t.rollback_s <- t.rollback_s +. cost;
-  Grt_sim.Clock.advance_s t.clock cost
+  Grt_sim.Clock.advance_s t.clock cost;
+  Grt_sim.Clock.yield t.clock
 
 let stat t key = Grt_sim.Metrics.get_int t.metrics key

@@ -1,12 +1,33 @@
 (** Shared context of one recording session.
 
-    One [t] is created per {!Orchestrate.record} call and threaded through
-    the pipeline stages (establish → boot → attempt loop → finalize/sign)
+    One [t] is created per recording session and threaded through the
+    pipeline stages (establish → boot → attempt loop → finalize/sign)
     in place of long optional-argument plumbing: the virtual clock, the
     client energy model, the counter set with its typed {!Grt_sim.Metrics}
     view, the diagnostic {!Grt_sim.Trace} ring (shared by the link and the
     driver shim), the seeded link, and the speculation history — plus the
     mutable rollback accounting the attempt loop updates. *)
+
+(** The session's optional knobs, gathered into one record (callers
+    override individual fields of {!default_options}). *)
+type options = {
+  history : Spec_history.t option;
+      (** speculation history to reuse; fresh when [None]. Shared across
+          sessions by the recording service (§7.3). *)
+  sync_store : Memsync.Store.s option;
+      (** fleet-shared memsync content store (see {!Memsync.create});
+          [None] for a solo session *)
+  inject_fault_after : int option;
+      (** corrupt the response to the [n]-th speculated commit of the first
+          attempt, forcing one rollback *)
+  window : int;  (** link sliding-window size; 1 = stop-and-wait *)
+  trace_capacity : int option;  (** diagnostic event-ring size *)
+  observe : bool;  (** create the span tracer + histogram registry *)
+}
+
+val default_options : options
+(** No history, no shared store, no fault, window 1, default ring,
+    unobserved. *)
 
 type t = {
   cfg : Mode.config;
@@ -24,6 +45,7 @@ type t = {
   hists : Grt_sim.Hist.set option;  (** latency/size histograms; iff [observe] *)
   link : Grt_net.Link.t;
   history : Spec_history.t;  (** shared across attempts (and sessions, §7.3) *)
+  sync_store : Memsync.Store.s option;  (** fleet-shared content store *)
   mutable inject_fault_after : int option;
       (** armed once, on the first attempt that consumes it (§7.3) *)
   mutable rollbacks : int;
@@ -31,11 +53,7 @@ type t = {
 }
 
 val create :
-  ?history:Spec_history.t ->
-  ?inject_fault_after:int ->
-  ?window:int ->
-  ?trace_capacity:int ->
-  ?observe:bool ->
+  ?options:options ->
   cfg:Mode.config ->
   profile:Grt_net.Profile.t ->
   sku:Grt_gpu.Sku.t ->
@@ -45,18 +63,17 @@ val create :
   unit ->
   t
 (** Build the session infrastructure: clock, energy, counters/metrics,
-    trace ring, and the link (fault-seeded from [seed]; [window], default 1,
-    is the link's sliding-window size). [trace_capacity] sizes the event
-    ring. [observe] (default false) additionally creates the span
-    {!Grt_sim.Tracer} and the {!Grt_sim.Hist} registry; the default path
-    carries [None]s and stays byte-identical to an unobserved build. *)
+    trace ring, and the link (fault-seeded from [seed]). [options] defaults
+    to {!default_options}; with [observe] unset the default path carries
+    [None]s and stays byte-identical to an unobserved build. *)
 
 val session_salt : t -> int64
 (** The GPU's nondeterministic-state salt: a property of the physical
     device, stable across rollback attempts within a session. *)
 
 val charge_rollback : t -> float -> unit
-(** Account one rollback of the given cost and advance the clock by it. *)
+(** Account one rollback of the given cost, advance the clock by it, and
+    yield to the scheduler (no-op for a solo session). *)
 
 val stat : t -> Grt_sim.Metrics.key -> int
 (** Typed counter lookup, for assembling the outcome record. *)

@@ -1,25 +1,47 @@
-type t = (string, int64 array list) Hashtbl.t
+(* Entries are tagged with the epoch in which they were observed; an epoch
+   is one recording session ({!new_epoch} is called at each session start by
+   the recording service). A confident hit whose evidence includes an entry
+   from an earlier epoch is a *cross-session* hit — speculation bootstrapped
+   by history retained from a previous recording (§7.3). *)
 
-let create () : t = Hashtbl.create 128
+type entry = { values : int64 array; epoch : int }
 
-let lookup t site = Option.value ~default:[] (Hashtbl.find_opt t site)
+type t = {
+  tbl : (string, entry list) Hashtbl.t;
+  mutable epoch : int;
+  mutable cross_hits : int;
+}
+
+let create () = { tbl = Hashtbl.create 128; epoch = 0; cross_hits = 0 }
+
+let entries t site = Option.value ~default:[] (Hashtbl.find_opt t.tbl site)
+let lookup t site = List.map (fun e -> e.values) (entries t site)
 
 let observe t ~k site values =
-  let prev = lookup t site in
+  let prev = entries t site in
   let keep = max 1 k in
   let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest in
-  Hashtbl.replace t site (take keep (values :: prev))
+  Hashtbl.replace t.tbl site (take keep ({ values; epoch = t.epoch } :: prev))
 
-let forget t site = Hashtbl.remove t site
+let forget t site = Hashtbl.remove t.tbl site
 
 let confident t ~k site =
-  let entries = lookup t site in
-  if List.length entries < k then None
+  let es = entries t site in
+  if List.length es < k then None
   else
-    match entries with
-    | first :: rest -> if List.for_all (fun v -> v = first) rest then Some first else None
+    match es with
+    | first :: rest ->
+      if List.for_all (fun e -> e.values = first.values) rest then begin
+        if List.exists (fun (e : entry) -> e.epoch < t.epoch) es then
+          t.cross_hits <- t.cross_hits + 1;
+        Some first.values
+      end
+      else None
     | [] -> None
 
-let sites t = Hashtbl.fold (fun site _ acc -> site :: acc) t []
+let new_epoch t = t.epoch <- t.epoch + 1
+let cross_hits t = t.cross_hits
 
-let size t = Hashtbl.length t
+let sites t = Hashtbl.fold (fun site _ acc -> site :: acc) t.tbl []
+
+let size t = Hashtbl.length t.tbl

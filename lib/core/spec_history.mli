@@ -30,7 +30,19 @@ val forget : t -> string -> unit
 
 val confident : t -> k:int -> string -> int64 array option
 (** The predicted outcome vector, iff the site has at least [k] recorded
-    outcomes and they are all equal. *)
+    outcomes and they are all equal. A hit whose evidence includes an entry
+    observed before the current epoch also bumps {!cross_hits}. *)
+
+val new_epoch : t -> unit
+(** Start a new observation epoch. The recording service calls this at each
+    session start on a shared table, so {!cross_hits} can distinguish
+    confidence earned within the running session from confidence carried
+    over from previous sessions of the same (network, SKU). *)
+
+val cross_hits : t -> int
+(** Confident hits so far whose evidence spans a previous epoch — §7.3's
+    cross-session speculation benefit, exported by the service as
+    [spec.history_cross_hits]. *)
 
 val sites : t -> string list
 (** Known sites, in no particular order (diagnostics). *)

@@ -25,6 +25,13 @@ let payload_metrics t (payload : Memsync.sync_payload) =
   List.iter
     (fun (r : Memsync.page_record) ->
       count t (enc_key r.Memsync.enc) 1;
+      (* cross-session dedup hits: counted only when they occur, so solo
+         sessions never materialize these counter cells *)
+      if r.Memsync.cross then begin
+        count t Metrics.Sync_cross_hits 1;
+        count t Metrics.Sync_cross_saved_bytes
+          (Memsync.tagged_record_wire ~pfn:r.Memsync.pfn ~body:r.Memsync.body - r.Memsync.wire)
+      end;
       Hist.record_opt t.hists Hist.Sync_page_wire r.Memsync.wire)
     payload.Memsync.records
 

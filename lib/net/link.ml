@@ -171,6 +171,7 @@ let rec stall_for_slot t =
       count t Metrics.Net_window_stalls 1;
       Trace.event_opt t.trace (Trace.Window_stall { inflight = List.length t.pipe });
       Grt_sim.Clock.advance_to t.clock oldest.if_completion;
+      Grt_sim.Clock.yield t.clock;
       t.pipe <- rest;
       stall_for_slot t
   end
@@ -314,7 +315,8 @@ let round_trip t ~send_bytes ~recv_bytes =
       let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
       Hist.record_opt t.hists Hist.Rtt_ns (int_of_float (latency *. 1e9));
       Grt_sim.Clock.advance_s t.clock latency;
-      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)))
+      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)));
+  Grt_sim.Clock.yield t.clock
 
 let async_send t ~send_bytes ~recv_bytes =
   Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"async_send" (fun () ->
@@ -339,7 +341,8 @@ let async_send t ~send_bytes ~recv_bytes =
 let wait_until t deadline =
   if Int64.compare deadline (Grt_sim.Clock.now_ns t.clock) > 0 then begin
     count t Metrics.Net_stall_waits 1;
-    Grt_sim.Clock.advance_to t.clock deadline
+    Grt_sim.Clock.advance_to t.clock deadline;
+    Grt_sim.Clock.yield t.clock
   end
 
 (* One-way pushes retransmit on payload loss only; the tiny reverse ack is
@@ -357,7 +360,8 @@ let one_way_to_client t ~bytes =
             charge_radio t ~tx_bytes:0 ~rx_bytes:bytes)
       in
       Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
-      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)))
+      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)));
+  Grt_sim.Clock.yield t.clock
 
 let one_way_from_client t ~bytes =
   Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"one_way_from_client" (fun () ->
@@ -372,7 +376,8 @@ let one_way_from_client t ~bytes =
             charge_radio t ~tx_bytes:bytes ~rx_bytes:0)
       in
       Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
-      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)))
+      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)));
+  Grt_sim.Clock.yield t.clock
 
 let counter_int t key = match t.metrics with Some m -> Metrics.get_int m key | None -> 0
 

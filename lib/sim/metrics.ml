@@ -30,6 +30,7 @@ type key =
   | Spec_dep_stalls
   | Spec_degraded_suppressed
   | Spec_inflight_hw
+  | Spec_cross_hits
   (* polling *)
   | Poll_instances
   | Poll_offloaded
@@ -49,6 +50,8 @@ type key =
   | Sync_enc_delta
   | Sync_enc_delta_rc
   | Sync_enc_hash_ref
+  | Sync_cross_hits
+  | Sync_cross_saved_bytes
   (* fault injection + recovery *)
   | Fault_injected
   | Recovery_entries
@@ -90,6 +93,7 @@ let name = function
   | Spec_dep_stalls -> "spec.dep_stalls"
   | Spec_degraded_suppressed -> "spec.degraded_suppressed"
   | Spec_inflight_hw -> "spec.inflight_hw"
+  | Spec_cross_hits -> "spec.history_cross_hits"
   | Poll_instances -> "poll.instances"
   | Poll_offloaded -> "poll.offloaded"
   | Poll_iters -> "poll.iters"
@@ -107,6 +111,8 @@ let name = function
   | Sync_enc_delta -> "sync.enc_delta"
   | Sync_enc_delta_rc -> "sync.enc_delta_rc"
   | Sync_enc_hash_ref -> "sync.enc_hash_ref"
+  | Sync_cross_hits -> "sync.cross_hits"
+  | Sync_cross_saved_bytes -> "sync.cross_saved_bytes"
   | Fault_injected -> "fault.injected"
   | Recovery_entries -> "recovery.entries"
   | Recovery_pages -> "recovery.pages"
@@ -126,11 +132,13 @@ let all =
     Reg_reads; Reg_writes; Commits_total;
     Commits_speculated; Commits_sync; Commits_accesses; Spec_mispredicts; Spec_rejected_nondet;
     Spec_epoch_stalls; Spec_dep_stalls; Spec_degraded_suppressed; Spec_inflight_hw;
+    Spec_cross_hits;
     Poll_instances;
     Poll_offloaded; Poll_iters; Irq_waits; Sync_down_events; Sync_down_wire_bytes;
     Sync_down_raw_bytes; Sync_up_events; Sync_up_wire_bytes; Sync_up_raw_bytes;
     Sync_pages_visited; Sync_pages_meta; Sync_enc_raw; Sync_enc_raw_rc; Sync_enc_delta;
-    Sync_enc_delta_rc; Sync_enc_hash_ref; Fault_injected;
+    Sync_enc_delta_rc; Sync_enc_hash_ref; Sync_cross_hits; Sync_cross_saved_bytes;
+    Fault_injected;
     Recovery_entries; Recovery_pages; Recovery_link_downs; Client_reg_reads; Client_reg_writes;
     Client_polls; Client_irq_waits; Client_uploads; Client_downloads;
   ]

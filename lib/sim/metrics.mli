@@ -43,6 +43,9 @@ type key =
   | Spec_inflight_hw
       (** high-water mark of speculative commits outstanding at once (only
           tracked when pipelining is configured) *)
+  | Spec_cross_hits
+      (** confident speculation hits whose evidence came from a previous
+          session sharing the {!Grt.Spec_history} table (§7.3) *)
   | Poll_instances
   | Poll_offloaded
   | Poll_iters
@@ -62,6 +65,10 @@ type key =
   | Sync_enc_delta
   | Sync_enc_delta_rc
   | Sync_enc_hash_ref  (** shipped pages by chosen wire encoding *)
+  | Sync_cross_hits
+      (** page records satisfied from the fleet-shared content store (wire
+          carries a hash reference; the logged record stays self-contained) *)
+  | Sync_cross_saved_bytes  (** wire bytes saved by those cross-session hits *)
   | Fault_injected
   | Recovery_entries
   | Recovery_pages

@@ -1,0 +1,80 @@
+(* Thread-backed coroutines — the portable engine under {!Sched}.
+
+   OCaml 4.14 has no effect handlers, so the scheduler's suspend/resume is
+   built on systhreads with a strict baton handshake: at any instant exactly
+   one of {scheduler, coroutine} runs, the other blocks on a condition
+   variable. The handoff is fully synchronous — [resume] does not return
+   until the coroutine has yielded, finished, or raised — so scheduling
+   decisions (and therefore every recorded session) are exactly as
+   deterministic as with the effects engine; only the context-switch cost
+   differs. On OCaml 5 the same code doubles as the fallback engine so CI
+   can prove both paths on one compiler. *)
+
+type status =
+  | Yielded
+  | Done
+  | Raised of exn * Printexc.raw_backtrace
+
+type t = {
+  m : Mutex.t;
+  to_coro : Condition.t;  (* scheduler -> coroutine baton *)
+  to_sched : Condition.t;  (* coroutine -> scheduler baton *)
+  mutable turn : [ `Sched | `Coro ];
+  mutable outcome : status option;  (* set by the coroutine at each handoff *)
+  mutable started : bool;
+  body : (unit -> unit) -> unit;  (* receives its yield function *)
+}
+
+let spawn body =
+  {
+    m = Mutex.create ();
+    to_coro = Condition.create ();
+    to_sched = Condition.create ();
+    turn = `Sched;
+    outcome = None;
+    started = false;
+    body;
+  }
+
+(* Block until the scheduler hands the baton over. Caller holds [t.m]. *)
+let wait_for_baton t = while t.turn <> `Coro do Condition.wait t.to_coro t.m done
+
+(* Hand the baton back with [st] and, for [Yielded], wait to be resumed. *)
+let hand_back t st =
+  Mutex.lock t.m;
+  t.outcome <- Some st;
+  t.turn <- `Sched;
+  Condition.signal t.to_sched;
+  (match st with Yielded -> wait_for_baton t | Done | Raised _ -> ());
+  Mutex.unlock t.m
+
+let yield t () = hand_back t Yielded
+
+let main t () =
+  Mutex.lock t.m;
+  wait_for_baton t;
+  Mutex.unlock t.m;
+  let st =
+    try
+      t.body (yield t);
+      Done
+    with e -> Raised (e, Printexc.get_raw_backtrace ())
+  in
+  hand_back t st
+
+let resume t =
+  match t.outcome with
+  | Some (Done | Raised _) -> invalid_arg "Sched_threads.resume: coroutine already finished"
+  | _ ->
+    if not t.started then begin
+      t.started <- true;
+      ignore (Thread.create (main t) ())
+    end;
+    Mutex.lock t.m;
+    t.outcome <- None;
+    t.turn <- `Coro;
+    Condition.signal t.to_coro;
+    while t.outcome = None do Condition.wait t.to_sched t.m done;
+    let st = Option.get t.outcome in
+    Mutex.unlock t.m;
+    st

@@ -1,0 +1,340 @@
+(* Multi-session recording service tests: the virtual-time scheduler (both
+   coroutine engines), solo-session identity through the scheduler, the
+   content-addressed recording cache (hits, coalescing, LRU eviction +
+   cheap re-record through the shared stores), and the interleaving-
+   determinism property — N multiplexed sessions produce exactly the blobs
+   and counters of the same sessions run sequentially. *)
+
+module Sched = Grt_sim.Sched
+module Clock = Grt_sim.Clock
+module Counters = Grt_sim.Counters
+module Metrics = Grt_sim.Metrics
+module Service = Grt.Service
+module Orchestrate = Grt.Orchestrate
+module Ctx = Grt.Session_ctx
+module Mode = Grt.Mode
+module Zoo = Grt_mlfw.Zoo
+module Sku = Grt_gpu.Sku
+module Profile = Grt_net.Profile
+
+let check = Alcotest.check
+
+let backends = List.filter Sched.backend_available [ `Effects; `Threads ]
+
+(* ---- scheduler unit tests, parameterized over the backend ---- *)
+
+(* Tasks resume in global virtual-time order (arrival + private clock),
+   regardless of spawn order. *)
+let sched_order backend () =
+  let s = Sched.create ~backend () in
+  let log = ref [] in
+  let mk name arrival_ns advance_s =
+    let clock = Clock.create () in
+    ignore
+      (Sched.spawn s ~arrival_ns ~name ~clock (fun () ->
+           log := (name ^ ":start") :: !log;
+           Clock.advance_s clock advance_s;
+           Clock.yield clock;
+           log := (name ^ ":end") :: !log))
+  in
+  (* A enters at 0 and burns 100ms before its yield point; B enters at
+     50ms and burns 10ms. B's yield (global 60ms) beats A's (100ms). *)
+  mk "A" 0L 0.100;
+  mk "B" 50_000_000L 0.010;
+  Sched.run s;
+  check
+    Alcotest.(list string)
+    "virtual-time order" [ "A:start"; "B:start"; "B:end"; "A:end" ]
+    (List.rev !log);
+  check Alcotest.int "every suspension resumed" (Sched.yields s + 2) (Sched.switches s);
+  check Alcotest.bool "high-water time is A's end" true (Sched.now_ns s = 100_000_000L)
+
+(* await consumes virtual time: the waiter wakes at the signaller's global
+   instant, with its private clock advanced to match. *)
+let sched_cond backend () =
+  let s = Sched.create ~backend () in
+  let cond = Sched.new_cond () in
+  let a_clock = Clock.create () in
+  let woke_at = ref (-1.0) in
+  ignore
+    (Sched.spawn s ~name:"waiter" ~clock:a_clock (fun () ->
+         Sched.await s cond;
+         woke_at := Clock.now_s a_clock));
+  let b_clock = Clock.create () in
+  ignore
+    (Sched.spawn s ~arrival_ns:10_000_000L ~name:"signaller" ~clock:b_clock
+       (fun () ->
+         Clock.advance_s b_clock 0.020;
+         Sched.signal_all s cond));
+  Sched.run s;
+  (* signaller's global time at the signal: 10ms arrival + 20ms burned *)
+  check (Alcotest.float 1e-9) "woke at the signal instant" 0.030 !woke_at
+
+let sched_deadlock backend () =
+  let s = Sched.create ~backend () in
+  let cond = Sched.new_cond () in
+  let clock = Clock.create () in
+  ignore (Sched.spawn s ~name:"stuck" ~clock (fun () -> Sched.await s cond));
+  match Sched.run s with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sched.Deadlock [ "stuck" ] -> ()
+  | exception Sched.Deadlock names ->
+      Alcotest.failf "wrong deadlock set: %s" (String.concat "," names)
+
+(* A raising task is recorded, not propagated; other tasks finish. *)
+let sched_failure backend () =
+  let s = Sched.create ~backend () in
+  let finished = ref false in
+  let c1 = Clock.create () and c2 = Clock.create () in
+  ignore (Sched.spawn s ~name:"bad" ~clock:c1 (fun () -> failwith "boom"));
+  ignore (Sched.spawn s ~name:"good" ~clock:c2 (fun () -> finished := true));
+  Sched.run s;
+  check Alcotest.bool "good task finished" true !finished;
+  match Sched.failures s with
+  | [ ("bad", Failure msg, _) ] -> check Alcotest.string "exn carried" "boom" msg
+  | fs -> Alcotest.failf "wrong failures: %d entries" (List.length fs)
+
+(* ---- solo identity: one session under the scheduler is byte-identical
+   to the same session run directly (golden preservation) ---- *)
+
+let solo_identity backend () =
+  let seed = 42L in
+  let direct =
+    Orchestrate.record ~profile:Profile.wifi ~mode:Mode.Ours_mds
+      ~sku:Sku.g71_mp8 ~net:Zoo.mnist ~seed ()
+  in
+  let cfg = Mode.default_config Mode.Ours_mds in
+  let ctx =
+    Ctx.create ~cfg ~profile:Profile.wifi ~sku:Sku.g71_mp8 ~net:Zoo.mnist
+      ~seed ~granularity:`Monolithic ()
+  in
+  let pipeline = Orchestrate.Pipeline.create ctx in
+  let s = Sched.create ~backend () in
+  let result = ref None in
+  ignore
+    (Sched.spawn s ~name:"solo" ~clock:ctx.Ctx.clock (fun () ->
+         result := Some (Orchestrate.Pipeline.run pipeline)));
+  Sched.run s;
+  match !result with
+  | None -> Alcotest.fail "pipeline did not finish"
+  | Some o ->
+      check Alcotest.bool "blob identical" true
+        (Bytes.equal direct.Orchestrate.blob o.Orchestrate.blob);
+      check Alcotest.bool "counters identical" true
+        (Counters.to_alist direct.Orchestrate.counters
+        = Counters.to_alist o.Orchestrate.counters);
+      check (Alcotest.float 1e-9) "clock readings identical"
+        direct.Orchestrate.total_s o.Orchestrate.total_s
+
+(* ---- service semantics ---- *)
+
+let spec ?(cfg = Service.fastpath_cfg) ?(profile = Profile.wifi)
+    ?(sku = Sku.g71_mp8) ?(net = Zoo.mnist) ?fault ~id ~at_ms () =
+  {
+    Service.client_id = id;
+    arrival_ns = Int64.mul (Int64.of_int at_ms) 1_000_000L;
+    net;
+    sku;
+    profile;
+    cfg;
+    inject_fault_after = fault;
+  }
+
+let blob_of = function
+  | { Service.outcome = Service.Recorded o; _ } -> Some o.Orchestrate.blob
+  | _ -> None
+
+(* The service's recording is the plain Orchestrate.record of the
+   key-derived seed — cacheable because it depends on the key alone. *)
+let recording_matches_direct () =
+  let sp = spec ~id:0 ~at_ms:0 () in
+  let reports, _ = Service.run ~sequential:true (Service.create ()) [ sp ] in
+  let key =
+    Service.cache_key ~cfg:sp.Service.cfg ~sku:sp.Service.sku ~net:sp.Service.net
+  in
+  let direct =
+    Orchestrate.record ~config:sp.Service.cfg ~profile:Profile.wifi
+      ~mode:Mode.Ours_mds ~sku:sp.Service.sku ~net:sp.Service.net
+      ~seed:(Service.recording_seed key) ()
+  in
+  match reports with
+  | [ r ] -> (
+      match blob_of r with
+      | Some blob ->
+          check Alcotest.bool "blob = direct record of key seed" true
+            (Bytes.equal blob direct.Orchestrate.blob)
+      | None -> Alcotest.failf "expected Recorded, got %s" (Service.outcome_name r.Service.outcome))
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+let second_client_hits () =
+  let svc = Service.create () in
+  let specs = [ spec ~id:0 ~at_ms:0 (); spec ~id:1 ~at_ms:60_000 () ] in
+  let reports, _ = Service.run ~sequential:true svc specs in
+  let st = Service.stats svc in
+  check Alcotest.int "one recording" 1 st.Service.recordings;
+  check Alcotest.int "one hit" 1 st.Service.cache_hits;
+  match reports with
+  | [ _; hit ] ->
+      check Alcotest.bool "second client served" true
+        (Service.served hit.Service.outcome);
+      check Alcotest.bool "served the recorded bytes" true (hit.Service.blob_bytes > 0)
+  | _ -> Alcotest.fail "expected 2 reports"
+
+(* Simultaneous same-key arrivals under the scheduler: exactly one records,
+   the rest coalesce onto the in-flight recording. *)
+let coalescing backend () =
+  let svc = Service.create () in
+  let specs = List.init 4 (fun i -> spec ~id:i ~at_ms:i ()) in
+  let reports, _ = Service.run ~backend svc specs in
+  let st = Service.stats svc in
+  check Alcotest.int "one recording" 1 st.Service.recordings;
+  check Alcotest.int "rest coalesced" 3 st.Service.coalesced;
+  check Alcotest.int "no failures" 0 st.Service.failures;
+  List.iteri
+    (fun i r ->
+      if i > 0 then
+        check Alcotest.string "coalesced outcome" "coalesced"
+          (Service.outcome_name r.Service.outcome))
+    reports
+
+(* LRU eviction at capacity 1 with an A, B, A access pattern: the
+   re-recording of A reproduces the evicted blob bit-for-bit (key-derived
+   seed), and the per-key shared stores make the re-record cheap — most
+   pages ship as cross-store hash references, and the shared speculation
+   history hits across the recording epochs. *)
+let eviction_rerecord () =
+  let svc = Service.create ~cache_capacity:1 () in
+  let specs =
+    [
+      spec ~id:0 ~net:Zoo.mnist ~at_ms:0 ();
+      spec ~id:1 ~net:Zoo.alexnet ~at_ms:60_000 ();
+      spec ~id:2 ~net:Zoo.mnist ~at_ms:120_000 ();
+    ]
+  in
+  let reports, _ = Service.run ~sequential:true svc specs in
+  let st = Service.stats svc in
+  check Alcotest.int "all three recorded" 3 st.Service.recordings;
+  check Alcotest.int "two evictions" 2 st.Service.evictions;
+  match reports with
+  | [ a1; _; a2 ] -> (
+      match (blob_of a1, blob_of a2) with
+      | Some b1, Some b2 ->
+          check Alcotest.bool "re-record reproduces the evicted blob" true
+            (Bytes.equal b1 b2);
+          let g r k = Counters.get_int r.Service.counters (Metrics.name k) in
+          check Alcotest.bool "cross-store hash refs on re-record" true
+            (g a2 Metrics.Sync_cross_hits > 0);
+          check Alcotest.bool "cross-epoch history hits on re-record" true
+            (g a2 Metrics.Spec_cross_hits > 0);
+          check Alcotest.bool "re-record ships less sync wire" true
+            (g a2 Metrics.Sync_down_wire_bytes < g a1 Metrics.Sync_down_wire_bytes)
+      | _ -> Alcotest.fail "expected both MNIST sessions to record")
+  | _ -> Alcotest.fail "expected 3 reports"
+
+(* ---- interleaving determinism (qcheck): any small fleet, multiplexed on
+   any available backend, ≡ the same fleet sequential — same outcomes
+   (coalesced ≡ cache hit), same blob bytes, same per-session counters ---- *)
+
+let gen_fleet =
+  let open QCheck2.Gen in
+  let nets = [| Zoo.mnist; Zoo.mnist; Zoo.mnist; Zoo.alexnet |] in
+  let skus = [| Sku.g71_mp8; Sku.g31_mp2 |] in
+  let profiles = [| Profile.wifi; Profile.cellular; Profile.lan |] in
+  let client id =
+    let* net = oneofa nets in
+    let* sku = oneofa skus in
+    let* profile = oneofa profiles in
+    let* at_ms = int_bound 40_000 in
+    let* fault = opt (int_range 1 3) in
+    return (spec ~net ~sku ~profile ?fault ~id ~at_ms ())
+  in
+  let* n = int_range 2 6 in
+  flatten_l (List.init n client)
+
+let normalized (r : Service.session_report) =
+  let outcome =
+    match r.Service.outcome with
+    | Service.Coalesced -> "served"
+    | Service.Cache_hit -> "served"
+    | Service.Recorded _ -> "recorded"
+    | Service.Failed _ -> "failed"
+  in
+  (r.Service.spec.Service.client_id, outcome, r.Service.blob_bytes,
+   Counters.to_alist r.Service.counters)
+
+let interleaving_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:8 ~name:"multiplexed fleet == sequential fleet"
+       gen_fleet (fun specs ->
+         let seq, _ = Service.run ~sequential:true (Service.create ()) specs in
+         let seq = List.map normalized seq in
+         List.for_all
+           (fun backend ->
+             let mux, _ = Service.run ~backend (Service.create ()) specs in
+             List.map normalized mux = seq)
+           backends))
+
+(* ---- fleet generation ---- *)
+
+let fleet_generation () =
+  let opts = { Service.default_fleet with Service.clients = 500 } in
+  let specs = Service.zipf_fleet opts in
+  check Alcotest.int "population size" 500 (List.length specs);
+  let specs' = Service.zipf_fleet opts in
+  check Alcotest.bool "generation is deterministic" true (specs = specs');
+  (* arrivals are sorted-ready (run sorts anyway) and ids unique *)
+  let ids = List.map (fun s -> s.Service.client_id) specs in
+  check Alcotest.int "ids unique" 500 (List.length (List.sort_uniq compare ids));
+  (* Zipf skew: the most popular (net, sku) pair dominates a uniform share *)
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let k = (s.Service.net.Grt_mlfw.Network.name, s.Service.sku.Sku.name) in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    specs;
+  let top = Hashtbl.fold (fun _ n acc -> max n acc) tbl 0 in
+  check Alcotest.bool "Zipf head dominates" true (top > 500 / 30 * 3)
+
+(* service counters mirror stats *)
+let service_counter_view () =
+  let svc = Service.create () in
+  let specs = [ spec ~id:0 ~at_ms:0 (); spec ~id:1 ~at_ms:60_000 () ] in
+  let reports, _ = Service.run ~sequential:true svc specs in
+  let c = Service.service_counters svc in
+  check Alcotest.int "svc.sessions" 2 (Counters.get_int c "svc.sessions");
+  check Alcotest.int "svc.recordings" 1 (Counters.get_int c "svc.recordings");
+  check Alcotest.int "svc.cache_hits" 1 (Counters.get_int c "svc.cache_hits");
+  let agg = Service.aggregate svc reports in
+  check Alcotest.bool "aggregate includes sessions' counters" true
+    (Counters.get_int agg "net.blocking_rtts" > 0);
+  check Alcotest.int "aggregate includes svc counters" 2
+    (Counters.get_int agg "svc.sessions")
+
+let backend_cases name f =
+  List.map
+    (fun b ->
+      Alcotest.test_case (Printf.sprintf "%s (%s)" name (Sched.backend_name b)) `Quick (f b))
+    backends
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "sched",
+        backend_cases "virtual-time order" sched_order
+        @ backend_cases "cond wait advances to signal time" sched_cond
+        @ backend_cases "deadlock detected" sched_deadlock
+        @ backend_cases "failure isolated" sched_failure );
+      ( "identity",
+        backend_cases "solo session byte-identical under scheduler" solo_identity
+        @ [ Alcotest.test_case "service recording = direct record of key seed" `Quick
+              recording_matches_direct ] );
+      ( "cache",
+        [
+          Alcotest.test_case "second client hits" `Quick second_client_hits;
+          Alcotest.test_case "eviction + cheap re-record" `Quick eviction_rerecord;
+          Alcotest.test_case "service counters + aggregate" `Quick service_counter_view;
+        ]
+        @ backend_cases "simultaneous arrivals coalesce" coalescing );
+      ( "determinism",
+        [ interleaving_deterministic; Alcotest.test_case "fleet generation" `Quick fleet_generation ] );
+    ]
