@@ -101,6 +101,7 @@ type entry = {
   mutable blob : bytes option;
   mutable inflight : bool;
   mutable last_touch : int;  (* decision sequence number (LRU order) *)
+  mutable touch_epoch : int;  (* run counter at the last touch *)
 }
 
 type t = {
@@ -113,6 +114,7 @@ type t = {
   svc : Counters.t;
   mutable touch_seq : int;
   mutable uid_seq : int;
+  mutable run_epoch : int;  (* bumped per [run]; feeds eviction preference *)
 }
 
 let create ?(cache_capacity = 0) () =
@@ -125,6 +127,7 @@ let create ?(cache_capacity = 0) () =
     svc = Counters.create ();
     touch_seq = 0;
     uid_seq = 0;
+    run_epoch = 0;
   }
 
 let service_counters t = t.svc
@@ -167,12 +170,25 @@ type decision =
 
 let evict_if_full t =
   if t.capacity > 0 && Hashtbl.length t.cache >= t.capacity then begin
+    (* LRU victim, preferring entries idle since before this run: an entry
+       touched this run may (under multiplexed execution) carry an
+       in-flight recording or coalesced waiters, so it is the worse
+       victim. The preference is computed from the decision sequence
+       alone — never from [inflight], which reads differently under the
+       two execution modes at decision time (sequential settles every
+       recording before the next arrival is examined), so consulting it
+       would break cross-mode determinism. When every resident entry is
+       active this run this degrades to plain LRU, and evicting an entry
+       mid-recording stays safe: its waiters keep their reference and are
+       served when it settles, while a later same-key miss re-records
+       through the key-shared stores — the exact analogue of sequential
+       mode's re-record after eviction. *)
+    let worse (a : entry) (b : entry) =
+      (a.touch_epoch = t.run_epoch, a.last_touch) > (b.touch_epoch = t.run_epoch, b.last_touch)
+    in
     let victim =
       Hashtbl.fold
-        (fun _ e acc ->
-          match acc with
-          | Some b when b.last_touch <= e.last_touch -> acc
-          | _ -> Some e)
+        (fun _ e acc -> match acc with Some b when worse e b -> acc | _ -> Some e)
         t.cache None
     in
     match victim with
@@ -187,23 +203,36 @@ let decide t (spec : client_spec) =
   let key = cache_key ~cfg:spec.cfg ~sku:spec.sku ~net:spec.net in
   t.touch_seq <- t.touch_seq + 1;
   let touch = t.touch_seq in
+  let touch_entry e =
+    e.last_touch <- touch;
+    e.touch_epoch <- t.run_epoch
+  in
   match Hashtbl.find_opt t.cache key with
   | Some e when e.blob <> None ->
-    e.last_touch <- touch;
+    touch_entry e;
     D_serve e
   | Some e when e.inflight ->
-    e.last_touch <- touch;
+    touch_entry e;
     D_wait e
   | Some e ->
     (* resident but its recording failed: this client retries *)
-    e.last_touch <- touch;
+    touch_entry e;
     e.inflight <- true;
     D_record e
   | None ->
     evict_if_full t;
     let keyed = keyed_for t key ~label:(key_label ~cfg:spec.cfg ~sku:spec.sku ~net:spec.net) in
     t.uid_seq <- t.uid_seq + 1;
-    let e = { uid = t.uid_seq; keyed; blob = None; inflight = true; last_touch = touch } in
+    let e =
+      {
+        uid = t.uid_seq;
+        keyed;
+        blob = None;
+        inflight = true;
+        last_touch = touch;
+        touch_epoch = t.run_epoch;
+      }
+    in
     Hashtbl.replace t.cache key e;
     D_record e
 
@@ -217,7 +246,7 @@ let serve_ctx (spec : client_spec) ~seed =
   Ctx.create ~cfg:spec.cfg ~profile:spec.profile ~sku:spec.sku ~net:spec.net ~seed
     ~granularity:`Monolithic ()
 
-let record_ctx t (spec : client_spec) (e : entry) =
+let record_ctx ?clock t (spec : client_spec) (e : entry) =
   let options =
     {
       Ctx.default_options with
@@ -226,7 +255,7 @@ let record_ctx t (spec : client_spec) (e : entry) =
       inject_fault_after = spec.inject_fault_after;
     }
   in
-  Ctx.create ~options ~cfg:spec.cfg ~profile:spec.profile ~sku:spec.sku ~net:spec.net
+  Ctx.create ~options ?clock ~cfg:spec.cfg ~profile:spec.profile ~sku:spec.sku ~net:spec.net
     ~seed:(recording_seed e.keyed.key) ~granularity:`Monolithic ()
 
 let report_of ctx (spec : client_spec) (e : entry) outcome ~blob_bytes =
@@ -271,9 +300,11 @@ let record_into t spec (e : entry) ctx =
     Counters.incr t.svc "svc.failures";
     report_of ctx spec e (Failed (Printexc.to_string exn)) ~blob_bytes:0
 
-let fail_report t spec (e : entry) msg =
+(* Report a client that never got a session body to run. [ctx] is the
+   session's real context, so turnaround and counters reflect any wait the
+   client actually spent (not a fresh zeroed clock). *)
+let fail_report t spec (e : entry) ctx msg =
   Counters.incr t.svc "svc.failures";
-  let ctx = serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id) in
   report_of ctx spec e (Failed msg) ~blob_bytes:0
 
 (* A serve can fail live (ARQ collapse on a degraded channel, verification
@@ -301,12 +332,10 @@ let run_sequential t specs =
           ~coalesced:false
       | D_record e -> record_into t spec e (record_ctx t spec e)
       | D_wait e -> (
+        let ctx = serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id) in
         match e.blob with
-        | Some _ ->
-          serve_safe t spec e
-            (serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id))
-            ~coalesced:true
-        | None -> fail_report t spec e "recording in flight with no scheduler"))
+        | Some _ -> serve_safe t spec e ctx ~coalesced:true
+        | None -> fail_report t spec e ctx "recording in flight with no scheduler"))
     specs
 
 (* ---- multiplexed execution ----
@@ -317,13 +346,29 @@ let run_sequential t specs =
    same share group are serialized through a FIFO turnstile (they mutate
    the shared speculation history, and the ticket order — assigned at
    decision time — keeps that mutation order identical to the sequential
-   mode's). *)
+   mode's).
+
+   Recording failure re-arms the entry: sequential mode retries a failed
+   key at the next same-key arrival, so the failed recorder promotes the
+   earliest planned waiter into the recorder role. The promoted waiter
+   takes the turnstile slot its own decision position dictates — behind
+   group recorders that were decided between the failed recording and the
+   waiter's arrival — keeping the shared history/store mutation order, and
+   therefore every signed blob and counter, identical to the sequential
+   schedule. *)
+
+type entry_sync = {
+  e_cond : Sched.cond;  (* signalled whenever the entry's recording settles *)
+  mutable e_waiting : int list;  (* plan-order FIFO of coalesced client ids *)
+  mutable e_elected : int option;  (* waiter promoted to recorder, if any *)
+}
 
 type run_aux = {
   sched : Sched.t;
-  entry_conds : (int, Sched.cond) Hashtbl.t;  (* entry uid -> completion *)
+  entry_syncs : (int, entry_sync) Hashtbl.t;  (* entry uid -> sync state *)
   group_queues : (string, int list ref) Hashtbl.t;  (* group -> ticket FIFO *)
   group_conds : (string, Sched.cond) Hashtbl.t;
+  decision_idx : (int, int) Hashtbl.t;  (* client id -> plan (decision) order *)
 }
 
 let aux_cond tbl k =
@@ -333,6 +378,14 @@ let aux_cond tbl k =
     let c = Sched.new_cond () in
     Hashtbl.add tbl k c;
     c
+
+let entry_sync aux uid =
+  match Hashtbl.find_opt aux.entry_syncs uid with
+  | Some s -> s
+  | None ->
+    let s = { e_cond = Sched.new_cond (); e_waiting = []; e_elected = None } in
+    Hashtbl.add aux.entry_syncs uid s;
+    s
 
 let group_queue aux g =
   match Hashtbl.find_opt aux.group_queues g with
@@ -347,17 +400,71 @@ let run_multiplexed ?backend t specs =
   let aux =
     {
       sched;
-      entry_conds = Hashtbl.create 64;
+      entry_syncs = Hashtbl.create 64;
       group_queues = Hashtbl.create 16;
       group_conds = Hashtbl.create 16;
+      decision_idx = Hashtbl.create 64;
     }
   in
   let reports = Hashtbl.create 256 in
   let put (spec : client_spec) r = Hashtbl.replace reports spec.client_id r in
+  (* Record while holding (or acquiring) a group-turnstile ticket. On
+     failure, promote the next planned waiter so the key retries exactly
+     where sequential mode would. *)
+  let record_with_ticket (spec : client_spec) (e : entry) ctx =
+    let q = group_queue aux (share_group spec) in
+    let gcond = aux_cond aux.group_conds (share_group spec) in
+    let es = entry_sync aux e.uid in
+    let promoted = ref None in
+    (* Sequential mode runs a group's recordings in decision order — the
+       promoted waiter's retry included, at the waiter's own decision
+       position. Insert accordingly: group recorders decided between the
+       failed recording and the waiter's arrival keep their earlier
+       turnstile slots. *)
+    let insert_by_decision w rest =
+      let idx id = Hashtbl.find aux.decision_idx id in
+      let rec ins = function
+        | x :: tl when idx x < idx w -> x :: ins tl
+        | tl -> w :: tl
+      in
+      ins rest
+    in
+    let finish () =
+      (match !promoted with
+      | Some w -> q := insert_by_decision w (List.tl !q)
+      | None -> q := List.filter (fun id -> id <> spec.client_id) !q);
+      Sched.signal_all sched gcond;
+      Sched.signal_all sched es.e_cond
+    in
+    Fun.protect ~finally:finish (fun () ->
+        let rec turn () =
+          match !q with
+          | head :: _ when head = spec.client_id -> ()
+          | _ ->
+            Sched.await sched gcond;
+            turn ()
+        in
+        turn ();
+        let r = record_into t spec e ctx in
+        (match r.outcome with
+        | Failed _ -> (
+          match es.e_waiting with
+          | w :: rest ->
+            (* Re-arm the entry for the promoted waiter — the retry this
+               key would get at its next arrival in sequential mode. *)
+            es.e_waiting <- rest;
+            es.e_elected <- Some w;
+            e.inflight <- true;
+            promoted := Some w
+          | [] -> ())
+        | Recorded _ | Cache_hit | Coalesced -> ());
+        put spec r)
+  in
   (* Plan pass: decisions + session contexts, in arrival order. *)
   let plans =
-    List.map
-      (fun spec ->
+    List.mapi
+      (fun i spec ->
+        Hashtbl.replace aux.decision_idx spec.client_id i;
         Counters.incr t.svc "svc.sessions";
         let d = decide t spec in
         let ctx =
@@ -366,8 +473,11 @@ let run_multiplexed ?backend t specs =
             let q = group_queue aux (share_group spec) in
             q := !q @ [ spec.client_id ];
             record_ctx t spec e
-          | D_serve e | D_wait e ->
+          | D_wait e ->
+            let es = entry_sync aux e.uid in
+            es.e_waiting <- es.e_waiting @ [ spec.client_id ];
             serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id)
+          | D_serve e -> serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id)
         in
         (spec, d, ctx))
       specs
@@ -379,35 +489,30 @@ let run_multiplexed ?backend t specs =
         match d with
         | D_serve e -> put spec (serve_safe t spec e ctx ~coalesced:false)
         | D_wait e ->
-          let cond = aux_cond aux.entry_conds e.uid in
+          let es = entry_sync aux e.uid in
           let rec wait () =
-            if e.blob = None && e.inflight then begin
-              Sched.await sched cond;
-              wait ()
-            end
+            if es.e_elected = Some spec.client_id then `Record
+            else
+              match e.blob with
+              | Some _ -> `Serve
+              | None when e.inflight ->
+                Sched.await sched es.e_cond;
+                wait ()
+              | None -> `Orphaned
           in
-          wait ();
-          (match e.blob with
-          | Some _ -> put spec (serve_safe t spec e ctx ~coalesced:true)
-          | None -> put spec (fail_report t spec e "recording failed upstream"))
-        | D_record e ->
-          let g = share_group spec in
-          let q = group_queue aux g in
-          let gcond = aux_cond aux.group_conds g in
-          let rec turn () =
-            match !q with
-            | head :: _ when head = spec.client_id -> ()
-            | _ ->
-              Sched.await sched gcond;
-              turn ()
-          in
-          turn ();
-          let finish () =
-            q := List.filter (fun id -> id <> spec.client_id) !q;
-            Sched.signal_all sched gcond;
-            Sched.signal_all sched (aux_cond aux.entry_conds e.uid)
-          in
-          Fun.protect ~finally:finish (fun () -> put spec (record_into t spec e ctx))
+          (match wait () with
+          | `Serve -> put spec (serve_safe t spec e ctx ~coalesced:true)
+          | `Record ->
+            es.e_elected <- None;
+            (* Promoted: re-record on this task's scheduler-registered
+               clock, under the same key-derived seed and options a planned
+               recorder uses. *)
+            record_with_ticket spec e (record_ctx t spec e ~clock:ctx.Ctx.clock)
+          | `Orphaned ->
+            (* Unreachable while promotion elects every remaining waiter;
+               kept so an unexpected settle still yields a report. *)
+            put spec (fail_report t spec e ctx "recording failed upstream"))
+        | D_record e -> record_with_ticket spec e ctx
       in
       ignore
         (Sched.spawn sched ~arrival_ns:spec.arrival_ns
@@ -424,6 +529,7 @@ let run_multiplexed ?backend t specs =
     sched )
 
 let run ?backend ?(sequential = false) t specs =
+  t.run_epoch <- t.run_epoch + 1;
   let specs =
     List.stable_sort
       (fun (a : client_spec) b ->

@@ -14,11 +14,15 @@
 
     Determinism: cache decisions are taken at client *arrival*, in arrival
     order, and recordings of a share group are serialized in ticket order
-    assigned at decision time. The multiplexed and sequential execution
-    modes therefore produce identical signed blobs and identical per-session
-    counters (only waiting time and outcome labelling — [Cache_hit] vs
-    [Coalesced] — differ), which the interleaving-determinism property test
-    checks. *)
+    assigned at decision time. A failed recording re-arms its entry by
+    promoting the earliest coalesced waiter into the recorder role (it
+    inherits the failed ticket's turnstile slot), mirroring sequential
+    mode's retry at the next same-key arrival. The multiplexed and
+    sequential execution modes therefore produce identical signed blobs
+    and identical per-session counters (only waiting time and outcome
+    labelling — [Cache_hit] vs [Coalesced] — differ), which the
+    interleaving-determinism property test checks, lossy channels and
+    bounded caches included. *)
 
 type key = int64
 
@@ -76,8 +80,9 @@ type t
 
 val create : ?cache_capacity:int -> unit -> t
 (** [cache_capacity] bounds resident entries (LRU by decision-time touch
-    order); 0 (default) = unbounded. Per-key shared stores and per-group
-    histories survive eviction — only the signed blob is dropped. *)
+    order, preferring victims idle since before the current run); 0
+    (default) = unbounded. Per-key shared stores and per-group histories
+    survive eviction — only the signed blob is dropped. *)
 
 val run :
   ?backend:Grt_sim.Sched.backend ->

@@ -41,8 +41,8 @@ type t = {
   mutable rollback_s : float;
 }
 
-let create ?(options = default_options) ~cfg ~profile ~sku ~net ~seed ~granularity () =
-  let clock = Grt_sim.Clock.create () in
+let create ?(options = default_options) ?clock ~cfg ~profile ~sku ~net ~seed ~granularity () =
+  let clock = match clock with Some c -> c | None -> Grt_sim.Clock.create () in
   let energy = Grt_sim.Energy.create clock in
   let counters = Grt_sim.Counters.create () in
   let trace = Grt_sim.Trace.create ?capacity:options.trace_capacity clock in

@@ -54,6 +54,7 @@ type t = {
 
 val create :
   ?options:options ->
+  ?clock:Grt_sim.Clock.t ->
   cfg:Mode.config ->
   profile:Grt_net.Profile.t ->
   sku:Grt_gpu.Sku.t ->
@@ -65,7 +66,15 @@ val create :
 (** Build the session infrastructure: clock, energy, counters/metrics,
     trace ring, and the link (fault-seeded from [seed]). [options] defaults
     to {!default_options}; with [observe] unset the default path carries
-    [None]s and stays byte-identical to an unobserved build. *)
+    [None]s and stays byte-identical to an unobserved build.
+
+    [clock] threads an existing session clock instead of creating a fresh
+    one — the recording service uses this to promote a coalesced waiter
+    into a recorder mid-task, where the new context must keep advancing
+    the clock the scheduler registered at spawn. All time accounting
+    (energy integration, link costs, watchdogs) is delta-based, so a
+    context built on an already-advanced clock behaves identically to one
+    starting at zero. *)
 
 val session_salt : t -> int64
 (** The GPU's nondeterministic-state salt: a property of the physical

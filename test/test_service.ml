@@ -233,23 +233,41 @@ let eviction_rerecord () =
 
 (* ---- interleaving determinism (qcheck): any small fleet, multiplexed on
    any available backend, ≡ the same fleet sequential — same outcomes
-   (coalesced ≡ cache hit), same blob bytes, same per-session counters ---- *)
+   (coalesced ≡ cache hit), same blob bytes, same per-session counters.
+   The generator mixes lossy channels (recordings that genuinely collapse,
+   exercising the failure retry hand-off), two mode configs per (net, sku)
+   (distinct keys in one share group, so the recording turnstile sees
+   contention), and bounded cache capacities (eviction, including eviction
+   of inflight entries). ---- *)
 
 let gen_fleet =
   let open QCheck2.Gen in
   let nets = [| Zoo.mnist; Zoo.mnist; Zoo.mnist; Zoo.alexnet |] in
   let skus = [| Sku.g71_mp8; Sku.g31_mp2 |] in
+  let cfgs = [| Service.fastpath_cfg; Mode.default_config Mode.Ours_mds |] in
   let profiles = [| Profile.wifi; Profile.cellular; Profile.lan |] in
   let client id =
     let* net = oneofa nets in
     let* sku = oneofa skus in
-    let* profile = oneofa profiles in
+    let* cfg = oneofa cfgs in
+    let* base = oneofa profiles in
+    let* profile =
+      frequency
+        [
+          (2, return base);
+          ( 1,
+            let* drop = float_range 0.3 0.8 in
+            return (Profile.degrade ~drop_prob:drop base) );
+        ]
+    in
     let* at_ms = int_bound 40_000 in
     let* fault = opt (int_range 1 3) in
-    return (spec ~net ~sku ~profile ?fault ~id ~at_ms ())
+    return (spec ~net ~sku ~cfg ~profile ?fault ~id ~at_ms ())
   in
+  let* cap = oneofa [| 0; 0; 1; 2 |] in
   let* n = int_range 2 6 in
-  flatten_l (List.init n client)
+  let* specs = flatten_l (List.init n client) in
+  return (cap, specs)
 
 let normalized (r : Service.session_report) =
   let outcome =
@@ -262,17 +280,101 @@ let normalized (r : Service.session_report) =
   (r.Service.spec.Service.client_id, outcome, r.Service.blob_bytes,
    Counters.to_alist r.Service.counters)
 
+let print_fleet (cap, specs) =
+  Printf.sprintf "capacity=%d\n%s" cap
+    (String.concat "\n"
+       (List.map
+          (fun (s : Service.client_spec) ->
+            Printf.sprintf
+              "  client %d at %Ldms: %s/%s cfg=%s profile=%s drop=%.3f fault=%s" s.Service.client_id
+              (Int64.div s.Service.arrival_ns 1_000_000L)
+              s.Service.net.Grt_mlfw.Network.name s.Service.sku.Sku.name
+              (Mode.name s.Service.cfg.Mode.mode
+              ^ (if s.Service.cfg.Mode.memsync_dedup then "+dedup" else "")
+              ^ if s.Service.cfg.Mode.memsync_adaptive then "+adaptive" else "")
+              s.Service.profile.Profile.name s.Service.profile.Profile.faults.Profile.drop_prob
+              (match s.Service.inject_fault_after with
+              | Some k -> string_of_int k
+              | None -> "-"))
+          specs))
+
+let dump_mismatch backend seq mux =
+  Printf.eprintf "--- %s diverges from sequential ---\n" (Sched.backend_name backend);
+  List.iter2
+    (fun (id, o1, b1, c1) (_, o2, b2, c2) ->
+      if (o1, b1, c1) <> (o2, b2, c2) then begin
+        Printf.eprintf "  client %d: seq %s/%d mux %s/%d\n" id o1 b1 o2 b2;
+        if c1 <> c2 then
+          List.iter
+            (fun (k, v) ->
+              let v' = try List.assoc k c2 with Not_found -> Int64.min_int in
+              if v <> v' then Printf.eprintf "    %s: seq %Ld mux %Ld\n" k v v')
+            c1
+      end)
+    seq mux;
+  flush stderr
+
 let interleaving_deterministic =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count:8 ~name:"multiplexed fleet == sequential fleet"
-       gen_fleet (fun specs ->
-         let seq, _ = Service.run ~sequential:true (Service.create ()) specs in
+       ~print:print_fleet gen_fleet (fun (cap, specs) ->
+         let seq, _ =
+           Service.run ~sequential:true (Service.create ~cache_capacity:cap ()) specs
+         in
          let seq = List.map normalized seq in
          List.for_all
            (fun backend ->
-             let mux, _ = Service.run ~backend (Service.create ()) specs in
-             List.map normalized mux = seq)
+             let mux, _ =
+               Service.run ~backend (Service.create ~cache_capacity:cap ()) specs
+             in
+             let mux = List.map normalized mux in
+             if mux <> seq then dump_mismatch backend seq mux;
+             mux = seq)
            backends))
+
+(* ---- failure retry hand-off: a lossy first client whose recording
+   collapses must not doom later same-key clients. Sequential mode retries
+   at the next same-key arrival; multiplexed mode promotes the first
+   coalesced waiter to recorder. Both agree: client 0 fails, client 1
+   records, client 2 is served. ---- *)
+
+let lossy = Profile.degrade ~drop_prob:0.75 Profile.wifi
+
+let failed_recording_retries backend () =
+  let specs =
+    [
+      spec ~id:0 ~profile:lossy ~at_ms:0 ();
+      spec ~id:1 ~at_ms:1 ();
+      spec ~id:2 ~at_ms:2 ();
+    ]
+  in
+  let go ?backend ~sequential () =
+    let svc = Service.create () in
+    let reports, _ = Service.run ?backend ~sequential svc specs in
+    (reports, Service.stats svc)
+  in
+  let seq, seq_st = go ~sequential:true () in
+  check
+    Alcotest.(list string)
+    "sequential: fail, retry, hit"
+    [ "failed"; "recorded"; "cache_hit" ]
+    (List.map (fun r -> Service.outcome_name r.Service.outcome) seq);
+  let mux, mux_st = go ~backend ~sequential:false () in
+  check
+    Alcotest.(list string)
+    "multiplexed: fail, promoted waiter records, coalesced"
+    [ "failed"; "recorded"; "coalesced" ]
+    (List.map (fun r -> Service.outcome_name r.Service.outcome) mux);
+  check Alcotest.bool "normalized reports identical" true
+    (List.map normalized mux = List.map normalized seq);
+  check Alcotest.int "one successful recording each" seq_st.Service.recordings
+    mux_st.Service.recordings;
+  check Alcotest.int "one failure each" seq_st.Service.failures mux_st.Service.failures;
+  (* The promoted waiter's blob is the same key-derived artifact a planned
+     recorder would have produced. *)
+  match (blob_of (List.nth seq 1), blob_of (List.nth mux 1)) with
+  | Some b1, Some b2 -> check Alcotest.bool "retry blob identical" true (Bytes.equal b1 b2)
+  | _ -> Alcotest.fail "expected the second client to record in both modes"
 
 (* ---- fleet generation ---- *)
 
@@ -334,7 +436,8 @@ let () =
           Alcotest.test_case "eviction + cheap re-record" `Quick eviction_rerecord;
           Alcotest.test_case "service counters + aggregate" `Quick service_counter_view;
         ]
-        @ backend_cases "simultaneous arrivals coalesce" coalescing );
+        @ backend_cases "simultaneous arrivals coalesce" coalescing
+        @ backend_cases "failed recording promotes a waiter" failed_recording_retries );
       ( "determinism",
         [ interleaving_deterministic; Alcotest.test_case "fleet generation" `Quick fleet_generation ] );
     ]
