@@ -14,6 +14,14 @@ module Mode = Grt.Mode
 module Profile = Grt_net.Profile
 module Json = Grt_util.Json
 
+(* The recorder's hot loop ships whole page images; with the default 256 KB
+   nursery those survive straight into the major heap and the harness
+   spends a measurable slice of every run in the collector. A 32 MB minor
+   heap lets a session's transient copies die young. Allocation counts
+   (words/access) are unaffected — this only moves collector time, never
+   what the simulator computes. *)
+let () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 22 }
+
 let ctx = E.create_ctx ()
 
 let hr title =
@@ -23,6 +31,10 @@ let hr title =
    converted with the Experiments row_json functions, so the JSON file
    carries exactly the printed values. *)
 let json_rows : (string * Json.t) list ref = ref []
+
+(* Rows whose minor-words/access exceeded the checked-in ceiling under
+   --enforce-ceiling; the failure exit happens after the JSON dump. *)
+let ceiling_failures : string list ref = ref []
 
 let add_json key to_json rows = json_rows := !json_rows @ [ (key, Json.Arr (List.map to_json rows)) ]
 
@@ -220,6 +232,35 @@ let fleet () =
     mux.E.virtual_s mux.E.p95_turnaround_s mux.E.fleet_yields mux.E.fleet_switches;
   add_json "fleet" E.fleet_row_json [ mux; seq ]
 
+(* Simulator raw-speed smoke. Prints one row per recording configuration
+   with the accesses/sec throughput and the minor-words/access allocation
+   rate against its checked-in ceiling; with [--enforce-ceiling] (the CI
+   smoke) a row above its ceiling fails the run. *)
+let speed ~enforce () =
+  hr "Simulator speed: recording hot loop (host-side, GPU time excluded)";
+  Printf.printf "%-28s %9s %6s %9s %12s %11s %9s %6s\n" "config" "accesses" "iters" "host(s)"
+    "accesses/s" "words/acc" "ceiling" "ok";
+  let rows = E.speed ctx in
+  let failed = ref [] in
+  List.iter
+    (fun (r : E.speed_row) ->
+      let ceiling = E.speed_ceiling r.E.speed_label in
+      let ok = match ceiling with Some c -> r.E.minor_words_per_access <= c | None -> true in
+      if not ok then failed := r.E.speed_label :: !failed;
+      Printf.printf "%-28s %9d %6d %9.3f %12.0f %11.1f %9s %6s\n" r.E.speed_label
+        r.E.speed_accesses r.E.speed_iters r.E.speed_host_s r.E.accesses_per_s
+        r.E.minor_words_per_access
+        (match ceiling with Some c -> Printf.sprintf "%.0f" c | None -> "-")
+        (if ok then "yes" else "NO"))
+    rows;
+  add_json "speed" E.speed_row_json rows;
+  match (enforce, !failed) with
+  | true, (_ :: _ as labels) ->
+    (* Defer the failure exit until after the JSON file is written, so the
+       CI artifact still carries the regressing rows. *)
+    ceiling_failures := List.rev labels
+  | _ -> ()
+
 let ablation () =
   hr "Ablation of design knobs (MobileNet, WiFi)";
   Printf.printf "%-38s %10s %8s %10s\n" "variant" "delay(s)" "RTTs" "sync(MB)";
@@ -313,17 +354,22 @@ let all () =
   memsync ();
   replay ();
   fleet ();
+  speed ~enforce:false ();
   run_bechamel ()
 
 let () =
   (* Strip --json FILE anywhere on the command line; the first remaining
      argument (if any) selects the command. *)
+  let enforce_ceiling = ref false in
   let rec split json cmds = function
     | [] -> (json, List.rev cmds)
     | "--json" :: file :: rest -> split (Some file) cmds rest
     | [ "--json" ] ->
       Printf.eprintf "--json needs a FILE argument\n";
       exit 2
+    | "--enforce-ceiling" :: rest ->
+      enforce_ceiling := true;
+      split json cmds rest
     | a :: rest -> split json (a :: cmds) rest
   in
   let json_file, cmds = split None [] (List.tl (Array.to_list Sys.argv)) in
@@ -342,19 +388,26 @@ let () =
   | "memsync" -> memsync ()
   | "replay" -> replay ()
   | "fleet" -> fleet ()
+  | "speed" -> speed ~enforce:!enforce_ceiling ()
   | "bechamel" -> run_bechamel ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown command %s (expected \
-       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|replay|fleet|bechamel|all)\n"
+       fig7a|fig7b|table1|table2|fig8|fig9|stats|polling|rollback|ablation|faults|memsync|replay|fleet|speed|bechamel|all)\n"
       other;
     exit 2);
-  match json_file with
+  (match json_file with
   | None -> ()
   | Some path ->
     let oc = open_out path in
     output_string oc (Json.to_string (Json.Obj !json_rows));
     output_string oc "\n";
     close_out oc;
-    Printf.printf "\nwrote %s (%d tables)\n" path (List.length !json_rows)
+    Printf.printf "\nwrote %s (%d tables)\n" path (List.length !json_rows));
+  match !ceiling_failures with
+  | [] -> ()
+  | labels ->
+    Printf.eprintf "speed: minor-words/access above checked-in ceiling: %s\n"
+      (String.concat ", " labels);
+    exit 1

@@ -31,9 +31,13 @@ let commit t ~trigger =
   qr := [];
   if queue <> [] then begin
     let site = site_key t ~trigger queue in
-    Tracer.span_opt t.tracer ~cat:Tracer.Commit
-      ~args:[ ("site", site); ("trigger", trigger) ]
-      ~name:"commit"
+    (* Build the span argument list only when a tracer is attached. *)
+    (match t.tracer with
+    | None -> fun body -> body ()
+    | Some _ ->
+      Tracer.span_opt t.tracer ~cat:Tracer.Commit
+        ~args:[ ("site", site); ("trigger", trigger) ]
+        ~name:"commit")
     @@ fun () ->
     t.commits_total <- t.commits_total + 1;
     count t Metrics.Commits_total 1;
@@ -71,17 +75,19 @@ let commit t ~trigger =
     end;
     match speculate_values with
     | Some predicted when Array.length predicted = n_reads ->
-      let log_mark = List.length !(t.log) in
+      let log_mark = t.log.Recording.len in
       let actuals = apply_now t wire in
       let actuals_checked = maybe_inject t actuals in
       let checks =
-        List.mapi (fun i (reg, _) -> (reg, predicted.(i), List.nth actuals_checked i)) reads
+        List.mapi
+          (fun i (reg, _) -> (reg, predicted.(i), actuals_checked.(i)))
+          reads
       in
       dispatch_speculative t ~site ~send ~recv ~checks ~syms:(List.map snd reads) ~log_mark
         ~bind:(fun () ->
           List.iteri (fun i (_, sym) -> Sexpr.bind sym predicted.(i) ~speculative:true) reads);
       bump_category t (category_of t ~is_poll:(trigger = "poll"));
-      if n_reads > 0 then history_update t site (Array.of_list actuals);
+      if n_reads > 0 then history_update t site actuals;
       log_applied t queue actuals
     | Some _ | None ->
       (* Synchronous commit. FIFO delivery means every outstanding response
@@ -91,8 +97,8 @@ let commit t ~trigger =
       Link.round_trip t.link ~send_bytes:send ~recv_bytes:recv;
       drain t;
       let actuals = apply_now t wire in
-      List.iteri (fun i (_, sym) -> Sexpr.bind sym (List.nth actuals i) ~speculative:false) reads;
-      if n_reads > 0 then history_update t site (Array.of_list actuals);
+      List.iteri (fun i (_, sym) -> Sexpr.bind sym actuals.(i) ~speculative:false) reads;
+      if n_reads > 0 then history_update t site actuals;
       count t Metrics.Commits_sync 1;
       Trace.event_opt t.trace (Trace.Commit { site; accesses = List.length queue });
       log_applied t queue actuals
@@ -153,19 +159,18 @@ let force t expr =
     | None -> failwith "DriverShim.force: symbol still unbound after commit")
 
 let log_poll t ~reg ~mask ~cond ~max_iters ~spin_ns =
-  t.log :=
-    Recording.Poll
-      {
-        reg;
-        mask;
-        cond =
-          (match cond with
-          | Backend.Bits_set -> Recording.Until_set
-          | Backend.Bits_clear -> Recording.Until_clear);
-        max_iters;
-        spin_ns;
-      }
-    :: !(t.log)
+  Recording.log_push t.log
+    (Recording.Poll
+       {
+         reg;
+         mask;
+         cond =
+           (match cond with
+           | Backend.Bits_set -> Recording.Until_set
+           | Backend.Bits_clear -> Recording.Until_clear);
+         max_iters;
+         spin_ns;
+       })
 
 let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
   count t Metrics.Poll_instances 1;
@@ -193,11 +198,11 @@ let poll_reg t ~reg ~mask ~cond ~max_iters ~spin_ns =
     in
     match speculate with
     | Some predicted when Array.length predicted = 1 ->
-      let log_mark = List.length !(t.log) - 1 in
+      let log_mark = t.log.Recording.len - 1 in
       (* the Poll entry itself was just logged; exclude it from the prefix *)
       let result = run () in
       let observed = match result with Some (_, v) -> v | None -> -1L in
-      let checked = match maybe_inject t [ observed ] with v :: _ -> v | [] -> observed in
+      let checked = (maybe_inject t [| observed |]).(0) in
       t.commits_total <- t.commits_total + 1;
       count t Metrics.Commits_total 1;
       Hist.record_opt t.hists Hist.Commit_accesses 2;
@@ -269,7 +274,7 @@ let wait_irq t ~timeout_us =
   match Gpushim.wait_irq t.gpushim ~timeout_ns:(Int64.of_int (timeout_us * 1000)) with
   | None -> None
   | Some line ->
-    t.log := Recording.Wait_irq { line = Recording.irq_line_to_int line } :: !(t.log);
+    Recording.log_push t.log (Recording.Wait_irq { line = Recording.irq_line_to_int line });
     Sync_flow.up t;
     Some line
 
@@ -359,14 +364,14 @@ let finalize t =
   commit t ~trigger:"finalize";
   drain t
 
-let entries t = List.rev !(t.log)
+let entries t = List.rev t.log.Recording.items
 
 let validated_prefix t =
   (* Everything logged before the oldest unvalidated speculative commit is
      confirmed truth; with nothing outstanding, the whole log is. Used by
      the orchestrator to resume after a [Link.Link_down], exactly like a
      misprediction's [valid_log]. *)
-  let all = List.rev !(t.log) in
+  let all = List.rev t.log.Recording.items in
   match t.outstanding with
   | [] -> all
   | o :: _ ->
@@ -376,7 +381,7 @@ let validated_prefix t =
     in
     take o.o_log_mark all
 
-let mark_segment t = t.segment_marks <- List.length !(t.log) :: t.segment_marks
+let mark_segment t = t.segment_marks <- t.log.Recording.len :: t.segment_marks
 
 let segment_marks t = List.rev t.segment_marks
 

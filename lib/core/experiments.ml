@@ -804,6 +804,104 @@ let fleet ?(options = Service.default_fleet) ?backend ?(sequential = false)
   in
   (row, svc)
 
+(* ---- Simulator raw speed (ROADMAP item 5) ----
+
+   Host-side throughput of the *recording* hot loop: how many simulated
+   register accesses per host second a full record session sustains, and how
+   many minor-heap words each access costs. Every byte of every recording
+   flows through the layers this measures (Mem/Mmu page stores, the
+   queue→wire lowering, the link's exchange path), so the rows double as an
+   allocation-regression tripwire: [speed_ceilings] pins a per-row
+   minor-words/access ceiling, and callers (the CI smoke) can fail a run
+   whose allocation rate regresses above it.
+
+   Like [replay_bench], host seconds spent doing the GPU's side of job
+   execution (kernel math, chain walk) are subtracted: that work stands in
+   for silicon and runs identically in every mode, so the rate isolates the
+   simulator machinery. Each iteration records with a fresh speculation
+   history so every iteration takes the same path (no cross-iteration
+   warming) and the accesses count is iteration-invariant. *)
+
+type speed_row = {
+  speed_label : string;
+  speed_accesses : int;  (** simulated register accesses per session *)
+  speed_iters : int;
+  speed_host_s : float;  (** host seconds across all iterations, GPU time excluded *)
+  accesses_per_s : float;
+  minor_words_per_access : float;
+}
+
+(* Measured on the flat-store + memoized-sign hot path (2026-08): Naive
+   334.6, OursMDS 450.5, dedup 460.5, w4 419.9 minor-words/access. The
+   ceilings leave ~25% headroom for hashtable-resize and iteration-count
+   jitter; a breach means a new per-access allocation crept into the
+   record path, not machine noise (allocation counts are deterministic). *)
+let speed_ceilings =
+  [
+    ("record/MNIST/Naive", 420.);
+    ("record/MNIST/OursMDS", 570.);
+    ("record/MNIST/OursMDS-dedup", 580.);
+    ("record/MNIST/OursMDS-w4", 530.);
+  ]
+
+let speed_ceiling label = List.assoc_opt label speed_ceilings
+
+let speed ?(iters = 6) ctx =
+  let net = Zoo.mnist in
+  let session ?window ?config mode () =
+    Orchestrate.record
+      ~history:(Drivershim.fresh_history ())
+      ?window ?config ~profile:Profile.wifi ~mode ~sku:ctx.sku ~net ~seed:ctx.seed ()
+  in
+  let measure label f =
+    (* Warm-up run: fault in code paths and page tables, and probe the
+       per-session access count (deterministic, so one probe suffices). *)
+    let probe = f () in
+    let accesses = probe.Orchestrate.accesses_total in
+    (* Grow the batch until the sample comfortably exceeds [Sys.time]'s
+       resolution; recording sessions are milliseconds-scale, so this
+       settles after at most a couple of rounds. *)
+    let rec sample iters =
+      let k0 = Grt_gpu.Device.gpu_host_seconds () in
+      let w0 = Gc.minor_words () in
+      let t0 = Sys.time () in
+      for _ = 1 to iters do
+        ignore (f ())
+      done;
+      let host_s = Sys.time () -. t0 -. (Grt_gpu.Device.gpu_host_seconds () -. k0) in
+      let minor_words = Gc.minor_words () -. w0 in
+      if host_s < 0.08 && iters < 4096 then sample (iters * 4)
+      else (iters, Float.max host_s 1e-9, minor_words)
+    in
+    let iters, host_s, minor_words = sample iters in
+    let total_accesses = float_of_int (accesses * iters) in
+    {
+      speed_label = label;
+      speed_accesses = accesses;
+      speed_iters = iters;
+      speed_host_s = host_s;
+      accesses_per_s = total_accesses /. host_s;
+      minor_words_per_access = minor_words /. Float.max total_accesses 1.;
+    }
+  in
+  [
+    measure "record/MNIST/Naive" (session Mode.Naive);
+    measure "record/MNIST/OursMDS" (session Mode.Ours_mds);
+    measure "record/MNIST/OursMDS-dedup"
+      (session
+         ~config:
+           {
+             (Mode.default_config Mode.Ours_mds) with
+             Mode.memsync_dedup = true;
+             memsync_adaptive = true;
+           }
+         Mode.Ours_mds);
+    measure "record/MNIST/OursMDS-w4"
+      (session ~window:4
+         ~config:{ (Mode.default_config Mode.Ours_mds) with Mode.max_inflight = 4 }
+         Mode.Ours_mds);
+  ]
+
 (* ---- JSON row export (bench --json, CI artifacts) ----
 
    One function per row type, mirroring the printed tables field for field
@@ -984,4 +1082,19 @@ let fleet_row_json (r : fleet_row) =
       ("sync_cross_hits", Json.int r.sync_cross_hits);
       ("yields", Json.int r.fleet_yields);
       ("switches", Json.int r.fleet_switches);
+    ]
+
+let speed_row_json (r : speed_row) =
+  Json.Obj
+    [
+      ("label", Json.Str r.speed_label);
+      ("accesses", Json.int r.speed_accesses);
+      ("iters", Json.int r.speed_iters);
+      ("host_s", Json.float r.speed_host_s);
+      ("accesses_per_s", Json.float r.accesses_per_s);
+      ("minor_words_per_access", Json.float r.minor_words_per_access);
+      ( "ceiling_minor_words_per_access",
+        match speed_ceiling r.speed_label with
+        | Some c -> Json.float c
+        | None -> Json.Null );
     ]

@@ -230,6 +230,31 @@ val replay_bench : ?nets:Grt_mlfw.Network.t list -> ?iters:int -> ctx -> replay_
 (** Host-side replay throughput, interpreted vs compiled (cold and warm),
     plus the compiled-path correctness check (ROADMAP item 2). *)
 
+type speed_row = {
+  speed_label : string;
+  speed_accesses : int;  (** simulated register accesses per session *)
+  speed_iters : int;
+  speed_host_s : float;  (** host seconds across all iterations, GPU time excluded *)
+  accesses_per_s : float;
+  minor_words_per_access : float;
+}
+
+val speed : ?iters:int -> ctx -> speed_row list
+(** Recording-hot-loop throughput (ROADMAP item 5): simulated register
+    accesses per host second and minor-heap words per access, over full
+    MNIST record sessions in the modes that exercise each rewritten layer
+    (naive, speculative, tagged-memsync, windowed link). Fresh speculation
+    history per iteration, GPU-side host time excluded — see the
+    implementation comment for the methodology. *)
+
+val speed_ceilings : (string * float) list
+(** Checked-in minor-words/access ceiling per {!speed} row label. An
+    allocation regression in the wire/queue/memory hot path shows up as a
+    row exceeding its ceiling; the CI speed smoke fails on it. *)
+
+val speed_ceiling : string -> float option
+(** Ceiling for one row label, if pinned. *)
+
 val fig7_row_json : fig7_row -> Grt_util.Json.t
 val table1_row_json : table1_row -> Grt_util.Json.t
 val table2_row_json : table2_row -> Grt_util.Json.t
@@ -244,3 +269,4 @@ val replay_bench_row_json : replay_bench_row -> Grt_util.Json.t
 val memsync_sweep_row_json : memsync_sweep_row -> Grt_util.Json.t
 val memsync_workload_row_json : memsync_workload_row -> Grt_util.Json.t
 val fleet_row_json : fleet_row -> Grt_util.Json.t
+val speed_row_json : speed_row -> Grt_util.Json.t

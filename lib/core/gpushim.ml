@@ -81,13 +81,15 @@ let count t key = match t.metrics with Some m -> Metrics.incr m key | None -> ()
 
 let require_isolation t = if not t.isolated then raise Not_isolated
 
-let rec eval_expr batch = function
+(* [limit] is how many batch slots are filled so far: a write may only
+   reference reads that precede it in the request. *)
+let rec eval_expr batch limit = function
   | Lit v -> v
   | Batch i ->
-    if i < 0 || i >= Array.length batch then failwith "GPUShim: batch reference out of range"
+    if i < 0 || i >= limit then failwith "GPUShim: batch reference out of range"
     else batch.(i)
   | Bop (op, a, b) ->
-    let va = eval_expr batch a and vb = eval_expr batch b in
+    let va = eval_expr batch limit a and vb = eval_expr batch limit b in
     (match op with
     | Sexpr.Or -> Int64.logor va vb
     | Sexpr.And -> Int64.logand va vb
@@ -96,7 +98,7 @@ let rec eval_expr batch = function
     | Sexpr.Sub -> Int64.sub va vb
     | Sexpr.Shl -> Int64.shift_left va (Int64.to_int vb land 63)
     | Sexpr.Shr -> Int64.shift_right_logical va (Int64.to_int vb land 63))
-  | Unot a -> Int64.lognot (eval_expr batch a)
+  | Unot a -> Int64.lognot (eval_expr batch limit a)
 
 let sniff_transtab t reg value =
   (* Learn page-table roots as the driver programs them, so metastate
@@ -112,8 +114,10 @@ let sniff_transtab t reg value =
 
 let apply_accesses t accesses =
   require_isolation t;
-  let reads = List.filter (function W_read _ -> true | W_write _ -> false) accesses in
-  let batch = Array.make (List.length reads) 0L in
+  let n_reads =
+    List.fold_left (fun n a -> match a with W_read _ -> n + 1 | W_write _ -> n) 0 accesses
+  in
+  let batch = Array.make n_reads 0L in
   let next_read = ref 0 in
   List.iter
     (fun access ->
@@ -124,11 +128,11 @@ let apply_accesses t accesses =
         incr next_read
       | W_write (reg, expr) ->
         count t Metrics.Client_reg_writes;
-        let v = eval_expr (Array.sub batch 0 !next_read) expr in
+        let v = eval_expr batch !next_read expr in
         sniff_transtab t reg v;
         Device.write_reg t.device reg v)
     accesses;
-  Array.to_list batch
+  batch
 
 let run_poll t ~reg ~mask ~cond ~max_iters ~spin_ns =
   require_isolation t;

@@ -45,7 +45,23 @@ let encoding_name = function
   | Enc_delta_rc -> "delta+rc"
   | Enc_hash_ref -> "hash-ref"
 
-let hash_page b = Grt_util.Hashing.fnv1a_bytes b
+(* Page content hash. The digest is wire format (hash-ref bodies ship it),
+   so it must remain FNV-1a — but the same page contents are hashed over
+   and over as a workload resyncs, so a quick-keyed memo (full compare on
+   hit, see [Hashing.quick]) avoids re-walking the page byte by byte. *)
+let hash_memo : (int, bytes * int64) Hashtbl.t = Hashtbl.create 256
+
+let hash_memo_cap = 1024
+
+let hash_page b =
+  let k = Grt_util.Hashing.quick b in
+  match Hashtbl.find_opt hash_memo k with
+  | Some (input, h) when Bytes.equal input b -> h
+  | _ ->
+    let h = Grt_util.Hashing.fnv1a_bytes b in
+    if Hashtbl.length hash_memo >= hash_memo_cap then Hashtbl.reset hash_memo;
+    Hashtbl.replace hash_memo k (Bytes.copy b, h);
+    h
 
 (* Content-addressed page store: hash of a full page body -> the body.
    Collisions are guarded at the lookup sites with [Bytes.equal]. *)
@@ -57,13 +73,31 @@ module Store = struct
   let find (s : s) h = Hashtbl.find_opt s h
 end
 
+(* Flat scan state for [sync_meta]: the merged meta-pfn set as a sorted int
+   array, with the generation each pfn carried when last examined (-1 =
+   never). Rebuilt only when the merged set itself changes; stamps carry
+   over, so a rebuild never forgets what the scan has seen. *)
+type meta_fast = {
+  mf_pfns : int array;  (* merged meta pfns, sorted ascending *)
+  mf_last : int array;  (* generation at last examination; -1 = never *)
+  mutable mf_pfns64 : int64 list option;  (* lazy boxed view for {!meta_pfns} *)
+}
+
+(* Walked page-table pages with flat generation stamps: the walk is redone
+   whenever any pt page was rewritten (every mapping change), so both the
+   validity check and the rewalk must stay off the allocator. *)
+type pt_cache = {
+  ptc_pfns : int array;  (* sorted, deduped *)
+  ptc_gens : int array;  (* stamp of each page when walked *)
+  ptc_roots : (Grt_gpu.Sku.pt_format * int64) list;
+}
+
 type t = {
   cfg : Mode.config;
   mutable regions : region list;
   mutable pt_roots : (Grt_gpu.Sku.pt_format * int64) list;
-  baseline : (int64, bytes) Hashtbl.t;
-  baseline_gen : (int64, int64) Hashtbl.t;
-      (* page generation when the page was last examined by [sync_meta] *)
+  baseline : (int, bytes) Hashtbl.t;
+      (* last contents examined per pfn (int-keyed; pfns fit native ints) *)
   sent_store : Store.s;
       (* bodies this endpoint shipped (sender role): the peer decoded each
          of them, so a later identical page can go out as a hash reference *)
@@ -71,9 +105,15 @@ type t = {
       (* bodies received from the peer (receiver role for the opposite
          direction): resolves inbound hash references *)
   mutable region_pfn_cache : int64 list option;
-  mutable pt_cache : ((int64 * int64) list * (Grt_gpu.Sku.pt_format * int64) list) option;
-      (* walked pt pages with their generation stamps + the roots walked *)
-  mutable meta_cache : int64 list option;
+  mutable region_pfn_fast : int array option;  (* same set, sorted int array *)
+  mutable pt_cache : pt_cache option;
+  mutable meta_fast : meta_fast option;
+  mutable meta_stale : bool;
+      (* a root/region registration may have changed the merged set: rebuild
+         it on next use. The stale [meta_fast] is kept — its last-examined
+         stamps carry over to the rebuilt set, like the old per-pfn stamp
+         table survived cache invalidations. *)
+  mutable walk_scratch : int array;  (* reusable buffer for the pt walk *)
   shipped_data : (string, unit) Hashtbl.t; (* data regions the peer holds (Naive) *)
   shared : Store.s option;
       (* fleet-wide store shared by every session recorded under the same
@@ -88,12 +128,14 @@ let create ?shared cfg =
     regions = [];
     pt_roots = [];
     baseline = Hashtbl.create 256;
-    baseline_gen = Hashtbl.create 256;
     sent_store = Store.create ();
     recv_store = Store.create ();
     region_pfn_cache = None;
+    region_pfn_fast = None;
     pt_cache = None;
-    meta_cache = None;
+    meta_fast = None;
+    meta_stale = false;
+    walk_scratch = Array.make 64 0;
     shipped_data = Hashtbl.create 64;
     shared;
   }
@@ -103,7 +145,8 @@ let tagged_wire cfg = cfg.Mode.memsync_dedup || cfg.Mode.memsync_adaptive
 let register_region t r =
   t.regions <- r :: t.regions;
   t.region_pfn_cache <- None;
-  t.meta_cache <- None
+  t.region_pfn_fast <- None;
+  t.meta_stale <- true
 
 let regions t = List.rev t.regions
 
@@ -118,7 +161,7 @@ let register_pt_root t ~fmt ~root_pa =
   if not (List.exists (fun (_, r) -> Int64.equal r root_pa) t.pt_roots) then begin
     t.pt_roots <- (fmt, root_pa) :: t.pt_roots;
     t.pt_cache <- None;
-    t.meta_cache <- None
+    t.meta_stale <- true
   end
 
 let region_pfns r =
@@ -141,37 +184,160 @@ let meta_region_pfns t =
     t.region_pfn_cache <- Some pfns;
     pfns
 
-(* Page-table pages, cached with per-page generation stamps. Growing a table
-   writes the parent table's entry, which restamps the parent page — so any
-   structural change invalidates the cache and forces a rewalk. Returns the
-   pfns plus whether the walk was redone (the merged cache keys off it). *)
+(* Sorted int-array view of the metastate region pfns, derived lazily from
+   the list cache (both drop when a region is registered). *)
+let meta_region_fast t =
+  match t.region_pfn_fast with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list (List.map Int64.to_int (meta_region_pfns t)) in
+    t.region_pfn_fast <- Some a;
+    a
+
+(* Walk every registered root into [walk_scratch]; returns the table pfns
+   as a fresh sorted deduped int array (the only allocation). *)
+let pt_walk t mem =
+  let n = ref 0 in
+  let push pfn =
+    let buf = t.walk_scratch in
+    let len = Array.length buf in
+    if !n >= len then begin
+      let bigger = Array.make (2 * len) 0 in
+      Array.blit buf 0 bigger 0 !n;
+      t.walk_scratch <- bigger
+    end;
+    t.walk_scratch.(!n) <- pfn;
+    incr n
+  in
+  List.iter (fun (fmt, root) -> Mmu.iter_table_pfns (Mmu.of_root mem ~fmt ~root) push) t.pt_roots;
+  let n = !n in
+  if n = 0 then [||]
+  else begin
+    let a = Array.sub t.walk_scratch 0 n in
+    (* Table pages are allocated sequentially, so the walk emits them
+       near-sorted: insertion sort is O(n) on that input and dodges the
+       per-comparison closure dispatch of [Array.sort]. *)
+    for i = 1 to n - 1 do
+      let v = Array.unsafe_get a i in
+      let j = ref (i - 1) in
+      while !j >= 0 && Array.unsafe_get a !j > v do
+        Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+        decr j
+      done;
+      Array.unsafe_set a (!j + 1) v
+    done;
+    let m = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!m - 1) then begin
+        a.(!m) <- a.(i);
+        incr m
+      end
+    done;
+    if !m = n then a else Array.sub a 0 !m
+  end
+
+(* Page-table pages, cached with flat per-page generation stamps. Growing a
+   table writes the parent table's entry, which restamps the parent page — so
+   any structural change invalidates the cache and forces a rewalk. Returns
+   the pfns plus whether the page *set* changed: a rewalk that finds the
+   same set (tables merely rewritten in place — every mapping change
+   restamps pt pages) reports [false], so the merged meta set downstream is
+   not rebuilt. *)
 let pt_pages t mem =
-  let valid =
-    match t.pt_cache with
-    | Some (stamped, roots) when roots == t.pt_roots || roots = t.pt_roots ->
-      List.for_all (fun (pfn, g) -> Int64.equal (Mem.page_gen mem pfn) g) stamped
-    | _ -> false
+  let stamps_valid c =
+    let n = Array.length c.ptc_pfns in
+    let rec go i =
+      i >= n
+      || Mem.page_gen_at mem (Array.unsafe_get c.ptc_pfns i) = Array.unsafe_get c.ptc_gens i
+         && go (i + 1)
+    in
+    (c.ptc_roots == t.pt_roots || c.ptc_roots = t.pt_roots) && go 0
   in
   match t.pt_cache with
-  | Some (stamped, _) when valid -> (List.map fst stamped, false)
-  | _ ->
-    let pages =
-      List.concat_map
-        (fun (fmt, root) -> Mmu.table_pages (Mmu.of_root mem ~fmt ~root))
-        t.pt_roots
-      |> List.sort_uniq Int64.compare
+  | Some c when stamps_valid c -> (c.ptc_pfns, false)
+  | cached ->
+    let pfns = pt_walk t mem in
+    let n = Array.length pfns in
+    let gens = Array.make n 0 in
+    for i = 0 to n - 1 do
+      gens.(i) <- Mem.page_gen_at mem pfns.(i)
+    done;
+    let set_changed = match cached with Some c -> c.ptc_pfns <> pfns | None -> true in
+    t.pt_cache <- Some { ptc_pfns = pfns; ptc_gens = gens; ptc_roots = t.pt_roots };
+    (pfns, set_changed)
+
+(* The merged meta set (pt pages ∪ metastate-region pages) with its flat
+   scan state. Rebuilt — by two-pointer union of the sorted halves — only
+   when one of them changed; the last-examined stamps carry over by pfn so
+   a rebuild never re-ships pages the scan already saw. *)
+let meta_fast t mem =
+  let pt, set_changed = pt_pages t mem in
+  let rebuild = set_changed || t.meta_stale in
+  match t.meta_fast with
+  | Some mf when not rebuild -> mf
+  | cur ->
+    t.meta_stale <- false;
+    (
+    let regions = meta_region_fast t in
+    let np = Array.length pt and nr = Array.length regions in
+    let out = Array.make (np + nr) 0 in
+    let rec merge i j k =
+      if i < np && j < nr then begin
+        let a = pt.(i) and b = regions.(j) in
+        if a < b then begin
+          out.(k) <- a;
+          merge (i + 1) j (k + 1)
+        end
+        else if b < a then begin
+          out.(k) <- b;
+          merge i (j + 1) (k + 1)
+        end
+        else begin
+          out.(k) <- a;
+          merge (i + 1) (j + 1) (k + 1)
+        end
+      end
+      else if i < np then begin
+        out.(k) <- pt.(i);
+        merge (i + 1) j (k + 1)
+      end
+      else if j < nr then begin
+        out.(k) <- regions.(j);
+        merge i (j + 1) (k + 1)
+      end
+      else k
     in
-    t.pt_cache <- Some (List.map (fun pfn -> (pfn, Mem.page_gen mem pfn)) pages, t.pt_roots);
-    (pages, true)
+    let m = merge 0 0 0 in
+    let pfns = if m = Array.length out then out else Array.sub out 0 m in
+    match cur with
+    | Some mf when mf.mf_pfns = pfns -> mf (* same set after all: keep scan stamps *)
+    | _ ->
+      let last = Array.make m (-1) in
+      (match cur with
+      | Some old ->
+        (* both sorted: carry last-examined stamps over by two-pointer walk *)
+        let no = Array.length old.mf_pfns in
+        let oi = ref 0 in
+        for i = 0 to m - 1 do
+          let p = pfns.(i) in
+          while !oi < no && old.mf_pfns.(!oi) < p do
+            incr oi
+          done;
+          if !oi < no && old.mf_pfns.(!oi) = p then last.(i) <- old.mf_last.(!oi)
+        done
+      | None -> ());
+      let mf = { mf_pfns = pfns; mf_last = last; mf_pfns64 = None } in
+      t.meta_fast <- Some mf;
+      mf)
 
 let meta_pfns t mem =
-  let pt, pt_fresh = pt_pages t mem in
-  match t.meta_cache with
-  | Some merged when not pt_fresh -> merged
-  | _ ->
-    let merged = List.sort_uniq Int64.compare (pt @ meta_region_pfns t) in
-    t.meta_cache <- Some merged;
-    merged
+  let mf = meta_fast t mem in
+  match mf.mf_pfns64 with
+  | Some l -> l
+  | None ->
+    let l = Array.to_list (Array.map Int64.of_int mf.mf_pfns) in
+    mf.mf_pfns64 <- Some l;
+    l
 
 type page_record = {
   pfn : int64;
@@ -315,39 +481,47 @@ let encode_tagged t ~previous ~pfn ~current =
   (match t.shared with Some sh -> Store.learn sh current | None -> ());
   r
 
+(* Stand-in contents of a never-materialized page: compared against (and
+   copied from) but never written through. *)
+let zero_page = Bytes.make Mem.page_size '\000'
+
 let sync_meta t mem =
-  let pfns = meta_pfns t mem in
-  let total = List.length pfns in
+  let mf = meta_fast t mem in
+  let pfns = mf.mf_pfns and last = mf.mf_last in
+  let total = Array.length pfns in
   let tagged = tagged_wire t.cfg in
+  let dirty_filter = t.cfg.Mode.memsync_dirty in
   let records = ref [] and wire = ref 0 and raw = ref 0 and visited = ref 0 in
-  List.iter
-    (fun pfn ->
-      let gen = Mem.page_gen mem pfn in
-      let unchanged =
-        t.cfg.Mode.memsync_dirty
-        &&
-        match Hashtbl.find_opt t.baseline_gen pfn with
-        | Some g -> Int64.compare gen g <= 0
-        | None -> false
-      in
-      if not unchanged then begin
-        incr visited;
-        Hashtbl.replace t.baseline_gen pfn gen;
-        let current = Mem.get_page mem pfn in
-        let previous = Hashtbl.find_opt t.baseline pfn in
-        let same = match previous with Some p -> Bytes.equal p current | None -> false in
-        if not same then begin
-          raw := !raw + Mem.page_size;
-          let r =
-            if tagged then encode_tagged t ~previous ~pfn ~current
-            else encode_legacy t ~previous ~pfn ~current
-          in
-          records := r :: !records;
-          wire := !wire + r.wire;
-          Hashtbl.replace t.baseline pfn (Bytes.copy current)
-        end
-      end)
-    pfns;
+  for i = 0 to total - 1 do
+    let pfn = Array.unsafe_get pfns i in
+    let gen = Mem.page_gen_at mem pfn in
+    let seen = Array.unsafe_get last i in
+    let unchanged = dirty_filter && seen >= 0 && gen <= seen in
+    if not unchanged then begin
+      incr visited;
+      Array.unsafe_set last i gen;
+      (* Compare in place against the baseline; copy only when the page
+         actually changed (the copy is then shared by the shipped record
+         and the new baseline entry — both are read-only downstream). *)
+      let view = Mem.borrow_ro mem pfn in
+      let view = if view == Bytes.empty then zero_page else view in
+      let prev = try Hashtbl.find t.baseline pfn with Not_found -> Bytes.empty in
+      let same = prev != Bytes.empty && Bytes.equal prev view in
+      if not same then begin
+        raw := !raw + Mem.page_size;
+        let current = Bytes.copy view in
+        let previous = if prev == Bytes.empty then None else Some prev in
+        let pfn = Int64.of_int pfn in
+        let r =
+          if tagged then encode_tagged t ~previous ~pfn ~current
+          else encode_legacy t ~previous ~pfn ~current
+        in
+        records := r :: !records;
+        wire := !wire + r.wire;
+        Hashtbl.replace t.baseline (Int64.to_int pfn) current
+      end
+    end
+  done;
   { records = List.rev !records; tagged; wire_bytes = !wire; raw_bytes = !raw; visited = !visited; total }
 
 let decode_records store mem records =
@@ -378,10 +552,11 @@ let apply t mem payload =
   if payload.tagged then ignore (apply_records t mem (wire_records payload))
   else List.iter (fun r -> Mem.set_page mem r.pfn r.data) payload.records
 
-let note_peer_page t pfn contents = Hashtbl.replace t.baseline pfn (Bytes.copy contents)
+let note_peer_page t pfn contents =
+  Hashtbl.replace t.baseline (Int64.to_int pfn) (Bytes.copy contents)
 
 let note_shipped t pfn contents =
-  Hashtbl.replace t.baseline pfn (Bytes.copy contents);
+  Hashtbl.replace t.baseline (Int64.to_int pfn) (Bytes.copy contents);
   if tagged_wire t.cfg then begin
     Store.learn t.sent_store contents;
     match t.shared with Some sh -> Store.learn sh contents | None -> ()

@@ -10,6 +10,18 @@ type entry =
   | Mem_load of { pages : (int64 * bytes) list }
   | Mem_load_enc of { records : (int64 * Memsync.encoding * bytes) list }
 
+(* Entry log under construction (newest first), with O(1) length — the
+   speculation machinery marks log positions on every commit, so length
+   must not cost a traversal. Shared by the shim and its recovery
+   replayer. *)
+type log = { mutable items : entry list; mutable len : int }
+
+let new_log () = { items = []; len = 0 }
+
+let log_push l e =
+  l.items <- e :: l.items;
+  l.len <- l.len + 1
+
 let irq_line_to_int = function
   | Grt_gpu.Device.Job_irq -> 0
   | Grt_gpu.Device.Gpu_irq -> 1
@@ -244,16 +256,6 @@ let merkle_root hashes =
   in
   up hashes
 
-let chunks_of_entries ~chunk_entries entries =
-  let n = Array.length entries in
-  let n_chunks = (n + chunk_entries - 1) / chunk_entries in
-  Array.init n_chunks (fun i ->
-      let first = i * chunk_entries in
-      let count = min chunk_entries (n - first) in
-      let raw = entries_bytes (Array.sub entries first count) in
-      { chunk_first = first; chunk_count = count; chunk_hash = Grt_util.Hashing.fnv1a_bytes raw;
-        chunk_raw = raw })
-
 let sign_v1 ~key t =
   let body = serialize t in
   let buf = Byte_buf.create ~capacity:(Bytes.length body + 8) () in
@@ -261,31 +263,138 @@ let sign_v1 ~key t =
   Byte_buf.add_i64 buf (Grt_tee.Crypto.mac ~key body);
   Byte_buf.contents buf
 
+(* Serialize the whole entry log once, recording where each chunk of
+   [chunk_entries] entries ends: [bounds.(i)] is the byte offset at which
+   chunk [i] starts, [bounds.(n_chunks)] the total length. Chunk bodies and
+   their hashes are then slices of this one buffer — no per-chunk copies. *)
+let chunk_bounds ~chunk_entries entries =
+  let n = Array.length entries in
+  let n_chunks = (n + chunk_entries - 1) / chunk_entries in
+  let buf = Byte_buf.create ~capacity:4096 () in
+  let bounds = Array.make (n_chunks + 1) 0 in
+  Array.iteri
+    (fun i e ->
+      add_entry buf e;
+      if (i + 1) mod chunk_entries = 0 then bounds.((i + 1) / chunk_entries) <- Byte_buf.length buf)
+    entries;
+  bounds.(n_chunks) <- Byte_buf.length buf;
+  (Byte_buf.contents buf, bounds)
+
+(* [sign] and [verify_and_parse] are pure functions of their inputs, and the
+   recording service re-signs (and every client re-verifies) byte-identical
+   logs whenever the same workload is recorded again — the observation
+   behind the service's content-addressed recording cache. Small
+   content-keyed memos therefore short-circuit the work on repeats; a hit
+   is trusted only after comparing the stored input in full, so collisions
+   cannot leak a wrong blob.
+
+   [sign]'s memo is keyed on the *entry stream* rather than the serialized
+   body, so a hit skips the chunk serialization pass as well as the FNV
+   walk: scalar fields mix into the key directly, page payloads via the
+   sparse word-sampled hash, and the hit guard is a structural comparison
+   with [Bytes.equal] on every payload. The stored snapshot deep-copies
+   payload bytes, so callers that keep mutating their page buffers cannot
+   poison the memo. *)
+let memo_cap = 32
+
+let entry_mix h v = (h lxor v) * 0x100000001B3
+
+let entry_key h = function
+  | Reg_write { reg; value } -> entry_mix (entry_mix h (1 + reg)) (Int64.to_int value)
+  | Reg_read { reg; value; verify } ->
+    entry_mix (entry_mix (entry_mix h 2) (reg lxor Int64.to_int value)) (if verify then 3 else 4)
+  | Poll { reg; mask; cond; max_iters; spin_ns } ->
+    let h = entry_mix (entry_mix h 5) (reg lxor Int64.to_int mask) in
+    entry_mix
+      (entry_mix h (match cond with Until_set -> 6 | Until_clear -> 7))
+      (max_iters lxor Int64.to_int spin_ns)
+  | Wait_irq { line } -> entry_mix h (8 + line)
+  | Mem_load { pages } ->
+    List.fold_left
+      (fun h (pfn, b) -> Grt_util.Hashing.quick_sparse ~seed:(entry_mix h (Int64.to_int pfn)) b)
+      (entry_mix h 9) pages
+  | Mem_load_enc { records } ->
+    List.fold_left
+      (fun h (pfn, enc, b) ->
+        let h = entry_mix (entry_mix h (Int64.to_int pfn)) (Memsync.encoding_to_int enc) in
+        Grt_util.Hashing.quick_sparse ~seed:h b)
+      (entry_mix h 10) records
+
+let entry_eq a b =
+  match (a, b) with
+  | Reg_write x, Reg_write y -> x.reg = y.reg && Int64.equal x.value y.value
+  | Reg_read x, Reg_read y ->
+    x.reg = y.reg && Int64.equal x.value y.value && x.verify = y.verify
+  | Poll x, Poll y ->
+    x.reg = y.reg && Int64.equal x.mask y.mask && x.cond = y.cond && x.max_iters = y.max_iters
+    && Int64.equal x.spin_ns y.spin_ns
+  | Wait_irq x, Wait_irq y -> x.line = y.line
+  | Mem_load x, Mem_load y ->
+    List.equal
+      (fun (p, b) (q, c) -> Int64.equal p q && Bytes.equal b c)
+      x.pages y.pages
+  | Mem_load_enc x, Mem_load_enc y ->
+    List.equal
+      (fun (p, e, b) (q, f, c) -> Int64.equal p q && e = f && Bytes.equal b c)
+      x.records y.records
+  | _ -> false
+
+let entries_eq a b = Array.length a = Array.length b && Array.for_all2 entry_eq a b
+
+let entry_copy = function
+  | Mem_load { pages } -> Mem_load { pages = List.map (fun (p, b) -> (p, Bytes.copy b)) pages }
+  | Mem_load_enc { records } ->
+    Mem_load_enc { records = List.map (fun (p, e, b) -> (p, e, Bytes.copy b)) records }
+  | e -> e
+
+let sign_memo : (int, bytes * entry array * bytes) Hashtbl.t = Hashtbl.create 16
+
 let sign ?(chunk_entries = default_chunk_entries) ~key t =
   if chunk_entries <= 0 then invalid_arg "Recording.sign: chunk_entries must be positive";
-  let chunks = chunks_of_entries ~chunk_entries t.entries in
-  let header = Byte_buf.create ~capacity:4096 () in
-  Byte_buf.add_u32 header magic;
-  Byte_buf.add_u16 header version_chunked;
-  Byte_buf.add_string header t.workload;
-  Byte_buf.add_i64 header t.gpu_id;
-  Byte_buf.add_varint header (List.length t.slots);
-  List.iter (add_slot header) t.slots;
-  Byte_buf.add_varint header (Array.length t.entries);
-  Byte_buf.add_varint header (Array.length chunks);
-  Array.iter
-    (fun c ->
-      Byte_buf.add_varint header c.chunk_count;
-      Byte_buf.add_varint header (Bytes.length c.chunk_raw);
-      Byte_buf.add_i64 header c.chunk_hash)
-    chunks;
-  Byte_buf.add_i64 header (merkle_root (Array.to_list (Array.map (fun c -> c.chunk_hash) chunks)));
-  let hdr = Byte_buf.contents header in
-  let blob = Byte_buf.create ~capacity:(Bytes.length hdr + 8 + 4096) () in
-  Byte_buf.add_bytes blob hdr;
-  Byte_buf.add_i64 blob (Grt_tee.Crypto.mac ~key hdr);
-  Array.iter (fun c -> Byte_buf.add_bytes blob c.chunk_raw) chunks;
-  Byte_buf.contents blob
+  let meta_buf = Byte_buf.create ~capacity:256 () in
+  Byte_buf.add_varint meta_buf chunk_entries;
+  Byte_buf.add_string meta_buf key;
+  Byte_buf.add_string meta_buf t.workload;
+  Byte_buf.add_i64 meta_buf t.gpu_id;
+  Byte_buf.add_varint meta_buf (List.length t.slots);
+  List.iter (add_slot meta_buf) t.slots;
+  let meta = Byte_buf.contents meta_buf in
+  let memo_key = Array.fold_left entry_key (Grt_util.Hashing.quick meta) t.entries in
+  match Hashtbl.find_opt sign_memo memo_key with
+  | Some (m, es, blob) when Bytes.equal m meta && entries_eq es t.entries -> Bytes.copy blob
+  | _ ->
+    let body, bounds = chunk_bounds ~chunk_entries t.entries in
+    let n = Array.length t.entries in
+    let n_chunks = Array.length bounds - 1 in
+    let hashes =
+      Array.init n_chunks (fun i ->
+          Grt_util.Hashing.fnv1a_sub body ~pos:bounds.(i) ~len:(bounds.(i + 1) - bounds.(i)))
+    in
+    let header = Byte_buf.create ~capacity:4096 () in
+    Byte_buf.add_u32 header magic;
+    Byte_buf.add_u16 header version_chunked;
+    Byte_buf.add_string header t.workload;
+    Byte_buf.add_i64 header t.gpu_id;
+    Byte_buf.add_varint header (List.length t.slots);
+    List.iter (add_slot header) t.slots;
+    Byte_buf.add_varint header n;
+    Byte_buf.add_varint header n_chunks;
+    Array.iteri
+      (fun i h ->
+        Byte_buf.add_varint header (min chunk_entries (n - (i * chunk_entries)));
+        Byte_buf.add_varint header (bounds.(i + 1) - bounds.(i));
+        Byte_buf.add_i64 header h)
+      hashes;
+    Byte_buf.add_i64 header (merkle_root (Array.to_list hashes));
+    let hdr = Byte_buf.contents header in
+    let blob = Byte_buf.create ~capacity:(Bytes.length hdr + 8 + Bytes.length body) () in
+    Byte_buf.add_bytes blob hdr;
+    Byte_buf.add_i64 blob (Grt_tee.Crypto.mac ~key hdr);
+    Byte_buf.add_bytes blob body;
+    let blob = Byte_buf.contents blob in
+    if Hashtbl.length sign_memo >= memo_cap then Hashtbl.reset sign_memo;
+    Hashtbl.replace sign_memo memo_key (meta, Array.map entry_copy t.entries, Bytes.copy blob);
+    blob
 
 let parse_chunk_entries chunk =
   let r = Byte_buf.Reader.of_bytes chunk.chunk_raw in
@@ -373,7 +482,9 @@ let parse_signed ~key blob =
 let verify_chunk c =
   Int64.equal (Grt_util.Hashing.fnv1a_bytes c.chunk_raw) c.chunk_hash
 
-let verify_and_parse ~key blob =
+let verify_memo : (int, bytes * string * (t, string) result) Hashtbl.t = Hashtbl.create 16
+
+let verify_and_parse_raw ~key blob =
   match parse_signed ~key blob with
   | Error e -> Error e
   | Ok v ->
@@ -384,6 +495,26 @@ let verify_and_parse ~key blob =
     (match !bad with
     | Some first -> Error (Printf.sprintf "recording: chunk at entry %d failed verification" first)
     | None -> Ok v.vrec)
+
+(* Memoized verification (see the note above [sign]): the verdict on a
+   byte-identical blob under the same key is deterministic, so a repeat
+   verify returns the cached parse. The entry array's spine is copied on a
+   hit — callers are free to patch entries of a parsed recording (the
+   tamper-detection tests do) without poisoning the cache. *)
+let verify_and_parse ~key blob =
+  let memo_key = Grt_util.Hashing.quick_sparse ~seed:(Hashtbl.hash key) blob in
+  match Hashtbl.find_opt verify_memo memo_key with
+  | Some (b, k, res) when String.equal k key && Bytes.equal b blob -> (
+    match res with
+    | Ok r -> Ok { r with entries = Array.copy r.entries }
+    | Error _ as e -> e)
+  | _ ->
+    let res = verify_and_parse_raw ~key blob in
+    if Hashtbl.length verify_memo >= memo_cap then Hashtbl.reset verify_memo;
+    Hashtbl.replace verify_memo memo_key (Bytes.copy blob, key, res);
+    (match res with
+    | Ok r -> Ok { r with entries = Array.copy r.entries }
+    | Error _ as e -> e)
 
 let size_bytes t = Bytes.length (serialize t)
 

@@ -29,6 +29,12 @@ type entry =
           replayer's content store — a hash reference always resolves to a
           body carried in full by an earlier record. *)
 
+type log = { mutable items : entry list; mutable len : int }
+(** Entry log under construction, newest first, with O(1) length. *)
+
+val new_log : unit -> log
+val log_push : log -> entry -> unit
+
 val irq_line_to_int : Grt_gpu.Device.irq_line -> int
 val irq_line_of_int : int -> Grt_gpu.Device.irq_line option
 

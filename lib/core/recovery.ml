@@ -13,7 +13,7 @@ type t = {
   clock : Grt_sim.Clock.t;
   metrics : Metrics.t option;
   trace : Grt_sim.Trace.t option;
-  log : Recording.entry list ref; (* shared with the shim; newest first *)
+  log : Recording.log; (* shared with the shim; newest first *)
   sniff : int -> int64 -> unit; (* root/head sniffing on replayed writes *)
   mutable prefix : Recording.entry list; (* oldest first; empty once live *)
   mutable replayed : int;
@@ -46,7 +46,7 @@ let rec pop_memloads t =
     count t Metrics.Recovery_pages (List.length pages);
     Gpushim.load_pages t.gpushim (Memsync.payload_of_pages pages);
     List.iter (fun (pfn, data) -> Memsync.note_shipped t.downlink pfn data) pages;
-    t.log := Recording.Mem_load { pages } :: !(t.log);
+    Recording.log_push t.log (Recording.Mem_load { pages });
     pop_memloads t
   | Recording.Mem_load_enc { records } :: rest ->
     t.prefix <- rest;
@@ -58,7 +58,7 @@ let rec pop_memloads t =
        the recording's replayer will hold. *)
     let pages = Gpushim.load_records t.gpushim records in
     List.iter (fun (pfn, data) -> Memsync.note_shipped t.downlink pfn data) pages;
-    t.log := Recording.Mem_load_enc { records } :: !(t.log);
+    Recording.log_push t.log (Recording.Mem_load_enc { records });
     pop_memloads t
   | _ -> ()
 
@@ -79,8 +79,8 @@ let read t reg =
     (* The client replays the read against its GPU to keep read-sensitive
        hardware state moving; the driver consumes the logged value. *)
     ignore (Grt_gpu.Device.read_reg (Gpushim.device t.gpushim) reg);
-    t.log :=
-      Recording.Reg_read { reg; value; verify = not (Regs.is_nondeterministic reg) } :: !(t.log);
+    Recording.log_push t.log
+      (Recording.Reg_read { reg; value; verify = not (Regs.is_nondeterministic reg) });
     Sexpr.const value
   | Some e ->
     fail "expected read of %s, log has %s" (Regs.name reg)
@@ -97,26 +97,25 @@ let write t reg =
   | Some (Recording.Reg_write { reg = r; value }) when r = reg ->
     t.sniff reg value;
     Grt_gpu.Device.write_reg (Gpushim.device t.gpushim) reg value;
-    t.log := Recording.Reg_write { reg; value } :: !(t.log)
+    Recording.log_push t.log (Recording.Reg_write { reg; value })
   | Some _ -> fail "log does not expect a write of %s here" (Regs.name reg)
   | None -> fail "prefix exhausted mid-access (write %s)" (Regs.name reg)
 
 let poll t ~reg ~mask ~cond ~max_iters ~spin_ns =
   match prefix_pop t with
   | Some (Recording.Poll { reg = r; _ }) when r = reg ->
-    t.log :=
-      Recording.Poll
-        {
-          reg;
-          mask;
-          cond =
-            (match cond with
-            | Backend.Bits_set -> Recording.Until_set
-            | Backend.Bits_clear -> Recording.Until_clear);
-          max_iters;
-          spin_ns;
-        }
-      :: !(t.log);
+    Recording.log_push t.log
+      (Recording.Poll
+         {
+           reg;
+           mask;
+           cond =
+             (match cond with
+             | Backend.Bits_set -> Recording.Until_set
+             | Backend.Bits_clear -> Recording.Until_clear);
+           max_iters;
+           spin_ns;
+         });
     (match Gpushim.run_poll t.gpushim ~reg ~mask ~cond ~max_iters ~spin_ns with
     | Some (iters, value) -> Backend.Poll_ok { iters; value }
     | None -> Backend.Poll_timeout)
@@ -128,7 +127,7 @@ let wait_irq t ~timeout_us =
   | Some (Recording.Wait_irq { line }) -> (
     match Gpushim.wait_irq t.gpushim ~timeout_ns:(Int64.of_int (timeout_us * 1000)) with
     | Some got ->
-      t.log := Recording.Wait_irq { line = Recording.irq_line_to_int got } :: !(t.log);
+      Recording.log_push t.log (Recording.Wait_irq { line = Recording.irq_line_to_int got });
       (* Local status exchange, no network: the cloud's memory learns the
          GPU-written words directly. *)
       if t.cfg.Mode.continuous_validation then Grt_gpu.Mem.unprotect_all t.cloud_mem;

@@ -29,7 +29,7 @@ val create :
   clock:Grt_sim.Clock.t ->
   ?metrics:Grt_sim.Metrics.t ->
   ?trace:Grt_sim.Trace.t ->
-  log:Recording.entry list ref ->
+  log:Recording.log ->
   sniff:(int -> int64 -> unit) ->
   Recording.entry list ->
   t

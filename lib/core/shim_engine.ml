@@ -40,8 +40,8 @@ let category_name = function
 let all_categories = [ Init; Interrupt; Power; Polling; Other ]
 
 type outstanding = {
-  o_completion : int64;
-  o_dispatched : int64; (* virtual time of the async dispatch *)
+  o_completion : int; (* ns, unboxed (paired with [Link.async_send_int]) *)
+  o_dispatched : int; (* virtual time of the async dispatch, ns *)
   o_site : string;
   o_checks : (int * int64 * int64) list; (* reg, predicted, actual *)
   o_syms : Sexpr.sym list;
@@ -69,7 +69,7 @@ type t = {
   recovery : Recovery.t;
   sniff : int -> int64 -> unit;
   head : head;
-  log : Recording.entry list ref; (* newest first; shared with [recovery] *)
+  log : Recording.log; (* newest first; shared with [recovery] *)
   main_queue : Wire.pending list ref;
   irq_queue : Wire.pending list ref;
   mutable cur_thread : thread;
@@ -112,7 +112,7 @@ let create ~cfg ~link ~gpushim ~cloud_mem ?counters ?trace ?tracer ?hists ?histo
   let metrics = Option.map Metrics.of_counters counters in
   let downlink = Memsync.create ?shared:sync_store cfg in
   let head = { lo = 0L; hi = 0L } in
-  let log = ref [] in
+  let log = Recording.new_log () in
   let sniff = sniff_root_and_head ~gpushim ~downlink ~head in
   let recovery =
     Recovery.create ~cfg ~gpushim ~cloud_mem ~downlink ~clock:(Link.clock link) ?metrics ?trace
@@ -190,17 +190,19 @@ let site_key t ~trigger queue =
 
 let apply_now t wire = Gpushim.apply_accesses t.gpushim wire
 
-let maybe_inject t actuals =
-  match (t.inject_countdown, actuals) with
-  | Some 0, v :: rest ->
+let maybe_inject t (actuals : int64 array) =
+  match t.inject_countdown with
+  | Some 0 when Array.length actuals > 0 ->
     t.inject_countdown <- None;
     count t Metrics.Fault_injected 1;
-    Int64.logxor v 0x1L :: rest
-  | Some 0, [] -> [] (* hold until a commit that actually carries a read *)
-  | Some n, _ ->
+    let flipped = Array.copy actuals in
+    flipped.(0) <- Int64.logxor flipped.(0) 0x1L;
+    flipped
+  | Some 0 -> actuals (* hold until a commit that actually carries a read *)
+  | Some n ->
     t.inject_countdown <- Some (n - 1);
     actuals
-  | None, _ -> actuals
+  | None -> actuals
 
 (* Degraded-mode policy: while the link reports a persistently lossy
    channel, speculation is suspended and commits go out synchronously —
@@ -208,26 +210,24 @@ let maybe_inject t actuals =
    retransmitting channel keeps stretching validation latencies. *)
 let degraded_now t = t.cfg.Mode.degraded_mode && Link.health t.link = Link.Degraded
 
-let log_applied t queue actuals =
-  let rec go queue actuals =
+let log_applied t queue (actuals : int64 array) =
+  let rec go queue i =
     match queue with
     | [] -> ()
-    | Wire.Qr { reg; _ } :: rest -> (
-      match actuals with
-      | v :: more ->
-        if t.suppress_read_log <> Some reg then
-          t.log :=
-            Recording.Reg_read { reg; value = v; verify = not (Regs.is_nondeterministic reg) }
-            :: !(t.log);
-        go rest more
-      | [] -> assert false)
+    | Wire.Qr { reg; _ } :: rest ->
+      assert (i < Array.length actuals);
+      if t.suppress_read_log <> Some reg then
+        Recording.log_push t.log
+          (Recording.Reg_read
+             { reg; value = actuals.(i); verify = not (Regs.is_nondeterministic reg) });
+      go rest (i + 1)
     | Wire.Qw { reg; expr } :: rest ->
       (* By apply time every referenced symbol is bound. *)
       let value = match Sexpr.eval expr with Some v -> v | None -> 0L in
-      t.log := Recording.Reg_write { reg; value } :: !(t.log);
-      go rest actuals
+      Recording.log_push t.log (Recording.Reg_write { reg; value });
+      go rest i
   in
-  go queue actuals
+  go queue 0
 
 (* ---- draining / validation ---- *)
 
@@ -240,10 +240,9 @@ let validate_one t o =
   Tracer.span_opt t.tracer ~cat:Tracer.Validate_speculation
     ~args:[ ("site", o.o_site) ]
     ~name:"validate" (fun () ->
-      Link.wait_until t.link o.o_completion;
+      Link.wait_until_int t.link o.o_completion;
       Hist.record_opt t.hists Hist.Spec_validate_ns
-        (Int64.to_int
-           (Int64.sub (Grt_sim.Clock.now_ns (Link.clock t.link)) o.o_dispatched));
+        (Grt_sim.Clock.now_int (Link.clock t.link) - o.o_dispatched);
       List.iter
         (fun (reg, predicted, actual) ->
           if not (Int64.equal predicted actual) then begin
@@ -252,7 +251,7 @@ let validate_one t o =
               (Trace.Rollback { site = o.o_site; reg = Regs.name reg; predicted; actual });
             (* Everything logged before this commit is validated truth; the
                recovery replays it locally on both sides. *)
-            let all = List.rev !(t.log) in
+            let all = List.rev t.log.Recording.items in
             let rec take n = function
               | [] -> []
               | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
@@ -303,8 +302,8 @@ let dispatch_speculative t ~site ~send ~recv ~checks ~syms ~log_mark ~bind =
     while List.length t.outstanding >= cap do
       drain_oldest t
     done;
-  let dispatched = Grt_sim.Clock.now_ns (Link.clock t.link) in
-  let completion = Link.async_send t.link ~send_bytes:send ~recv_bytes:recv in
+  let dispatched = Grt_sim.Clock.now_int (Link.clock t.link) in
+  let completion = Link.async_send_int t.link ~send_bytes:send ~recv_bytes:recv in
   bind ();
   t.outstanding <-
     t.outstanding

@@ -51,11 +51,10 @@ let down t =
   Link.one_way_to_client t.link ~bytes:wire;
   Gpushim.load_pages t.gpushim payload;
   if payload.Memsync.records <> [] then
-    t.log :=
+    Recording.log_push t.log
       (if payload.Memsync.tagged then
          Recording.Mem_load_enc { records = Memsync.wire_records payload }
-       else Recording.Mem_load { pages = Memsync.pages payload })
-      :: !(t.log);
+       else Recording.Mem_load { pages = Memsync.pages payload });
   (* Continuous validation (§5): the dumped metastate now belongs to the
      GPU; unmap it from the CPU until the job interrupt returns it. *)
   if t.cfg.Mode.continuous_validation then

@@ -39,6 +39,32 @@ val write_bytes : t -> int64 -> bytes -> unit
 val page_of_addr : int64 -> int64
 (** Page frame number containing an address. *)
 
+(** {2 Unboxed hot-path variants}
+
+    The store is a dense int-indexed array with a spill table for sparse
+    high PFNs; these entry points skip the [int64] boxing and option
+    allocation of the classic API. PFNs always fit a native [int] (an
+    address shifted right by {!page_shift} is below 2{^52}). *)
+
+val page_index : int64 -> int
+(** [page_index addr] is {!page_of_addr} as a native int. *)
+
+val borrow_ro : t -> int -> bytes
+(** Allocation-free {!page_ro}: borrow the live backing buffer by int PFN,
+    or the [Bytes.empty] sentinel when the page was never materialized
+    (test with physical equality against [Bytes.empty]). Same borrow rules
+    as {!page_ro}. *)
+
+val borrow_rw : t -> int -> bytes
+(** Allocation-free {!page_rw} by int PFN: materializes, marks dirty and
+    stamps a generation once. Raises {!Protected_page_write}. *)
+
+val page_gen_at : t -> int -> int
+(** Unboxed {!page_gen} by int PFN ([0] if the page was never written). *)
+
+val write_gen_int : t -> int
+(** Unboxed {!write_gen}. *)
+
 val get_page : t -> int64 -> bytes
 (** [get_page t pfn] returns a copy of the page (zeroes if never written). *)
 

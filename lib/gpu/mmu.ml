@@ -13,19 +13,33 @@ let pp_fault ppf = function
 
 type t = { mem : Mem.t; fmt : Sku.pt_format; root : int64 }
 
-let desc_table = 0b11L
-let desc_block = 0b01L
-let desc_type_mask = 0b11L
-let bit_writable = 0x40L
-let bit_executable = 0x80L
-let bit_cacheable = 0x100L
-let bit_access = 0x400L
-let pa_mask = 0xFF_FFFF_F000L
+let desc_table = 0b11
+let desc_block = 0b01
+let desc_type_mask = 0b11
+let bit_writable = 0x40
+let bit_executable = 0x80
+let bit_cacheable = 0x100
+let bit_access = 0x400
+let pa_mask = 0xFF_FFFF_F000
+
+(* Descriptors are read and manipulated as native ints: every field the
+   walker touches — the 40-bit PA under [pa_mask], the type bits, the
+   permission bits — lives below bit 41, far inside OCaml's 63-bit int.
+   (A raw [write_u64] of garbage with bit 63 set would be truncated by the
+   conversion; the type/PA bits the walk inspects are unaffected.) Tables
+   are page-aligned, so one [Mem.borrow_ro] per level resolves all 512
+   descriptors of that table without further lookups or boxing. *)
 
 let level_index va level =
   (* level 1 -> bits 38:30, level 2 -> 29:21, level 3 -> 20:12 *)
   let shift = 12 + (9 * (3 - level)) in
-  Int64.to_int (Int64.logand (Int64.shift_right_logical va shift) 0x1FFL)
+  Int64.to_int (Int64.shift_right_logical va shift) land 0x1FF
+
+(* Read descriptor [idx] of the table page holding [table_pa] (page-aligned),
+   as a native int; 0 when the table page was never materialized. *)
+let desc_at mem table_pa idx =
+  let p = Mem.borrow_ro mem (Mem.page_index table_pa) in
+  if p == Bytes.empty then 0 else Int64.to_int (Bytes.get_int64_le p (8 * idx))
 
 let create mem ~fmt =
   let root = Mem.alloc_pages mem 1 in
@@ -39,11 +53,11 @@ let format t = t.fmt
 let of_root mem ~fmt ~root = { mem; fmt; root }
 
 let flag_bits t flags =
-  let v = ref 0L in
-  if flags.writable then v := Int64.logor !v bit_writable;
-  if flags.executable then v := Int64.logor !v bit_executable;
-  if flags.cacheable then v := Int64.logor !v bit_cacheable;
-  (match t.fmt with Sku.Lpae_v8 -> v := Int64.logor !v bit_access | Sku.Lpae_v7 -> ());
+  let v = ref 0 in
+  if flags.writable then v := !v lor bit_writable;
+  if flags.executable then v := !v lor bit_executable;
+  if flags.cacheable then v := !v lor bit_cacheable;
+  (match t.fmt with Sku.Lpae_v8 -> v := !v lor bit_access | Sku.Lpae_v7 -> ());
   !v
 
 let entry_addr table_pa idx = Int64.add table_pa (Int64.of_int (8 * idx))
@@ -53,14 +67,14 @@ let rec table_for t table_pa va level target =
   if level = target then table_pa
   else begin
     let idx = level_index va level in
-    let ea = entry_addr table_pa idx in
-    let e = Mem.read_u64 t.mem ea in
+    let e = desc_at t.mem table_pa idx in
     let next =
-      if Int64.logand e desc_type_mask = desc_table then Int64.logand e pa_mask
+      if e land desc_type_mask = desc_table then Int64.of_int (e land pa_mask)
       else begin
         let fresh = Mem.alloc_pages t.mem 1 in
         Mem.write_u64 t.mem fresh 0L;
-        Mem.write_u64 t.mem ea (Int64.logor fresh desc_table);
+        Mem.write_u64 t.mem (entry_addr table_pa idx)
+          (Int64.logor fresh (Int64.of_int desc_table));
         fresh
       end
     in
@@ -76,28 +90,28 @@ let map_page t ~va ~pa ~flags =
   check_align "pa" pa 12;
   let l3 = table_for t t.root va 1 3 in
   let ea = entry_addr l3 (level_index va 3) in
-  Mem.write_u64 t.mem ea (Int64.logor (Int64.logor pa (flag_bits t flags)) desc_table)
+  Mem.write_u64 t.mem ea (Int64.logor pa (Int64.of_int (flag_bits t flags lor desc_table)))
 
 let map_block t ~va ~pa ~flags =
   check_align "va" va 21;
   check_align "pa" pa 21;
   let l2 = table_for t t.root va 1 2 in
   let ea = entry_addr l2 (level_index va 2) in
-  Mem.write_u64 t.mem ea (Int64.logor (Int64.logor pa (flag_bits t flags)) desc_block)
+  Mem.write_u64 t.mem ea (Int64.logor pa (Int64.of_int (flag_bits t flags lor desc_block)))
 
 let unmap_page t ~va =
   check_align "va" va 12;
   let l2 = table_for t t.root va 1 2 in
-  let l2_ea = entry_addr l2 (level_index va 2) in
-  let e2 = Mem.read_u64 t.mem l2_ea in
-  if Int64.logand e2 desc_type_mask = desc_block then Mem.write_u64 t.mem l2_ea 0L
-  else if Int64.logand e2 desc_type_mask = desc_table then begin
-    let l3 = Int64.logand e2 pa_mask in
+  let e2 = desc_at t.mem l2 (level_index va 2) in
+  if e2 land desc_type_mask = desc_block then
+    Mem.write_u64 t.mem (entry_addr l2 (level_index va 2)) 0L
+  else if e2 land desc_type_mask = desc_table then begin
+    let l3 = Int64.of_int (e2 land pa_mask) in
     Mem.write_u64 t.mem (entry_addr l3 (level_index va 3)) 0L
   end
 
 let check_perm t e ~access =
-  let need bit msg = if Int64.logand e bit = 0L then Error (Permission msg) else Ok () in
+  let need bit msg = if e land bit = 0 then Error (Permission msg) else Ok () in
   let access_ok =
     match t.fmt with
     | Sku.Lpae_v8 -> need bit_access "access-flag"
@@ -112,81 +126,100 @@ let check_perm t e ~access =
     | `Exec -> need bit_executable "exec")
 
 let translate t ~va ~access =
-  let idx1 = level_index va 1 in
-  let e1 = Mem.read_u64 t.mem (entry_addr t.root idx1) in
-  if Int64.logand e1 desc_type_mask <> desc_table then Error Unmapped
+  let e1 = desc_at t.mem t.root (level_index va 1) in
+  if e1 land desc_type_mask <> desc_table then Error Unmapped
   else begin
-    let l2 = Int64.logand e1 pa_mask in
-    let e2 = Mem.read_u64 t.mem (entry_addr l2 (level_index va 2)) in
-    let ty2 = Int64.logand e2 desc_type_mask in
+    let l2 = Int64.of_int (e1 land pa_mask) in
+    let e2 = desc_at t.mem l2 (level_index va 2) in
+    let ty2 = e2 land desc_type_mask in
     if ty2 = desc_block then
       match check_perm t e2 ~access with
       | Error _ as err -> err
       | Ok () ->
-        let base = Int64.logand e2 pa_mask in
-        Ok (Int64.logor base (Int64.logand va 0x1F_FFFFL))
+        let base = e2 land pa_mask in
+        Ok (Int64.logor (Int64.of_int base) (Int64.logand va 0x1F_FFFFL))
     else if ty2 = desc_table then begin
-      let l3 = Int64.logand e2 pa_mask in
-      let e3 = Mem.read_u64 t.mem (entry_addr l3 (level_index va 3)) in
-      if Int64.logand e3 desc_type_mask <> desc_table then Error Unmapped
+      let l3 = Int64.of_int (e2 land pa_mask) in
+      let e3 = desc_at t.mem l3 (level_index va 3) in
+      if e3 land desc_type_mask <> desc_table then Error Unmapped
       else
         match check_perm t e3 ~access with
         | Error _ as err -> err
         | Ok () ->
-          let base = Int64.logand e3 pa_mask in
-          Ok (Int64.logor base (Int64.logand va 0xFFFL))
+          let base = e3 land pa_mask in
+          Ok (Int64.logor (Int64.of_int base) (Int64.logand va 0xFFFL))
     end
-    else if e2 = 0L then Error Unmapped
+    else if e2 = 0 then Error Unmapped
     else Error Bad_format
   end
 
+(* The walkers below resolve each table page once and scan its descriptors
+   with direct byte reads — this is what keeps the memsync page-table cache
+   rebuild (every mapping change invalidates it) off the allocator. *)
+
+let iter_table_pfns t f =
+  let root_pfn = Mem.page_index t.root in
+  f root_pfn;
+  let root_p = Mem.borrow_ro t.mem root_pfn in
+  if root_p != Bytes.empty then
+    for i1 = 0 to 511 do
+      let e1 = Int64.to_int (Bytes.get_int64_le root_p (8 * i1)) in
+      if e1 land desc_type_mask = desc_table then begin
+        let l2_pfn = (e1 land pa_mask) lsr 12 in
+        f l2_pfn;
+        let l2_p = Mem.borrow_ro t.mem l2_pfn in
+        if l2_p != Bytes.empty then
+          for i2 = 0 to 511 do
+            let e2 = Int64.to_int (Bytes.get_int64_le l2_p (8 * i2)) in
+            if e2 land desc_type_mask = desc_table then f ((e2 land pa_mask) lsr 12)
+          done
+      end
+    done
+
 let table_pages t =
-  let acc = ref [ Mem.page_of_addr t.root ] in
-  for i1 = 0 to 511 do
-    let e1 = Mem.read_u64 t.mem (entry_addr t.root i1) in
-    if Int64.logand e1 desc_type_mask = desc_table then begin
-      let l2 = Int64.logand e1 pa_mask in
-      acc := Mem.page_of_addr l2 :: !acc;
-      for i2 = 0 to 511 do
-        let e2 = Mem.read_u64 t.mem (entry_addr l2 i2) in
-        if Int64.logand e2 desc_type_mask = desc_table then
-          acc := Mem.page_of_addr (Int64.logand e2 pa_mask) :: !acc
-      done
-    end
-  done;
+  let acc = ref [] in
+  iter_table_pfns t (fun pfn -> acc := Int64.of_int pfn :: !acc);
   List.sort_uniq Int64.compare !acc
 
 let flags_of_entry e =
   {
-    writable = Int64.logand e bit_writable <> 0L;
-    executable = Int64.logand e bit_executable <> 0L;
-    cacheable = Int64.logand e bit_cacheable <> 0L;
+    writable = e land bit_writable <> 0;
+    executable = e land bit_executable <> 0;
+    cacheable = e land bit_cacheable <> 0;
   }
 
 let mapped_spans t =
   let leaves = ref [] in
-  for i1 = 0 to 511 do
-    let e1 = Mem.read_u64 t.mem (entry_addr t.root i1) in
-    if Int64.logand e1 desc_type_mask = desc_table then begin
-      let l2 = Int64.logand e1 pa_mask in
-      for i2 = 0 to 511 do
-        let e2 = Mem.read_u64 t.mem (entry_addr l2 i2) in
-        let va2 = Int64.logor (Int64.shift_left (Int64.of_int i1) 30) (Int64.shift_left (Int64.of_int i2) 21) in
-        let ty2 = Int64.logand e2 desc_type_mask in
-        if ty2 = desc_block then leaves := (va2, 1 lsl 21, flags_of_entry e2) :: !leaves
-        else if ty2 = desc_table then begin
-          let l3 = Int64.logand e2 pa_mask in
-          for i3 = 0 to 511 do
-            let e3 = Mem.read_u64 t.mem (entry_addr l3 i3) in
-            if Int64.logand e3 desc_type_mask = desc_table then begin
-              let va = Int64.logor va2 (Int64.shift_left (Int64.of_int i3) 12) in
-              leaves := (va, Mem.page_size, flags_of_entry e3) :: !leaves
+  let root_p = Mem.borrow_ro t.mem (Mem.page_index t.root) in
+  if root_p != Bytes.empty then
+    for i1 = 0 to 511 do
+      let e1 = Int64.to_int (Bytes.get_int64_le root_p (8 * i1)) in
+      if e1 land desc_type_mask = desc_table then begin
+        let l2_p = Mem.borrow_ro t.mem ((e1 land pa_mask) lsr 12) in
+        if l2_p != Bytes.empty then
+          for i2 = 0 to 511 do
+            let e2 = Int64.to_int (Bytes.get_int64_le l2_p (8 * i2)) in
+            let va2 =
+              Int64.logor
+                (Int64.shift_left (Int64.of_int i1) 30)
+                (Int64.shift_left (Int64.of_int i2) 21)
+            in
+            let ty2 = e2 land desc_type_mask in
+            if ty2 = desc_block then leaves := (va2, 1 lsl 21, flags_of_entry e2) :: !leaves
+            else if ty2 = desc_table then begin
+              let l3_p = Mem.borrow_ro t.mem ((e2 land pa_mask) lsr 12) in
+              if l3_p != Bytes.empty then
+                for i3 = 0 to 511 do
+                  let e3 = Int64.to_int (Bytes.get_int64_le l3_p (8 * i3)) in
+                  if e3 land desc_type_mask = desc_table then begin
+                    let va = Int64.logor va2 (Int64.shift_left (Int64.of_int i3) 12) in
+                    leaves := (va, Mem.page_size, flags_of_entry e3) :: !leaves
+                  end
+                done
             end
           done
-        end
-      done
-    end
-  done;
+      end
+    done;
   let sorted = List.sort (fun (a, _, _) (b, _, _) -> Int64.compare a b) !leaves in
   (* Coalesce contiguous identical-flag spans. *)
   let rec merge = function

@@ -52,6 +52,12 @@ val table_pages : t -> int64 list
 (** PFNs of every table page reachable from the root — the page-table part
     of the metastate. *)
 
+val iter_table_pfns : t -> (int -> unit) -> unit
+(** Allocation-free {!table_pages}: applies [f] to every live table page's
+    pfn as a native int, root first then walk order (each table reached
+    once — unsorted). The memsync page-table cache rebuild runs on every
+    mapping change, so this walk must stay off the allocator. *)
+
 val mapped_spans : t -> (int64 * int * flags) list
 (** [(va, bytes, flags)] for every mapped leaf, coalesced over contiguous
     identical mappings; used by metastate classification. *)

@@ -131,7 +131,7 @@ let as_cmd_flush_mem = 5L
 
 let as_status_flush_active = 1L
 
-let name r =
+let name_uncached r =
   let in_block base count stride lo hi f =
     (* Find a register inside a repeated block, e.g. job slots. *)
     if r >= base && r < base + (count * stride) then
@@ -198,5 +198,21 @@ let name r =
         match in_block 0x2400 as_count 0x40 0 0x3F (fun i off -> Printf.sprintf "AS%d+0x%02x" i off) with
         | Some n -> n
         | None -> Printf.sprintf "REG_0x%04x" r))
+
+(* [name] is asked for on every shimmed register access (symbol origins,
+   trace labels); rebuilding the lookup list and formatting would dominate
+   the access itself, so resolved names are cached per offset. The register
+   space a driver touches is small; the cap only guards against a caller
+   probing arbitrary offsets. *)
+let name_cache : (int, string) Hashtbl.t = Hashtbl.create 256
+
+let name r =
+  match Hashtbl.find_opt name_cache r with
+  | Some s -> s
+  | None ->
+    let s = name_uncached r in
+    if Hashtbl.length name_cache >= 4096 then Hashtbl.reset name_cache;
+    Hashtbl.add name_cache r s;
+    s
 
 let is_nondeterministic r = r = latest_flush_id

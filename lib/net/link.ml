@@ -16,16 +16,12 @@ let health_ring_size = 64
 let degraded_trip = 0.20
 let degraded_clear = degraded_trip /. 4.
 
-(* One windowed exchange in flight: its byte cost (needed to re-charge the
-   whole unacked span on a go-back-N retransmission) and the virtual time at
-   which its response lands. Completions are clamped monotonic by
-   [deliver_at], so the pipe is ordered oldest-first by completion. *)
-type inflight = {
-  if_send_bytes : int;
-  if_recv_bytes : int;
-  if_completion : int64;
-}
-
+(* The windowed in-flight pipe is a ring of parallel int arrays sized
+   [window]: byte costs (needed to re-charge the whole unacked span on a
+   go-back-N retransmission) and the virtual time, in unboxed ns, at which
+   each response lands. Completions are clamped monotonic by [deliver_at],
+   so the ring is ordered oldest-first from [pipe_head]. Exchanges run on
+   every simulated commit, so the pipe must not allocate per send. *)
 type t = {
   mutable profile : Profile.t;
   clock : Grt_sim.Clock.t;
@@ -36,8 +32,12 @@ type t = {
   hists : Hist.set option;
   rng : Grt_util.Rng.t;
   window : int;
-  mutable pipe : inflight list; (* oldest first; always [] when window = 1 *)
-  mutable last_delivery : int64;
+  pipe_send : int array; (* length [window]; unused when window = 1 *)
+  pipe_recv : int array;
+  pipe_done : int array; (* completion ns, oldest first from pipe_head *)
+  mutable pipe_head : int;
+  mutable pipe_count : int;
+  mutable last_delivery : int; (* ns; 63 bits do not overflow *)
   health_ring : Bytes.t;
   mutable ring_fill : int;
   mutable ring_pos : int;
@@ -59,8 +59,12 @@ let create ~clock ?energy ?counters ?trace ?tracer ?hists ?(seed = 0x4C494E4BL) 
     hists;
     rng = Grt_util.Rng.create ~seed;
     window;
-    pipe = [];
-    last_delivery = 0L;
+    pipe_send = Array.make window 0;
+    pipe_recv = Array.make window 0;
+    pipe_done = Array.make window 0;
+    pipe_head = 0;
+    pipe_count = 0;
+    last_delivery = 0;
     health_ring = Bytes.make health_ring_size '\000';
     ring_fill = 0;
     ring_pos = 0;
@@ -83,12 +87,13 @@ let set_profile t p =
      costs. The newest pipe entry has the latest completion (monotonic
      clamp), so one clock advance retires the whole span. The degraded-health
      ring deliberately carries over: channel history survives a handover. *)
-  (match List.rev t.pipe with
-  | [] -> ()
-  | newest :: _ ->
-    Trace.event_opt t.trace (Trace.Profile_swap { draining = List.length t.pipe });
-    Grt_sim.Clock.advance_to t.clock newest.if_completion;
-    t.pipe <- []);
+  if t.pipe_count > 0 then begin
+    Trace.event_opt t.trace (Trace.Profile_swap { draining = t.pipe_count });
+    let newest = t.pipe_done.((t.pipe_head + t.pipe_count - 1) mod t.window) in
+    Grt_sim.Clock.advance_to_int t.clock newest;
+    t.pipe_head <- 0;
+    t.pipe_count <- 0
+  end;
   t.profile <- p
 
 let charge_radio t ~tx_bytes ~rx_bytes =
@@ -155,39 +160,47 @@ let gbn_detect t attempt =
     (Float.max Costs.link_rto_min_s
        (t.profile.Profile.rtt_s +. (4. *. t.profile.Profile.per_message_s)))
 
+(* Both disciplines share the ARQ loop; the detection wait is the only
+   difference, so the loop dispatches on the window size instead of taking
+   the wait as a closure. *)
+let detect t attempt = if t.window = 1 then rto t attempt else gbn_detect t attempt
+
+let pipe_pop t =
+  t.pipe_head <- (t.pipe_head + 1) mod t.window;
+  t.pipe_count <- t.pipe_count - 1
+
 let reap t =
-  let now = Grt_sim.Clock.now_ns t.clock in
-  t.pipe <- List.filter (fun e -> Int64.compare e.if_completion now > 0) t.pipe
+  let now = Grt_sim.Clock.now_int t.clock in
+  while t.pipe_count > 0 && t.pipe_done.(t.pipe_head) <= now do
+    pipe_pop t
+  done
 
 (* Block until the transmission window has a free slot: advance the virtual
    clock to the oldest in-flight completion and retire it. Only meaningful
    when window > 1 (the pipe is never populated otherwise). *)
 let rec stall_for_slot t =
   reap t;
-  if List.length t.pipe >= t.window then begin
-    match t.pipe with
-    | [] -> ()
-    | oldest :: rest ->
-      count t Metrics.Net_window_stalls 1;
-      Trace.event_opt t.trace (Trace.Window_stall { inflight = List.length t.pipe });
-      Grt_sim.Clock.advance_to t.clock oldest.if_completion;
-      Grt_sim.Clock.yield t.clock;
-      t.pipe <- rest;
-      stall_for_slot t
+  if t.pipe_count >= t.window then begin
+    count t Metrics.Net_window_stalls 1;
+    Trace.event_opt t.trace (Trace.Window_stall { inflight = t.pipe_count });
+    Grt_sim.Clock.advance_to_int t.clock t.pipe_done.(t.pipe_head);
+    Grt_sim.Clock.yield t.clock;
+    pipe_pop t;
+    stall_for_slot t
   end
 
 (* Go-back-N: a retransmission resends the oldest unacked frame *and*
    everything sent after it. Re-charge bytes and radio energy for the whole
    unacked span and record the span length. *)
 let resend_span t =
-  match t.pipe with
-  | [] -> ()
-  | pipe ->
-    count t Metrics.Net_gbn_retransmits (List.length pipe);
-    Hist.record_opt t.hists Hist.Gbn_span (List.length pipe);
-    List.iter
-      (fun e -> account t ~send_bytes:e.if_send_bytes ~recv_bytes:e.if_recv_bytes)
-      pipe
+  if t.pipe_count > 0 then begin
+    count t Metrics.Net_gbn_retransmits t.pipe_count;
+    Hist.record_opt t.hists Hist.Gbn_span t.pipe_count;
+    for i = 0 to t.pipe_count - 1 do
+      let s = (t.pipe_head + i) mod t.window in
+      account t ~send_bytes:t.pipe_send.(s) ~recv_bytes:t.pipe_recv.(s)
+    done
+  end
 
 (* One leg of an exchange: lost, damaged (receiver drops it on CRC), or
    delivered. *)
@@ -205,39 +218,58 @@ let leg_outcome t =
     `Ok
   end
 
+(* What a retransmission re-charges. A variant rather than a callback so the
+   ARQ loop costs no closure per exchange. *)
+type charge = Charge_exchange | Charge_push_to_client | Charge_push_from_client
+
+let charge_attempt t charge ~send_bytes ~recv_bytes =
+  (match charge with
+  | Charge_exchange -> account t ~send_bytes ~recv_bytes
+  | Charge_push_to_client ->
+    count t Metrics.Net_msgs 1;
+    count t Metrics.Net_bytes_tx send_bytes;
+    charge_radio t ~tx_bytes:0 ~rx_bytes:send_bytes
+  | Charge_push_from_client ->
+    count t Metrics.Net_msgs 1;
+    count t Metrics.Net_bytes_rx recv_bytes;
+    charge_radio t ~tx_bytes:recv_bytes ~rx_bytes:0);
+  (* Go-back-N: the whole unacked span goes out again with the resent
+     frame. A no-op under stop-and-wait (the pipe is empty). *)
+  if t.window > 1 then resend_span t
+
+let fail_down t ~op ~extra ~retransmitted =
+  count t Metrics.Net_link_downs 1;
+  Trace.event_opt t.trace
+    (Trace.Link_down { op; attempts = Costs.link_max_attempts; extra_s = extra });
+  Grt_sim.Clock.advance_s t.clock extra;
+  note_transfer t ~retransmitted;
+  raise (Link_down { attempts = Costs.link_max_attempts; op })
+
 (* ARQ attempt loop shared by both transmission disciplines. Draws fault
    outcomes per leg; a lost or damaged leg fails the whole attempt, the
-   sender waits [detect attempt] seconds (stop-and-wait: the exponentially
-   backed-off RTO; windowed: go-back-N NAK detection) and retransmits
-   ([on_retransmit] re-charges the resent bytes and energy). Returns the
+   sender waits [detect t attempt] seconds (stop-and-wait: the exponentially
+   backed-off RTO; windowed: go-back-N NAK detection) and retransmits,
+   re-charging the resent bytes and energy per [charge]. Returns the
    extra delay (detection waits + jitter) in seconds; the caller folds it
    into the exchange latency. Raises [Link_down] — after advancing the clock
    past the final timeout — once [Costs.link_max_attempts] attempts have
    failed. Both disciplines draw from the RNG in the same order, so exchange
    outcomes are window-invariant; only the charged delay differs. *)
-let run_arq t ~op ~legs ~detect ~on_retransmit =
-  let fail_down ~extra ~retransmitted =
-    count t Metrics.Net_link_downs 1;
-    Trace.event_opt t.trace
-      (Trace.Link_down { op; attempts = Costs.link_max_attempts; extra_s = extra });
-    Grt_sim.Clock.advance_s t.clock extra;
-    note_transfer t ~retransmitted;
-    raise (Link_down { attempts = Costs.link_max_attempts; op })
-  in
+let run_arq t ~op ~legs ~charge ~send_bytes ~recv_bytes =
   match t.outage_countdown with
   | Some 0 ->
     (* Deterministic hard outage: every attempt times out. *)
     t.outage_countdown <- None;
     let extra = ref 0. in
     for a = 1 to Costs.link_max_attempts do
-      extra := !extra +. detect a;
+      extra := !extra +. detect t a;
       if a > 1 then begin
         count t Metrics.Net_retransmits 1;
         Trace.event_opt t.trace (Trace.Retransmit { op; attempt = a; outage = true });
-        on_retransmit ()
+        charge_attempt t charge ~send_bytes ~recv_bytes
       end
     done;
-    fail_down ~extra:!extra ~retransmitted:true
+    fail_down t ~op ~extra:!extra ~retransmitted:true
   | Some n ->
     t.outage_countdown <- Some (n - 1);
     note_transfer t ~retransmitted:false;
@@ -251,11 +283,12 @@ let run_arq t ~op ~legs ~detect ~on_retransmit =
       let f = t.profile.Profile.faults in
       let extra = ref 0. in
       let rec attempt a =
-        if a > Costs.link_max_attempts then fail_down ~extra:!extra ~retransmitted:true;
+        if a > Costs.link_max_attempts then
+          fail_down t ~op ~extra:!extra ~retransmitted:true;
         if a > 1 then begin
           count t Metrics.Net_retransmits 1;
           Trace.event_opt t.trace (Trace.Retransmit { op; attempt = a; outage = false });
-          on_retransmit ()
+          charge_attempt t charge ~send_bytes ~recv_bytes
         end;
         let ok = ref true in
         for _ = 1 to legs do
@@ -276,74 +309,79 @@ let run_arq t ~op ~legs ~detect ~on_retransmit =
           !extra
         end
         else begin
-          extra := !extra +. detect a;
+          extra := !extra +. detect t a;
           attempt (a + 1)
         end
       in
       attempt 1
     end
 
-(* Dispatch on the transmission discipline. The window=1 path is exactly the
-   historical stop-and-wait code; the windowed path swaps the RTO ladder for
-   go-back-N detection and re-charges the unacked span per retransmission. *)
-let arq t ~op ~legs ~charge_attempt =
-  if t.window = 1 then run_arq t ~op ~legs ~detect:(rto t) ~on_retransmit:charge_attempt
-  else
-    run_arq t ~op ~legs ~detect:(gbn_detect t)
-      ~on_retransmit:(fun () ->
-        charge_attempt ();
-        resend_span t)
-
 (* Jitter and retransmission must not reorder deliveries: the channel is
    FIFO (sequence numbers), so completion times are clamped monotonic. *)
 let deliver_at t completion =
-  let completion =
-    if Int64.compare completion t.last_delivery < 0 then t.last_delivery else completion
-  in
+  let completion = if completion < t.last_delivery then t.last_delivery else completion in
   t.last_delivery <- completion;
   completion
 
+let round_trip_run t ~send_bytes ~recv_bytes =
+  if t.window > 1 then stall_for_slot t;
+  account t ~send_bytes ~recv_bytes;
+  count t Metrics.Net_blocking_rtts 1;
+  let extra =
+    run_arq t ~op:"round_trip" ~legs:2 ~charge:Charge_exchange ~send_bytes ~recv_bytes
+  in
+  let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
+  let lat_ns = int_of_float (latency *. 1e9) in
+  Hist.record_opt t.hists Hist.Rtt_ns lat_ns;
+  Grt_sim.Clock.advance_int t.clock lat_ns;
+  ignore (deliver_at t (Grt_sim.Clock.now_int t.clock))
+
 let round_trip t ~send_bytes ~recv_bytes =
-  Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"round_trip" (fun () ->
-      if t.window > 1 then stall_for_slot t;
-      account t ~send_bytes ~recv_bytes;
-      count t Metrics.Net_blocking_rtts 1;
-      let extra =
-        arq t ~op:"round_trip" ~legs:2 ~charge_attempt:(fun () ->
-            account t ~send_bytes ~recv_bytes)
-      in
-      let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
-      Hist.record_opt t.hists Hist.Rtt_ns (int_of_float (latency *. 1e9));
-      Grt_sim.Clock.advance_s t.clock latency;
-      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)));
+  (match t.tracer with
+  | None -> round_trip_run t ~send_bytes ~recv_bytes
+  | Some _ ->
+    Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"round_trip" (fun () ->
+        round_trip_run t ~send_bytes ~recv_bytes));
   Grt_sim.Clock.yield t.clock
 
-let async_send t ~send_bytes ~recv_bytes =
-  Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"async_send" (fun () ->
-      if t.window > 1 then stall_for_slot t;
-      account t ~send_bytes ~recv_bytes;
-      count t Metrics.Net_async_sends 1;
-      let extra =
-        arq t ~op:"async_send" ~legs:2 ~charge_attempt:(fun () ->
-            account t ~send_bytes ~recv_bytes)
-      in
-      let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
-      Hist.record_opt t.hists Hist.Rtt_ns (int_of_float (latency *. 1e9));
-      let completion =
-        deliver_at t (Int64.add (Grt_sim.Clock.now_ns t.clock) (Int64.of_float (latency *. 1e9)))
-      in
-      if t.window > 1 then
-        t.pipe <-
-          t.pipe
-          @ [ { if_send_bytes = send_bytes; if_recv_bytes = recv_bytes; if_completion = completion } ];
-      completion)
+let async_send_run t ~send_bytes ~recv_bytes =
+  if t.window > 1 then stall_for_slot t;
+  account t ~send_bytes ~recv_bytes;
+  count t Metrics.Net_async_sends 1;
+  let extra =
+    run_arq t ~op:"async_send" ~legs:2 ~charge:Charge_exchange ~send_bytes ~recv_bytes
+  in
+  let latency = Profile.round_trip_s t.profile ~send_bytes ~recv_bytes +. extra in
+  let lat_ns = int_of_float (latency *. 1e9) in
+  Hist.record_opt t.hists Hist.Rtt_ns lat_ns;
+  let completion = deliver_at t (Grt_sim.Clock.now_int t.clock + lat_ns) in
+  if t.window > 1 then begin
+    let slot = (t.pipe_head + t.pipe_count) mod t.window in
+    t.pipe_send.(slot) <- send_bytes;
+    t.pipe_recv.(slot) <- recv_bytes;
+    t.pipe_done.(slot) <- completion;
+    t.pipe_count <- t.pipe_count + 1
+  end;
+  completion
 
-let wait_until t deadline =
-  if Int64.compare deadline (Grt_sim.Clock.now_ns t.clock) > 0 then begin
+let async_send_int t ~send_bytes ~recv_bytes =
+  match t.tracer with
+  | None -> async_send_run t ~send_bytes ~recv_bytes
+  | Some _ ->
+    Tracer.span_opt t.tracer ~cat:Tracer.Link_exchange ~name:"async_send" (fun () ->
+        async_send_run t ~send_bytes ~recv_bytes)
+
+let async_send t ~send_bytes ~recv_bytes =
+  Int64.of_int (async_send_int t ~send_bytes ~recv_bytes)
+
+let wait_until_int t deadline =
+  if deadline > Grt_sim.Clock.now_int t.clock then begin
     count t Metrics.Net_stall_waits 1;
-    Grt_sim.Clock.advance_to t.clock deadline;
+    Grt_sim.Clock.advance_to_int t.clock deadline;
     Grt_sim.Clock.yield t.clock
   end
+
+let wait_until t deadline = wait_until_int t (Int64.to_int deadline)
 
 (* One-way pushes retransmit on payload loss only; the tiny reverse ack is
    assumed reliable (its loss would be repaired by the next exchange). *)
@@ -354,13 +392,12 @@ let one_way_to_client t ~bytes =
       count t Metrics.Net_bytes_tx bytes;
       charge_radio t ~tx_bytes:0 ~rx_bytes:bytes;
       let extra =
-        arq t ~op:"one_way_to_client" ~legs:1 ~charge_attempt:(fun () ->
-            count t Metrics.Net_msgs 1;
-            count t Metrics.Net_bytes_tx bytes;
-            charge_radio t ~tx_bytes:0 ~rx_bytes:bytes)
+        run_arq t ~op:"one_way_to_client" ~legs:1 ~charge:Charge_push_to_client
+          ~send_bytes:bytes ~recv_bytes:0
       in
-      Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
-      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)));
+      Grt_sim.Clock.advance_int t.clock
+        (int_of_float ((Profile.one_way_s t.profile bytes +. extra) *. 1e9));
+      ignore (deliver_at t (Grt_sim.Clock.now_int t.clock)));
   Grt_sim.Clock.yield t.clock
 
 let one_way_from_client t ~bytes =
@@ -370,13 +407,12 @@ let one_way_from_client t ~bytes =
       count t Metrics.Net_bytes_rx bytes;
       charge_radio t ~tx_bytes:bytes ~rx_bytes:0;
       let extra =
-        arq t ~op:"one_way_from_client" ~legs:1 ~charge_attempt:(fun () ->
-            count t Metrics.Net_msgs 1;
-            count t Metrics.Net_bytes_rx bytes;
-            charge_radio t ~tx_bytes:bytes ~rx_bytes:0)
+        run_arq t ~op:"one_way_from_client" ~legs:1 ~charge:Charge_push_from_client
+          ~send_bytes:0 ~recv_bytes:bytes
       in
-      Grt_sim.Clock.advance_s t.clock (Profile.one_way_s t.profile bytes +. extra);
-      ignore (deliver_at t (Grt_sim.Clock.now_ns t.clock)));
+      Grt_sim.Clock.advance_int t.clock
+        (int_of_float ((Profile.one_way_s t.profile bytes +. extra) *. 1e9));
+      ignore (deliver_at t (Grt_sim.Clock.now_int t.clock)));
   Grt_sim.Clock.yield t.clock
 
 let counter_int t key = match t.metrics with Some m -> Metrics.get_int m key | None -> 0
@@ -385,7 +421,7 @@ let blocking_rtts t = counter_int t Metrics.Net_blocking_rtts
 let stall_waits t = counter_int t Metrics.Net_stall_waits
 let retransmits t = counter_int t Metrics.Net_retransmits
 let window_stalls t = counter_int t Metrics.Net_window_stalls
-let inflight t = List.length t.pipe
+let inflight t = t.pipe_count
 
 let bytes_tx t = match t.metrics with Some m -> Metrics.get m Metrics.Net_bytes_tx | None -> 0L
 

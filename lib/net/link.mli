@@ -95,9 +95,19 @@ val async_send : t -> send_bytes:int -> recv_bytes:int -> int64
     never reorders the FIFO channel. Raises [Link_down] if the ARQ gives
     up. *)
 
+val async_send_int : t -> send_bytes:int -> recv_bytes:int -> int
+(** [async_send] with the completion time as an unboxed [int] of ns (the
+    clock stores time as one; 63 bits do not overflow). The speculation
+    pipeline dispatches one exchange per commit, so the hot path uses the
+    [_int] entry points to avoid boxing an [int64] per send. *)
+
 val wait_until : t -> int64 -> unit
 (** Advance the clock to an [async_send] completion time (no-op if already
     past). Counts [net.stall_waits] only when an actual wait occurred. *)
+
+val wait_until_int : t -> int -> unit
+(** [wait_until] with an unboxed deadline, paired with
+    {!async_send_int}. *)
 
 val one_way_to_client : t -> bytes:int -> unit
 (** Blocking one-way push (e.g. the final recording download). *)

@@ -14,6 +14,13 @@ val get : t -> string -> int64
 (** Unknown counters read as zero. *)
 
 val get_int : t -> string -> int
+
+val cell : t -> string -> int64 ref
+(** The live cell behind a counter, created at zero if absent. Typed
+    front-ends ([Metrics]) cache these so repeated bumps skip the string
+    hash; the cell is shared, so updates through it and through
+    [add]/[incr] stay in agreement. Cached cells do not survive [reset]. *)
+
 val reset : t -> unit
 val to_alist : t -> (string * int64) list
 (** Sorted by counter name. *)

@@ -145,18 +145,101 @@ let all =
 
 let of_name s = List.find_opt (fun k -> String.equal (name k) s) all
 
+(* Dense ordinal of a key, in declaration order; [n_keys] bounds the cell
+   cache below. Kept in lock-step with [name]. *)
+let n_keys = 57
+
+let index = function
+  | Net_msgs -> 0
+  | Net_bytes_tx -> 1
+  | Net_bytes_rx -> 2
+  | Net_blocking_rtts -> 3
+  | Net_async_sends -> 4
+  | Net_stall_waits -> 5
+  | Net_retransmits -> 6
+  | Net_drops -> 7
+  | Net_corrupt_drops -> 8
+  | Net_dups -> 9
+  | Net_link_downs -> 10
+  | Net_degraded_entries -> 11
+  | Net_degraded_exits -> 12
+  | Net_window_stalls -> 13
+  | Net_gbn_retransmits -> 14
+  | Reg_reads -> 15
+  | Reg_writes -> 16
+  | Commits_total -> 17
+  | Commits_speculated -> 18
+  | Commits_sync -> 19
+  | Commits_accesses -> 20
+  | Spec_mispredicts -> 21
+  | Spec_rejected_nondet -> 22
+  | Spec_epoch_stalls -> 23
+  | Spec_dep_stalls -> 24
+  | Spec_degraded_suppressed -> 25
+  | Spec_inflight_hw -> 26
+  | Spec_cross_hits -> 27
+  | Poll_instances -> 28
+  | Poll_offloaded -> 29
+  | Poll_iters -> 30
+  | Irq_waits -> 31
+  | Sync_down_events -> 32
+  | Sync_down_wire_bytes -> 33
+  | Sync_down_raw_bytes -> 34
+  | Sync_up_events -> 35
+  | Sync_up_wire_bytes -> 36
+  | Sync_up_raw_bytes -> 37
+  | Sync_pages_visited -> 38
+  | Sync_pages_meta -> 39
+  | Sync_enc_raw -> 40
+  | Sync_enc_raw_rc -> 41
+  | Sync_enc_delta -> 42
+  | Sync_enc_delta_rc -> 43
+  | Sync_enc_hash_ref -> 44
+  | Sync_cross_hits -> 45
+  | Sync_cross_saved_bytes -> 46
+  | Fault_injected -> 47
+  | Recovery_entries -> 48
+  | Recovery_pages -> 49
+  | Recovery_link_downs -> 50
+  | Client_reg_reads -> 51
+  | Client_reg_writes -> 52
+  | Client_polls -> 53
+  | Client_irq_waits -> 54
+  | Client_uploads -> 55
+  | Client_downloads -> 56
+
 (* Write-through onto a legacy counter set: the typed spine and the stringly
    world always agree, and [Counters.pp] output is byte-identical to what it
-   was when every call site spelled the name out. *)
-type t = { counters : Counters.t }
+   was when every call site spelled the name out. Each typed key caches the
+   counter's live cell (shared with the string table) the first time it is
+   bumped, so the steady-state cost of a bump is an array load and an int64
+   add -- no string hashing. Cells are cached lazily, never eagerly: a key
+   that is read but never bumped must stay absent from [Counters.to_alist].
+*)
+type t = { counters : Counters.t; cells : int64 ref option array }
 
-let create () = { counters = Counters.create () }
-let of_counters counters = { counters }
+let create () = { counters = Counters.create (); cells = Array.make n_keys None }
+let of_counters counters = { counters; cells = Array.make n_keys None }
 let to_counters t = t.counters
 
-let add t k v = Counters.add t.counters (name k) v
-let add64 t k v = Counters.add64 t.counters (name k) v
-let incr t k = Counters.incr t.counters (name k)
+let cell t k =
+  let i = index k in
+  match Array.unsafe_get t.cells i with
+  | Some c -> c
+  | None ->
+    let c = Counters.cell t.counters (name k) in
+    t.cells.(i) <- Some c;
+    c
+
+let add64 t k v =
+  let c = cell t k in
+  c := Int64.add !c v
+
+let add t k v = add64 t k (Int64.of_int v)
+let incr t k = add t k 1
+
+(* Reads go through the string table so they neither create a cell nor
+   observe anything the stringly API would not. *)
 let get t k = Counters.get t.counters (name k)
 let get_int t k = Counters.get_int t.counters (name k)
 

@@ -10,7 +10,16 @@ let scan_spans old_ fresh =
   let spans = ref [] in
   let i = ref 0 in
   while !i < n do
-    if Bytes.get old_ !i <> Bytes.get fresh !i then begin
+    (* Fast path over unchanged content: a 64-bit word equality covers its
+       eight byte positions, so the byte-state machine below only ever runs
+       in the neighborhood of an actual difference. Span boundaries are
+       decided by the byte loop exactly as before. *)
+    while
+      !i + 8 <= n && Int64.equal (Bytes.get_int64_le old_ !i) (Bytes.get_int64_le fresh !i)
+    do
+      i := !i + 8
+    done;
+    if !i < n && Bytes.get old_ !i <> Bytes.get fresh !i then begin
       let start = !i in
       let last_change = ref !i in
       incr i;

@@ -30,6 +30,42 @@ let hmac ~key data =
   let outer_seed = fnv1a_string ("grt-opad:" ^ key) in
   combine outer_seed inner
 
+(* Process-internal memo key: FNV-style fold over 8-byte words, so the
+   dependency chain advances a word at a time instead of a byte at a time.
+   Never serialized — collisions only cost the caller's full comparison. *)
+let quick ?(seed = 0x1B873593) b =
+  let n = Bytes.length b in
+  let h = ref (seed + n) in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    h := (!h lxor Int64.to_int (Bytes.get_int64_le b !i)) * 0x100000001B3;
+    i := !i + 8
+  done;
+  while !i < n do
+    h := (!h lxor Char.code (Bytes.unsafe_get b !i)) * 0x100000001B3;
+    incr i
+  done;
+  !h
+
+(* Sparse memo key for megabyte-scale buffers (signed recording blobs):
+   samples one 8-byte word per 64-byte cache line plus the tail word, so the
+   key costs an eighth of [quick]. Only safe where the memo verifies hits
+   with a full [Bytes.equal] — a collision between buffers differing solely
+   in unsampled bytes degrades to a recompute, never a wrong answer. *)
+let quick_sparse ?(seed = 0x1B873593) b =
+  let n = Bytes.length b in
+  if n < 128 then quick ~seed b
+  else begin
+    let h = ref (seed + n) in
+    let i = ref 0 in
+    while !i + 8 <= n do
+      h := (!h lxor Int64.to_int (Bytes.get_int64_le b !i)) * 0x100000001B3;
+      i := !i + 64
+    done;
+    h := (!h lxor Int64.to_int (Bytes.get_int64_le b (n - 8))) * 0x100000001B3;
+    !h
+  end
+
 let crc_table =
   lazy
     (let t = Array.make 256 0l in

@@ -19,6 +19,19 @@ val combine : int64 -> int64 -> int64
 val hmac : key:string -> bytes -> int64
 (** Keyed hash: distinct keys produce unrelated digests for the same data. *)
 
+val quick : ?seed:int -> bytes -> int
+(** Fast word-at-a-time content key for process-internal memo tables. This
+    is NOT a wire-format hash — it may change between versions — and
+    collisions are expected to be resolved by the caller (compare the full
+    input before trusting a hit). Roughly 8x the throughput of the
+    byte-sequential [fnv1a_bytes]. *)
+
+val quick_sparse : ?seed:int -> bytes -> int
+(** Like [quick] but samples one word per 64-byte line (falling back to
+    [quick] under 128 bytes). Intended for memo keys over large blobs where
+    the caller verifies hits with a full comparison; collisions merely cost
+    a recompute. *)
+
 val crc32 : bytes -> int32
 (** CRC-32 (IEEE polynomial), used for framing checksums on the simulated
     network channel. *)

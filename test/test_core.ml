@@ -302,7 +302,7 @@ let gpushim_requires_isolation () =
   check Alcotest.bool "isolated" true (Gpushim.isolated g);
   check (Alcotest.list Alcotest.int64) "read works when isolated"
     [ Sku.g71_mp8.Sku.gpu_id ]
-    (Gpushim.apply_accesses g [ Gpushim.W_read Regs.gpu_id ])
+    (Array.to_list (Gpushim.apply_accesses g [ Gpushim.W_read Regs.gpu_id ]))
 
 let gpushim_tzasc_blocks_normal_world () =
   let g = mk_gpushim () in
@@ -327,7 +327,7 @@ let gpushim_batch_refs () =
         Gpushim.W_read Regs.mmu_config;
       ]
   in
-  (match results with
+  (match Array.to_list results with
   | [ first; second ] ->
     check Alcotest.int64 "first read is reset value" quirk first;
     check Alcotest.int64 "second read sees resolved write" (Int64.logor quirk 0x10L) second

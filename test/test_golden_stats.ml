@@ -73,7 +73,7 @@ let expected =
        accesses=808 polls=170/170 rollbacks=0 retransmits=0 linkdowns=0" );
   ]
 
-let actuals () =
+let outcomes () =
   let m = record Mode.Ours_m in
   let md = record Mode.Ours_md in
   let history = Grt.Drivershim.fresh_history () in
@@ -102,19 +102,56 @@ let actuals () =
       Mode.Ours_mds
   in
   [
-    ("OursM", tuple_of m);
-    ("OursMD", tuple_of md);
-    ("OursMDS-cold", tuple_of cold);
-    ("OursMDS-warm", tuple_of warm);
-    ("OursMDS-w4", tuple_of w4);
-    ("OursMDS-dedup", tuple_of dedup);
+    ("OursM", m);
+    ("OursMD", md);
+    ("OursMDS-cold", cold);
+    ("OursMDS-warm", warm);
+    ("OursMDS-w4", w4);
+    ("OursMDS-dedup", dedup);
   ]
+
+let actuals () = List.map (fun (name, o) -> (name, tuple_of o)) (outcomes ())
 
 let golden () =
   let got = actuals () in
   List.iter
     (fun (name, want) -> check Alcotest.string name want (List.assoc name got))
     expected
+
+(* The tuple pins a 64-bit hash per row; this assertion closes the
+   remaining gap by comparing the six signed blobs byte-for-byte. Rows the
+   expected table declares hash-equal (deferral and all three speculative
+   variants encode the same entry stream) must be [Bytes.equal] — a hash
+   collision cannot mask drift — and rows with distinct pinned hashes must
+   actually differ. *)
+let six_blobs_byte_identical () =
+  let blobs = List.map (fun (name, o) -> (name, o.O.blob)) (outcomes ()) in
+  let blob name = List.assoc name blobs in
+  let hash_of name =
+    Scanf.sscanf (List.assoc name expected) "blob=%Lx" (fun h -> h)
+  in
+  List.iter
+    (fun (a, b) ->
+      let same_hash = Int64.equal (hash_of a) (hash_of b) in
+      check Alcotest.bool
+        (Printf.sprintf "%s blob %s %s byte-for-byte" a
+           (if same_hash then "==" else "<>")
+           b)
+        same_hash
+        (Bytes.equal (blob a) (blob b)))
+    [
+      ("OursMD", "OursMDS-cold");
+      ("OursMDS-cold", "OursMDS-warm");
+      ("OursMDS-cold", "OursMDS-w4");
+      ("OursM", "OursMD");
+      ("OursMDS-cold", "OursMDS-dedup");
+    ];
+  (* And each blob's full hash still matches its pinned row (the tuple
+     check covers this too; kept here so this test is self-contained). *)
+  List.iter
+    (fun (name, b) ->
+      check Alcotest.int64 (name ^ " blob hash") (hash_of name) (Grt_util.Hashing.fnv1a_bytes b))
+    blobs
 
 (* The signed blob must also be stable run-to-run within one process (the
    recorder may not depend on hidden global state). *)
@@ -123,18 +160,75 @@ let rerun_stable () =
   let b = record Mode.Ours_md in
   check Alcotest.string "re-record is identical" (tuple_of a) (tuple_of b)
 
+(* ---- fleet smoke pin: a fixed six-client fleet through the recording
+   service (multiplexed scheduler path), with every outcome, blob size and
+   — for the sessions that actually record — the signed blob's hash pinned.
+   This freezes the service-layer bytes the per-mode rows above cannot see:
+   cache keying, coalescing and the shared-store replays. ---- *)
+
+module Service = Grt.Service
+
+let fleet_specs () =
+  let spec ?(cfg = Service.fastpath_cfg) ?(net = Grt_mlfw.Zoo.mnist) ?(sku = Grt_gpu.Sku.g71_mp8)
+      ~id ~at_ms () =
+    {
+      Service.client_id = id;
+      arrival_ns = Int64.mul (Int64.of_int at_ms) 1_000_000L;
+      net;
+      sku;
+      profile = Grt_net.Profile.wifi;
+      cfg;
+      inject_fault_after = None;
+    }
+  in
+  [
+    spec ~id:0 ~at_ms:0 ();
+    (* same key as 0: coalesces with or hits 0's recording *)
+    spec ~id:1 ~at_ms:10 ();
+    (* distinct keys: second mode config, second network, second SKU *)
+    spec ~id:2 ~at_ms:20 ~cfg:(Mode.default_config Mode.Ours_mds) ();
+    spec ~id:3 ~at_ms:30 ~net:Grt_mlfw.Zoo.alexnet ();
+    spec ~id:4 ~at_ms:40 ~sku:Grt_gpu.Sku.g31_mp2 ();
+    (* late same-key arrival: a clean cache hit *)
+    spec ~id:5 ~at_ms:120_000 ();
+  ]
+
+let fleet_digest () =
+  let reports, _ = Service.run (Service.create ()) (fleet_specs ()) in
+  String.concat " "
+    (List.map
+       (fun (r : Service.session_report) ->
+         Printf.sprintf "%d:%s:%d%s" r.Service.spec.Service.client_id
+           (Service.outcome_name r.Service.outcome)
+           r.Service.blob_bytes
+           (match r.Service.outcome with
+           | Service.Recorded o ->
+             Printf.sprintf ":%016Lx" (Grt_util.Hashing.fnv1a_bytes o.O.blob)
+           | _ -> ""))
+       reports)
+
+let fleet_expected =
+  "0:recorded:22802:9e96eaecb70ceddf 1:coalesced:22802 2:recorded:430196:22442473e345f5ed \
+   3:recorded:49325:3e169f8dd3369369 4:recorded:21455:0c77276e1b719866 5:coalesced:22802"
+
+let fleet_pin () = check Alcotest.string "fleet smoke digest" fleet_expected (fleet_digest ())
+
 let () =
   (* Capture mode: GOLDEN_CAPTURE=1 prints the actual tuples instead of
      asserting, for refreshing the expected table after an intentional
      behaviour change. *)
-  if Sys.getenv_opt "GOLDEN_CAPTURE" <> None then
-    List.iter (fun (name, t) -> Printf.printf "    (%S, %S);\n" name t) (actuals ())
+  if Sys.getenv_opt "GOLDEN_CAPTURE" <> None then begin
+    List.iter (fun (name, t) -> Printf.printf "    (%S, %S);\n" name t) (actuals ());
+    Printf.printf "  fleet: %S\n" (fleet_digest ())
+  end
   else
     Alcotest.run "grt_golden_stats"
       [
         ( "golden",
           [
             Alcotest.test_case "fixed-seed outcome stats" `Quick golden;
+            Alcotest.test_case "six blobs byte-identical" `Quick six_blobs_byte_identical;
             Alcotest.test_case "re-record stability" `Quick rerun_stable;
+            Alcotest.test_case "fleet smoke pin" `Quick fleet_pin;
           ] );
       ]
