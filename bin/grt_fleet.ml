@@ -61,6 +61,22 @@ let list_cache_arg =
   let doc = "Print the recording-cache contents after the run." in
   Arg.(value & flag & info [ "l"; "list-cache" ] ~doc)
 
+let report_arg =
+  let doc =
+    "Run with the observability plane on and write a versioned fleet report \
+     (service counters, SLO p50/p90/p99 rollups, per-key latencies, memo \
+     profiles) as JSON to $(docv). Render with grt-inspect --fleet."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Run with the observability plane on and write a Chrome trace-event \
+     JSON timeline to $(docv): one track per client session plus the \
+     service plane on tid 0. Load in Perfetto (ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let listing_row_json (r : Service.listing_row) =
   Json.Obj
     [
@@ -91,7 +107,7 @@ let write_json path json =
   close_out oc
 
 let run clients zipf cache_cap seed interarrival sequential backend json_file
-    cache_out list_cache =
+    cache_out list_cache report_file trace_out =
   let options =
     {
       Service.default_fleet with
@@ -101,8 +117,9 @@ let run clients zipf cache_cap seed interarrival sequential backend json_file
       fleet_seed = Int64.of_int seed;
     }
   in
+  let observe = report_file <> None || trace_out <> None in
   let row, svc =
-    E.fleet ~options ?backend ~sequential ~cache_capacity:cache_cap
+    E.fleet ~options ?backend ~sequential ~observe ~cache_capacity:cache_cap
       ~now:Unix.gettimeofday ()
   in
   Printf.printf "fleet: %d clients, Zipf(%.2f) over %d NNs x %d SKUs (%s)\n"
@@ -145,6 +162,34 @@ let run clients zipf cache_cap seed interarrival sequential backend json_file
       write_json path (Json.Obj [ ("cache", cache_json) ]);
       Printf.printf "wrote %s\n" path
   | None -> ());
+  (match report_file with
+  | Some path ->
+      let report =
+        Grt.Report.of_fleet ~fleet:(E.fleet_row_json row) ~stats:(Service.stats svc)
+          ~memo:(Grt_util.Memo_stats.to_json ())
+          ~observation:(Service.observation svc) ()
+      in
+      write_json path report;
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match trace_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Grt_sim.Tracer.tracks_chrome_json (Service.fleet_tracks svc));
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "wrote %s (load in ui.perfetto.dev)\n" path
+  | None -> ());
+  if row.E.fleet_failures > 0 then begin
+    let ring = Service.service_trace svc in
+    Format.printf "@.service post-mortem ring (%d failures, %d events retained):@."
+      row.E.fleet_failures
+      (Grt_sim.Trace.retained ring);
+    List.iter
+      (fun e -> Format.printf "  %a@." Grt_sim.Trace.pp_event e)
+      (Grt_sim.Trace.all ring)
+  end;
   `Ok ()
 
 let cmd =
@@ -155,6 +200,6 @@ let cmd =
       ret
         (const run $ clients_arg $ zipf_arg $ cache_cap_arg $ seed_arg
        $ interarrival_arg $ sequential_arg $ backend_arg $ json_arg
-       $ cache_out_arg $ list_cache_arg))
+       $ cache_out_arg $ list_cache_arg $ report_arg $ trace_out_arg))
 
 let () = exit (Cmd.eval cmd)

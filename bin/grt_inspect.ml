@@ -36,6 +36,14 @@ let cache_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"CACHE" ~doc)
 
+let fleet_arg =
+  let doc =
+    "Render the fleet report $(docv) (written by grt-fleet --report): \
+     service headline, SLO quantile rollups, hottest keys and memo-cache \
+     profiles."
+  in
+  Arg.(value & opt (some string) None & info [ "fleet" ] ~docv:"REPORT" ~doc)
+
 exception Unreadable of string
 
 let read_file path =
@@ -112,14 +120,42 @@ let inspect path dump_n =
     end;
     `Ok ()
 
+(* Display path: lenient validation, so a report written by a newer (or
+   older) grt-record still renders — absent sections print as "n/a". A
+   fleet report passed by mistake is dispatched to the fleet view. *)
 let timeline path =
   match Grt_util.Json.parse (Bytes.to_string (read_file path)) with
   | Error e -> `Error (false, path ^ ": " ^ e)
   | Ok json -> (
-    match Grt.Report.validate json with
+    let schema_of j =
+      match j with
+      | Grt_util.Json.Obj fields -> (
+        match List.assoc_opt "schema" fields with
+        | Some (Grt_util.Json.Str s) -> Some s
+        | _ -> None)
+      | _ -> None
+    in
+    if schema_of json = Some Grt.Report.fleet_schema then
+      match Grt.Report.validate_fleet json with
+      | Error e -> `Error (false, path ^ ": " ^ e)
+      | Ok () ->
+        Format.printf "%a" Grt.Report.pp_fleet json;
+        `Ok ()
+    else
+      match Grt.Report.validate_lenient json with
+      | Error e -> `Error (false, path ^ ": " ^ e)
+      | Ok () ->
+        Format.printf "%a" Grt.Report.pp_timeline json;
+        `Ok ())
+
+let fleet path =
+  match Grt_util.Json.parse (Bytes.to_string (read_file path)) with
+  | Error e -> `Error (false, path ^ ": " ^ e)
+  | Ok json -> (
+    match Grt.Report.validate_fleet json with
     | Error e -> `Error (false, path ^ ": " ^ e)
     | Ok () ->
-      Format.printf "%a" Grt.Report.pp_timeline json;
+      Format.printf "%a" Grt.Report.pp_fleet json;
       `Ok ())
 
 (* Cache listings come from grt-fleet as {"fleet": ..., "cache": [rows]} or
@@ -175,18 +211,21 @@ let cache_listing path =
         rows;
       `Ok ())
 
-let rec run path diff timeline_path dump_n cache_path =
-  try run_inner path diff timeline_path dump_n cache_path
+let rec run path diff timeline_path dump_n cache_path fleet_path =
+  try run_inner path diff timeline_path dump_n cache_path fleet_path
   with Unreadable e -> `Error (false, e)
 
-and run_inner path diff timeline_path dump_n cache_path =
-  match (cache_path, timeline_path, path, diff) with
-  | Some cache, _, _, _ -> cache_listing cache
-  | None, Some report, _, _ -> timeline report
-  | None, None, None, _ ->
-    `Error (true, "a recording FILE (or --timeline REPORT, or --cache CACHE) is required")
-  | None, None, Some path, None -> inspect path dump_n
-  | None, None, Some path, Some subject_path -> (
+and run_inner path diff timeline_path dump_n cache_path fleet_path =
+  match (fleet_path, cache_path, timeline_path, path, diff) with
+  | Some report, _, _, _, _ -> fleet report
+  | None, Some cache, _, _, _ -> cache_listing cache
+  | None, None, Some report, _, _ -> timeline report
+  | None, None, None, None, _ ->
+    `Error
+      ( true,
+        "a recording FILE (or --timeline REPORT, --fleet REPORT, or --cache CACHE) is required" )
+  | None, None, None, Some path, None -> inspect path dump_n
+  | None, None, None, Some path, Some subject_path -> (
     match (load path, load subject_path) with
     | Error e, _ | _, Error e -> `Error (false, e)
     | Ok reference, Ok subject ->
@@ -195,9 +234,11 @@ and run_inner path diff timeline_path dump_n cache_path =
       if Grt.Debugcheck.healthy report then `Ok () else `Error (false, "logs diverge"))
 
 let cmd =
-  let doc = "inspect or diff GR-T recordings, or render a session-report timeline" in
+  let doc = "inspect or diff GR-T recordings, or render session/fleet reports" in
   let info = Cmd.info "grt-inspect" ~version:"1.0" ~doc in
   Cmd.v info
-    Term.(ret (const run $ file_arg $ diff_arg $ timeline_arg $ entries_arg $ cache_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ diff_arg $ timeline_arg $ entries_arg $ cache_arg $ fleet_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -737,11 +737,11 @@ let percentile sorted p =
   | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
 
 let fleet ?(options = Service.default_fleet) ?backend ?(sequential = false)
-    ?(cache_capacity = 0) ?(now = Sys.time) () =
+    ?(observe = false) ?(cache_capacity = 0) ?(now = Sys.time) () =
   let specs = Service.zipf_fleet options in
   let svc = Service.create ~cache_capacity () in
   let t0 = now () in
-  let reports, sched = Service.run ?backend ~sequential svc specs in
+  let reports, sched = Service.run ?backend ~sequential ~observe svc specs in
   let host_s = Float.max (now () -. t0) 1e-9 in
   let st = Service.stats svc in
   let agg = Service.aggregate svc reports in
@@ -829,6 +829,8 @@ type speed_row = {
   speed_host_s : float;  (** host seconds across all iterations, GPU time excluded *)
   accesses_per_s : float;
   minor_words_per_access : float;
+  speed_memo : Grt_util.Json.t;
+      (** per-memo hit/miss profile over this row's measured window *)
 }
 
 (* Measured on the flat-store + memoized-sign hot path (2026-08): Naive
@@ -858,6 +860,9 @@ let speed ?(iters = 6) ctx =
        per-session access count (deterministic, so one probe suffices). *)
     let probe = f () in
     let accesses = probe.Orchestrate.accesses_total in
+    (* Memo profile covers only the measured iterations: the warm-up's
+       compulsory misses would otherwise drown the steady-state hit rate. *)
+    Grt_util.Memo_stats.reset_counters ();
     (* Grow the batch until the sample comfortably exceeds [Sys.time]'s
        resolution; recording sessions are milliseconds-scale, so this
        settles after at most a couple of rounds. *)
@@ -882,6 +887,7 @@ let speed ?(iters = 6) ctx =
       speed_host_s = host_s;
       accesses_per_s = total_accesses /. host_s;
       minor_words_per_access = minor_words /. Float.max total_accesses 1.;
+      speed_memo = Grt_util.Memo_stats.to_json ();
     }
   in
   [
@@ -1097,4 +1103,5 @@ let speed_row_json (r : speed_row) =
         match speed_ceiling r.speed_label with
         | Some c -> Json.float c
         | None -> Json.Null );
+      ("memo_stats", r.speed_memo);
     ]

@@ -198,6 +198,7 @@ val fleet :
   ?options:Service.fleet_options ->
   ?backend:Grt_sim.Sched.backend ->
   ?sequential:bool ->
+  ?observe:bool ->
   ?cache_capacity:int ->
   ?now:(unit -> float) ->
   unit ->
@@ -205,7 +206,10 @@ val fleet :
 (** Generate [options]'s fleet ({!Service.zipf_fleet}), run it through a
     fresh service, and summarize. [now] (default [Sys.time]) supplies the
     host clock for [sessions_per_s] — pass [Unix.gettimeofday] for
-    wall-clock. The service is returned for {!Service.cache_listing}. *)
+    wall-clock. [observe] (default false) enables the fleet observability
+    plane ({!Service.run}) so the returned service carries an
+    {!Service.observation} for {!Report.of_fleet} / Perfetto export. The
+    service is returned for {!Service.cache_listing}. *)
 
 (** {2 JSON row export}
 
@@ -237,6 +241,10 @@ type speed_row = {
   speed_host_s : float;  (** host seconds across all iterations, GPU time excluded *)
   accesses_per_s : float;
   minor_words_per_access : float;
+  speed_memo : Grt_util.Json.t;
+      (** {!Grt_util.Memo_stats.to_json} over this row's measured window
+          (counters reset after the warm-up probe), exported as the
+          [memo_stats] member of {!speed_row_json} *)
 }
 
 val speed : ?iters:int -> ctx -> speed_row list

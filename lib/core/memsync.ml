@@ -53,13 +53,30 @@ let hash_memo : (int, bytes * int64) Hashtbl.t = Hashtbl.create 256
 
 let hash_memo_cap = 1024
 
+let hash_stats = Grt_util.Memo_stats.register "memsync.hash_page"
+
 let hash_page b =
   let k = Grt_util.Hashing.quick b in
   match Hashtbl.find_opt hash_memo k with
-  | Some (input, h) when Bytes.equal input b -> h
-  | _ ->
+  | Some (input, h) when Bytes.equal input b ->
+    Grt_util.Memo_stats.hit hash_stats;
+    h
+  | prior ->
+    Grt_util.Memo_stats.miss hash_stats;
+    (match prior with
+    | Some (old_in, _) ->
+      Grt_util.Memo_stats.mismatch hash_stats;
+      Grt_util.Memo_stats.replaced hash_stats
+        ~old_bytes:(Bytes.length old_in + 8)
+        ~bytes:(Bytes.length b + 8)
+    | None -> ());
     let h = Grt_util.Hashing.fnv1a_bytes b in
-    if Hashtbl.length hash_memo >= hash_memo_cap then Hashtbl.reset hash_memo;
+    if Hashtbl.length hash_memo >= hash_memo_cap then begin
+      Grt_util.Memo_stats.evicted hash_stats ~entries:(Hashtbl.length hash_memo);
+      Hashtbl.reset hash_memo
+    end;
+    if not (Hashtbl.mem hash_memo k) then
+      Grt_util.Memo_stats.added hash_stats ~bytes:(Bytes.length b + 8);
     Hashtbl.replace hash_memo k (Bytes.copy b, h);
     h
 

@@ -348,6 +348,7 @@ let entry_copy = function
   | e -> e
 
 let sign_memo : (int, bytes * entry array * bytes) Hashtbl.t = Hashtbl.create 16
+let sign_stats = Grt_util.Memo_stats.register "recording.sign"
 
 let sign ?(chunk_entries = default_chunk_entries) ~key t =
   if chunk_entries <= 0 then invalid_arg "Recording.sign: chunk_entries must be positive";
@@ -361,8 +362,14 @@ let sign ?(chunk_entries = default_chunk_entries) ~key t =
   let meta = Byte_buf.contents meta_buf in
   let memo_key = Array.fold_left entry_key (Grt_util.Hashing.quick meta) t.entries in
   match Hashtbl.find_opt sign_memo memo_key with
-  | Some (m, es, blob) when Bytes.equal m meta && entries_eq es t.entries -> Bytes.copy blob
-  | _ ->
+  | Some (m, es, blob) when Bytes.equal m meta && entries_eq es t.entries ->
+    Grt_util.Memo_stats.hit sign_stats;
+    Bytes.copy blob
+  | prior ->
+    Grt_util.Memo_stats.miss sign_stats;
+    (match prior with
+    | Some _ -> Grt_util.Memo_stats.mismatch sign_stats
+    | None -> ());
     let body, bounds = chunk_bounds ~chunk_entries t.entries in
     let n = Array.length t.entries in
     let n_chunks = Array.length bounds - 1 in
@@ -392,7 +399,20 @@ let sign ?(chunk_entries = default_chunk_entries) ~key t =
     Byte_buf.add_i64 blob (Grt_tee.Crypto.mac ~key hdr);
     Byte_buf.add_bytes blob body;
     let blob = Byte_buf.contents blob in
-    if Hashtbl.length sign_memo >= memo_cap then Hashtbl.reset sign_memo;
+    (* Resident footprint: meta + blob copies (the entry-spine snapshot is
+       shared page bytes, not counted). *)
+    let footprint = Bytes.length meta + Bytes.length blob in
+    if Hashtbl.length sign_memo >= memo_cap then begin
+      Grt_util.Memo_stats.evicted sign_stats ~entries:(Hashtbl.length sign_memo);
+      Hashtbl.reset sign_memo
+    end;
+    (match (Hashtbl.mem sign_memo memo_key, prior) with
+    | false, _ -> Grt_util.Memo_stats.added sign_stats ~bytes:footprint
+    | true, Some (m, _, b) ->
+      Grt_util.Memo_stats.replaced sign_stats
+        ~old_bytes:(Bytes.length m + Bytes.length b)
+        ~bytes:footprint
+    | true, None -> ());
     Hashtbl.replace sign_memo memo_key (meta, Array.map entry_copy t.entries, Bytes.copy blob);
     blob
 
@@ -483,6 +503,7 @@ let verify_chunk c =
   Int64.equal (Grt_util.Hashing.fnv1a_bytes c.chunk_raw) c.chunk_hash
 
 let verify_memo : (int, bytes * string * (t, string) result) Hashtbl.t = Hashtbl.create 16
+let verify_stats = Grt_util.Memo_stats.register "recording.verify"
 
 let verify_and_parse_raw ~key blob =
   match parse_signed ~key blob with
@@ -505,12 +526,28 @@ let verify_and_parse ~key blob =
   let memo_key = Grt_util.Hashing.quick_sparse ~seed:(Hashtbl.hash key) blob in
   match Hashtbl.find_opt verify_memo memo_key with
   | Some (b, k, res) when String.equal k key && Bytes.equal b blob -> (
+    Grt_util.Memo_stats.hit verify_stats;
     match res with
     | Ok r -> Ok { r with entries = Array.copy r.entries }
     | Error _ as e -> e)
-  | _ ->
+  | prior ->
+    Grt_util.Memo_stats.miss verify_stats;
+    (match prior with
+    | Some _ -> Grt_util.Memo_stats.mismatch verify_stats
+    | None -> ());
     let res = verify_and_parse_raw ~key blob in
-    if Hashtbl.length verify_memo >= memo_cap then Hashtbl.reset verify_memo;
+    let footprint = Bytes.length blob + String.length key in
+    if Hashtbl.length verify_memo >= memo_cap then begin
+      Grt_util.Memo_stats.evicted verify_stats ~entries:(Hashtbl.length verify_memo);
+      Hashtbl.reset verify_memo
+    end;
+    (match (Hashtbl.mem verify_memo memo_key, prior) with
+    | false, _ -> Grt_util.Memo_stats.added verify_stats ~bytes:footprint
+    | true, Some (b, k, _) ->
+      Grt_util.Memo_stats.replaced verify_stats
+        ~old_bytes:(Bytes.length b + String.length k)
+        ~bytes:footprint
+    | true, None -> ());
     Hashtbl.replace verify_memo memo_key (Bytes.copy blob, key, res);
     (match res with
     | Ok r -> Ok { r with entries = Array.copy r.entries }

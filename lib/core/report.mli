@@ -33,4 +33,49 @@ val validate : Grt_util.Json.t -> (unit, string) result
 val pp_timeline : Format.formatter -> Grt_util.Json.t -> unit
 (** Human-readable view of a report: the session line, the per-phase
     self/total attribution (when [phases] is present) and histogram
-    quantiles (when [histograms] is present). *)
+    quantiles (when [histograms] is present). Optional sections that are
+    absent print as ["n/a"] rather than failing, so the view tolerates
+    reports from older or newer writers (pair with {!validate_lenient}). *)
+
+val validate_lenient : Grt_util.Json.t -> (unit, string) result
+(** Version-skew-tolerant check for session reports: the schema name must
+    match but any numeric version is accepted, and session / summary /
+    histograms / phases are each optional — only type-checked when
+    present. Use for display paths ([grt_inspect --timeline]); keep
+    {!validate} for round-trip tests and CI gates. *)
+
+(** {2 Fleet reports}
+
+    One JSON document per [grt_fleet] run: the fleet row, the service
+    counter rollup, and — when the run was observed — SLO latency
+    quantiles, per-key rollups and memo-cache profiles. *)
+
+val fleet_schema : string
+(** ["grt-fleet-report"]. *)
+
+val fleet_version : int
+(** Current fleet schema version ([1]). *)
+
+val of_fleet :
+  fleet:Grt_util.Json.t ->
+  stats:Service.stats ->
+  ?memo:Grt_util.Json.t ->
+  observation:Service.observation option ->
+  unit ->
+  Grt_util.Json.t
+(** Build the fleet report. [fleet] is the experiment's own row object
+    (embedded verbatim); [stats] becomes the [service] member (counts plus
+    hit rate). With an [observation], the [slo] member carries p50/p90/p99
+    summaries of the fleet histogram set and [per_key] the per-label
+    turnaround/TTFB rollups. [memo] (the {!Grt_util.Memo_stats.to_json}
+    snapshot) is embedded when given. *)
+
+val validate_fleet : Grt_util.Json.t -> (unit, string) result
+(** Structural check for fleet reports: schema/version match, [fleet] is a
+    flat object of scalars, [service] carries the required numeric counts,
+    and [slo]/[per_key]/[memo] (when present) have well-formed entries. *)
+
+val pp_fleet : Format.formatter -> Grt_util.Json.t -> unit
+(** Human-readable fleet view: service headline, SLO quantile table,
+    hottest keys and memo-cache profile. Absent optional sections print as
+    ["n/a"]. *)

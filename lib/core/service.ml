@@ -1,6 +1,10 @@
 module Sched = Grt_sim.Sched
+module Clock = Grt_sim.Clock
 module Counters = Grt_sim.Counters
 module Metrics = Grt_sim.Metrics
+module Hist = Grt_sim.Hist
+module Tracer = Grt_sim.Tracer
+module Trace = Grt_sim.Trace
 module Sku = Grt_gpu.Sku
 module Network = Grt_mlfw.Network
 module Profile = Grt_net.Profile
@@ -104,6 +108,28 @@ type entry = {
   mutable touch_epoch : int;  (* run counter at the last touch *)
 }
 
+(* ---- observability plane ----
+
+   The fleet plane is strictly write-only with respect to outcomes: its
+   clock is advanced with [advance_to] (never yielded), its histograms and
+   tracer read clocks without moving them, and nothing here feeds back into
+   decisions, seeds or session counters — so a run with the plane enabled
+   is outcome-identical to one without (the differential test pins this). *)
+
+type track = {
+  track_client : int;
+  track_arrival_ns : int64;
+  track_tracer : Tracer.t;
+}
+
+type observation = {
+  obs_hists : Hist.set;  (* fleet-wide SLO series (turnaround, TTFB, waits) *)
+  obs_tracer : Tracer.t;  (* the service's own track: lookups, evicts, promotions *)
+  mutable obs_tracks : track list;  (* per-session span tracks, newest first *)
+  obs_key_ttfb : (string, Hist.t) Hashtbl.t;  (* label -> TTFB series *)
+  obs_key_turnaround : (string, Hist.t) Hashtbl.t;  (* label -> turnaround series *)
+}
+
 type t = {
   capacity : int;  (* resident entries; 0 = unbounded *)
   cache : (key, entry) Hashtbl.t;
@@ -112,25 +138,99 @@ type t = {
       (* (net, sku) -> speculation history shared across all sessions of
          that pair, whatever their mode flags (§7.3) *)
   svc : Counters.t;
+  svc_m : Metrics.t;  (* typed write-through view over [svc] *)
+  svc_clock : Clock.t;
+      (* service-plane timeline: advanced (never yielded) to each admission's
+         arrival, so service events carry fleet-global timestamps *)
+  svc_trace : Trace.t;
+      (* always-on bounded post-mortem ring (topic "service"): evictions,
+         waiter promotions, re-arms — dumped when a fleet run fails *)
   mutable touch_seq : int;
   mutable uid_seq : int;
   mutable run_epoch : int;  (* bumped per [run]; feeds eviction preference *)
+  mutable obs : observation option;  (* present for the duration of an observed run *)
 }
 
 let create ?(cache_capacity = 0) () =
   if cache_capacity < 0 then invalid_arg "Service.create: negative capacity";
+  let svc = Counters.create () in
+  let svc_clock = Clock.create () in
   {
     capacity = cache_capacity;
     cache = Hashtbl.create 64;
     keyed_tbl = Hashtbl.create 64;
     histories = Hashtbl.create 16;
-    svc = Counters.create ();
+    svc;
+    svc_m = Metrics.of_counters svc;
+    svc_clock;
+    svc_trace = Trace.create ~capacity:1024 svc_clock;
     touch_seq = 0;
     uid_seq = 0;
     run_epoch = 0;
+    obs = None;
   }
 
 let service_counters t = t.svc
+let service_trace t = t.svc_trace
+let observation t = t.obs
+let obs_tracer t = match t.obs with Some o -> Some o.obs_tracer | None -> None
+
+let key_hist tbl label =
+  match Hashtbl.find_opt tbl label with
+  | Some h -> h
+  | None ->
+    let h = Hist.create ~name:label () in
+    Hashtbl.add tbl label h;
+    h
+
+(* Sample a session-local duration (ns so far on the session clock) into a
+   fleet series, in µs, plus the per-key table when one is given. *)
+let obs_sample t ?label hkey ns =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    let us = Int64.to_int (Int64.div ns 1_000L) in
+    Hist.record o.obs_hists hkey us;
+    (match label with
+    | Some (tbl, l) -> Hist.observe (key_hist (tbl o) l) us
+    | None -> ())
+
+let obs_ttfb t (e : entry) ctx =
+  obs_sample t
+    ~label:((fun o -> o.obs_key_ttfb), e.keyed.label)
+    Hist.Svc_ttfb_us
+    (Clock.now_ns ctx.Ctx.clock)
+
+let register_track t (spec : client_spec) ctx =
+  match (t.obs, ctx.Ctx.tracer) with
+  | Some o, Some tr ->
+    o.obs_tracks <-
+      { track_client = spec.client_id; track_arrival_ns = spec.arrival_ns; track_tracer = tr }
+      :: o.obs_tracks
+  | _ -> ()
+
+(* Perfetto lanes: tid 0 is the service plane, client [i] renders on lane
+   [i + 1], shifted onto global time by its arrival. A promoted waiter's
+   record-phase tracer registers a second track on the same lane. *)
+let fleet_tracks t =
+  match t.obs with
+  | None -> []
+  | Some o ->
+    {
+      Tracer.track_tid = 0;
+      track_name = "service";
+      track_offset_ns = 0L;
+      track_tracer = o.obs_tracer;
+    }
+    :: List.rev_map
+         (fun tr ->
+           {
+             Tracer.track_tid = tr.track_client + 1;
+             track_name = Printf.sprintf "client-%d" tr.track_client;
+             track_offset_ns = tr.track_arrival_ns;
+             track_tracer = tr.track_tracer;
+           })
+         o.obs_tracks
 
 let share_group_of ~(net : Network.t) ~(sku : Sku.t) = net.Network.name ^ "|" ^ sku.Sku.name
 let share_group (spec : client_spec) = share_group_of ~net:spec.net ~sku:spec.sku
@@ -168,7 +268,7 @@ type decision =
   | D_wait of entry  (* recording in flight: coalesce onto it *)
   | D_record of entry  (* this client triggers the recording *)
 
-let evict_if_full t =
+let evict_if_full t ~for_client =
   if t.capacity > 0 && Hashtbl.length t.cache >= t.capacity then begin
     (* LRU victim, preferring entries idle since before this run: an entry
        touched this run may (under multiplexed execution) carry an
@@ -195,11 +295,28 @@ let evict_if_full t =
     | Some e ->
       Hashtbl.remove t.cache e.keyed.key;
       e.keyed.evictions <- e.keyed.evictions + 1;
-      Counters.incr t.svc "svc.evictions"
+      Metrics.incr t.svc_m Metrics.Svc_evictions;
+      let blob_bytes = match e.blob with Some b -> Bytes.length b | None -> 0 in
+      Trace.event t.svc_trace
+        (Trace.Evict { label = e.keyed.label; client = for_client; blob_bytes });
+      Tracer.instant_opt (obs_tracer t) ~cat:Tracer.Svc_evict
+        ~args:
+          [
+            ("label", e.keyed.label);
+            ("for", Printf.sprintf "client-%d" for_client);
+            ("blob_bytes", string_of_int blob_bytes);
+          ]
+        "evict"
     | None -> ()
   end
 
+let decision_name = function D_serve _ -> "serve" | D_wait _ -> "wait" | D_record _ -> "record"
+let decision_entry = function D_serve e | D_wait e | D_record e -> e
+
 let decide t (spec : client_spec) =
+  (* Admissions are examined in arrival order (the plan pass sorts), so the
+     service clock only ever moves forward here. *)
+  Clock.advance_to t.svc_clock spec.arrival_ns;
   let key = cache_key ~cfg:spec.cfg ~sku:spec.sku ~net:spec.net in
   t.touch_seq <- t.touch_seq + 1;
   let touch = t.touch_seq in
@@ -207,34 +324,48 @@ let decide t (spec : client_spec) =
     e.last_touch <- touch;
     e.touch_epoch <- t.run_epoch
   in
-  match Hashtbl.find_opt t.cache key with
-  | Some e when e.blob <> None ->
-    touch_entry e;
-    D_serve e
-  | Some e when e.inflight ->
-    touch_entry e;
-    D_wait e
-  | Some e ->
-    (* resident but its recording failed: this client retries *)
-    touch_entry e;
-    e.inflight <- true;
-    D_record e
-  | None ->
-    evict_if_full t;
-    let keyed = keyed_for t key ~label:(key_label ~cfg:spec.cfg ~sku:spec.sku ~net:spec.net) in
-    t.uid_seq <- t.uid_seq + 1;
-    let e =
-      {
-        uid = t.uid_seq;
-        keyed;
-        blob = None;
-        inflight = true;
-        last_touch = touch;
-        touch_epoch = t.run_epoch;
-      }
-    in
-    Hashtbl.replace t.cache key e;
-    D_record e
+  let d =
+    match Hashtbl.find_opt t.cache key with
+    | Some e when e.blob <> None ->
+      touch_entry e;
+      D_serve e
+    | Some e when e.inflight ->
+      touch_entry e;
+      D_wait e
+    | Some e ->
+      (* resident but its recording failed: this client retries *)
+      touch_entry e;
+      e.inflight <- true;
+      Metrics.incr t.svc_m Metrics.Svc_cache_misses;
+      Trace.event t.svc_trace (Trace.Rearm { label = e.keyed.label; client = spec.client_id });
+      D_record e
+    | None ->
+      evict_if_full t ~for_client:spec.client_id;
+      let keyed = keyed_for t key ~label:(key_label ~cfg:spec.cfg ~sku:spec.sku ~net:spec.net) in
+      t.uid_seq <- t.uid_seq + 1;
+      let e =
+        {
+          uid = t.uid_seq;
+          keyed;
+          blob = None;
+          inflight = true;
+          last_touch = touch;
+          touch_epoch = t.run_epoch;
+        }
+      in
+      Hashtbl.replace t.cache key e;
+      Metrics.incr t.svc_m Metrics.Svc_cache_misses;
+      D_record e
+  in
+  Tracer.instant_opt (obs_tracer t) ~cat:Tracer.Svc_cache_lookup
+    ~args:
+      [
+        ("client", string_of_int spec.client_id);
+        ("key", (decision_entry d).keyed.label);
+        ("decision", decision_name d);
+      ]
+    "cache-lookup";
+  d
 
 (* ---- session bodies ----
 
@@ -242,8 +373,9 @@ let decide t (spec : client_spec) =
    the scheduler the ctx clock is the task clock, so every blocking wait
    inside the session is a scheduler yield point. *)
 
-let serve_ctx (spec : client_spec) ~seed =
-  Ctx.create ~cfg:spec.cfg ~profile:spec.profile ~sku:spec.sku ~net:spec.net ~seed
+let serve_ctx t (spec : client_spec) ~seed =
+  let options = { Ctx.default_options with Ctx.observe = t.obs <> None } in
+  Ctx.create ~options ~cfg:spec.cfg ~profile:spec.profile ~sku:spec.sku ~net:spec.net ~seed
     ~granularity:`Monolithic ()
 
 let record_ctx ?clock t (spec : client_spec) (e : entry) =
@@ -253,6 +385,7 @@ let record_ctx ?clock t (spec : client_spec) (e : entry) =
       Ctx.history = Some (history_for t spec);
       sync_store = Some e.keyed.sync_store;
       inject_fault_after = spec.inject_fault_after;
+      observe = t.obs <> None;
     }
   in
   Ctx.create ~options ?clock ~cfg:spec.cfg ~profile:spec.profile ~sku:spec.sku ~net:spec.net
@@ -273,9 +406,12 @@ let report_of ctx (spec : client_spec) (e : entry) outcome ~blob_bytes =
    verification — everything of a session except the dry run. *)
 let serve t spec (e : entry) ctx ~coalesced =
   let blob = Option.get e.blob in
-  Orchestrate.serve_cached ctx ~blob;
+  Tracer.span_opt ctx.Ctx.tracer ~cat:Tracer.Svc_serve_cached
+    ~args:[ ("key", e.keyed.label) ]
+    ~name:"serve-cached"
+    (fun () -> Orchestrate.serve_cached ctx ~blob);
   e.keyed.hits <- e.keyed.hits + 1;
-  Counters.incr t.svc (if coalesced then "svc.coalesced" else "svc.cache_hits");
+  Metrics.incr t.svc_m (if coalesced then Metrics.Svc_coalesced else Metrics.Svc_cache_hits);
   report_of ctx spec e
     (if coalesced then Coalesced else Cache_hit)
     ~blob_bytes:(Bytes.length blob)
@@ -286,25 +422,30 @@ let record_into t spec (e : entry) ctx =
   let history = history_for t spec in
   Spec_history.new_epoch history;
   let cross0 = Spec_history.cross_hits history in
-  match Orchestrate.Pipeline.run (Orchestrate.Pipeline.create ctx) with
+  match
+    Tracer.span_opt ctx.Ctx.tracer ~cat:Tracer.Svc_record
+      ~args:[ ("key", e.keyed.label) ]
+      ~name:"record"
+      (fun () -> Orchestrate.Pipeline.run (Orchestrate.Pipeline.create ctx))
+  with
   | outcome ->
     let cross = Spec_history.cross_hits history - cross0 in
     if cross > 0 then Metrics.add ctx.Ctx.metrics Metrics.Spec_cross_hits cross;
     e.blob <- Some outcome.Orchestrate.blob;
     e.inflight <- false;
     e.keyed.recordings <- e.keyed.recordings + 1;
-    Counters.incr t.svc "svc.recordings";
+    Metrics.incr t.svc_m Metrics.Svc_recordings;
     report_of ctx spec e (Recorded outcome) ~blob_bytes:(Bytes.length outcome.Orchestrate.blob)
   | exception exn ->
     e.inflight <- false;
-    Counters.incr t.svc "svc.failures";
+    Metrics.incr t.svc_m Metrics.Svc_failures;
     report_of ctx spec e (Failed (Printexc.to_string exn)) ~blob_bytes:0
 
 (* Report a client that never got a session body to run. [ctx] is the
    session's real context, so turnaround and counters reflect any wait the
    client actually spent (not a fresh zeroed clock). *)
 let fail_report t spec (e : entry) ctx msg =
-  Counters.incr t.svc "svc.failures";
+  Metrics.incr t.svc_m Metrics.Svc_failures;
   report_of ctx spec e (Failed msg) ~blob_bytes:0
 
 (* A serve can fail live (ARQ collapse on a degraded channel, verification
@@ -312,7 +453,7 @@ let fail_report t spec (e : entry) ctx msg =
 let serve_safe t spec (e : entry) ctx ~coalesced =
   try serve t spec e ctx ~coalesced
   with exn ->
-    Counters.incr t.svc "svc.failures";
+    Metrics.incr t.svc_m Metrics.Svc_failures;
     report_of ctx spec e (Failed (Printexc.to_string exn)) ~blob_bytes:0
 
 (* ---- sequential execution ----
@@ -324,17 +465,25 @@ let serve_safe t spec (e : entry) ctx ~coalesced =
 let run_sequential t specs =
   List.map
     (fun spec ->
-      Counters.incr t.svc "svc.sessions";
+      Metrics.incr t.svc_m Metrics.Svc_sessions;
       match decide t spec with
       | D_serve e ->
-        serve_safe t spec e
-          (serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id))
-          ~coalesced:false
-      | D_record e -> record_into t spec e (record_ctx t spec e)
+        let ctx = serve_ctx t spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id) in
+        register_track t spec ctx;
+        obs_ttfb t e ctx;
+        serve_safe t spec e ctx ~coalesced:false
+      | D_record e ->
+        let ctx = record_ctx t spec e in
+        register_track t spec ctx;
+        obs_ttfb t e ctx;
+        record_into t spec e ctx
       | D_wait e -> (
-        let ctx = serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id) in
+        let ctx = serve_ctx t spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id) in
+        register_track t spec ctx;
         match e.blob with
-        | Some _ -> serve_safe t spec e ctx ~coalesced:true
+        | Some _ ->
+          obs_ttfb t e ctx;
+          serve_safe t spec e ctx ~coalesced:true
         | None -> fail_report t spec e ctx "recording in flight with no scheduler"))
     specs
 
@@ -397,6 +546,11 @@ let group_queue aux g =
 
 let run_multiplexed ?backend t specs =
   let sched = Sched.create ?backend () in
+  (match t.obs with
+  | Some o ->
+    Sched.set_switch_observer sched
+      (Some (fun runnable -> Hist.record o.obs_hists Hist.Sched_runnable runnable))
+  | None -> ());
   let aux =
     {
       sched;
@@ -444,7 +598,12 @@ let run_multiplexed ?backend t specs =
             Sched.await sched gcond;
             turn ()
         in
-        turn ();
+        let t0 = Clock.now_ns ctx.Ctx.clock in
+        Tracer.span_opt ctx.Ctx.tracer ~cat:Tracer.Svc_turnstile_wait
+          ~args:[ ("group", share_group spec) ]
+          ~name:"turnstile-wait" turn;
+        obs_sample t Hist.Svc_turnstile_wait_us (Int64.sub (Clock.now_ns ctx.Ctx.clock) t0);
+        obs_ttfb t e ctx;
         let r = record_into t spec e ctx in
         (match r.outcome with
         | Failed _ -> (
@@ -455,7 +614,22 @@ let run_multiplexed ?backend t specs =
             es.e_waiting <- rest;
             es.e_elected <- Some w;
             e.inflight <- true;
-            promoted := Some w
+            promoted := Some w;
+            Metrics.incr t.svc_m Metrics.Svc_promotions;
+            (* the promoted waiter re-records: the miss a sequential run
+               would charge at its retry arrival *)
+            Metrics.incr t.svc_m Metrics.Svc_cache_misses;
+            Clock.advance_to t.svc_clock
+              (Int64.add spec.arrival_ns (Clock.now_ns ctx.Ctx.clock));
+            Trace.event t.svc_trace (Trace.Promote { label = e.keyed.label; client = w });
+            Tracer.instant_opt (obs_tracer t) ~cat:Tracer.Svc_promotion
+              ~args:
+                [
+                  ("label", e.keyed.label);
+                  ("failed", Printf.sprintf "client-%d" spec.client_id);
+                  ("promoted", Printf.sprintf "client-%d" w);
+                ]
+              "waiter-promotion"
           | [] -> ())
         | Recorded _ | Cache_hit | Coalesced -> ());
         put spec r)
@@ -465,7 +639,7 @@ let run_multiplexed ?backend t specs =
     List.mapi
       (fun i spec ->
         Hashtbl.replace aux.decision_idx spec.client_id i;
-        Counters.incr t.svc "svc.sessions";
+        Metrics.incr t.svc_m Metrics.Svc_sessions;
         let d = decide t spec in
         let ctx =
           match d with
@@ -476,9 +650,10 @@ let run_multiplexed ?backend t specs =
           | D_wait e ->
             let es = entry_sync aux e.uid in
             es.e_waiting <- es.e_waiting @ [ spec.client_id ];
-            serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id)
-          | D_serve e -> serve_ctx spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id)
+            serve_ctx t spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id)
+          | D_serve e -> serve_ctx t spec ~seed:(serve_seed e.keyed.key ~client_id:spec.client_id)
         in
+        register_track t spec ctx;
         (spec, d, ctx))
       specs
   in
@@ -487,7 +662,9 @@ let run_multiplexed ?backend t specs =
     (fun ((spec : client_spec), d, ctx) ->
       let body () =
         match d with
-        | D_serve e -> put spec (serve_safe t spec e ctx ~coalesced:false)
+        | D_serve e ->
+          obs_ttfb t e ctx;
+          put spec (serve_safe t spec e ctx ~coalesced:false)
         | D_wait e ->
           let es = entry_sync aux e.uid in
           let rec wait () =
@@ -500,14 +677,25 @@ let run_multiplexed ?backend t specs =
                 wait ()
               | None -> `Orphaned
           in
-          (match wait () with
-          | `Serve -> put spec (serve_safe t spec e ctx ~coalesced:true)
+          let t0 = Clock.now_ns ctx.Ctx.clock in
+          let got =
+            Tracer.span_opt ctx.Ctx.tracer ~cat:Tracer.Svc_coalesce_wait
+              ~args:[ ("key", e.keyed.label) ]
+              ~name:"coalesce-wait" wait
+          in
+          obs_sample t Hist.Svc_coalesce_wait_us (Int64.sub (Clock.now_ns ctx.Ctx.clock) t0);
+          (match got with
+          | `Serve ->
+            obs_ttfb t e ctx;
+            put spec (serve_safe t spec e ctx ~coalesced:true)
           | `Record ->
             es.e_elected <- None;
             (* Promoted: re-record on this task's scheduler-registered
                clock, under the same key-derived seed and options a planned
                recorder uses. *)
-            record_with_ticket spec e (record_ctx t spec e ~clock:ctx.Ctx.clock)
+            let rctx = record_ctx t spec e ~clock:ctx.Ctx.clock in
+            register_track t spec rctx;
+            record_with_ticket spec e rctx
           | `Orphaned ->
             (* Unreachable while promotion elects every remaining waiter;
                kept so an unexpected settle still yields a report. *)
@@ -528,8 +716,31 @@ let run_multiplexed ?backend t specs =
       specs,
     sched )
 
-let run ?backend ?(sequential = false) t specs =
+let new_observation t =
+  {
+    obs_hists = Hist.create_set ();
+    obs_tracer = Tracer.create t.svc_clock;
+    obs_tracks = [];
+    obs_key_ttfb = Hashtbl.create 32;
+    obs_key_turnaround = Hashtbl.create 32;
+  }
+
+(* Turnaround series are filled from the finished reports — one place, both
+   execution modes, labels included. *)
+let finalize_obs t reports =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    List.iter
+      (fun r ->
+        let us = int_of_float (r.turnaround_s *. 1e6) in
+        Hist.record o.obs_hists Hist.Svc_turnaround_us us;
+        Hist.observe (key_hist o.obs_key_turnaround r.label) us)
+      reports
+
+let run ?backend ?(sequential = false) ?(observe = false) t specs =
   t.run_epoch <- t.run_epoch + 1;
+  t.obs <- (if observe then Some (new_observation t) else None);
   let specs =
     List.stable_sort
       (fun (a : client_spec) b ->
@@ -538,10 +749,14 @@ let run ?backend ?(sequential = false) t specs =
         | c -> c)
       specs
   in
-  if sequential then (run_sequential t specs, None)
-  else
-    let reports, sched = run_multiplexed ?backend t specs in
-    (reports, Some sched)
+  let result =
+    if sequential then (run_sequential t specs, None)
+    else
+      let reports, sched = run_multiplexed ?backend t specs in
+      (reports, Some sched)
+  in
+  finalize_obs t (fst result);
+  result
 
 (* ---- aggregation, stats, cache listing ---- *)
 
@@ -555,7 +770,9 @@ type stats = {
   sessions : int;
   recordings : int;
   cache_hits : int;
+  cache_misses : int;
   coalesced : int;
+  promotions : int;
   failures : int;
   evictions : int;
   resident : int;
@@ -563,7 +780,7 @@ type stats = {
 }
 
 let stats t =
-  let get k = Counters.get_int t.svc k in
+  let get k = Metrics.get_int t.svc_m k in
   let resident, resident_bytes =
     Hashtbl.fold
       (fun _ e (n, b) ->
@@ -571,12 +788,14 @@ let stats t =
       t.cache (0, 0)
   in
   {
-    sessions = get "svc.sessions";
-    recordings = get "svc.recordings";
-    cache_hits = get "svc.cache_hits";
-    coalesced = get "svc.coalesced";
-    failures = get "svc.failures";
-    evictions = get "svc.evictions";
+    sessions = get Metrics.Svc_sessions;
+    recordings = get Metrics.Svc_recordings;
+    cache_hits = get Metrics.Svc_cache_hits;
+    cache_misses = get Metrics.Svc_cache_misses;
+    coalesced = get Metrics.Svc_coalesced;
+    promotions = get Metrics.Svc_promotions;
+    failures = get Metrics.Svc_failures;
+    evictions = get Metrics.Svc_evictions;
     resident;
     resident_bytes;
   }

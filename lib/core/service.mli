@@ -87,6 +87,7 @@ val create : ?cache_capacity:int -> unit -> t
 val run :
   ?backend:Grt_sim.Sched.backend ->
   ?sequential:bool ->
+  ?observe:bool ->
   t ->
   client_spec list ->
   session_report list * Grt_sim.Sched.t option
@@ -95,7 +96,13 @@ val run :
     arrival — the reference semantics; otherwise sessions are multiplexed
     over a fresh scheduler (returned for its yield/switch stats). Reports
     come back in arrival order. The service may be reused across runs —
-    the cache and shared stores persist. *)
+    the cache and shared stores persist.
+
+    [observe] (default false) turns on the fleet observability plane for
+    this run: per-session span tracers (one Perfetto track each, see
+    {!fleet_tracks}), service-phase spans/markers, and the SLO histogram
+    set exposed via {!observation}. Observation is write-only — outcomes,
+    blobs and per-session counters are identical with it on or off. *)
 
 val aggregate : t -> session_report list -> Grt_sim.Counters.t
 (** Fleet-wide counter set: every session's counters merged
@@ -104,13 +111,23 @@ val aggregate : t -> session_report list -> Grt_sim.Counters.t
 
 val service_counters : t -> Grt_sim.Counters.t
 (** The service's own counters ([svc.sessions], [svc.cache_hits],
-    [svc.coalesced], [svc.recordings], [svc.evictions], [svc.failures]). *)
+    [svc.coalesced], [svc.recordings], [svc.evictions], [svc.failures],
+    plus [svc.cache_misses] and — multiplexed runs only —
+    [svc.promotions]). *)
+
+val service_trace : t -> Grt_sim.Trace.t
+(** The service's always-on bounded post-mortem ring (topic ["service"]):
+    cache evictions, waiter promotions and entry re-arms as typed payloads,
+    timestamped on the service-plane clock. Dump it next to the link/shim
+    rings when a fleet run fails. *)
 
 type stats = {
   sessions : int;
   recordings : int;
   cache_hits : int;
+  cache_misses : int;  (** admissions that had to record (retries included) *)
   coalesced : int;
+  promotions : int;  (** waiters promoted to recorder (multiplexed runs only) *)
   failures : int;
   evictions : int;
   resident : int;  (** entries currently in the cache *)
@@ -119,6 +136,41 @@ type stats = {
 
 val stats : t -> stats
 val hit_rate : stats -> float
+
+(** {2 The fleet observability plane}
+
+    Enabled per run with [run ~observe:true]; everything below reads back
+    what that run collected. The plane is write-only: its clock is advanced
+    but never yielded, and nothing it records feeds back into decisions,
+    seeds or counters — outcomes are bit-identical with it on or off. *)
+
+type track = {
+  track_client : int;
+  track_arrival_ns : int64;  (** shift onto the fleet-global timeline *)
+  track_tracer : Grt_sim.Tracer.t;
+}
+
+type observation = {
+  obs_hists : Grt_sim.Hist.set;
+      (** fleet SLO series: [Svc_turnaround_us], [Svc_ttfb_us],
+          [Svc_coalesce_wait_us], [Svc_turnstile_wait_us],
+          [Sched_runnable] *)
+  obs_tracer : Grt_sim.Tracer.t;
+      (** the service's own track: cache-lookup/evict/promotion markers on
+          the service-plane clock *)
+  mutable obs_tracks : track list;  (** per-session tracks, newest first *)
+  obs_key_ttfb : (string, Grt_sim.Hist.t) Hashtbl.t;
+  obs_key_turnaround : (string, Grt_sim.Hist.t) Hashtbl.t;
+}
+
+val observation : t -> observation option
+(** The last run's observation; [None] when the run was unobserved. *)
+
+val fleet_tracks : t -> Grt_sim.Tracer.track list
+(** The last observed run as Perfetto tracks: tid 0 is the service plane,
+    client [i] renders on lane [i+1] offset by its arrival (a promoted
+    waiter's record tracer rides its own lane too). Empty when
+    unobserved. Feed to {!Grt_sim.Tracer.tracks_chrome_json}. *)
 
 type listing_row = {
   row_key : key;

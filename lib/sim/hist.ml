@@ -119,6 +119,11 @@ type key =
   | Sync_page_wire
   | Replay_chunk_bytes
   | Replay_exec_entries
+  | Svc_turnaround_us
+  | Svc_ttfb_us
+  | Svc_coalesce_wait_us
+  | Svc_turnstile_wait_us
+  | Sched_runnable
 
 let key_name = function
   | Rtt_ns -> "link.rtt_ns"
@@ -131,11 +136,17 @@ let key_name = function
   | Sync_page_wire -> "sync.page_wire_bytes"
   | Replay_chunk_bytes -> "replay.chunk_bytes"
   | Replay_exec_entries -> "replay.exec_entries"
+  | Svc_turnaround_us -> "svc.turnaround_us"
+  | Svc_ttfb_us -> "svc.ttfb_us"
+  | Svc_coalesce_wait_us -> "svc.coalesce_wait_us"
+  | Svc_turnstile_wait_us -> "svc.turnstile_wait_us"
+  | Sched_runnable -> "sched.runnable"
 
 let all_keys =
   [
     Rtt_ns; Commit_accesses; Spec_validate_ns; Rollback_depth; Gbn_span; Sync_down_wire;
     Sync_up_wire; Sync_page_wire; Replay_chunk_bytes; Replay_exec_entries;
+    Svc_turnaround_us; Svc_ttfb_us; Svc_coalesce_wait_us; Svc_turnstile_wait_us; Sched_runnable;
   ]
 
 let key_index = function
@@ -149,6 +160,11 @@ let key_index = function
   | Sync_page_wire -> 7
   | Replay_chunk_bytes -> 8
   | Replay_exec_entries -> 9
+  | Svc_turnaround_us -> 10
+  | Svc_ttfb_us -> 11
+  | Svc_coalesce_wait_us -> 12
+  | Svc_turnstile_wait_us -> 13
+  | Sched_runnable -> 14
 
 type set = t array
 

@@ -65,6 +65,14 @@ type key =
   | Sync_page_wire  (** wire bytes per shipped page record, header included *)
   | Replay_chunk_bytes  (** recording-chunk bytes hashed per streaming verify *)
   | Replay_exec_entries  (** log entries applied per compiled replay *)
+  | Svc_turnaround_us  (** fleet: session turnaround, arrival to outcome (µs) *)
+  | Svc_ttfb_us
+      (** fleet: time-to-first-byte — virtual µs from arrival until the
+          session starts being served or recorded (0 for an immediate cache
+          hit; the coalesce/turnstile wait otherwise) *)
+  | Svc_coalesce_wait_us  (** fleet: time spent waiting on an in-flight recording *)
+  | Svc_turnstile_wait_us  (** fleet: time queued behind the per-key turnstile *)
+  | Sched_runnable  (** fleet: runnable tasks queued at each scheduler switch *)
 
 val key_name : key -> string
 val all_keys : key list

@@ -64,6 +64,15 @@ type key =
   | Client_irq_waits
   | Client_uploads
   | Client_downloads
+  (* recording service (fleet plane) *)
+  | Svc_sessions
+  | Svc_recordings
+  | Svc_cache_hits
+  | Svc_cache_misses
+  | Svc_coalesced
+  | Svc_failures
+  | Svc_evictions
+  | Svc_promotions
 
 let name = function
   | Net_msgs -> "net.msgs"
@@ -123,6 +132,14 @@ let name = function
   | Client_irq_waits -> "client.irq_waits"
   | Client_uploads -> "client.uploads"
   | Client_downloads -> "client.downloads"
+  | Svc_sessions -> "svc.sessions"
+  | Svc_recordings -> "svc.recordings"
+  | Svc_cache_hits -> "svc.cache_hits"
+  | Svc_cache_misses -> "svc.cache_misses"
+  | Svc_coalesced -> "svc.coalesced"
+  | Svc_failures -> "svc.failures"
+  | Svc_evictions -> "svc.evictions"
+  | Svc_promotions -> "svc.promotions"
 
 let all =
   [
@@ -141,13 +158,15 @@ let all =
     Fault_injected;
     Recovery_entries; Recovery_pages; Recovery_link_downs; Client_reg_reads; Client_reg_writes;
     Client_polls; Client_irq_waits; Client_uploads; Client_downloads;
+    Svc_sessions; Svc_recordings; Svc_cache_hits; Svc_cache_misses; Svc_coalesced; Svc_failures;
+    Svc_evictions; Svc_promotions;
   ]
 
 let of_name s = List.find_opt (fun k -> String.equal (name k) s) all
 
 (* Dense ordinal of a key, in declaration order; [n_keys] bounds the cell
    cache below. Kept in lock-step with [name]. *)
-let n_keys = 57
+let n_keys = 65
 
 let index = function
   | Net_msgs -> 0
@@ -207,6 +226,14 @@ let index = function
   | Client_irq_waits -> 54
   | Client_uploads -> 55
   | Client_downloads -> 56
+  | Svc_sessions -> 57
+  | Svc_recordings -> 58
+  | Svc_cache_hits -> 59
+  | Svc_cache_misses -> 60
+  | Svc_coalesced -> 61
+  | Svc_failures -> 62
+  | Svc_evictions -> 63
+  | Svc_promotions -> 64
 
 (* Write-through onto a legacy counter set: the typed spine and the stringly
    world always agree, and [Counters.pp] output is byte-identical to what it

@@ -79,6 +79,21 @@ type key =
   | Client_irq_waits
   | Client_uploads
   | Client_downloads
+  (* recording service (fleet plane) *)
+  | Svc_sessions  (** client sessions admitted by the recording service *)
+  | Svc_recordings  (** recordings completed on behalf of cache misses *)
+  | Svc_cache_hits  (** sessions served straight from the recording cache *)
+  | Svc_cache_misses
+      (** admission decisions that had to record (includes recordings that
+          later failed, and waiters promoted to recorder after a failure —
+          the same count a sequential run would charge as retry misses) *)
+  | Svc_coalesced  (** sessions that waited on an in-flight recording *)
+  | Svc_failures  (** sessions that ended in a failed recording *)
+  | Svc_evictions  (** cache entries evicted to make room *)
+  | Svc_promotions
+      (** coalesced waiters promoted to recorder after the elected
+          recorder failed (multiplexed runs only; sequential runs retry at
+          the next arrival instead, so this reads 0 there) *)
 
 val name : key -> string
 (** Legacy counter name of a key (e.g. [Net_blocking_rtts] ->

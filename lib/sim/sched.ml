@@ -104,6 +104,9 @@ type t = {
   mutable next_id : int;
   mutable yields : int;
   mutable switches : int;
+  mutable on_switch : (int -> unit) option;
+      (* observability hook: called at every context switch with the number
+         of tasks still queued runnable; never advances any clock *)
 }
 
 type cond = { mutable waiters : task list (* newest first *) }
@@ -120,12 +123,15 @@ let create ?backend () =
     next_id = 0;
     yields = 0;
     switches = 0;
+    on_switch = None;
   }
 
 let backend t = t.backend
 let now_ns t = Int64.of_int t.global_ns
 let yields t = t.yields
 let switches t = t.switches
+let runnable t = t.heap.Heap.n
+let set_switch_observer t f = t.on_switch <- f
 
 let task_global task = task.arrival_ns + Clock.now_int task.clock
 
@@ -205,6 +211,7 @@ let run t =
         task.st <- `Running;
         t.running <- Some task;
         t.switches <- t.switches + 1;
+        (match t.on_switch with Some f -> f t.heap.Heap.n | None -> ());
         let status = Sched_backend.resume (Option.get task.coro) in
         t.running <- None;
         (match status with

@@ -71,3 +71,13 @@ val yields : t -> int
 
 val switches : t -> int
 (** Total task resumptions by the run loop. *)
+
+val runnable : t -> int
+(** Tasks currently queued runnable (ready-heap occupancy); excludes the
+    running task and tasks parked on conditions. *)
+
+val set_switch_observer : t -> (int -> unit) option -> unit
+(** Install (or clear) an observability hook called at every context switch
+    with {!runnable} at that instant — the fleet plane samples it into a
+    queue-depth histogram. The hook must not advance clocks or touch the
+    scheduler; [None] (the default) costs one branch per switch. *)

@@ -11,12 +11,16 @@ type payload =
   | Speculate of { site : string; checks : int }
   | Rollback of { site : string; reg : string; predicted : int64; actual : int64 }
   | Replay_live of { replayed : int }
+  | Evict of { label : string; client : int; blob_bytes : int }
+  | Promote of { label : string; client : int }
+  | Rearm of { label : string; client : int }
   | Message of { topic : string; text : string }
 
 let payload_topic = function
   | Degraded _ | Healthy _ | Link_down _ | Retransmit _ | Window_stall _ | Profile_swap _ ->
     "link"
   | Commit _ | Speculate _ | Rollback _ | Replay_live _ -> "shim"
+  | Evict _ | Promote _ | Rearm _ -> "service"
   | Message { topic; _ } -> topic
 
 (* Render the historical detail strings byte-for-byte: the stderr post-
@@ -36,6 +40,12 @@ let render = function
   | Rollback { site; reg; predicted; actual } ->
     Printf.sprintf "rollback site=%s reg=%s predicted=%Lx actual=%Lx" site reg predicted actual
   | Replay_live { replayed } -> Printf.sprintf "replay complete (%d entries); going live" replayed
+  | Evict { label; client; blob_bytes } ->
+    Printf.sprintf "evict label=%s for=client-%d (%d bytes freed)" label client blob_bytes
+  | Promote { label; client } ->
+    Printf.sprintf "promote label=%s client-%d takes over recording" label client
+  | Rearm { label; client } ->
+    Printf.sprintf "rearm label=%s after failed recording by client-%d" label client
   | Message { text; _ } -> text
 
 type event = { at_ns : int64; payload : payload }
@@ -125,6 +135,13 @@ let event_json e =
         ("actual", Json.int64 actual);
       ]
   | Replay_live { replayed } -> base "replay_live" [ ("replayed", Json.int replayed) ]
+  | Evict { label; client; blob_bytes } ->
+    base "evict"
+      [ ("label", Json.Str label); ("client", Json.int client); ("blob_bytes", Json.int blob_bytes) ]
+  | Promote { label; client } ->
+    base "promote" [ ("label", Json.Str label); ("client", Json.int client) ]
+  | Rearm { label; client } ->
+    base "rearm" [ ("label", Json.Str label); ("client", Json.int client) ]
   | Message { text; _ } -> base "message" [ ("text", Json.Str text) ]
 
 let to_jsonl t =

@@ -22,11 +22,20 @@ type payload =
   | Rollback of { site : string; reg : string; predicted : int64; actual : int64 }
   | Replay_live of { replayed : int }
       (** recovery prefix exhausted; the shim went live again *)
+  | Evict of { label : string; client : int; blob_bytes : int }
+      (** recording-service cache eviction while admitting [client] *)
+  | Promote of { label : string; client : int }
+      (** a coalesced waiter took over recording after the elected recorder
+          failed *)
+  | Rearm of { label : string; client : int }
+      (** a failed recording left the entry blank; the next arrival (or
+          promoted waiter) re-records *)
   | Message of { topic : string; text : string }  (** free-form escape hatch *)
 
 val payload_topic : payload -> string
 (** The grouping topic: ["link"] for link events, ["shim"] for recorder
-    events, the embedded topic for [Message]. *)
+    events, ["service"] for recording-service events, the embedded topic
+    for [Message]. *)
 
 val render : payload -> string
 (** The historical detail string (e.g.

@@ -13,6 +13,13 @@ type category =
   | Replay_compile
   | Replay_verify
   | Replay_execute
+  | Svc_cache_lookup
+  | Svc_coalesce_wait
+  | Svc_turnstile_wait
+  | Svc_record
+  | Svc_serve_cached
+  | Svc_evict
+  | Svc_promotion
 
 let category_name = function
   | Establish -> "establish"
@@ -27,11 +34,20 @@ let category_name = function
   | Replay_compile -> "replay-compile"
   | Replay_verify -> "replay-verify"
   | Replay_execute -> "replay-execute"
+  | Svc_cache_lookup -> "svc-cache-lookup"
+  | Svc_coalesce_wait -> "svc-coalesce-wait"
+  | Svc_turnstile_wait -> "svc-turnstile-wait"
+  | Svc_record -> "svc-record"
+  | Svc_serve_cached -> "svc-serve-cached"
+  | Svc_evict -> "svc-evict"
+  | Svc_promotion -> "svc-waiter-promotion"
 
 let all_categories =
   [
     Establish; Boot; Commit; Validate_speculation; Rollback_recovery; Poll_offload;
     Memsync_down; Memsync_up; Link_exchange; Replay_compile; Replay_verify; Replay_execute;
+    Svc_cache_lookup; Svc_coalesce_wait; Svc_turnstile_wait; Svc_record; Svc_serve_cached;
+    Svc_evict; Svc_promotion;
   ]
 
 type span = {
@@ -177,41 +193,92 @@ let summary t =
 
 let ts_us ns = Int64.to_float ns /. 1e3
 
-let event_json ~ph ~name ~cat ~ts ~args =
+let event_json ?(pid = 1) ?(tid = 1) ~ph ~name ~cat ~ts ~args () =
   let base =
     [
       ("name", Json.Str name);
       ("cat", Json.Str (category_name cat));
       ("ph", Json.Str ph);
       ("ts", Json.Num ts);
-      ("pid", Json.int 1);
-      ("tid", Json.int 1);
+      ("pid", Json.int pid);
+      ("tid", Json.int tid);
     ]
   in
   let base = if ph = "i" then base @ [ ("s", Json.Str "t") ] else base in
   if args = [] then Json.Obj base
   else Json.Obj (base @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)) ])
 
-let to_chrome_json t =
+(* One tracer's B/E/i stream in seq order (well-nested by construction),
+   timestamps shifted by [offset_ns] and stamped with [pid]/[tid]. *)
+let track_events ?pid ?tid ?(offset_ns = 0L) t =
+  let shift ns = ts_us (Int64.add offset_ns ns) in
   let events =
     List.concat_map
       (fun { c_span = sp; c_open_seq; c_close_seq } ->
         [
           ( c_open_seq,
-            event_json ~ph:"B" ~name:sp.sp_name ~cat:sp.sp_cat ~ts:(ts_us sp.sp_start_ns)
-              ~args:sp.sp_args );
+            event_json ?pid ?tid ~ph:"B" ~name:sp.sp_name ~cat:sp.sp_cat
+              ~ts:(shift sp.sp_start_ns) ~args:sp.sp_args () );
           ( c_close_seq,
-            event_json ~ph:"E" ~name:sp.sp_name ~cat:sp.sp_cat ~ts:(ts_us sp.sp_stop_ns) ~args:[]
-          );
+            event_json ?pid ?tid ~ph:"E" ~name:sp.sp_name ~cat:sp.sp_cat
+              ~ts:(shift sp.sp_stop_ns) ~args:[] () );
         ])
       t.closed
     @ List.map
         (fun m ->
-          (m.m_seq, event_json ~ph:"i" ~name:m.m_name ~cat:m.m_cat ~ts:(ts_us m.m_at) ~args:m.m_args))
+          ( m.m_seq,
+            event_json ?pid ?tid ~ph:"i" ~name:m.m_name ~cat:m.m_cat ~ts:(shift m.m_at)
+              ~args:m.m_args () ))
         t.markers
   in
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) events in
-  Json.to_string (Json.Arr (List.map snd sorted))
+  List.map snd sorted
+
+let to_chrome_json t = Json.to_string (Json.Arr (track_events t))
+
+(* ---- Multi-track export (fleet runs) ---- *)
+
+type track = {
+  track_tid : int;
+  track_name : string;
+  track_offset_ns : int64;
+  track_tracer : t;
+}
+
+let meta_event ~name ~pid ~tid ~value =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.int pid);
+      ("tid", Json.int tid);
+      ("args", Json.Obj [ ("name", Json.Str value) ]);
+    ]
+
+let tracks_chrome_json ?(process_name = "grt-fleet") tracks =
+  let pid = 1 in
+  (* One thread_name metadata per distinct tid; a tid registered twice keeps
+     its first name (a promoted waiter's record tracer rides the same track
+     as its serve tracer). *)
+  let seen = Hashtbl.create 64 in
+  let names =
+    List.filter_map
+      (fun tr ->
+        if Hashtbl.mem seen tr.track_tid then None
+        else begin
+          Hashtbl.add seen tr.track_tid ();
+          Some (meta_event ~name:"thread_name" ~pid ~tid:tr.track_tid ~value:tr.track_name)
+        end)
+      tracks
+  in
+  let events =
+    List.concat_map
+      (fun tr ->
+        track_events ~pid ~tid:tr.track_tid ~offset_ns:tr.track_offset_ns tr.track_tracer)
+      tracks
+  in
+  Json.to_string
+    (Json.Arr ((meta_event ~name:"process_name" ~pid ~tid:0 ~value:process_name :: names) @ events))
 
 let seconds ns = Int64.to_float ns *. 1e-9
 

@@ -29,6 +29,13 @@ type category =
   | Replay_compile  (** lowering a recording into a replay program *)
   | Replay_verify  (** streaming chunk-hash check before execution *)
   | Replay_execute  (** feeding a compiled replay program to the GPU *)
+  | Svc_cache_lookup  (** recording-service cache decision at admission *)
+  | Svc_coalesce_wait  (** waiting on an in-flight recording for the same key *)
+  | Svc_turnstile_wait  (** queued behind the per-key recording turnstile *)
+  | Svc_record  (** service-driven record of a cache miss *)
+  | Svc_serve_cached  (** pushing a cached blob to a client *)
+  | Svc_evict  (** LRU eviction making room in the recording cache *)
+  | Svc_promotion  (** a coalesced waiter promoted to recorder after a failure *)
 
 val category_name : category -> string
 (** Stable kebab-case name (e.g. ["validate-speculation"]); used as the
@@ -86,6 +93,29 @@ val to_chrome_json : t -> string
     (in well-nested emission order) plus ["i"] instants. Timestamps are
     virtual microseconds. Spans still open are omitted, so the stream stays
     balanced. *)
+
+(** {2 Multi-track export}
+
+    A fleet run owns many tracers — one per client session (each over its
+    own session-local clock) plus one for the service itself. A {!track}
+    places one tracer on a Perfetto thread lane: [track_tid] is the lane,
+    [track_offset_ns] shifts the tracer's session-local timestamps onto the
+    fleet-global timeline (a session that arrived at t=5ms has offset
+    5_000_000). Several tracks may share a [track_tid]: a promoted waiter's
+    record-phase tracer renders on the same lane as its serve-phase tracer. *)
+
+type track = {
+  track_tid : int;
+  track_name : string;  (** Perfetto lane label, e.g. ["client-17"] *)
+  track_offset_ns : int64;
+  track_tracer : t;
+}
+
+val tracks_chrome_json : ?process_name:string -> track list -> string
+(** Chrome trace-event JSON for a whole fleet: [process_name] /
+    [thread_name] metadata events followed by every track's balanced
+    ["B"]/["E"]/["i"] stream stamped with its [track_tid] and shifted onto
+    global time. Load in Perfetto: one named lane per session. *)
 
 val summary_json : t -> Grt_util.Json.t
 (** [{"<category>": {"total_s":..,"self_s":..,"spans":..}, ...}] *)

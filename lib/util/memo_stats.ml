@@ -1,0 +1,93 @@
+type t = {
+  ms_name : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable mismatches : int;
+  mutable evictions : int;
+  mutable resident : int;
+  mutable resident_bytes : int;
+}
+
+(* A handful of memos per process; an assoc list keeps registration
+   allocation-free after startup and [all] trivially stable. *)
+let registry : t list ref = ref []
+
+let register name =
+  match List.find_opt (fun t -> String.equal t.ms_name name) !registry with
+  | Some t -> t
+  | None ->
+    let t =
+      {
+        ms_name = name;
+        hits = 0;
+        misses = 0;
+        mismatches = 0;
+        evictions = 0;
+        resident = 0;
+        resident_bytes = 0;
+      }
+    in
+    registry := t :: !registry;
+    t
+
+let name t = t.ms_name
+let hit t = t.hits <- t.hits + 1
+let miss t = t.misses <- t.misses + 1
+let mismatch t = t.mismatches <- t.mismatches + 1
+
+let evicted t ~entries =
+  t.evictions <- t.evictions + entries;
+  t.resident <- 0;
+  t.resident_bytes <- 0
+
+let added t ~bytes =
+  t.resident <- t.resident + 1;
+  t.resident_bytes <- t.resident_bytes + bytes
+
+let replaced t ~old_bytes ~bytes =
+  t.resident_bytes <- t.resident_bytes - old_bytes + bytes
+
+type snap = {
+  s_hits : int;
+  s_misses : int;
+  s_mismatches : int;
+  s_evictions : int;
+  s_resident : int;
+  s_resident_bytes : int;
+}
+
+let snapshot t =
+  {
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_mismatches = t.mismatches;
+    s_evictions = t.evictions;
+    s_resident = t.resident;
+    s_resident_bytes = t.resident_bytes;
+  }
+
+let all () =
+  List.sort (fun a b -> compare a.ms_name b.ms_name) !registry
+
+let reset_counters () =
+  List.iter
+    (fun t ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.mismatches <- 0;
+      t.evictions <- 0)
+    !registry
+
+let snap_json s =
+  Json.Obj
+    [
+      ("hits", Json.int s.s_hits);
+      ("misses", Json.int s.s_misses);
+      ("mismatches", Json.int s.s_mismatches);
+      ("evictions", Json.int s.s_evictions);
+      ("resident", Json.int s.s_resident);
+      ("resident_bytes", Json.int s.s_resident_bytes);
+    ]
+
+let to_json () =
+  Json.Obj (List.map (fun t -> (t.ms_name, snap_json (snapshot t))) (all ()))

@@ -154,14 +154,38 @@ let encode_raw data =
   Bit_writer.flush bw;
   Byte_buf.contents out
 
+let encode_stats = Memo_stats.register "rc.encode"
+let decode_stats = Memo_stats.register "rc.decode"
+
+(* Shared miss path for both memo tables: profile the recompute, account
+   the resident footprint (input + output bytes), reset at capacity. *)
+let memo_insert stats tbl key ~input ~output ~prior =
+  Memo_stats.miss stats;
+  (match prior with
+  | None -> ()
+  | Some (old_in, old_out) ->
+    Memo_stats.mismatch stats;
+    Memo_stats.replaced stats
+      ~old_bytes:(Bytes.length old_in + Bytes.length old_out)
+      ~bytes:(Bytes.length input + Bytes.length output));
+  if Hashtbl.length tbl >= memo_limit then begin
+    Memo_stats.evicted stats ~entries:(Hashtbl.length tbl);
+    Hashtbl.reset tbl
+  end;
+  if not (Hashtbl.mem tbl key) then
+    Memo_stats.added stats ~bytes:(Bytes.length input + Bytes.length output);
+  Hashtbl.replace tbl key (input, output)
+
 let encode data =
   let key = content_key data in
   match Hashtbl.find_opt memo key with
-  | Some (input, coded) when Bytes.equal input data -> Bytes.copy coded
-  | _ ->
+  | Some (input, coded) when Bytes.equal input data ->
+    Memo_stats.hit encode_stats;
+    Bytes.copy coded
+  | prior ->
     let coded = encode_raw data in
-    if Hashtbl.length memo >= memo_limit then Hashtbl.reset memo;
-    Hashtbl.replace memo key (Bytes.copy data, coded);
+    memo_insert encode_stats memo key ~input:(Bytes.copy data) ~output:coded
+      ~prior;
     Bytes.copy coded
 
 let decode_raw blob =
@@ -216,11 +240,13 @@ let decode_memo : (int, bytes * bytes) Hashtbl.t = Hashtbl.create 256
 let decode blob =
   let key = content_key blob in
   match Hashtbl.find_opt decode_memo key with
-  | Some (input, data) when Bytes.equal input blob -> Bytes.copy data
-  | _ ->
+  | Some (input, data) when Bytes.equal input blob ->
+    Memo_stats.hit decode_stats;
+    Bytes.copy data
+  | prior ->
     let data = decode_raw blob in
-    if Hashtbl.length decode_memo >= memo_limit then Hashtbl.reset decode_memo;
-    Hashtbl.replace decode_memo key (Bytes.copy blob, data);
+    memo_insert decode_stats decode_memo key ~input:(Bytes.copy blob)
+      ~output:data ~prior;
     Bytes.copy data
 
 let ratio data =

@@ -325,6 +325,198 @@ let report_timeline_renders () =
       if not (contains ~needle text) then Alcotest.failf "timeline lacks %S:\n%s" needle text)
     [ "session: MNIST"; "phases"; "distributions" ]
 
+(* ---- Multi-track Chrome export: fleet timelines ---- *)
+
+let tracer_multi_track () =
+  let mk advance =
+    let clock = Clock.create () in
+    let tr = Tracer.create clock in
+    Tracer.with_span tr ~cat:Tracer.Boot ~name:"boot" (fun () -> Clock.advance_s clock advance);
+    Tracer.instant tr ~cat:Tracer.Commit "mark";
+    tr
+  in
+  let track tid name offset_ns tr =
+    { Tracer.track_tid = tid; track_name = name; track_offset_ns = offset_ns; track_tracer = tr }
+  in
+  let tracks =
+    [
+      track 0 "service" 0L (mk 0.001);
+      track 1 "client-0" 5_000_000L (mk 0.002);
+      track 2 "client-1" 9_000_000L (mk 0.002);
+      (* a promoted waiter re-registers its client's lane: first name wins *)
+      track 1 "client-0-dup" 5_000_000L (mk 0.001);
+    ]
+  in
+  match Json.parse (Tracer.tracks_chrome_json tracks) with
+  | Error e -> Alcotest.failf "multi-track export is not valid JSON: %s" e
+  | Ok (Json.Arr events) ->
+    let str field ev =
+      match Json.member field ev with Some (Json.Str s) -> s | _ -> "?"
+    in
+    let inum field ev =
+      match Json.member field ev with Some (Json.Num n) -> int_of_float n | _ -> -1
+    in
+    let metas, spans = List.partition (fun ev -> str "ph" ev = "M") events in
+    check Alcotest.int "process_name + one thread_name per distinct tid" 4 (List.length metas);
+    let thread_name tid =
+      List.filter_map
+        (fun ev ->
+          if str "name" ev = "thread_name" && inum "tid" ev = tid then
+            match Json.member "args" ev with Some a -> Some (str "name" a) | None -> None
+          else None)
+        metas
+    in
+    check Alcotest.(list string) "first registration names the lane" [ "client-0" ] (thread_name 1);
+    (* per-tid streams are balanced and shifted by the track offset (µs) *)
+    List.iter
+      (fun (tid, offset_us) ->
+        let evs = List.filter (fun ev -> inum "tid" ev = tid) spans in
+        let bs = List.filter (fun ev -> str "ph" ev = "B") evs in
+        let es = List.filter (fun ev -> str "ph" ev = "E") evs in
+        check Alcotest.int (Printf.sprintf "tid %d balanced" tid) (List.length bs)
+          (List.length es);
+        List.iter
+          (fun ev ->
+            if inum "ts" ev < offset_us then
+              Alcotest.failf "tid %d event at ts=%d before its offset %d" tid (inum "ts" ev)
+                offset_us)
+          evs)
+      [ (0, 0); (1, 5_000); (2, 9_000) ]
+  | Ok _ -> Alcotest.fail "multi-track export is not a JSON array"
+
+(* ---- Memo-cache profiling registry ---- *)
+
+let memo_stats_registry () =
+  let module M = Grt_util.Memo_stats in
+  let m = M.register "test.memo" in
+  check Alcotest.bool "register is idempotent" true (M.register "test.memo" == m);
+  M.reset_counters ();
+  M.miss m;
+  M.added m ~bytes:100;
+  M.hit m;
+  M.hit m;
+  M.miss m;
+  M.mismatch m;
+  M.replaced m ~old_bytes:100 ~bytes:60;
+  let s = M.snapshot m in
+  check Alcotest.int "hits" 2 s.M.s_hits;
+  check Alcotest.int "misses" 2 s.M.s_misses;
+  check Alcotest.int "mismatches" 1 s.M.s_mismatches;
+  check Alcotest.int "resident entries" 1 s.M.s_resident;
+  check Alcotest.int "resident bytes track replacement" 60 s.M.s_resident_bytes;
+  M.evicted m ~entries:1;
+  let s = M.snapshot m in
+  check Alcotest.int "evictions" 1 s.M.s_evictions;
+  check Alcotest.int "eviction zeroes the gauge" 0 s.M.s_resident;
+  (match M.snap_json s with
+  | Json.Obj fields ->
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k fields) then Alcotest.failf "snap_json lacks %S" k)
+      [ "hits"; "misses"; "mismatches"; "evictions"; "resident"; "resident_bytes" ]
+  | _ -> Alcotest.fail "snap_json is not an object");
+  (* the real hot-path memos report through the registry: a repeated encode
+     is a hit on rc.encode *)
+  M.reset_counters ();
+  let page = Bytes.make 4096 'x' in
+  Bytes.set page 17 'y';
+  ignore (Grt_util.Range_coder.encode page);
+  ignore (Grt_util.Range_coder.encode page);
+  let rc =
+    match List.find_opt (fun c -> M.name c = "rc.encode") (M.all ()) with
+    | Some c -> M.snapshot c
+    | None -> Alcotest.fail "rc.encode never registered"
+  in
+  check Alcotest.bool "second encode hits the memo" true (rc.M.s_hits >= 1)
+
+(* ---- Fleet reports: round trip, rendering, version skew ---- *)
+
+let tiny_fleet =
+  lazy
+    (let options =
+       {
+         Grt.Service.default_fleet with
+         Grt.Service.clients = 12;
+         mean_interarrival_s = 0.2;
+         fault_fraction = 0.;
+         degraded_fraction = 0.;
+       }
+     in
+     E.fleet ~options ~observe:true ())
+
+let fleet_report_of (row, svc) =
+  Grt.Report.of_fleet ~fleet:(E.fleet_row_json row) ~stats:(Grt.Service.stats svc)
+    ~memo:(Grt_util.Memo_stats.to_json ())
+    ~observation:(Grt.Service.observation svc) ()
+
+let fleet_report_roundtrip () =
+  let report = fleet_report_of (Lazy.force tiny_fleet) in
+  (match Grt.Report.validate_fleet report with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "in-memory fleet report invalid: %s" e);
+  match Json.parse (Json.to_string report) with
+  | Error e -> Alcotest.failf "fleet report does not reparse: %s" e
+  | Ok back -> (
+    check Alcotest.bool "reparse is exact" true (back = report);
+    match Grt.Report.validate_fleet back with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "reparsed fleet report invalid: %s" e)
+
+let fleet_report_renders () =
+  let text = Format.asprintf "%a" Grt.Report.pp_fleet (fleet_report_of (Lazy.force tiny_fleet)) in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle text) then Alcotest.failf "fleet view lacks %S:\n%s" needle text)
+    [ "hit rate"; "SLO rollup"; "turnaround_us"; "hottest keys"; "memo caches" ];
+  (* an unobserved report renders the absent sections as n/a *)
+  let _, svc = Lazy.force tiny_fleet in
+  let bare =
+    Grt.Report.of_fleet
+      ~fleet:(Json.Obj [ ("label", Json.Str "x"); ("clients", Json.int 0) ])
+      ~stats:(Grt.Service.stats svc) ~observation:None ()
+  in
+  (match Grt.Report.validate_fleet bare with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unobserved fleet report invalid: %s" e);
+  let text = Format.asprintf "%a" Grt.Report.pp_fleet bare in
+  if not (contains ~needle:"SLO rollup: n/a" text) then
+    Alcotest.failf "unobserved fleet view lacks the n/a fallback:\n%s" text
+
+let report_version_skew () =
+  (* a future writer's report: right schema, newer version, sections we
+     don't know about — the display path must tolerate it *)
+  let future =
+    Json.Obj
+      [
+        ("schema", Json.Str Grt.Report.schema);
+        ("version", Json.int 2);
+        ("exotic_new_section", Json.Arr [ Json.int 1 ]);
+      ]
+  in
+  (match Grt.Report.validate future with
+  | Ok () -> Alcotest.fail "strict validate accepted a future version"
+  | Error _ -> ());
+  (match Grt.Report.validate_lenient future with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "lenient validate rejected version skew: %s" e);
+  let text = Format.asprintf "%a" Grt.Report.pp_timeline future in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle text) then
+        Alcotest.failf "skewed timeline lacks %S:\n%s" needle text)
+    [ "session: n/a"; "summary: n/a" ];
+  (* leniency does not mean anything goes *)
+  (match Grt.Report.validate_lenient (Json.Obj [ ("schema", Json.Str "nope") ]) with
+  | Ok () -> Alcotest.fail "lenient validate accepted a foreign schema"
+  | Error _ -> ());
+  match
+    Grt.Report.validate_lenient
+      (Json.Obj [ ("schema", Json.Str Grt.Report.schema); ("version", Json.int 2);
+                  ("summary", Json.Str "not an object") ])
+  with
+  | Ok () -> Alcotest.fail "lenient validate accepted a malformed present section"
+  | Error _ -> ()
+
 (* ---- Bench-row JSON mirrors the printed values ---- *)
 
 let num j k = match Json.member k j with Some (Json.Num n) -> n | _ -> nan
@@ -412,6 +604,14 @@ let () =
           Alcotest.test_case "report round-trips and validates" `Quick report_roundtrip_validates;
           Alcotest.test_case "validation rejects malformed reports" `Quick report_validate_rejects;
           Alcotest.test_case "timeline renders" `Quick report_timeline_renders;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "multi-track chrome export" `Quick tracer_multi_track;
+          Alcotest.test_case "memo-stats registry" `Quick memo_stats_registry;
+          Alcotest.test_case "fleet report round-trips and validates" `Quick fleet_report_roundtrip;
+          Alcotest.test_case "fleet report renders (observed + n/a)" `Quick fleet_report_renders;
+          Alcotest.test_case "version skew tolerated leniently" `Quick report_version_skew;
         ] );
       ( "bench-json",
         [

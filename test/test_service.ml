@@ -376,6 +376,51 @@ let failed_recording_retries backend () =
   | Some b1, Some b2 -> check Alcotest.bool "retry blob identical" true (Bytes.equal b1 b2)
   | _ -> Alcotest.fail "expected the second client to record in both modes"
 
+(* ---- the observability plane is write-only: same outcomes, same blobs,
+   same per-session counters with observe on or off, in both execution
+   modes — and the observed run actually collects tracks and samples. ---- *)
+
+let observation_write_only backend () =
+  let specs =
+    [
+      spec ~id:0 ~profile:lossy ~at_ms:0 ();
+      spec ~id:1 ~at_ms:1 ();
+      spec ~id:2 ~at_ms:2 ();
+      spec ~id:3 ~net:Zoo.alexnet ~at_ms:5 ();
+    ]
+  in
+  let go ~sequential ~observe =
+    let svc = Service.create ~cache_capacity:1 () in
+    let reports, _ = Service.run ~backend ~sequential ~observe svc specs in
+    (List.map normalized reports, svc)
+  in
+  List.iter
+    (fun sequential ->
+      let mode = if sequential then "seq" else "mux" in
+      let off, svc_off = go ~sequential ~observe:false in
+      let on, svc_on = go ~sequential ~observe:true in
+      check Alcotest.bool (mode ^ ": observe changes no outcome/blob/counter") true (on = off);
+      check Alcotest.bool (mode ^ ": unobserved run has no observation") true
+        (Service.observation svc_off = None);
+      check Alcotest.int (mode ^ ": unobserved run has no tracks") 0
+        (List.length (Service.fleet_tracks svc_off));
+      (match Service.observation svc_on with
+      | None -> Alcotest.fail (mode ^ ": observed run carries an observation")
+      | Some obs ->
+        check Alcotest.int
+          (mode ^ ": turnaround sampled once per session")
+          (List.length specs)
+          (Grt_sim.Hist.count (Grt_sim.Hist.get obs.Service.obs_hists Grt_sim.Hist.Svc_turnaround_us));
+        check Alcotest.int
+          (mode ^ ": ttfb sampled once per session")
+          (List.length specs)
+          (Grt_sim.Hist.count (Grt_sim.Hist.get obs.Service.obs_hists Grt_sim.Hist.Svc_ttfb_us)));
+      (* service plane + one track per session (a promoted waiter may add
+         a second lane for its client) *)
+      check Alcotest.bool (mode ^ ": service + per-session tracks") true
+        (List.length (Service.fleet_tracks svc_on) >= 1 + List.length specs))
+    [ true; false ]
+
 (* ---- fleet generation ---- *)
 
 let fleet_generation () =
@@ -440,4 +485,5 @@ let () =
         @ backend_cases "failed recording promotes a waiter" failed_recording_retries );
       ( "determinism",
         [ interleaving_deterministic; Alcotest.test_case "fleet generation" `Quick fleet_generation ] );
+      ("observability", backend_cases "observation is write-only" observation_write_only);
     ]
