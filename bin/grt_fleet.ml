@@ -46,6 +46,15 @@ let backend_arg =
     & opt (some (enum [ ("effects", `Effects); ("threads", `Threads) ])) None
     & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
+let domains_arg =
+  let doc =
+    "Shard the fleet by share group across $(docv) OCaml domains, one \
+     virtual-time scheduler per shard (outcomes, blobs and svc.* totals \
+     are identical at any domain count). 1 = single scheduler; on OCaml \
+     4.14 shards run serially."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let json_arg =
   let doc = "Write the fleet row and cache listing as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
@@ -106,8 +115,10 @@ let write_json path json =
   output_string oc "\n";
   close_out oc
 
-let run clients zipf cache_cap seed interarrival sequential backend json_file
-    cache_out list_cache report_file trace_out =
+let run clients zipf cache_cap seed interarrival sequential backend domains
+    json_file cache_out list_cache report_file trace_out =
+  if domains < 1 then `Error (false, "--domains must be >= 1")
+  else
   let options =
     {
       Service.default_fleet with
@@ -120,7 +131,7 @@ let run clients zipf cache_cap seed interarrival sequential backend json_file
   let observe = report_file <> None || trace_out <> None in
   let row, svc =
     E.fleet ~options ?backend ~sequential ~observe ~cache_capacity:cache_cap
-      ~now:Unix.gettimeofday ()
+      ~domains ~now:Unix.gettimeofday ~wall:Unix.gettimeofday ()
   in
   Printf.printf "fleet: %d clients, Zipf(%.2f) over %d NNs x %d SKUs (%s)\n"
     row.E.fleet_clients zipf
@@ -142,9 +153,22 @@ let run clients zipf cache_cap seed interarrival sequential backend json_file
     row.E.fleet_sync_wire_mb row.E.fleet_blocking_rtts;
   Printf.printf "  cross-session   %6d spec-history hits, %d shared-store page hits\n"
     row.E.spec_cross_hits row.E.sync_cross_hits;
-  if not sequential then
+  if not sequential then begin
     Printf.printf "  scheduler       %6d yields, %d switches\n" row.E.fleet_yields
       row.E.fleet_switches;
+    if row.E.fleet_domains > 1 then begin
+      Printf.printf "  domains         %6d requested (%s), %.1f sessions/s wall\n"
+        row.E.fleet_domains
+        (if row.E.fleet_parallel then "parallel" else "serial fallback")
+        row.E.wall_sessions_per_s;
+      List.iter
+        (fun (s : Service.shard_stat) ->
+          Printf.printf "    shard %d: %d groups, %d clients, %d yields, %d switches\n"
+            s.Service.shard_index s.Service.shard_groups s.Service.shard_clients
+            s.Service.shard_yields s.Service.shard_switches)
+        row.E.fleet_shards
+    end
+  end;
   let listing = Service.cache_listing svc in
   if list_cache then begin
     Printf.printf "\ncache contents (%d keys):\n" (List.length listing);
@@ -199,7 +223,8 @@ let cmd =
     Term.(
       ret
         (const run $ clients_arg $ zipf_arg $ cache_cap_arg $ seed_arg
-       $ interarrival_arg $ sequential_arg $ backend_arg $ json_arg
-       $ cache_out_arg $ list_cache_arg $ report_arg $ trace_out_arg))
+       $ interarrival_arg $ sequential_arg $ backend_arg $ domains_arg
+       $ json_arg $ cache_out_arg $ list_cache_arg $ report_arg
+       $ trace_out_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -709,7 +709,7 @@ let replay_bench ?(nets = Zoo.all) ?(iters = 3) ctx =
    host cost and scheduler stats. *)
 
 type fleet_row = {
-  fleet_label : string;  (* "sequential" or "multiplexed/<backend>" *)
+  fleet_label : string;  (* "sequential", "multiplexed/<backend>", "parallel/<backend>/d<N>" *)
   fleet_clients : int;
   distinct_keys : int;
   fleet_recordings : int;
@@ -720,6 +720,8 @@ type fleet_row = {
   fleet_hit_rate : float;
   host_s : float;
   sessions_per_s : float;  (* clients / host_s *)
+  host_wall_s : float;  (* elapsed host time, outside the virtual timeline *)
+  wall_sessions_per_s : float;  (* clients / host_wall_s — the scaling metric *)
   virtual_s : float;  (* fleet-wide virtual-time span *)
   mean_turnaround_s : float;
   p95_turnaround_s : float;
@@ -729,6 +731,9 @@ type fleet_row = {
   sync_cross_hits : int;  (* pages served from the shared content store *)
   fleet_yields : int;  (* 0 for sequential *)
   fleet_switches : int;
+  fleet_domains : int;  (* domains requested *)
+  fleet_parallel : bool;  (* shards actually ran on separate domains *)
+  fleet_shards : Service.shard_stat list;
 }
 
 let percentile sorted p =
@@ -737,11 +742,15 @@ let percentile sorted p =
   | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
 
 let fleet ?(options = Service.default_fleet) ?backend ?(sequential = false)
-    ?(observe = false) ?(cache_capacity = 0) ?(now = Sys.time) () =
+    ?(observe = false) ?(cache_capacity = 0) ?(domains = 1) ?(now = Sys.time)
+    ?wall () =
+  let wall = match wall with Some w -> w | None -> now in
   let specs = Service.zipf_fleet options in
   let svc = Service.create ~cache_capacity () in
   let t0 = now () in
-  let reports, sched = Service.run ?backend ~sequential ~observe svc specs in
+  let w0 = wall () in
+  let reports, rs = Service.run ?backend ~sequential ~observe ~domains svc specs in
+  let host_wall_s = Float.max (wall () -. w0) 1e-9 in
   let host_s = Float.max (now () -. t0) 1e-9 in
   let st = Service.stats svc in
   let agg = Service.aggregate svc reports in
@@ -755,27 +764,16 @@ let fleet ?(options = Service.default_fleet) ?backend ?(sequential = false)
     | 0 -> 0.
     | n -> Array.fold_left ( +. ) 0. turnarounds /. float_of_int n
   in
-  let virtual_s =
-    match sched with
-    | Some s -> Int64.to_float (Grt_sim.Sched.now_ns s) /. 1e9
-    | None ->
-        List.fold_left
-          (fun acc (r : Service.session_report) ->
-            Float.max acc
-              (Int64.to_float r.Service.spec.Service.arrival_ns /. 1e9
-              +. r.Service.turnaround_s))
-          0. reports
-  in
   let row =
     {
       fleet_label =
-        (if sequential then "sequential"
-         else
-           "multiplexed/"
-           ^ Grt_sim.Sched.backend_name
-               (match sched with
-               | Some s -> Grt_sim.Sched.backend s
-               | None -> Grt_sim.Sched.default_backend));
+        (match (rs.Service.rs_mode, rs.Service.rs_backend) with
+        | "sequential", _ -> "sequential"
+        | mode, backend ->
+          let b = Option.value ~default:"?" backend in
+          if rs.Service.rs_domains > 1 then
+            Printf.sprintf "%s/%s/d%d" mode b rs.Service.rs_domains
+          else mode ^ "/" ^ b);
       fleet_clients = st.Service.sessions;
       distinct_keys = List.length (Service.cache_listing svc);
       fleet_recordings = st.Service.recordings;
@@ -786,7 +784,9 @@ let fleet ?(options = Service.default_fleet) ?backend ?(sequential = false)
       fleet_hit_rate = Service.hit_rate st;
       host_s;
       sessions_per_s = float_of_int st.Service.sessions /. host_s;
-      virtual_s;
+      host_wall_s;
+      wall_sessions_per_s = float_of_int st.Service.sessions /. host_wall_s;
+      virtual_s = Int64.to_float rs.Service.rs_virtual_ns /. 1e9;
       mean_turnaround_s;
       p95_turnaround_s = percentile turnarounds 0.95;
       fleet_sync_wire_mb =
@@ -797,9 +797,11 @@ let fleet ?(options = Service.default_fleet) ?backend ?(sequential = false)
       fleet_blocking_rtts = g Grt_sim.Metrics.Net_blocking_rtts;
       spec_cross_hits = g Grt_sim.Metrics.Spec_cross_hits;
       sync_cross_hits = g Grt_sim.Metrics.Sync_cross_hits;
-      fleet_yields = (match sched with Some s -> Grt_sim.Sched.yields s | None -> 0);
-      fleet_switches =
-        (match sched with Some s -> Grt_sim.Sched.switches s | None -> 0);
+      fleet_yields = rs.Service.rs_yields;
+      fleet_switches = rs.Service.rs_switches;
+      fleet_domains = rs.Service.rs_domains;
+      fleet_parallel = rs.Service.rs_parallel;
+      fleet_shards = rs.Service.rs_shards;
     }
   in
   (row, svc)
@@ -1079,6 +1081,8 @@ let fleet_row_json (r : fleet_row) =
       ("hit_rate", Json.float r.fleet_hit_rate);
       ("host_s", Json.float r.host_s);
       ("sessions_per_s", Json.float r.sessions_per_s);
+      ("host_wall_s", Json.float r.host_wall_s);
+      ("wall_sessions_per_s", Json.float r.wall_sessions_per_s);
       ("virtual_s", Json.float r.virtual_s);
       ("mean_turnaround_s", Json.float r.mean_turnaround_s);
       ("p95_turnaround_s", Json.float r.p95_turnaround_s);
@@ -1088,6 +1092,21 @@ let fleet_row_json (r : fleet_row) =
       ("sync_cross_hits", Json.int r.sync_cross_hits);
       ("yields", Json.int r.fleet_yields);
       ("switches", Json.int r.fleet_switches);
+      ("domains", Json.int r.fleet_domains);
+      ("parallel", Json.Bool r.fleet_parallel);
+      ( "shards",
+        Json.Arr
+          (List.map
+             (fun (s : Service.shard_stat) ->
+               Json.Obj
+                 [
+                   ("index", Json.int s.Service.shard_index);
+                   ("groups", Json.int s.Service.shard_groups);
+                   ("clients", Json.int s.Service.shard_clients);
+                   ("yields", Json.int s.Service.shard_yields);
+                   ("switches", Json.int s.Service.shard_switches);
+                 ])
+             r.fleet_shards) );
     ]
 
 let speed_row_json (r : speed_row) =

@@ -172,7 +172,9 @@ val memsync_workload : ctx -> net:Grt_mlfw.Network.t -> memsync_workload_row lis
     sequential rows agree on every semantic column (recordings, hit rate,
     wire traffic) and differ only in host cost and scheduler stats. *)
 type fleet_row = {
-  fleet_label : string;  (** ["sequential"] or ["multiplexed/<backend>"] *)
+  fleet_label : string;
+      (** ["sequential"], ["multiplexed/<backend>"] or
+          ["parallel/<backend>/d<N>"] *)
   fleet_clients : int;
   distinct_keys : int;  (** distinct cache keys the population hit *)
   fleet_recordings : int;
@@ -183,6 +185,12 @@ type fleet_row = {
   fleet_hit_rate : float;  (** (hits + coalesced) / sessions *)
   host_s : float;
   sessions_per_s : float;  (** clients / host_s *)
+  host_wall_s : float;
+      (** elapsed host seconds over the whole run, measured outside the
+          virtual timeline — with [domains > 1] on a multicore host this
+          drops below [host_s] (CPU seconds keep being spent on every
+          domain) *)
+  wall_sessions_per_s : float;  (** clients / host_wall_s — the scaling metric *)
   virtual_s : float;  (** fleet-wide virtual-time span *)
   mean_turnaround_s : float;
   p95_turnaround_s : float;
@@ -192,6 +200,9 @@ type fleet_row = {
   sync_cross_hits : int;  (** pages served from the shared content store *)
   fleet_yields : int;  (** 0 for sequential *)
   fleet_switches : int;
+  fleet_domains : int;  (** domains requested *)
+  fleet_parallel : bool;  (** shards actually ran on separate domains *)
+  fleet_shards : Service.shard_stat list;  (** per-shard scheduler stats *)
 }
 
 val fleet :
@@ -200,14 +211,20 @@ val fleet :
   ?sequential:bool ->
   ?observe:bool ->
   ?cache_capacity:int ->
+  ?domains:int ->
   ?now:(unit -> float) ->
+  ?wall:(unit -> float) ->
   unit ->
   fleet_row * Service.t
 (** Generate [options]'s fleet ({!Service.zipf_fleet}), run it through a
     fresh service, and summarize. [now] (default [Sys.time]) supplies the
-    host clock for [sessions_per_s] — pass [Unix.gettimeofday] for
-    wall-clock. [observe] (default false) enables the fleet observability
-    plane ({!Service.run}) so the returned service carries an
+    host clock for [sessions_per_s]; [wall] (default [now]) supplies the
+    elapsed-time clock for [wall_sessions_per_s] — pass
+    [Unix.gettimeofday]. [domains] (default 1) shards the multiplexed run
+    across OCaml domains ({!Service.run}); semantic columns are identical
+    at any domain count, only host/wall costs and shard stats move.
+    [observe] (default false) enables the fleet observability plane
+    ({!Service.run}) so the returned service carries an
     {!Service.observation} for {!Report.of_fleet} / Perfetto export. The
     service is returned for {!Service.cache_listing}. *)
 

@@ -173,5 +173,8 @@ let get (s : set) k = s.(key_index k)
 let record s k v = observe (get s k) v
 let record_opt s k v = match s with Some s -> record s k v | None -> ()
 
+let merge_set ~into (src : set) =
+  Array.iteri (fun i h -> merge ~into:(Array.get (into : set) i) h) src
+
 let set_json s =
   Json.Obj (List.map (fun k -> (key_name k, summary_json (get s k))) all_keys)

@@ -63,11 +63,14 @@ type t = {
 let create ?(capacity = 4096) clock =
   { clock; ring = Array.make (max 1 capacity) None; next = 0; total = 0 }
 
-let event t payload =
-  let e = { at_ns = Clock.now_ns t.clock; payload } in
+let push t e =
   t.ring.(t.next) <- Some e;
   t.next <- (t.next + 1) mod Array.length t.ring;
   t.total <- t.total + 1
+
+let event t payload = push t { at_ns = Clock.now_ns t.clock; payload }
+
+let absorb t events = List.iter (push t) events
 
 let event_opt t payload = match t with Some t -> event t payload | None -> ()
 

@@ -376,6 +376,88 @@ let failed_recording_retries backend () =
   | Some b1, Some b2 -> check Alcotest.bool "retry blob identical" true (Bytes.equal b1 b2)
   | _ -> Alcotest.fail "expected the second client to record in both modes"
 
+(* ---- domain-parallel determinism (qcheck): the same fleet sharded by
+   share group across 2 or 4 domains ≡ the single-scheduler multiplexed
+   run — identical normalized reports (outcome, blob bytes, per-session
+   counters), identical recorded-blob digests, identical svc.* totals,
+   identical cache listing, and the same virtual-time facts (makespan,
+   yields, switches — they are intrinsic per session, not artifacts of
+   which scheduler interleaved it). ---- *)
+
+let digested (r : Service.session_report) =
+  (normalized r, Option.map Digest.bytes (blob_of r))
+
+let svc_totals svc = Counters.to_alist (Service.service_counters svc)
+
+let dump_domain_mismatch domains base run =
+  Printf.eprintf "--- domains=%d diverges from multiplexed ---\n" domains;
+  List.iter2
+    (fun ((id, o1, b1, _), _) ((_, o2, b2, _), _) ->
+      if (o1, b1) <> (o2, b2) then
+        Printf.eprintf "  client %d: d1 %s/%d d%d %s/%d\n" id o1 b1 domains o2 b2)
+    base run;
+  flush stderr
+
+let domain_parallel_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:8 ~name:"domain-sharded fleet == multiplexed fleet"
+       ~print:print_fleet gen_fleet (fun (cap, specs) ->
+         let go domains =
+           let svc = Service.create ~cache_capacity:cap () in
+           let reports, rs = Service.run ~domains svc specs in
+           ( List.map digested reports,
+             svc_totals svc,
+             Service.cache_listing svc,
+             (rs.Service.rs_virtual_ns, rs.Service.rs_yields, rs.Service.rs_switches) )
+         in
+         let base, base_totals, base_cache, base_virt = go 1 in
+         List.for_all
+           (fun domains ->
+             let run, totals, cache, virt = go domains in
+             if run <> base then dump_domain_mismatch domains base run;
+             run = base && totals = base_totals && cache = base_cache
+             && virt = base_virt)
+           [ 2; 4 ]))
+
+(* ---- promoted-waiter retry across a domain boundary: a lossy MNIST
+   group rides one shard while two AlexNet groups fill the others. The
+   MNIST shard must still fail client 0, promote client 1 to recorder and
+   coalesce client 2 — byte-identical to the single-scheduler run — and
+   the 4-domain run must actually have split the fleet into >1 shard. ---- *)
+
+let promoted_waiter_across_domains () =
+  let specs =
+    [
+      spec ~id:0 ~profile:lossy ~at_ms:0 ();
+      spec ~id:1 ~at_ms:1 ();
+      spec ~id:2 ~at_ms:2 ();
+      spec ~id:3 ~net:Zoo.alexnet ~at_ms:5 ();
+      spec ~id:4 ~net:Zoo.alexnet ~sku:Sku.g31_mp2 ~at_ms:6 ();
+    ]
+  in
+  let go domains =
+    let svc = Service.create () in
+    let reports, rs = Service.run ~domains svc specs in
+    ( List.map (fun r -> Service.outcome_name r.Service.outcome) reports,
+      List.map digested reports,
+      Service.stats svc,
+      rs )
+  in
+  let _, d1, st1, _ = go 1 in
+  let o4, d4, st4, rs4 = go 4 in
+  check
+    Alcotest.(list string)
+    "d4: fail, promoted waiter records, coalesced; other groups record"
+    [ "failed"; "recorded"; "coalesced"; "recorded"; "recorded" ]
+    o4;
+  check Alcotest.bool "d4 reports byte-identical to d1" true (d4 = d1);
+  check Alcotest.int "same recordings" st1.Service.recordings st4.Service.recordings;
+  check Alcotest.int "same failures" st1.Service.failures st4.Service.failures;
+  check Alcotest.bool "fleet split across shards" true
+    (List.length rs4.Service.rs_shards > 1);
+  (* three share groups -> at most three shards even with four domains *)
+  check Alcotest.int "one shard per share group" 3 (List.length rs4.Service.rs_shards)
+
 (* ---- the observability plane is write-only: same outcomes, same blobs,
    same per-session counters with observe on or off, in both execution
    modes — and the observed run actually collects tracks and samples. ---- *)
@@ -484,6 +566,12 @@ let () =
         @ backend_cases "simultaneous arrivals coalesce" coalescing
         @ backend_cases "failed recording promotes a waiter" failed_recording_retries );
       ( "determinism",
-        [ interleaving_deterministic; Alcotest.test_case "fleet generation" `Quick fleet_generation ] );
+        [
+          interleaving_deterministic;
+          domain_parallel_deterministic;
+          Alcotest.test_case "promoted waiter across a domain boundary" `Quick
+            promoted_waiter_across_domains;
+          Alcotest.test_case "fleet generation" `Quick fleet_generation;
+        ] );
       ("observability", backend_cases "observation is write-only" observation_write_only);
     ]
